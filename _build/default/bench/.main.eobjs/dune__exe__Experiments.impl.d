@@ -1,0 +1,1 @@
+bench/experiments.ml: Array Baseline Clearinghouse Dns Float Format Hns Hrpc Int32 List Nsm Option Printf Rpc Sim Transport Wire Workload

@@ -1,0 +1,1 @@
+bench/main.ml: Analyze Array Bechamel Benchmark Experiments Hashtbl Hns Int32 Lazy List Measure Printf Staged Sys Test Time Toolkit Wire Workload

@@ -1,0 +1,135 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation (printing ours/paper side by side), then runs a
+   Bechamel wall-clock benchmark of each experiment's simulated
+   workload — one Test.make per table/figure.
+
+   Usage:
+     dune exec bench/main.exe              # everything
+     dune exec bench/main.exe -- table-3.1 # one experiment
+     dune exec bench/main.exe -- --list    # available names
+     dune exec bench/main.exe -- --no-bechamel *)
+
+let experiments =
+  [
+    ("table-3.1", "Table 3.1: binding cost by colocation x cache state", Experiments.table_3_1);
+    ("table-3.2", "Table 3.2: marshalling costs on cache access speed", Experiments.table_3_2);
+    ("figure-2.1", "Figure 2.1: HNS query processing walk-through", Experiments.figure_2_1);
+    ("overhead", "Section 3: FindNSM and NSM-call overheads", Experiments.overhead);
+    ("compare", "Section 3: underlying services and baselines", Experiments.compare);
+    ("preload", "Section 3: cache preloading and break-even", Experiments.preload);
+    ("eq1", "Equation (1): colocation break-even analysis", Experiments.eq1);
+    ("hit-sweep", "Locality sweep: hit ratio vs Zipf skew", Experiments.hit_sweep);
+    ("same-host", "Same-host colocation saving", Experiments.same_host);
+    ("ablation-collapsed", "Ablation: collapsed vs separate FindNSM mappings",
+     Experiments.ablation_collapsed);
+    ("ablation-demarshalled", "Ablation: Table 3.1 with the demarshalled cache",
+     Experiments.ablation_demarshalled);
+    ("ablation-ttl", "Ablation: TTL invalidation vs staleness",
+     Experiments.ablation_ttl);
+    ("compare-broadcast", "V-style broadcast location vs the HNS",
+     Experiments.compare_broadcast);
+    ("scale-types", "Scaling in the heterogeneity dimension",
+     Experiments.scale_types);
+  ]
+
+(* --- Bechamel: wall-clock cost of each experiment's workload -------- *)
+
+let bechamel_tests () =
+  let open Bechamel in
+  (* Each staged thunk runs a compact version of the experiment's
+     simulated workload; Bechamel measures the harness's real cost. *)
+  let scn = lazy (Workload.Scenario.build ()) in
+  let table31 () =
+    let scn = Lazy.force scn in
+    ignore (Experiments.measure_table_3_1_row scn Hns.Import.All_linked)
+  in
+  let t32_world = lazy (Experiments.t32_world ()) in
+  let table32 () =
+    ignore (Experiments.t32_measure (Lazy.force t32_world) Hns.Cache.Marshalled "six.z")
+  in
+  let find_nsm () =
+    let scn = Lazy.force scn in
+    Workload.Scenario.in_sim scn (fun () ->
+        let hns = Workload.Scenario.new_hns scn ~on:scn.Workload.Scenario.client_stack in
+        match
+          Hns.Client.find_nsm hns ~context:scn.Workload.Scenario.bind_context
+            ~query_class:Hns.Query_class.hrpc_binding
+        with
+        | Ok _ -> ()
+        | Error e -> failwith (Hns.Errors.to_string e))
+  in
+  let marshal_value =
+    Wire.Value.Array
+      (List.init 6 (fun i ->
+           Wire.Value.Struct
+             [ ("name", Wire.Value.str "six.z"); ("a", Wire.Value.Uint (Int32.of_int i)) ]))
+  in
+  let marshal_ty =
+    Wire.Idl.T_array
+      (Wire.Idl.T_struct [ ("name", Wire.Idl.T_string); ("a", Wire.Idl.T_uint) ])
+  in
+  [
+    Test.make ~name:"table-3.1 row (all-linked, 3 cache states)"
+      (Staged.stage table31);
+    Test.make ~name:"table-3.2 cell (marshalled, 6 RRs)" (Staged.stage table32);
+    Test.make ~name:"find-nsm (cold cache)" (Staged.stage find_nsm);
+    Test.make ~name:"xdr marshal 6-RR answer"
+      (Staged.stage (fun () -> ignore (Wire.Xdr.to_string marshal_ty marshal_value)));
+    Test.make ~name:"generic marshal 6-RR answer"
+      (Staged.stage (fun () ->
+           ignore (Wire.Generic_marshal.marshal Wire.Data_rep.Xdr marshal_ty marshal_value)));
+  ]
+
+let run_bechamel () =
+  let open Bechamel in
+  print_endline "Bechamel: wall-clock cost of the simulated workloads";
+  print_endline "  (virtual-time results above are the paper reproduction; this";
+  print_endline "   measures the harness itself)";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:500 ~quota:(Time.second 0.25) ~kde:(Some 500) ()
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      let analyzed = Analyze.all ols instance results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] -> Printf.printf "  %-45s %12.0f ns/run\n%!" name est
+          | _ -> Printf.printf "  %-45s (no estimate)\n%!" name)
+        analyzed)
+    (List.map (fun t -> Test.make_grouped ~name:"" [ t ]) (bechamel_tests ()));
+  print_newline ()
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let args = List.filter (fun a -> a <> "--") args in
+  let with_bechamel = not (List.mem "--no-bechamel" args) in
+  let args = List.filter (fun a -> a <> "--no-bechamel") args in
+  match args with
+  | [ "--list" ] ->
+      List.iter (fun (name, descr, _) -> Printf.printf "%-12s %s\n" name descr) experiments
+  | [] ->
+      print_endline "HNS evaluation: reproducing every table and figure (SOSP 1987)";
+      print_endline "================================================================";
+      print_newline ();
+      List.iter
+        (fun (_, _, f) ->
+          f ();
+          print_endline "%%";
+          print_newline ())
+        experiments;
+      if with_bechamel then run_bechamel ()
+  | names ->
+      List.iter
+        (fun name ->
+          match List.find_opt (fun (n, _, _) -> n = name) experiments with
+          | Some (_, _, f) -> f ()
+          | None ->
+              Printf.eprintf "unknown experiment %S (try --list)\n" name;
+              exit 1)
+        names

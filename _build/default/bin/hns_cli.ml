@@ -1,0 +1,371 @@
+(* hns_cli: poke at the simulated HCS name service from the command
+   line.
+
+     dune exec bin/hns_cli.exe -- resolve uw-cs!vanuatu.cs.washington.edu
+     dune exec bin/hns_cli.exe -- import --service DesiredService \
+         uw-cs!vanuatu.cs.washington.edu
+     dune exec bin/hns_cli.exe -- meta-dump
+     dune exec bin/hns_cli.exe -- trace
+     dune exec bin/hns_cli.exe -- contexts
+
+   Every invocation builds the calibrated testbed, performs the
+   operation on the virtual clock, and reports virtual elapsed time. *)
+
+open Cmdliner
+
+module S = Workload.Scenario
+
+let with_scenario f =
+  let scn = S.build () in
+  S.in_sim scn (fun () ->
+      let hns = S.new_hns scn ~on:scn.client_stack in
+      f scn hns)
+
+let parse_hns_name s =
+  match Hns.Hns_name.of_string s with
+  | name -> Ok name
+  | exception Invalid_argument m -> Error m
+
+(* --- resolve --- *)
+
+let resolve_cmd =
+  let name_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"HNS-NAME" ~doc:"Name to resolve, as context!individual-name.")
+  in
+  let class_arg =
+    Arg.(
+      value
+      & opt string Hns.Query_class.host_address
+      & info [ "query-class"; "q" ] ~docv:"CLASS"
+          ~doc:"Query class (HostAddress, FileLocation, MailboxLocation).")
+  in
+  let run name_str query_class =
+    match parse_hns_name name_str with
+    | Error m ->
+        Printf.eprintf "bad HNS name: %s\n" m;
+        1
+    | Ok name -> (
+        match Hns.Nsm_intf.payload_ty_of query_class with
+        | None ->
+            Printf.eprintf "unknown query class %S\n" query_class;
+            1
+        | Some payload_ty ->
+            with_scenario (fun _scn hns ->
+                let t0 = Sim.Engine.time () in
+                match Hns.Client.resolve hns ~query_class ~payload_ty name with
+                | Ok (Some v) ->
+                    let rendered =
+                      match v with
+                      | Wire.Value.Uint ip -> Transport.Address.ip_to_string ip
+                      | Wire.Value.Str s -> s
+                      | other -> Wire.Value.to_string other
+                    in
+                    Printf.printf "%s = %s   (%.1f ms virtual)\n"
+                      (Hns.Hns_name.to_string name) rendered
+                      (Sim.Engine.time () -. t0);
+                    0
+                | Ok None ->
+                    Printf.printf "%s: not found\n" (Hns.Hns_name.to_string name);
+                    1
+                | Error e ->
+                    Printf.printf "error: %s\n" (Hns.Errors.to_string e);
+                    1))
+  in
+  Cmd.v
+    (Cmd.info "resolve" ~doc:"Resolve an HNS name through the federation.")
+    Term.(const run $ name_arg $ class_arg)
+
+(* --- import --- *)
+
+let import_cmd =
+  let name_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"HNS-NAME" ~doc:"Host or service object, as context!name.")
+  in
+  let service_arg =
+    Arg.(
+      value & opt string "DesiredService"
+      & info [ "service"; "s" ] ~docv:"SERVICE" ~doc:"ServiceName to bind to.")
+  in
+  let arrangement_arg =
+    let arrangement_conv =
+      Arg.enum
+        [
+          ("all-linked", Hns.Import.All_linked);
+          ("combined-agent", Hns.Import.Combined_agent);
+          ("remote-hns", Hns.Import.Remote_hns);
+          ("remote-nsms", Hns.Import.Remote_nsms);
+          ("all-remote", Hns.Import.All_remote);
+        ]
+    in
+    Arg.(
+      value & opt arrangement_conv Hns.Import.All_linked
+      & info [ "arrangement"; "a" ] ~docv:"ARRANGEMENT"
+          ~doc:"Colocation arrangement (Table 3.1 rows).")
+  in
+  let run name_str service arrangement =
+    match parse_hns_name name_str with
+    | Error m ->
+        Printf.eprintf "bad HNS name: %s\n" m;
+        1
+    | Ok name ->
+        let scn = S.build () in
+        S.in_sim scn (fun () ->
+            let p = S.arrange scn arrangement in
+            let t0 = Sim.Engine.time () in
+            let r = Hns.Import.import p.env arrangement ~service name in
+            let elapsed = Sim.Engine.time () -. t0 in
+            S.stop_parties p;
+            match r with
+            | Ok binding ->
+                Printf.printf "binding: %s   (%s, %.1f ms virtual)\n"
+                  (Format.asprintf "%a" Hrpc.Binding.pp binding)
+                  (Hns.Import.arrangement_name arrangement)
+                  elapsed;
+                0
+            | Error e ->
+                Printf.printf "import failed: %s\n" (Hns.Errors.to_string e);
+                1)
+  in
+  Cmd.v
+    (Cmd.info "import" ~doc:"Import an HRPC binding for a service via the HNS.")
+    Term.(const run $ name_arg $ service_arg $ arrangement_arg)
+
+(* --- meta-dump --- *)
+
+let meta_dump_cmd =
+  let run () =
+    with_scenario (fun scn _hns ->
+        match
+          Dns.Axfr.fetch scn.client_stack ~server:(Dns.Server.addr scn.meta_bind)
+            ~zone:Hns.Meta_schema.zone_origin
+        with
+        | Error e ->
+            Printf.printf "transfer failed: %s\n" (Format.asprintf "%a" Dns.Axfr.pp_error e);
+            1
+        | Ok records ->
+            Printf.printf "meta-naming database (%d records):\n" (List.length records);
+            List.iter
+              (fun (rr : Dns.Rr.t) ->
+                match rr.rdata with
+                | Dns.Rr.Unspec bytes ->
+                    let rendered =
+                      match Hns.Meta_schema.ty_of_key rr.name with
+                      | Some ty -> (
+                          match Wire.Xdr.of_string ty bytes with
+                          | v -> Wire.Value.to_string v
+                          | exception _ -> Printf.sprintf "<%d bytes>" (String.length bytes))
+                      | None -> Printf.sprintf "<%d bytes>" (String.length bytes)
+                    in
+                    Printf.printf "  %-42s %s\n" (Dns.Name.to_string rr.name) rendered
+                | Dns.Rr.Soa _ -> Printf.printf "  %-42s (SOA)\n" (Dns.Name.to_string rr.name)
+                | other -> Printf.printf "  %-42s %s\n" (Dns.Name.to_string rr.name)
+                            (Format.asprintf "%a" Dns.Rr.pp_rdata other))
+              records;
+            0)
+  in
+  Cmd.v
+    (Cmd.info "meta-dump" ~doc:"Zone-transfer and pretty-print the meta-naming database.")
+    Term.(const run $ const ())
+
+(* --- contexts --- *)
+
+let contexts_cmd =
+  let run () =
+    with_scenario (fun scn _hns ->
+        match
+          Dns.Axfr.fetch scn.client_stack ~server:(Dns.Server.addr scn.meta_bind)
+            ~zone:Hns.Meta_schema.zone_origin
+        with
+        | Error e ->
+            Printf.printf "transfer failed: %s\n" (Format.asprintf "%a" Dns.Axfr.pp_error e);
+            1
+        | Ok records ->
+            print_endline "registered contexts:";
+            List.iter
+              (fun (rr : Dns.Rr.t) ->
+                match (Dns.Name.labels rr.name, rr.rdata) with
+                | labels, Dns.Rr.Unspec bytes
+                  when List.exists (String.equal "ctx") labels -> (
+                    let context =
+                      labels
+                      |> List.filter (fun l -> l <> "ctx" && l <> "hns-meta")
+                      |> String.concat "."
+                    in
+                    match Wire.Xdr.of_string Wire.Idl.T_string bytes with
+                    | Wire.Value.Str ns -> Printf.printf "  %-20s -> %s\n" context ns
+                    | _ | (exception _) -> ())
+                | _ -> ())
+              records;
+            0)
+  in
+  Cmd.v
+    (Cmd.info "contexts" ~doc:"List contexts and the name services they map to.")
+    Term.(const run $ const ())
+
+(* --- trace --- *)
+
+let trace_cmd =
+  let run () =
+    with_scenario (fun scn hns ->
+        (* Narrate one FindNSM by instrumenting the virtual clock. *)
+        let name = Hns.Hns_name.make ~context:scn.bind_context ~name:scn.service_host in
+        Printf.printf "FindNSM(%S, %S):\n" name.context Hns.Query_class.hrpc_binding;
+        let t0 = Sim.Engine.time () in
+        let print_walk () =
+          List.iter
+            (fun (key, hit, cost) ->
+              Printf.printf "    %-52s %-4s %6.1f ms\n" key
+                (if hit then "hit" else "MISS")
+                cost)
+            (Hns.Meta_client.walk_log (Hns.Client.meta hns));
+          Hns.Meta_client.clear_walk_log (Hns.Client.meta hns)
+        in
+        (match
+           Hns.Client.find_nsm hns ~context:name.context
+             ~query_class:Hns.Query_class.hrpc_binding
+         with
+        | Ok r ->
+            Printf.printf "  designated NSM %S of name service %S\n" r.nsm_name r.ns_name;
+            Printf.printf "  binding %s\n" (Format.asprintf "%a" Hrpc.Binding.pp r.binding);
+            Printf.printf "  cold walk (%.1f ms), mapping by mapping:\n"
+              (Sim.Engine.time () -. t0);
+            print_walk ()
+        | Error e -> Printf.printf "  failed: %s\n" (Hns.Errors.to_string e));
+        let t1 = Sim.Engine.time () in
+        ignore
+          (Hns.Client.find_nsm hns ~context:name.context
+             ~query_class:Hns.Query_class.hrpc_binding);
+        Printf.printf "  warm walk (%.1f ms):\n" (Sim.Engine.time () -. t1);
+        print_walk ();
+        0)
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Trace a cold and a warm FindNSM walk.")
+    Term.(const run $ const ())
+
+(* --- network services --- *)
+
+let with_services f =
+  let scn = S.build () in
+  S.in_sim scn (fun () ->
+      let _installed = Services.Setup.install scn in
+      let hns = S.new_hns scn ~on:scn.client_stack in
+      f scn hns)
+
+let fetch_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE"
+          ~doc:
+            "File to fetch: a bare name uses the Unix file area; context!name \
+             goes wherever the context says (try parc-ch!notes).")
+  in
+  let run file =
+    with_services (fun scn hns ->
+        let name =
+          if String.contains file '!' then Hns.Hns_name.of_string file
+          else Services.Setup.unix_file_name scn file
+        in
+        let filing = Services.Filing.create hns in
+        match Services.Filing.fetch filing name with
+        | Ok data ->
+            Printf.printf "%s (%d bytes):\n%s\n" (Hns.Hns_name.to_string name)
+              (String.length data) data;
+            0
+        | Error e ->
+            Printf.printf "fetch failed: %s\n" (Format.asprintf "%a" Services.Access.pp_error e);
+            1)
+  in
+  Cmd.v
+    (Cmd.info "fetch" ~doc:"Fetch a file through the heterogeneous filing service.")
+    Term.(const run $ file_arg)
+
+let send_mail_cmd =
+  let user_arg =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"USER" ~doc:"Recipient (alice, bob, carol, dave).")
+  in
+  let body_arg =
+    Arg.(
+      value & opt string "hello from hns_cli"
+      & info [ "body"; "b" ] ~docv:"TEXT" ~doc:"Message body.")
+  in
+  let run user body =
+    with_services (fun scn hns ->
+        let mail = Services.Mail.create hns ~from:"operator@hns-cli" in
+        match
+          Services.Mail.send mail ~recipient:(Services.Setup.user_name scn user)
+            ~subject:"cli" ~body
+        with
+        | Ok site ->
+            Printf.printf "delivered to %s's mailbox at %s\n" user site.Hns.Hns_name.name;
+            0
+        | Error e ->
+            Printf.printf "send failed: %s\n" (Format.asprintf "%a" Services.Access.pp_error e);
+            1)
+  in
+  Cmd.v
+    (Cmd.info "send-mail" ~doc:"Deliver a message through the HCS mail service.")
+    Term.(const run $ user_arg $ body_arg)
+
+let rexec_cmd =
+  let host_arg =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"HOST" ~doc:"Short host name (samoa, vanuatu).")
+  in
+  let command_arg =
+    Arg.(
+      required & pos 1 (some string) None
+      & info [] ~docv:"COMMAND" ~doc:"Command (hostname, date, echo, compile).")
+  in
+  let args_arg =
+    Arg.(value & pos_right 1 string [] & info [] ~docv:"ARGS" ~doc:"Arguments.")
+  in
+  let run host command args =
+    with_services (fun scn hns ->
+        let rexec = Services.Rexec.create hns in
+        let host_name =
+          Hns.Hns_name.make ~context:scn.bind_context
+            ~name:(Printf.sprintf "%s.%s" host scn.zone)
+        in
+        match Services.Rexec.run rexec ~host:host_name ~command ~args with
+        | Ok o ->
+            Printf.printf "[exit %d] %s\n" o.Services.Rexec_server.status
+              o.Services.Rexec_server.output;
+            if o.Services.Rexec_server.status = 0 then 0 else o.Services.Rexec_server.status
+        | Error e ->
+            Printf.printf "rexec failed: %s\n" (Format.asprintf "%a" Services.Access.pp_error e);
+            1)
+  in
+  Cmd.v
+    (Cmd.info "rexec" ~doc:"Run a command on a remote host via the HCS rexec service.")
+    Term.(const run $ host_arg $ command_arg $ args_arg)
+
+let () =
+  let info =
+    Cmd.info "hns_cli" ~version:"1.0.0"
+      ~doc:"Interact with the simulated HCS Name Service (SOSP 1987 reproduction)."
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            resolve_cmd;
+            import_cmd;
+            meta_dump_cmd;
+            contexts_cmd;
+            trace_cmd;
+            fetch_cmd;
+            send_mail_cmd;
+            rexec_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/colocation_study.ml: Array Hns List Printf Sys Workload

@@ -1,0 +1,1 @@
+examples/colocation_study.mli:

@@ -1,0 +1,1 @@
+examples/day_in_the_life.ml: Array Clearinghouse Dns Format Hns Int32 List Printf Result Services Sim Transport Workload

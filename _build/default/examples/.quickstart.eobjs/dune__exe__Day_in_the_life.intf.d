@@ -1,0 +1,1 @@
+examples/day_in_the_life.mli:

@@ -1,0 +1,1 @@
+examples/federation.ml: Hns Hrpc List Nsm Printf Rpc Sim Transport Wire Workload Yp

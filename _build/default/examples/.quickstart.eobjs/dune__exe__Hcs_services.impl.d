@@ -1,0 +1,1 @@
+examples/hcs_services.ml: Format Hns List Printf Result Services Sim String Workload

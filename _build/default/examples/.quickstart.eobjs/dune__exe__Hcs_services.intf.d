@@ -1,0 +1,1 @@
+examples/hcs_services.mli:

@@ -1,0 +1,1 @@
+examples/hrpc_import.ml: Format Hns Hrpc Printf Rpc Sim Wire Workload

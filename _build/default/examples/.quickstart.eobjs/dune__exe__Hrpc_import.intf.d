@@ -1,0 +1,1 @@
+examples/hrpc_import.mli:

@@ -1,0 +1,1 @@
+examples/mail_routing.ml: Hns List Printf Sim String Wire Workload

@@ -1,0 +1,1 @@
+examples/mail_routing.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dns Format Hns Hrpc List Nsm Printf Rpc Sim Transport Wire Workload

@@ -1,0 +1,61 @@
+(* Colocation study: run the five arrangements of Table 3.1 yourself,
+   with any cache mode.
+
+     dune exec examples/colocation_study.exe
+     dune exec examples/colocation_study.exe -- demarshalled
+
+   Prints the three cache-state columns per arrangement, plus the
+   equation-(1) break-even for moving each party remote. The optional
+   argument switches every cache to the demarshalled representation
+   the paper adopted after Table 3.2 — watch column B and C collapse. *)
+
+module S = Workload.Scenario
+
+let () =
+  let cache_mode =
+    match Array.to_list Sys.argv with
+    | _ :: "demarshalled" :: _ -> Hns.Cache.Demarshalled
+    | _ -> Hns.Cache.Marshalled
+  in
+  let scn = S.build ~cache_mode () in
+  Printf.printf "cache mode: %s\n\n"
+    (match cache_mode with
+    | Hns.Cache.Marshalled -> "marshalled (as measured in the paper's Table 3.1)"
+    | Hns.Cache.Demarshalled -> "demarshalled (the paper's eventual fix)");
+  let name = Hns.Hns_name.make ~context:scn.bind_context ~name:scn.service_host in
+  let rows =
+    List.map
+      (fun arrangement ->
+        let a, b, c =
+          S.in_sim scn (fun () ->
+              let p = S.arrange scn arrangement in
+              S.flush_parties p;
+              let go () =
+                match
+                  Hns.Import.import p.env arrangement ~service:scn.service_name name
+                with
+                | Ok _ -> ()
+                | Error e -> failwith (Hns.Errors.to_string e)
+              in
+              let (), a = S.timed go in
+              Hns.Cache.flush p.nsm_cache;
+              let (), b = S.timed go in
+              let (), c = S.timed go in
+              S.stop_parties p;
+              (a, b, c))
+        in
+        [
+          Hns.Import.arrangement_name arrangement;
+          Printf.sprintf "%.0f" a;
+          Printf.sprintf "%.0f" b;
+          Printf.sprintf "%.0f" c;
+        ])
+      Hns.Import.all_arrangements
+  in
+  Workload.Experiment.print_table
+    ~title:"HRPC binding time by colocation arrangement (virtual msec)"
+    ~header:[ "arrangement"; "cache miss"; "HNS hit"; "HNS+NSM hit" ]
+    rows;
+  print_endline
+    "Lesson (paper, Section 3): at most two remote calls can be eliminated\n\
+     by colocation, while each cache hit eliminates many."

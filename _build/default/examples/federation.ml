@@ -1,0 +1,123 @@
+(* Evolving heterogeneity: introduce an entirely new name-service
+   type at run time and federate it into the HNS without touching any
+   existing component.
+
+     dune exec examples/federation.exe
+
+   The paper's pitch: "adding a new system type simply requires
+   building NSMs for those queries to be supported and registering
+   their existence with the HNS." We play a department that buys Sun
+   machines running NIS (Yellow Pages): their ypserv (a real Sun RPC
+   program, 100004) comes up speaking its own protocol, one NSM is
+   written for the HostAddress query class, both are registered — and
+   the same client code that was resolving BIND and Clearinghouse
+   names now resolves YP names. *)
+
+module S = Workload.Scenario
+
+let resolve hns label (name : Hns.Hns_name.t) =
+  match
+    Hns.Client.resolve hns ~query_class:Hns.Query_class.host_address
+      ~payload_ty:Hns.Nsm_intf.host_address_payload_ty name
+  with
+  | Ok (Some (Wire.Value.Uint ip)) ->
+      Printf.printf "  %-12s %-38s -> %s\n" label
+        (Hns.Hns_name.to_string name)
+        (Transport.Address.ip_to_string ip)
+  | Ok _ -> Printf.printf "  %-12s %s -> not found\n" label (Hns.Hns_name.to_string name)
+  | Error e -> Printf.printf "  %-12s error: %s\n" label (Hns.Errors.to_string e)
+
+let () =
+  let scn = S.build () in
+  S.in_sim scn (fun () ->
+      (* A client that knows nothing about YP. *)
+      let hns = S.new_hns scn ~on:scn.client_stack in
+      print_endline "== Before the new system type arrives ==";
+      resolve hns "(BIND)" (Hns.Hns_name.make ~context:scn.bind_context ~name:scn.service_host);
+      resolve hns "(CH)" (Hns.Hns_name.make ~context:scn.ch_context ~name:"dandelion");
+      resolve hns "(YP?)" (Hns.Hns_name.make ~context:"ee-yp" ~name:"sparcstation1");
+
+      print_endline "\n== The EE department's Suns arrive, running NIS ==";
+      (* ypserv on the department's server (the agent host here),
+         populated by their own administrators with their own tools. *)
+      let ypserv =
+        Yp.Yp_server.create scn.agent_stack ~domain:"ee.washington.edu"
+          ~lookup_ms:14.0 ()
+      in
+      List.iter
+        (fun (host, addr) ->
+          Yp.Yp_server.set ypserv ~map:Yp.Yp_proto.map_hosts_byname ~key:host
+            (addr ^ " " ^ host))
+        [
+          ("sparcstation1", "10.1.0.1");
+          ("sparcstation2", "10.1.0.2");
+          ("laserwriter", "10.1.0.9");
+        ];
+      Yp.Yp_server.start ypserv;
+      print_endline
+        "  started ypserv (Sun RPC program 100004; nothing else in the\n\
+        \  federation speaks its map protocol)";
+
+      (* One NSM for (HostAddress x YP), exported over HRPC. *)
+      let ha_nsm =
+        Nsm.Hostaddr_nsm_yp.create scn.nsm_stack
+          ~yp_server:(Yp.Yp_server.addr ypserv) ~domain:"ee.washington.edu"
+          ~per_query_ms:Workload.Calib.nsm_per_query_ms ()
+      in
+      let nsm_server =
+        Nsm.Hostaddr_nsm_yp.serve ha_nsm
+          ~prog:(Hns.Nsm_intf.nsm_prog_base + 40)
+          ~service_overhead_ms:Workload.Calib.nsm_service_overhead_ms ()
+      in
+      Hrpc.Server.start nsm_server;
+      print_endline "  wrote ONE NSM (HostAddress x YP) and exported it over HRPC";
+
+      (* Register the new name service, context, and NSM — the only
+         administrative action, done once, in one place. *)
+      let meta = Hns.Client.meta hns in
+      let ok = function
+        | Ok () -> ()
+        | Error e -> failwith (Hns.Errors.to_string e)
+      in
+      ok
+        (Hns.Admin.register_name_service meta ~name:"EE-YP"
+           {
+             Hns.Meta_schema.ns_type = "yp";
+             ns_host = "rarotonga.cs.washington.edu";
+             ns_host_context = scn.bind_context;
+             ns_port = Yp.Yp_server.port ypserv;
+           });
+      ok (Hns.Admin.register_context meta ~context:"ee-yp" ~ns:"EE-YP");
+      ok
+        (Hns.Admin.register_nsm_server meta ~name:"ha-yp" ~ns:"EE-YP"
+           ~query_class:Hns.Query_class.host_address
+           ~host:"niue.cs.washington.edu" ~host_context:scn.bind_context
+           (Hrpc.Server.binding nsm_server));
+      print_endline
+        "  registered EE-YP, context 'ee-yp', and the NSM with the HNS\n\
+        \  (registering an NSM extends the functionality of all machines at once)";
+
+      print_endline "\n== The same client code, unchanged ==";
+      resolve hns "(BIND)" (Hns.Hns_name.make ~context:scn.bind_context ~name:scn.service_host);
+      resolve hns "(CH)" (Hns.Hns_name.make ~context:scn.ch_context ~name:"dandelion");
+      resolve hns "(YP!)" (Hns.Hns_name.make ~context:"ee-yp" ~name:"sparcstation1");
+      resolve hns "(YP!)" (Hns.Hns_name.make ~context:"ee-yp" ~name:"laserwriter");
+      resolve hns "(YP!)" (Hns.Hns_name.make ~context:"ee-yp" ~name:"vaxstation");
+
+      print_endline "\n== And native NIS applications keep working, too ==";
+      let c =
+        Yp.Yp_client.create scn.client_stack ~server:(Yp.Yp_server.addr ypserv)
+          ~domain:"ee.washington.edu"
+      in
+      (match Yp.Yp_client.match_ c ~map:Yp.Yp_proto.map_hosts_byname "sparcstation2" with
+      | Ok (Some entry) -> Printf.printf "  native ypmatch: %s\n" entry
+      | Ok None -> print_endline "  native ypmatch: not found"
+      | Error e ->
+          Printf.printf "  native ypmatch failed: %s\n" (Rpc.Control.error_to_string e));
+      (* ...and their updates flow through the HNS with no
+         reregistration: direct access. *)
+      Yp.Yp_server.set ypserv ~map:Yp.Yp_proto.map_hosts_byname ~key:"sun4"
+        "10.1.0.77 sun4";
+      print_endline "  the EE admin adds sun4 to hosts.byname with native tools:";
+      resolve hns "(YP!)" (Hns.Hns_name.make ~context:"ee-yp" ~name:"sun4");
+      Printf.printf "\n(total virtual time: %.1f ms)\n" (Sim.Engine.time ()))

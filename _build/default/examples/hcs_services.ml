@@ -1,0 +1,78 @@
+(* The HCS core network services — filing, mail, remote computation —
+   running over HNS + HRPC.
+
+     dune exec examples/hcs_services.exe
+
+   "The goal of this project is to provide for loose integration
+   through network services, meaning that a set of core services
+   (filing, mail, and remote computation) are provided network-wide."
+   One client, three services, two underlying worlds (Unix/BIND/Sun
+   RPC and XDE/Clearinghouse/Courier) — and the client code never
+   mentions either. *)
+
+module S = Workload.Scenario
+
+let show_result label = function
+  | Ok s -> Printf.printf "  %-34s -> %s\n" label s
+  | Error e ->
+      Printf.printf "  %-34s -> error: %s\n" label
+        (Format.asprintf "%a" Services.Access.pp_error e)
+
+let () =
+  let scn = S.build () in
+  S.in_sim scn (fun () ->
+      let _installed = Services.Setup.install scn in
+      let hns = S.new_hns scn ~on:scn.client_stack in
+
+      print_endline "== Filing: Fetch across heterogeneous file systems ==";
+      let filing = Services.Filing.create hns in
+      show_result "fetch report.tex (Unix, Sun RPC)"
+        (Result.map
+           (fun d -> Printf.sprintf "%d bytes: %S..." (String.length d)
+               (String.sub d 0 (min 24 (String.length d))))
+           (Services.Filing.fetch filing (Services.Setup.unix_file_name scn "report.tex")));
+      show_result "fetch notes (XDE, Courier)"
+        (Result.map
+           (fun d -> Printf.sprintf "%d bytes: %S..." (String.length d)
+               (String.sub d 0 (min 24 (String.length d))))
+           (Services.Filing.fetch filing (Services.Setup.xde_file_name scn "notes")));
+      show_result "store todo"
+        (Result.map (fun () -> "stored")
+           (Services.Filing.store filing (Services.Setup.unix_file_name scn "todo")
+              "everything shipped"));
+
+      print_endline "\n== Mail: deliver to mailbox sites found via the HNS ==";
+      let mail = Services.Mail.create hns ~from:"notkin@cs" in
+      List.iter
+        (fun user ->
+          show_result
+            (Printf.sprintf "send to %s" user)
+            (Result.map
+               (fun site -> "delivered at " ^ site.Hns.Hns_name.name)
+               (Services.Mail.send mail
+                  ~recipient:(Services.Setup.user_name scn user)
+                  ~subject:"status" ~body:"the HNS is up")))
+        [ "alice"; "dave"; "mallory" ];
+      show_result "read alice's mailbox"
+        (Result.map
+           (fun msgs -> Printf.sprintf "%d message(s)" (List.length msgs))
+           (Services.Mail.read_mailbox mail ~user:(Services.Setup.user_name scn "alice")));
+
+      print_endline "\n== Remote computation ==";
+      let rexec = Services.Rexec.create hns in
+      let on host = Hns.Hns_name.make ~context:scn.bind_context ~name:host in
+      List.iter
+        (fun (host, command, args) ->
+          show_result
+            (Printf.sprintf "%s on %s" command host)
+            (Result.map
+               (fun (o : Services.Rexec_server.outcome) ->
+                 Printf.sprintf "[%d] %s" o.status o.output)
+               (Services.Rexec.run rexec ~host:(on host) ~command ~args)))
+        [
+          ("samoa.cs.washington.edu", "hostname", []);
+          ("vanuatu.cs.washington.edu", "date", []);
+          ("vanuatu.cs.washington.edu", "compile", [ "hns.c"; "-O" ]);
+          ("samoa.cs.washington.edu", "fortune", []);
+        ];
+      Printf.printf "\n(total virtual time: %.1f ms)\n" (Sim.Engine.time ()))

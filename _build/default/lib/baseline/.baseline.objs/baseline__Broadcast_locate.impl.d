@@ -1,0 +1,1 @@
+lib/baseline/broadcast_locate.ml: Hashtbl Hrpc List Rpc Sim String Transport

@@ -1,0 +1,1 @@
+lib/baseline/broadcast_locate.mli: Hrpc Rpc Transport

@@ -1,0 +1,1 @@
+lib/baseline/localfile.ml: Buffer Char Effect Hrpc List Printf Sim String

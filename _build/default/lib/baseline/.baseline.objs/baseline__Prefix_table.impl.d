@@ -1,0 +1,1 @@
+lib/baseline/prefix_table.ml: Broadcast_locate Hrpc List Option String Transport

@@ -1,0 +1,1 @@
+lib/baseline/prefix_table.mli: Hrpc Rpc Transport

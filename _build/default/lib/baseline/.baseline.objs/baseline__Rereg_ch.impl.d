@@ -1,0 +1,1 @@
+lib/baseline/rereg_ch.ml: Clearinghouse Format Hrpc Rpc Transport

@@ -1,0 +1,1 @@
+lib/baseline/rereg_ch.mli: Clearinghouse Format Hrpc Transport

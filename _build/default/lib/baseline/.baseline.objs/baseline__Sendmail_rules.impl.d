@@ -1,0 +1,1 @@
+lib/baseline/sendmail_rules.ml: Buffer Char List Printf String

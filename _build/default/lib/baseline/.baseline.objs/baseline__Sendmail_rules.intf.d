@@ -1,0 +1,1 @@
+lib/baseline/sendmail_rules.mli:

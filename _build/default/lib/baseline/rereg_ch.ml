@@ -1,0 +1,76 @@
+type error = Not_registered | Backend of string
+
+let pp_error ppf = function
+  | Not_registered -> Format.pp_print_string ppf "service not registered"
+  | Backend m -> Format.fprintf ppf "backend error: %s" m
+
+type t = {
+  stack : Transport.Netstack.stack;
+  ch_server : Transport.Address.t;
+  credentials : Clearinghouse.Ch_proto.credentials;
+  domain : string;
+  org : string;
+}
+
+let create stack ~ch_server ~credentials ~domain ~org () =
+  { stack; ch_server; credentials; domain; org }
+
+let with_client t f =
+  match
+    Clearinghouse.Ch_client.connect t.stack ~server:t.ch_server
+      ~credentials:t.credentials
+  with
+  | exception Transport.Tcp.Connection_refused _ ->
+      Error (Backend "clearinghouse unreachable")
+  | client ->
+      let r = f client in
+      Clearinghouse.Ch_client.close client;
+      r
+
+let object_of t service =
+  Clearinghouse.Ch_name.make ~local:service ~domain:t.domain ~org:t.org
+
+let register t ~service binding =
+  with_client t (fun client ->
+      match
+        Clearinghouse.Ch_client.store_item client (object_of t service)
+          ~prop:Clearinghouse.Property.Id.service_binding
+          (Hrpc.Binding.to_bytes binding)
+      with
+      | Ok () -> Ok ()
+      | Error e ->
+          Error (Backend (Format.asprintf "%a" Clearinghouse.Ch_client.pp_error e)))
+
+let reregister_sweep t entries =
+  with_client t (fun client ->
+      let copied = ref 0 in
+      let rec go = function
+        | [] -> Ok !copied
+        | (service, binding) :: rest -> (
+            match
+              Clearinghouse.Ch_client.store_item client (object_of t service)
+                ~prop:Clearinghouse.Property.Id.service_binding
+                (Hrpc.Binding.to_bytes binding)
+            with
+            | Ok () ->
+                incr copied;
+                go rest
+            | Error e ->
+                Error
+                  (Backend (Format.asprintf "%a" Clearinghouse.Ch_client.pp_error e)))
+      in
+      go entries)
+
+let import t ~service =
+  with_client t (fun client ->
+      match
+        Clearinghouse.Ch_client.retrieve_item client (object_of t service)
+          ~prop:Clearinghouse.Property.Id.service_binding
+      with
+      | Error Clearinghouse.Ch_client.Not_found -> Error Not_registered
+      | Error (Clearinghouse.Ch_client.Rpc_error e) ->
+          Error (Backend (Rpc.Control.error_to_string e))
+      | Ok bytes -> (
+          match Hrpc.Binding.of_bytes bytes with
+          | exception Invalid_argument m -> Error (Backend m)
+          | binding -> Ok binding))

@@ -1,0 +1,39 @@
+(** The reregistration baseline: one name service holds all the data.
+
+    "We should also compare our HNS-based binding timings with a
+    scheme in which a name service holds all of the (reregistered)
+    data. We implemented such a scheme on top of the Clearinghouse,
+    and found that binding took 166 msec."
+
+    Every service's binding is copied into a single Clearinghouse;
+    an import is one authenticated Clearinghouse retrieval. The
+    continuing cost the paper objects to is visible in
+    {!reregister_sweep}: it must be re-run forever, its cost grows
+    with the environment, and between sweeps the copies drift from
+    the authoritative data. *)
+
+type error = Not_registered | Backend of string
+
+val pp_error : Format.formatter -> error -> unit
+
+type t
+
+val create :
+  Transport.Netstack.stack ->
+  ch_server:Transport.Address.t ->
+  credentials:Clearinghouse.Ch_proto.credentials ->
+  domain:string ->
+  org:string ->
+  unit ->
+  t
+
+(** Copy one binding into the Clearinghouse. *)
+val register : t -> service:string -> Hrpc.Binding.t -> (unit, error) result
+
+(** Copy a batch (one sweep of the reregistration daemon); returns the
+    number copied. Cost grows linearly with the batch. *)
+val reregister_sweep :
+  t -> (string * Hrpc.Binding.t) list -> (int, error) result
+
+(** One authenticated retrieval. *)
+val import : t -> service:string -> (Hrpc.Binding.t, error) result

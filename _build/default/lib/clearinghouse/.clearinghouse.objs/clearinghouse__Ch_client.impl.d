@@ -1,0 +1,1 @@
+lib/clearinghouse/ch_client.ml: Ch_name Ch_proto Format List Rpc Wire

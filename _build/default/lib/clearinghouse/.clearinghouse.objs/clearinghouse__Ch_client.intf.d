@@ -1,0 +1,1 @@
+lib/clearinghouse/ch_client.mli: Ch_name Ch_proto Format Rpc Transport

@@ -1,0 +1,1 @@
+lib/clearinghouse/ch_db.ml: Ch_name Hashtbl List Property String

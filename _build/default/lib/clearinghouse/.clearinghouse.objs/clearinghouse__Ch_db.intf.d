@@ -1,0 +1,1 @@
+lib/clearinghouse/ch_db.mli: Ch_name Property

@@ -1,0 +1,1 @@
+lib/clearinghouse/ch_name.ml: Format Hashtbl Printf Stdlib String Wire

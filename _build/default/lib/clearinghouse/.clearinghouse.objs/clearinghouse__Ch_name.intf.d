@@ -1,0 +1,1 @@
+lib/clearinghouse/ch_name.mli: Format Wire

@@ -1,0 +1,1 @@
+lib/clearinghouse/ch_proto.ml: Ch_name Wire

@@ -1,0 +1,1 @@
+lib/clearinghouse/ch_proto.mli: Ch_name Wire

@@ -1,0 +1,1 @@
+lib/clearinghouse/ch_replication.ml: Ch_db Ch_server List Sim

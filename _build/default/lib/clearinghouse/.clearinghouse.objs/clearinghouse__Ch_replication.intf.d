@@ -1,0 +1,1 @@
+lib/clearinghouse/ch_replication.mli: Ch_server

@@ -1,0 +1,1 @@
+lib/clearinghouse/ch_server.ml: Ch_db Ch_name Ch_proto List Property Rpc Sim String Transport Wire

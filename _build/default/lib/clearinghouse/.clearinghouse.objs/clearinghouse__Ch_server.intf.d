@@ -1,0 +1,1 @@
+lib/clearinghouse/ch_server.mli: Ch_db Ch_name Property Transport

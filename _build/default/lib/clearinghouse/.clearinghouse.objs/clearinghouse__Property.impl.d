@@ -1,0 +1,1 @@
+lib/clearinghouse/property.ml: Ch_name Format List String

@@ -1,0 +1,1 @@
+lib/clearinghouse/property.mli: Ch_name Format

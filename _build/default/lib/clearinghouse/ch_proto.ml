@@ -1,0 +1,65 @@
+let program = 2
+let version = 3
+let proc_create_object = 2
+let proc_delete_object = 3
+let proc_store_item = 4
+let proc_retrieve_item = 5
+let proc_add_member = 6
+let proc_retrieve_members = 7
+let proc_list_objects = 8
+
+type credentials = { user : Ch_name.t; password : string }
+
+let credentials_ty =
+  Wire.Idl.T_struct [ ("user", Ch_name.idl_ty); ("password", Wire.Idl.T_string) ]
+
+let credentials_to_value c =
+  Wire.Value.Struct
+    [ ("user", Ch_name.to_value c.user); ("password", Wire.Value.Str c.password) ]
+
+let credentials_of_value v =
+  {
+    user = Ch_name.of_value (Wire.Value.field v "user");
+    password = Wire.Value.get_str (Wire.Value.field v "password");
+  }
+
+let with_cred fields = Wire.Idl.T_struct (("cred", credentials_ty) :: fields)
+
+let create_object_sign =
+  Wire.Idl.signature ~arg:(with_cred [ ("name", Ch_name.idl_ty) ]) ~res:Wire.Idl.T_bool
+
+let delete_object_sign = create_object_sign
+
+let store_item_sign =
+  Wire.Idl.signature
+    ~arg:
+      (with_cred
+         [ ("name", Ch_name.idl_ty); ("prop", Wire.Idl.T_int); ("item", Wire.Idl.T_opaque) ])
+    ~res:Wire.Idl.T_bool
+
+(* Result CHOICE: 0 = found item, 1 = no such property/object. *)
+let retrieve_item_sign =
+  Wire.Idl.signature
+    ~arg:(with_cred [ ("name", Ch_name.idl_ty); ("prop", Wire.Idl.T_int) ])
+    ~res:(Wire.Idl.T_union ([ (0, Wire.Idl.T_opaque); (1, Wire.Idl.T_void) ], None))
+
+let add_member_sign =
+  Wire.Idl.signature
+    ~arg:
+      (with_cred
+         [
+           ("name", Ch_name.idl_ty);
+           ("prop", Wire.Idl.T_int);
+           ("member", Ch_name.idl_ty);
+         ])
+    ~res:Wire.Idl.T_bool
+
+let retrieve_members_sign =
+  Wire.Idl.signature
+    ~arg:(with_cred [ ("name", Ch_name.idl_ty); ("prop", Wire.Idl.T_int) ])
+    ~res:(Wire.Idl.T_array Ch_name.idl_ty)
+
+let list_objects_sign =
+  Wire.Idl.signature
+    ~arg:(with_cred [ ("domain", Wire.Idl.T_string); ("org", Wire.Idl.T_string) ])
+    ~res:(Wire.Idl.T_array Wire.Idl.T_string)

@@ -1,0 +1,34 @@
+type t = { propagation_ms : float; mutable active : bool; mutable count : int }
+
+let apply db (event : Ch_server.update_event) =
+  match event with
+  | Ch_server.Object_created name -> ignore (Ch_db.create_object db name)
+  | Ch_server.Object_deleted name -> ignore (Ch_db.delete_object db name)
+  | Ch_server.Property_stored (name, prop) -> Ch_db.store db name prop
+  | Ch_server.Member_added (name, prop, member) -> (
+      match Ch_db.add_member db name prop member with
+      | () -> ()
+      | exception Invalid_argument _ -> ())
+
+let connect ~propagation_ms servers =
+  let t = { propagation_ms; active = true; count = 0 } in
+  List.iter
+    (fun source ->
+      Ch_server.on_update source (fun event ->
+          if t.active then
+            List.iter
+              (fun peer ->
+                if peer != source then begin
+                  t.count <- t.count + 1;
+                  (* The observer runs inside the serving process, so
+                     background propagation is a sibling process. *)
+                  Sim.Engine.spawn_child ~name:"ch-antientropy" (fun () ->
+                      Sim.Engine.sleep t.propagation_ms;
+                      apply (Ch_server.db peer) event)
+                end)
+              servers))
+    servers;
+  t
+
+let propagated t = t.count
+let disconnect t = t.active <- false

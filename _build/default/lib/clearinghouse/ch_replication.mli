@@ -1,0 +1,27 @@
+(** Clearinghouse replication: lazy propagation between replicas.
+
+    The Clearinghouse is "a decentralized agent for locating named
+    objects": each domain is served by several replicas that exchange
+    updates in the background, Grapevine-style. A client may read any
+    replica and write any replica; writes applied at one replica reach
+    the others after a propagation delay.
+
+    Anti-entropy is last-writer-wins per event with {e no global
+    order}: two replicas written concurrently can remain divergent
+    until the next overwrite, the classic Grapevine anomaly — the HNS
+    inherits it ("the source of our cached data also uses this
+    mechanism" philosophy applies to the Xerox world too). The test
+    suite demonstrates the anomaly rather than hiding it. *)
+
+type t
+
+(** [connect ~propagation_ms servers] wires mutation observers between
+    all pairs. Updates applied through a replica's Courier interface
+    propagate to every peer after [propagation_ms]. *)
+val connect : propagation_ms:float -> Ch_server.t list -> t
+
+(** Updates shipped so far (events times peers). *)
+val propagated : t -> int
+
+(** Stop propagating (pending updates still arrive). *)
+val disconnect : t -> unit

@@ -1,0 +1,1 @@
+lib/dns/axfr.ml: Format Msg Rr Tcp Transport

@@ -1,0 +1,1 @@
+lib/dns/axfr.mli: Format Name Rr Transport

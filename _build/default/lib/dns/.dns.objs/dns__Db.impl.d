@@ -1,0 +1,1 @@
+lib/dns/db.ml: Hashtbl List Name Rr

@@ -1,0 +1,1 @@
+lib/dns/db.mli: Name Rr

@@ -1,0 +1,1 @@
+lib/dns/msg.ml: Format Hashtbl List Name Printf Rr String Wire

@@ -1,0 +1,1 @@
+lib/dns/msg.mli: Format Name Rr

@@ -1,0 +1,1 @@
+lib/dns/name.ml: Format Hashtbl List Printf String

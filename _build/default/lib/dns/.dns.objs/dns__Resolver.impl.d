@@ -1,0 +1,1 @@
+lib/dns/resolver.ml: Float Format Hashtbl Int32 List Msg Name Rpc Rr Sim Transport

@@ -1,0 +1,1 @@
+lib/dns/resolver.mli: Format Msg Name Rpc Rr Transport

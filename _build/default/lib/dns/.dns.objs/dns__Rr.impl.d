@@ -1,0 +1,1 @@
+lib/dns/rr.ml: Format Int32 List Name Printf String Transport

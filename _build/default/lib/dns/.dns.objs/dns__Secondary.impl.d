@@ -1,0 +1,1 @@
+lib/dns/secondary.ml: Axfr Db Format Int32 List Msg Name Printf Rpc Rr Server Sim Transport Zone

@@ -1,0 +1,1 @@
+lib/dns/secondary.mli: Name Server Transport

@@ -1,0 +1,1 @@
+lib/dns/server.ml: Address Db Int32 List Msg Name Netstack Printf Rpc Rr Sim Tcp Transport Zone

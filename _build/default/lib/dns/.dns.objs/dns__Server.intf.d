@@ -1,0 +1,1 @@
+lib/dns/server.mli: Msg Transport Zone

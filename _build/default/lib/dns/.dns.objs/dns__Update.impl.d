@@ -1,0 +1,1 @@
+lib/dns/update.ml: Format Msg Rpc

@@ -1,0 +1,1 @@
+lib/dns/update.mli: Format Msg Name Rpc Rr Transport

@@ -1,0 +1,1 @@
+lib/dns/zone.ml: Db Int32 List Name Printf Rr

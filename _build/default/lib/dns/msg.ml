@@ -1,0 +1,418 @@
+type opcode = Query | Update
+
+type rcode =
+  | No_error
+  | Form_err
+  | Serv_fail
+  | Nx_domain
+  | Not_impl
+  | Refused
+  | Not_zone
+
+type question = { qname : Name.t; qtype : Rr.rtype }
+
+type update_op =
+  | Add of Rr.t
+  | Delete_rrset of Name.t * Rr.rtype
+  | Delete_rr of Name.t * Rr.rdata
+  | Delete_name of Name.t
+
+type t = {
+  id : int;
+  is_response : bool;
+  opcode : opcode;
+  authoritative : bool;
+  truncated : bool;
+  recursion_desired : bool;
+  recursion_available : bool;
+  rcode : rcode;
+  questions : question list;
+  answers : Rr.t list;
+  updates : update_op list;
+  authority : Rr.t list;
+  additional : Rr.t list;
+}
+
+exception Bad_message of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Bad_message s)) fmt
+
+let opcode_code = function Query -> 0 | Update -> 5
+
+let opcode_of_code = function
+  | 0 -> Query
+  | 5 -> Update
+  | n -> fail "unsupported opcode %d" n
+
+let rcode_code = function
+  | No_error -> 0
+  | Form_err -> 1
+  | Serv_fail -> 2
+  | Nx_domain -> 3
+  | Not_impl -> 4
+  | Refused -> 5
+  | Not_zone -> 10
+
+let rcode_of_code = function
+  | 0 -> No_error
+  | 1 -> Form_err
+  | 2 -> Serv_fail
+  | 3 -> Nx_domain
+  | 4 -> Not_impl
+  | 5 -> Refused
+  | 10 -> Not_zone
+  | n -> fail "unsupported rcode %d" n
+
+let rcode_to_string = function
+  | No_error -> "NOERROR"
+  | Form_err -> "FORMERR"
+  | Serv_fail -> "SERVFAIL"
+  | Nx_domain -> "NXDOMAIN"
+  | Not_impl -> "NOTIMP"
+  | Refused -> "REFUSED"
+  | Not_zone -> "NOTZONE"
+
+let empty =
+  {
+    id = 0;
+    is_response = false;
+    opcode = Query;
+    authoritative = false;
+    truncated = false;
+    recursion_desired = false;
+    recursion_available = false;
+    rcode = No_error;
+    questions = [];
+    answers = [];
+    updates = [];
+    authority = [];
+    additional = [];
+  }
+
+let query ~id qname qtype =
+  { empty with id; questions = [ { qname; qtype } ]; recursion_desired = true }
+
+let response ?(rcode = No_error) ?(authoritative = true) ?(truncated = false) ~request
+    answers =
+  {
+    empty with
+    id = request.id;
+    is_response = true;
+    opcode = request.opcode;
+    authoritative;
+    truncated;
+    recursion_desired = request.recursion_desired;
+    rcode;
+    questions = request.questions;
+    answers;
+  }
+
+let update_request ~id ~zone updates =
+  {
+    empty with
+    id;
+    opcode = Update;
+    questions = [ { qname = zone; qtype = Rr.T_soa } ];
+    updates;
+  }
+
+let update_ack ?(rcode = No_error) ~request () =
+  {
+    empty with
+    id = request.id;
+    is_response = true;
+    opcode = Update;
+    rcode;
+    questions = request.questions;
+  }
+
+let answer_count t = List.length t.answers
+
+(* --- encoding --- *)
+
+module W = Wire.Bytebuf.Wr
+module R = Wire.Bytebuf.Rd
+
+(* RFC 1035 section 4.1.4 name compression: a label whose length octet
+   has the top two bits set is a pointer to a prior occurrence of the
+   remaining suffix. The compression context maps suffix text to its
+   absolute offset in the message being built; [None] encodes without
+   compression. *)
+type compression = { offsets : (string, int) Hashtbl.t }
+
+let fresh_compression () = { offsets = Hashtbl.create 16 }
+
+let rec encode_name ?ctx ?(base = 0) wr name =
+  match Name.labels name with
+  | [] -> W.u8 wr 0
+  | label :: rest -> (
+      let suffix = Name.to_string name in
+      let here = base + W.length wr in
+      match ctx with
+      | Some { offsets } when Hashtbl.mem offsets suffix ->
+          let target = Hashtbl.find offsets suffix in
+          W.u8 wr (0xC0 lor (target lsr 8));
+          W.u8 wr (target land 0xFF)
+      | _ ->
+          (match ctx with
+          | Some { offsets } when here < 0x4000 -> Hashtbl.replace offsets suffix here
+          | _ -> ());
+          W.u8 wr (String.length label);
+          W.bytes wr label;
+          encode_name ?ctx ~base wr (Name.of_labels rest))
+
+let decode_name rd =
+  let rec go rd acc n jumps =
+    if n > 128 then fail "name with too many labels"
+    else
+      match R.u8 rd with
+      | 0 -> List.rev acc
+      | len when len <= 63 -> go rd (R.bytes rd len :: acc) (n + 1) jumps
+      | len when len >= 0xC0 ->
+          if jumps > 32 then fail "compression pointer loop"
+          else begin
+            let offset = ((len land 0x3F) lsl 8) lor R.u8 rd in
+            R.peek_at rd offset (fun rd' -> go rd' acc n (jumps + 1))
+          end
+      | len -> fail "bad label length %d" len
+  in
+  Name.of_labels (go rd [] 0 0)
+
+let char_string wr s =
+  if String.length s > 255 then invalid_arg "Msg: character-string too long";
+  W.u8 wr (String.length s);
+  W.bytes wr s
+
+let decode_char_string rd =
+  let len = R.u8 rd in
+  R.bytes rd len
+
+let encode_rdata ?ctx ?base wr (rdata : Rr.rdata) =
+  match rdata with
+  | A ip -> W.u32 wr ip
+  | Ns n | Cname n | Ptr n -> encode_name ?ctx ?base wr n
+  | Soa s ->
+      encode_name ?ctx ?base:(match base with Some b -> Some (b) | None -> None) wr s.mname;
+      encode_name ?ctx
+        ?base:(match base with Some b -> Some b | None -> None)
+        wr s.rname;
+      W.u32 wr s.serial;
+      W.u32 wr s.refresh;
+      W.u32 wr s.retry;
+      W.u32 wr s.expire;
+      W.u32 wr s.minimum
+  | Hinfo (cpu, os) ->
+      char_string wr cpu;
+      char_string wr os
+  | Mx (pref, n) ->
+      W.u16 wr pref;
+      encode_name ?ctx ?base wr n
+  | Txt ss -> List.iter (char_string wr) ss
+  | Unspec s -> W.bytes wr s
+
+let decode_rdata rtype rd : Rr.rdata =
+  match (rtype : Rr.rtype) with
+  | T_a -> A (R.u32 rd)
+  | T_ns -> Ns (decode_name rd)
+  | T_cname -> Cname (decode_name rd)
+  | T_ptr -> Ptr (decode_name rd)
+  | T_soa ->
+      let mname = decode_name rd in
+      let rname = decode_name rd in
+      let serial = R.u32 rd in
+      let refresh = R.u32 rd in
+      let retry = R.u32 rd in
+      let expire = R.u32 rd in
+      let minimum = R.u32 rd in
+      Soa { mname; rname; serial; refresh; retry; expire; minimum }
+  | T_hinfo ->
+      let cpu = decode_char_string rd in
+      let os = decode_char_string rd in
+      Hinfo (cpu, os)
+  | T_mx ->
+      let pref = R.u16 rd in
+      Mx (pref, decode_name rd)
+  | T_txt ->
+      let rec go acc = if R.at_end rd then List.rev acc else go (decode_char_string rd :: acc) in
+      Txt (go [])
+  | T_unspec -> Unspec (R.bytes rd (R.remaining rd))
+  | T_axfr | T_any -> fail "query-only type in record"
+
+(* A record on the wire: name, type, class, ttl, rdlength, rdata.
+   Rdata is built in a sub-buffer whose compression offsets are
+   shifted by the two rdlength bytes about to precede it. *)
+let encode_rr_raw ?ctx wr ~name ~type_code ~class_code ~ttl rdata_opt =
+  encode_name ?ctx wr name;
+  W.u16 wr type_code;
+  W.u16 wr class_code;
+  W.u32 wr ttl;
+  match rdata_opt with
+  | None -> W.u16 wr 0
+  | Some rdata ->
+      let body = W.create () in
+      encode_rdata ?ctx ~base:(W.length wr + 2) body rdata;
+      W.u16 wr (W.length body);
+      W.bytes wr (W.contents body)
+
+let encode_rr ?ctx wr (rr : Rr.t) =
+  encode_rr_raw ?ctx wr ~name:rr.name
+    ~type_code:(Rr.rtype_code (Rr.rdata_type rr.rdata))
+    ~class_code:(Rr.rclass_code rr.rclass) ~ttl:rr.ttl (Some rr.rdata)
+
+let encode_update_op ?ctx wr = function
+  | Add rr -> encode_rr ?ctx wr rr
+  | Delete_rrset (name, rtype) ->
+      encode_rr_raw ?ctx wr ~name ~type_code:(Rr.rtype_code rtype)
+        ~class_code:(Rr.rclass_code Rr.C_any) ~ttl:0l None
+  | Delete_rr (name, rdata) ->
+      encode_rr_raw ?ctx wr ~name
+        ~type_code:(Rr.rtype_code (Rr.rdata_type rdata))
+        ~class_code:(Rr.rclass_code Rr.C_none) ~ttl:0l (Some rdata)
+  | Delete_name name ->
+      encode_rr_raw ?ctx wr ~name ~type_code:(Rr.rtype_code Rr.T_any)
+        ~class_code:(Rr.rclass_code Rr.C_any) ~ttl:0l None
+
+(* Decode one wire record, yielding either a plain RR or the raw parts
+   needed to recognize update operations. *)
+let decode_rr_raw rd =
+  let name = decode_name rd in
+  let type_code = R.u16 rd in
+  let class_code = R.u16 rd in
+  let ttl = R.u32 rd in
+  let rdlength = R.u16 rd in
+  let body = R.sub rd ~len:rdlength in
+  (name, type_code, class_code, ttl, body)
+
+let decode_rr rd : Rr.t =
+  let name, type_code, class_code, ttl, body = decode_rr_raw rd in
+  let rtype =
+    match Rr.rtype_of_code type_code with
+    | Some t -> t
+    | None -> fail "unknown rr type %d" type_code
+  in
+  let rclass =
+    match Rr.rclass_of_code class_code with
+    | Some c -> c
+    | None -> fail "unknown rr class %d" class_code
+  in
+  { name; ttl; rclass; rdata = decode_rdata rtype body }
+
+let decode_update_op rd =
+  let name, type_code, class_code, ttl, body = decode_rr_raw rd in
+  let rtype =
+    match Rr.rtype_of_code type_code with
+    | Some t -> t
+    | None -> fail "unknown rr type %d in update" type_code
+  in
+  match Rr.rclass_of_code class_code with
+  | Some Rr.C_in -> Add { name; ttl; rclass = Rr.C_in; rdata = decode_rdata rtype body }
+  | Some Rr.C_any -> if rtype = Rr.T_any then Delete_name name else Delete_rrset (name, rtype)
+  | Some Rr.C_none -> Delete_rr (name, decode_rdata rtype body)
+  | None -> fail "unknown rr class %d in update" class_code
+
+let encode ?(compress = true) t =
+  let ctx = if compress then Some (fresh_compression ()) else None in
+  let wr = W.create ~initial:256 () in
+  W.u16 wr (t.id land 0xFFFF);
+  let flags =
+    ((if t.is_response then 1 else 0) lsl 15)
+    lor (opcode_code t.opcode lsl 11)
+    lor ((if t.authoritative then 1 else 0) lsl 10)
+    lor ((if t.truncated then 1 else 0) lsl 9)
+    lor ((if t.recursion_desired then 1 else 0) lsl 8)
+    lor ((if t.recursion_available then 1 else 0) lsl 7)
+    lor rcode_code t.rcode
+  in
+  W.u16 wr flags;
+  let section3_count =
+    match t.opcode with Update -> List.length t.updates | Query -> List.length t.authority
+  in
+  W.u16 wr (List.length t.questions);
+  W.u16 wr (List.length t.answers);
+  W.u16 wr section3_count;
+  W.u16 wr (List.length t.additional);
+  List.iter
+    (fun q ->
+      encode_name ?ctx wr q.qname;
+      W.u16 wr (Rr.rtype_code q.qtype);
+      W.u16 wr (Rr.rclass_code Rr.C_in))
+    t.questions;
+  List.iter (encode_rr ?ctx wr) t.answers;
+  (match t.opcode with
+  | Update -> List.iter (encode_update_op ?ctx wr) t.updates
+  | Query -> List.iter (encode_rr ?ctx wr) t.authority);
+  List.iter (encode_rr ?ctx wr) t.additional;
+  W.contents wr
+
+(* [List.init]'s application order is unspecified; decoding is
+   stateful, so sequence explicitly. *)
+let rec times n f = if n <= 0 then [] else let x = f () in x :: times (n - 1) f
+
+let decode s =
+  let rd = R.of_string s in
+  try
+    let id = R.u16 rd in
+    let flags = R.u16 rd in
+    let qdcount = R.u16 rd in
+    let ancount = R.u16 rd in
+    let nscount = R.u16 rd in
+    let arcount = R.u16 rd in
+    let is_response = flags land 0x8000 <> 0 in
+    let opcode = opcode_of_code ((flags lsr 11) land 0xF) in
+    let authoritative = flags land 0x400 <> 0 in
+    let truncated = flags land 0x200 <> 0 in
+    let recursion_desired = flags land 0x100 <> 0 in
+    let recursion_available = flags land 0x80 <> 0 in
+    let rcode = rcode_of_code (flags land 0xF) in
+    let questions =
+      times qdcount (fun () ->
+          let qname = decode_name rd in
+          let type_code = R.u16 rd in
+          let _class_code = R.u16 rd in
+          match Rr.rtype_of_code type_code with
+          | Some qtype -> { qname; qtype }
+          | None -> fail "unknown question type %d" type_code)
+    in
+    let answers = times ancount (fun () -> decode_rr rd) in
+    let updates, authority =
+      match opcode with
+      | Update -> (times nscount (fun () -> decode_update_op rd), [])
+      | Query -> ([], times nscount (fun () -> decode_rr rd))
+    in
+    let additional = times arcount (fun () -> decode_rr rd) in
+    {
+      id;
+      is_response;
+      opcode;
+      authoritative;
+      truncated;
+      recursion_desired;
+      recursion_available;
+      rcode;
+      questions;
+      answers;
+      updates;
+      authority;
+      additional;
+    }
+  with Wire.Bytebuf.Truncated -> fail "truncated DNS message"
+
+let udp_payload_limit = 512
+
+let truncate_for_udp t =
+  if String.length (encode t) <= udp_payload_limit then t
+  else { t with truncated = true; answers = []; authority = []; additional = [] }
+
+let pp ppf t =
+  Format.fprintf ppf "%s id=%d %s%s q=[%s] an=%d ns=%d ar=%d"
+    (match t.opcode with Query -> "QUERY" | Update -> "UPDATE")
+    t.id
+    (if t.is_response then "resp " else "req ")
+    (rcode_to_string t.rcode)
+    (String.concat ","
+       (List.map
+          (fun q -> Printf.sprintf "%s:%s" (Name.to_string q.qname) (Rr.rtype_name q.qtype))
+          t.questions))
+    (List.length t.answers)
+    (match t.opcode with Update -> List.length t.updates | Query -> List.length t.authority)
+    (List.length t.additional)

@@ -1,0 +1,75 @@
+(** DNS message format — hand-coded marshalling, the equivalent of the
+    "standard BIND library routines" whose cost Table 3.2 compares
+    against the stub-generated path.
+
+    The encoding is RFC 1035, including section 4.1.4 name
+    compression (suffix pointers), plus the RFC 2136-style
+    dynamic-update sections of the modified BIND. *)
+
+type opcode = Query | Update
+
+type rcode =
+  | No_error
+  | Form_err
+  | Serv_fail
+  | Nx_domain
+  | Not_impl
+  | Refused
+  | Not_zone  (** update outside the server's zone *)
+
+type question = { qname : Name.t; qtype : Rr.rtype }
+
+(** Operations carried in the update section of an UPDATE message. *)
+type update_op =
+  | Add of Rr.t
+  | Delete_rrset of Name.t * Rr.rtype
+  | Delete_rr of Name.t * Rr.rdata
+  | Delete_name of Name.t
+
+type t = {
+  id : int;
+  is_response : bool;
+  opcode : opcode;
+  authoritative : bool;
+  truncated : bool;  (** TC: answer exceeded the UDP limit *)
+  recursion_desired : bool;
+  recursion_available : bool;
+  rcode : rcode;
+  questions : question list;   (** zone section, for UPDATE *)
+  answers : Rr.t list;
+  updates : update_op list;    (** section 3 of an UPDATE message *)
+  authority : Rr.t list;       (** section 3 of a QUERY response *)
+  additional : Rr.t list;
+}
+
+exception Bad_message of string
+
+val query : id:int -> Name.t -> Rr.rtype -> t
+
+val response :
+  ?rcode:rcode -> ?authoritative:bool -> ?truncated:bool -> request:t -> Rr.t list -> t
+
+val update_request : id:int -> zone:Name.t -> update_op list -> t
+
+(** An empty response suited to acknowledging an update. *)
+val update_ack : ?rcode:rcode -> request:t -> unit -> t
+
+(** [encode ?compress t] — [compress] (default true) emits RFC 1035
+    suffix pointers; either form decodes identically. *)
+val encode : ?compress:bool -> t -> string
+
+val decode : string -> t
+
+(** The classic UDP payload ceiling (RFC 1035: 512 bytes). *)
+val udp_payload_limit : int
+
+(** [truncate_for_udp t] — when [encode t] exceeds the limit, drop the
+    answer sections and set TC, as 1987 BIND did; otherwise [t]. *)
+val truncate_for_udp : t -> t
+
+(** Number of answer records — the quantity the paper's marshalling
+    cost model is linear in. *)
+val answer_count : t -> int
+
+val rcode_to_string : rcode -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,94 @@
+type t = {
+  server : Server.t;
+  primary : Transport.Address.t;
+  zone_name : Name.t;
+  refresh_ms : float;
+  zone : Zone.t; (* our replica, registered with [server] *)
+  mutable running : bool;
+  mutable transfer_count : int;
+  mutable fresh_count : int;
+  mutable next_id : int;
+}
+
+let split_transfer zone_name records =
+  match records with
+  | { Rr.rdata = Rr.Soa soa; name; _ } :: data when Name.equal name zone_name ->
+      Ok (soa, data)
+  | _ -> Error "transfer did not begin with the zone's SOA"
+
+let fetch t =
+  match Axfr.fetch (Server.stack t.server) ~server:t.primary ~zone:t.zone_name with
+  | Error e -> Error (Format.asprintf "%a" Axfr.pp_error e)
+  | Ok records -> split_transfer t.zone_name records
+
+(* Replace the replica's contents with a fresh transfer. *)
+let adopt t (soa, data) =
+  let db = Zone.db t.zone in
+  Db.clear db;
+  List.iter (Db.add db) data;
+  Zone.set_soa t.zone soa;
+  t.transfer_count <- t.transfer_count + 1
+
+(* Probe the primary's serial with a plain SOA query. *)
+let primary_serial t =
+  t.next_id <- (t.next_id + 1) land 0xFFFF;
+  let request = Msg.encode (Msg.query ~id:t.next_id t.zone_name Rr.T_soa) in
+  match Rpc.Rawrpc.call (Server.stack t.server) ~dst:t.primary request with
+  | Error _ -> None
+  | Ok payload -> (
+      match Msg.decode payload with
+      | exception Msg.Bad_message _ -> None
+      | reply ->
+          List.find_map
+            (fun (rr : Rr.t) ->
+              match rr.rdata with Rr.Soa soa -> Some soa.Rr.serial | _ -> None)
+            reply.answers)
+
+let refresh_once t =
+  match primary_serial t with
+  | None -> () (* primary unreachable: keep serving the last copy *)
+  | Some serial ->
+      if Int32.compare serial (Zone.serial t.zone) > 0 then begin
+        match fetch t with
+        | Ok transfer -> adopt t transfer
+        | Error _ -> () (* transient failure; retry next cycle *)
+      end
+      else t.fresh_count <- t.fresh_count + 1
+
+let attach server ~primary ~zone ?refresh_ms () =
+  let t =
+    {
+      server;
+      primary;
+      zone_name = zone;
+      refresh_ms = 0.0;
+      zone = Zone.simple ~origin:zone [];
+      running = true;
+      transfer_count = 0;
+      fresh_count = 0;
+      next_id = 0x5A00;
+    }
+  in
+  (match fetch t with
+  | Error m -> failwith ("Secondary.attach: initial transfer failed: " ^ m)
+  | Ok transfer -> adopt t transfer);
+  let refresh_ms =
+    match refresh_ms with
+    | Some ms -> ms
+    | None -> Int32.to_float (Zone.soa t.zone).Rr.refresh *. 1000.0
+  in
+  let t = { t with refresh_ms } in
+  Server.add_zone server t.zone;
+  Sim.Engine.spawn_child
+    ~name:(Printf.sprintf "secondary:%s" (Name.to_string zone))
+    (fun () ->
+      while t.running do
+        Sim.Engine.sleep t.refresh_ms;
+        if t.running then refresh_once t
+      done);
+  t
+
+let serial t = Zone.serial t.zone
+let transfers t = t.transfer_count
+let fresh_checks t = t.fresh_count
+let detach t = t.running <- false

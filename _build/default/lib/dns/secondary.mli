@@ -1,0 +1,38 @@
+(** Secondary (replica) zone service.
+
+    "While the HNS is logically a single, centralized facility, its
+    implementation must be distributed and replicated for the usual
+    reasons of performance, availability, and scalability." BIND's
+    replication is the secondary server: it polls the primary's SOA
+    serial on the zone's refresh interval and pulls a full zone
+    transfer when the serial has advanced.
+
+    [attach] adds a secondary copy of a zone to an existing (usually
+    otherwise-empty) {!Server} and returns a handle; the refresh
+    process runs as a simulated process until {!detach}. *)
+
+type t
+
+(** [attach server ~primary ~zone ()] — fetches the initial copy
+    synchronously (must run inside a simulated process), then polls.
+    [refresh_ms] overrides the zone's own SOA refresh interval.
+    Raises [Failure] if the initial transfer fails. *)
+val attach :
+  Server.t ->
+  primary:Transport.Address.t ->
+  zone:Name.t ->
+  ?refresh_ms:float ->
+  unit ->
+  t
+
+(** The local replica's serial. *)
+val serial : t -> int32
+
+(** Completed transfers (1 after attach). *)
+val transfers : t -> int
+
+(** Serial probes that found the replica current. *)
+val fresh_checks : t -> int
+
+(** Stop refreshing (the replica keeps serving its last copy). *)
+val detach : t -> unit

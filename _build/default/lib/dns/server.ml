@@ -1,0 +1,250 @@
+open Transport
+
+type t = {
+  stack : Netstack.stack;
+  port : int;
+  service_overhead_ms : float;
+  per_answer_ms : float;
+  allow_update : bool;
+  update_acl : Address.ip list option;
+  mutable zone_list : Zone.t list;
+  mutable stop_udp : (unit -> unit) option;
+  mutable tcp_listener : Tcp.listener option;
+  mutable running : bool;
+  mutable queries : int;
+  mutable updates : int;
+}
+
+let create stack ?(port = Address.Well_known.dns) ?(service_overhead_ms = 0.0)
+    ?(per_answer_ms = 0.0) ?(allow_update = false) ?update_acl () =
+  {
+    stack;
+    port;
+    service_overhead_ms;
+    per_answer_ms;
+    allow_update;
+    update_acl;
+    zone_list = [];
+    stop_udp = None;
+    tcp_listener = None;
+    running = false;
+    queries = 0;
+    updates = 0;
+  }
+
+let addr t = Address.make (Netstack.ip t.stack) t.port
+let stack t = t.stack
+
+let add_zone t zone =
+  if List.exists (fun z -> Name.equal (Zone.origin z) (Zone.origin zone)) t.zone_list
+  then invalid_arg "Dns server: duplicate zone";
+  t.zone_list <- zone :: t.zone_list
+
+let zones t = t.zone_list
+
+(* Longest-match zone for a name. *)
+let find_zone t name =
+  List.fold_left
+    (fun best zone ->
+      if Zone.in_zone zone name then
+        match best with
+        | Some b when Name.label_count (Zone.origin b) >= Name.label_count (Zone.origin zone)
+          ->
+            best
+        | _ -> Some zone
+      else best)
+    None t.zone_list
+
+(* The outcome of answering one question. *)
+type answer_outcome =
+  | Answers of Rr.t list
+  | Referral of Rr.t list * Rr.t list (* NS rrset at the cut, glue A records *)
+  | Negative of Msg.rcode
+
+(* Is [qname] at or below a zone cut (an interior name holding NS
+   records)? Walk from the query name up to, but excluding, the
+   origin. A query for the NS rrset at the cut itself is a referral
+   too, as in BIND: the child is authoritative for it. *)
+let find_delegation zone db qname =
+  let origin = Zone.origin zone in
+  let rec walk name =
+    if Name.equal name origin then None
+    else
+      match Db.lookup db name Rr.T_ns with
+      | [] -> ( match Name.parent name with Some p -> walk p | None -> None)
+      | ns_rrs ->
+          let glue =
+            List.concat_map
+              (fun (rr : Rr.t) ->
+                match rr.rdata with
+                | Rr.Ns target -> Db.lookup db target Rr.T_a
+                | _ -> [])
+              ns_rrs
+          in
+          Some (ns_rrs, glue)
+  in
+  walk qname
+
+(* Answer one question, following CNAME chains inside our own data and
+   emitting referrals at zone cuts. *)
+let answer_question t (q : Msg.question) =
+  match find_zone t q.qname with
+  | None -> Negative Msg.Refused
+  | Some zone -> (
+      let db = Zone.db zone in
+      match find_delegation zone db q.qname with
+      | Some (ns_rrs, glue) -> Referral (ns_rrs, glue)
+      | None ->
+          let rec chase name depth acc =
+            if depth > 8 then List.rev acc
+            else
+              match Db.lookup db name q.qtype with
+              | [] -> (
+                  (* No direct answer: follow a CNAME if present and the
+                     query was not itself for CNAME. *)
+                  match Db.lookup db name Rr.T_cname with
+                  | [ ({ rdata = Rr.Cname target; _ } as cname_rr) ]
+                    when q.qtype <> Rr.T_cname ->
+                      chase target (depth + 1) (cname_rr :: acc)
+                  | _ -> List.rev acc)
+              | rrs -> List.rev_append acc rrs
+          in
+          let answers =
+            if q.qtype = Rr.T_soa && Name.equal q.qname (Zone.origin zone) then
+              [ Rr.make ~ttl:(Zone.soa zone).Rr.minimum q.qname (Rr.Soa (Zone.soa zone)) ]
+            else chase q.qname 0 []
+          in
+          if answers <> [] then Answers answers
+          else if Db.has_name db q.qname || Name.equal q.qname (Zone.origin zone) then
+            Answers [] (* name exists, no data of this type *)
+          else Negative Msg.Nx_domain)
+
+let update_permitted t src =
+  match t.update_acl with
+  | None -> true
+  | Some acl -> List.exists (fun ip -> Int32.equal ip src.Address.ip) acl
+
+let apply_update t (request : Msg.t) =
+  match request.questions with
+  | [ { qname = zone_name; _ } ] -> (
+      match find_zone t zone_name with
+      | Some zone when Name.equal (Zone.origin zone) zone_name ->
+          if not t.allow_update then Msg.Refused
+          else begin
+            let db = Zone.db zone in
+            let in_zone op_name = Zone.in_zone zone op_name in
+            let ok =
+              List.for_all
+                (fun op ->
+                  match (op : Msg.update_op) with
+                  | Msg.Add rr -> in_zone rr.Rr.name
+                  | Msg.Delete_rrset (n, _) | Msg.Delete_rr (n, _) | Msg.Delete_name n
+                    ->
+                      in_zone n)
+                request.updates
+            in
+            if not ok then Msg.Not_zone
+            else begin
+              List.iter
+                (fun op ->
+                  match (op : Msg.update_op) with
+                  | Msg.Add rr -> Db.add db rr
+                  | Msg.Delete_rrset (n, ty) -> Db.remove_rrset db n ty
+                  | Msg.Delete_rr (n, rdata) -> Db.remove_rr db n rdata
+                  | Msg.Delete_name n -> Db.remove_name db n)
+                request.updates;
+              Zone.bump_serial zone;
+              t.updates <- t.updates + 1;
+              Msg.No_error
+            end
+          end
+      | Some _ | None -> Msg.Not_zone)
+  | _ -> Msg.Form_err
+
+let handle ?src t (request : Msg.t) : Msg.t =
+  match request.opcode with
+  | Msg.Update ->
+      let rcode =
+        match src with
+        | Some s when not (update_permitted t s) -> Msg.Refused
+        | Some _ | None -> apply_update t request
+      in
+      Msg.update_ack ~rcode ~request ()
+  | Msg.Query -> (
+      t.queries <- t.queries + 1;
+      match request.questions with
+      | [ q ] -> (
+          match answer_question t q with
+          | Answers answers -> Msg.response ~request answers
+          | Referral (ns_rrs, glue) ->
+              {
+                (Msg.response ~authoritative:false ~request []) with
+                Msg.authority = ns_rrs;
+                additional = glue;
+              }
+          | Negative rcode -> Msg.response ~rcode ~request [])
+      | _ -> Msg.response ~rcode:Msg.Form_err ~request [])
+
+let marshal_cost t n_answers = t.per_answer_ms *. float_of_int n_answers
+
+let start t =
+  if t.running then invalid_arg "Dns server: already running";
+  t.running <- true;
+  (* UDP query/update service. *)
+  let udp_handler ~src payload =
+    match Msg.decode payload with
+    | exception Msg.Bad_message _ -> None
+    | request ->
+        let reply = Msg.truncate_for_udp (handle ~src t request) in
+        let cost = marshal_cost t (Msg.answer_count reply) in
+        if cost > 0.0 then Sim.Engine.sleep cost;
+        Some (Msg.encode reply)
+  in
+  let stop_udp =
+    Rpc.Rawrpc.serve t.stack ~port:t.port ~service_overhead_ms:t.service_overhead_ms
+      ~name:(Printf.sprintf "bind:%d" t.port)
+      udp_handler ()
+  in
+  t.stop_udp <- Some stop_udp;
+  (* TCP zone-transfer service. *)
+  let listener = Tcp.listen t.stack ~port:t.port in
+  t.tcp_listener <- Some listener;
+  Sim.Engine.spawn_child ~name:(Printf.sprintf "bind-axfr:%d" t.port) (fun () ->
+      while t.running do
+        let conn = Tcp.accept listener in
+        Sim.Engine.spawn_child ~name:"bind-axfr:conn" (fun () ->
+            (match Tcp.recv conn with
+            | exception Tcp.Connection_closed -> ()
+            | payload -> (
+                if t.service_overhead_ms > 0.0 then
+                  Sim.Engine.sleep t.service_overhead_ms;
+                match Msg.decode payload with
+                | exception Msg.Bad_message _ -> ()
+                | request -> (
+                    match request.questions with
+                    | [ { qname; qtype = Rr.T_axfr } ] -> (
+                        match find_zone t qname with
+                        | Some zone when Name.equal (Zone.origin zone) qname ->
+                            let records = Zone.axfr_records zone in
+                            let cost = marshal_cost t (List.length records) in
+                            if cost > 0.0 then Sim.Engine.sleep cost;
+                            Tcp.send conn
+                              (Msg.encode (Msg.response ~request records))
+                        | Some _ | None ->
+                            Tcp.send conn
+                              (Msg.encode (Msg.response ~rcode:Msg.Refused ~request [])))
+                    | _ ->
+                        (* Ordinary queries over TCP get the UDP treatment. *)
+                        Tcp.send conn (Msg.encode (handle t request)))));
+            Tcp.close conn)
+      done)
+
+let stop t =
+  t.running <- false;
+  (match t.stop_udp with Some f -> f () | None -> ());
+  (match t.tcp_listener with Some l -> Tcp.close_listener l | None -> ());
+  t.stop_udp <- None;
+  t.tcp_listener <- None
+
+let queries_served t = t.queries
+let updates_applied t = t.updates

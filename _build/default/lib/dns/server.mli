@@ -1,0 +1,49 @@
+(** The BIND name server.
+
+    An authoritative server over one or more zones, answering queries
+    on UDP and zone transfers on TCP, with two cost knobs that model
+    the paper's measured behaviour: a per-query CPU charge (BIND kept
+    everything in primary memory and did no authentication, hence its
+    27 ms lookups versus the Clearinghouse's 156 ms) and a per-answer
+    marshalling charge (the hand-coded BIND routines at 0.65–2.6 ms
+    per reply, Table 3.2's fast path).
+
+    When [allow_update] is set this is the {e modified} BIND of
+    [Schwartz 1987]: it accepts dynamic UPDATE messages and serves
+    UNSPEC records, which is how the HNS stores its meta-naming
+    information. The stock 1987 BIND refuses updates. An optional
+    [update_acl] restricts updates to listed source hosts (refusing
+    everyone else), the way the prototype's meta-BIND trusted only
+    the administrative machines. *)
+
+type t
+
+val create :
+  Transport.Netstack.stack ->
+  ?port:int ->
+  ?service_overhead_ms:float ->
+  ?per_answer_ms:float ->
+  ?allow_update:bool ->
+  ?update_acl:Transport.Address.ip list ->
+  unit ->
+  t
+
+val addr : t -> Transport.Address.t
+
+(** The stack the server runs on (used by zone replication). *)
+val stack : t -> Transport.Netstack.stack
+val add_zone : t -> Zone.t -> unit
+val zones : t -> Zone.t list
+
+(** Spawn the UDP query loop and the TCP transfer loop. *)
+val start : t -> unit
+
+val stop : t -> unit
+val queries_served : t -> int
+val updates_applied : t -> int
+
+(** Handle a request message directly (used by tests and by
+    colocated configurations that shortcut the network). Charges no
+    simulated cost; when [src] is omitted the update ACL is waived
+    (a local caller). *)
+val handle : ?src:Transport.Address.t -> t -> Msg.t -> Msg.t

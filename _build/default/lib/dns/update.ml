@@ -1,0 +1,30 @@
+type error =
+  | Refused
+  | Not_zone
+  | Server_error of Msg.rcode
+  | Rpc_error of Rpc.Control.error
+
+let pp_error ppf = function
+  | Refused -> Format.pp_print_string ppf "update refused"
+  | Not_zone -> Format.pp_print_string ppf "update outside zone"
+  | Server_error rc -> Format.fprintf ppf "server error %s" (Msg.rcode_to_string rc)
+  | Rpc_error e -> Rpc.Control.pp_error ppf e
+
+let id_counter = ref 0
+
+let send stack ~server ~zone ops =
+  incr id_counter;
+  let request = Msg.update_request ~id:!id_counter ~zone ops in
+  match Rpc.Rawrpc.call stack ~dst:server (Msg.encode request) with
+  | Error e -> Error (Rpc_error e)
+  | Ok payload -> (
+      match Msg.decode payload with
+      | exception Msg.Bad_message m -> Error (Rpc_error (Rpc.Control.Protocol_error m))
+      | reply -> (
+          match reply.rcode with
+          | Msg.No_error -> Ok ()
+          | Msg.Refused -> Error Refused
+          | Msg.Not_zone -> Error Not_zone
+          | rc -> Error (Server_error rc)))
+
+let add_rr stack ~server ~zone rr = send stack ~server ~zone [ Msg.Add rr ]

@@ -1,0 +1,26 @@
+(** Dynamic-update client for the modified BIND.
+
+    This is the interface existing applications keep using in the
+    direct-access story: they update their local name service with
+    native operations, and the change is immediately visible through
+    the HNS with no reregistration. *)
+
+type error = Refused | Not_zone | Server_error of Msg.rcode | Rpc_error of Rpc.Control.error
+
+val pp_error : Format.formatter -> error -> unit
+
+(** [send stack ~server ~zone ops] performs one UPDATE transaction. *)
+val send :
+  Transport.Netstack.stack ->
+  server:Transport.Address.t ->
+  zone:Name.t ->
+  Msg.update_op list ->
+  (unit, error) result
+
+(** Shorthand for a single-record add. *)
+val add_rr :
+  Transport.Netstack.stack ->
+  server:Transport.Address.t ->
+  zone:Name.t ->
+  Rr.t ->
+  (unit, error) result

@@ -1,0 +1,42 @@
+type t = { origin : Name.t; mutable soa : Rr.soa; db : Db.t }
+
+let in_zone_name origin name = Name.is_subdomain ~of_:origin name
+
+let create ~origin ~soa records =
+  let db = Db.create () in
+  List.iter
+    (fun (rr : Rr.t) ->
+      if not (in_zone_name origin rr.name) then
+        invalid_arg
+          (Printf.sprintf "Zone.create: %s is outside zone %s"
+             (Name.to_string rr.name) (Name.to_string origin));
+      Db.add db rr)
+    records;
+  { origin; soa; db }
+
+let simple ~origin records =
+  let soa =
+    {
+      Rr.mname = Name.prepend "ns" origin;
+      rname = Name.prepend "hostmaster" origin;
+      serial = 1l;
+      refresh = 3600l;
+      retry = 600l;
+      expire = 864000l;
+      minimum = 3600l;
+    }
+  in
+  create ~origin ~soa records
+
+let origin t = t.origin
+let soa t = t.soa
+let db t = t.db
+let serial t = t.soa.Rr.serial
+let bump_serial t = t.soa <- { t.soa with Rr.serial = Int32.add t.soa.Rr.serial 1l }
+let set_soa t soa = t.soa <- soa
+let in_zone t name = in_zone_name t.origin name
+
+let soa_rr t = Rr.make ~ttl:t.soa.Rr.minimum t.origin (Rr.Soa t.soa)
+
+let axfr_records t = soa_rr t :: Db.all t.db
+let count t = 1 + Db.count t.db

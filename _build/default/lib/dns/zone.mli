@@ -1,0 +1,33 @@
+(** A zone: an origin, its SOA, and the records below it.
+
+    The HNS meta-BIND serves a single flat zone ([hns-meta.]); the
+    public BIND serves ordinary host zones ([cs.washington.edu.]). *)
+
+type t
+
+(** [create ~origin ~soa records]. Every record must lie within the
+    zone (raises [Invalid_argument] otherwise). An SOA record at the
+    origin is synthesized from [soa]. *)
+val create : origin:Name.t -> soa:Rr.soa -> Rr.t list -> t
+
+(** A zone with a boilerplate SOA, for tests and simple setups. *)
+val simple : origin:Name.t -> Rr.t list -> t
+
+val origin : t -> Name.t
+val soa : t -> Rr.soa
+val db : t -> Db.t
+val serial : t -> int32
+
+(** Called after every dynamic update. *)
+val bump_serial : t -> unit
+
+(** Adopt a primary's SOA verbatim (zone replication). *)
+val set_soa : t -> Rr.soa -> unit
+
+val in_zone : t -> Name.t -> bool
+
+(** Records for a zone transfer: SOA first, then all data records. *)
+val axfr_records : t -> Rr.t list
+
+(** Total record count including the SOA. *)
+val count : t -> int

@@ -1,0 +1,1 @@
+lib/hns/admin.ml: Hrpc Meta_client Meta_schema Transport Wire

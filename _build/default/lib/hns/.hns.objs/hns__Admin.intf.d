@@ -1,0 +1,1 @@
+lib/hns/admin.mli: Errors Hrpc Meta_client Meta_schema Query_class

@@ -1,0 +1,1 @@
+lib/hns/agent.ml: Client Errors Find_nsm Hns_name Hrpc List Nsm_intf Query_class Wire

@@ -1,0 +1,1 @@
+lib/hns/agent.mli: Client Errors Hns_name Hrpc Nsm_intf Query_class Transport Wire

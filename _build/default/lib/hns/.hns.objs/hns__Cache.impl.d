@@ -1,0 +1,1 @@
+lib/hns/cache.ml: Effect Hashtbl Sim String Wire

@@ -1,0 +1,1 @@
+lib/hns/cache.mli: Wire

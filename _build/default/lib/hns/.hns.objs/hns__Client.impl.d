@@ -1,0 +1,1 @@
+lib/hns/client.ml: Cache Find_nsm Hns_name Meta_client Nsm_intf Transport

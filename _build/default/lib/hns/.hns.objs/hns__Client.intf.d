@@ -1,0 +1,1 @@
+lib/hns/client.mli: Cache Errors Find_nsm Hns_name Meta_client Nsm_intf Query_class Transport Wire

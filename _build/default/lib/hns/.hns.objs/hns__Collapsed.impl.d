@@ -1,0 +1,1 @@
+lib/hns/collapsed.ml: Dns Errors Find_nsm Hrpc List Meta_client Meta_schema Query_class Wire

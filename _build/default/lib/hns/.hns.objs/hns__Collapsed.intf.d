@@ -1,0 +1,1 @@
+lib/hns/collapsed.mli: Dns Errors Find_nsm Hrpc Meta_client Query_class

@@ -1,0 +1,1 @@
+lib/hns/errors.ml: Format Hns_name Rpc

@@ -1,0 +1,1 @@
+lib/hns/errors.mli: Format Hns_name Rpc

@@ -1,0 +1,1 @@
+lib/hns/find_nsm.ml: Errors Hashtbl Hns_name Hrpc Meta_client Meta_schema Nsm_intf Printf Query_class Transport Wire

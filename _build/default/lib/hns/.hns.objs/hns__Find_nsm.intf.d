@@ -1,0 +1,1 @@
+lib/hns/find_nsm.mli: Errors Hrpc Meta_client Nsm_intf Query_class Transport

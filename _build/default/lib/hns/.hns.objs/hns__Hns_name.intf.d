@@ -1,0 +1,1 @@
+lib/hns/hns_name.mli: Format Wire

@@ -1,0 +1,1 @@
+lib/hns/import.mli: Client Errors Hns_name Hrpc Nsm_intf Transport

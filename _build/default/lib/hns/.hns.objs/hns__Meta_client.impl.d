@@ -1,0 +1,1 @@
+lib/hns/meta_client.ml: Cache Dns Effect Errors Format Hrpc Int32 List Meta_schema Printf Rpc Sim Transport Wire

@@ -1,0 +1,1 @@
+lib/hns/meta_client.mli: Cache Dns Errors Transport Wire

@@ -1,0 +1,1 @@
+lib/hns/meta_schema.ml: Dns Hrpc Printf Query_class String Wire

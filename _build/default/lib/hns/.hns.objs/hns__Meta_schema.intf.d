@@ -1,0 +1,1 @@
+lib/hns/meta_schema.mli: Dns Hrpc Query_class Wire

@@ -1,0 +1,1 @@
+lib/hns/nsm_intf.ml: Errors Hns_name Hrpc Query_class Wire

@@ -1,0 +1,1 @@
+lib/hns/nsm_intf.mli: Errors Hns_name Hrpc Query_class Transport Wire

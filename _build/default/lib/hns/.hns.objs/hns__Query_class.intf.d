@@ -1,0 +1,1 @@
+lib/hns/query_class.mli: Format

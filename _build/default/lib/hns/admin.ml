@@ -1,0 +1,43 @@
+let register_name_service meta ~name info =
+  Meta_schema.validate_simple_name ~what:"Admin.register_name_service" name;
+  Meta_client.store meta ~key:(Meta_schema.ns_info_key name) ~ty:Meta_schema.ns_info_ty
+    (Meta_schema.ns_info_to_value info)
+
+let register_context meta ~context ~ns =
+  Meta_schema.validate_simple_name ~what:"Admin.register_context ns" ns;
+  Meta_client.store meta ~key:(Meta_schema.context_key context)
+    ~ty:Meta_schema.string_ty (Wire.Value.Str ns)
+
+let register_nsm meta ~name ~ns ~query_class info =
+  Meta_schema.validate_simple_name ~what:"Admin.register_nsm" name;
+  match
+    Meta_client.store meta
+      ~key:(Meta_schema.nsm_name_key ~ns ~query_class)
+      ~ty:Meta_schema.string_ty (Wire.Value.Str name)
+  with
+  | Error _ as e -> e
+  | Ok () ->
+      Meta_client.store meta
+        ~key:(Meta_schema.nsm_binding_key name)
+        ~ty:Meta_schema.nsm_info_ty
+        (Meta_schema.nsm_info_to_value info)
+
+let remove_context meta ~context =
+  Meta_client.remove meta ~key:(Meta_schema.context_key context)
+
+let remove_nsm meta ~name ~ns ~query_class =
+  match Meta_client.remove meta ~key:(Meta_schema.nsm_name_key ~ns ~query_class) with
+  | Error _ as e -> e
+  | Ok () -> Meta_client.remove meta ~key:(Meta_schema.nsm_binding_key name)
+
+let register_nsm_server meta ~name ~ns ~query_class ~host ~host_context
+    (binding : Hrpc.Binding.t) =
+  register_nsm meta ~name ~ns ~query_class
+    {
+      Meta_schema.nsm_host = host;
+      nsm_host_context = host_context;
+      nsm_port = binding.Hrpc.Binding.server.Transport.Address.port;
+      nsm_prog = binding.Hrpc.Binding.prog;
+      nsm_vers = binding.Hrpc.Binding.vers;
+      nsm_suite = binding.Hrpc.Binding.suite;
+    }

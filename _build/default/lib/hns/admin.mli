@@ -1,0 +1,48 @@
+(** Registration: how system types join the confederation.
+
+    "Adding a new system type simply requires building NSMs for those
+    queries to be supported and registering their existence with the
+    HNS." Registration writes meta-naming records through the dynamic
+    update path of the modified BIND; "registering an NSM with the HNS
+    extends the functionality of all machines at once", unlike
+    relinking locally-linked clients. *)
+
+(** Declare a name service instance. *)
+val register_name_service :
+  Meta_client.t -> name:string -> Meta_schema.ns_info -> (unit, Errors.t) result
+
+(** Map a context onto (part of) a name service's name space. *)
+val register_context :
+  Meta_client.t -> context:string -> ns:string -> (unit, Errors.t) result
+
+(** Register an NSM for (name service, query class), recording both
+    the designation mapping and the NSM's location. *)
+val register_nsm :
+  Meta_client.t ->
+  name:string ->
+  ns:string ->
+  query_class:Query_class.t ->
+  Meta_schema.nsm_info ->
+  (unit, Errors.t) result
+
+val remove_context : Meta_client.t -> context:string -> (unit, Errors.t) result
+
+val remove_nsm :
+  Meta_client.t ->
+  name:string ->
+  ns:string ->
+  query_class:Query_class.t ->
+  (unit, Errors.t) result
+
+(** Convenience: register an HRPC server as the NSM for
+    (ns, query class) under [name], deriving the location record from
+    the server's binding. [host]/[host_context] name where it runs. *)
+val register_nsm_server :
+  Meta_client.t ->
+  name:string ->
+  ns:string ->
+  query_class:Query_class.t ->
+  host:string ->
+  host_context:string ->
+  Hrpc.Binding.t ->
+  (unit, Errors.t) result

@@ -1,0 +1,103 @@
+let agent_prog = 390200
+let agent_vers = 1
+let proc_find_nsm = 1
+let proc_import = 2
+
+let find_nsm_arg_ty =
+  Wire.Idl.T_struct
+    [ ("context", Wire.Idl.T_string); ("query_class", Wire.Idl.T_string) ]
+
+let find_nsm_payload_ty =
+  Wire.Idl.T_struct [ ("nsm_name", Wire.Idl.T_string); ("binding", Hrpc.Binding.idl_ty) ]
+
+let result_union payload = Wire.Idl.T_union ([ (0, payload); (1, Wire.Idl.T_string) ], None)
+
+let find_nsm_sign =
+  Wire.Idl.signature ~arg:find_nsm_arg_ty ~res:(result_union find_nsm_payload_ty)
+
+let import_arg_ty =
+  Wire.Idl.T_struct [ ("service", Wire.Idl.T_string); ("hns_name", Hns_name.idl_ty) ]
+
+let import_sign =
+  Wire.Idl.signature ~arg:import_arg_ty ~res:(result_union Hrpc.Binding.idl_ty)
+
+type t = { server : Hrpc.Server.t }
+
+let ok payload = Wire.Value.Union (0, payload)
+let err e = Wire.Value.Union (1, Wire.Value.Str (Errors.to_string e))
+
+let create hns ?(linked_nsms = []) ?port ?(suite = Hrpc.Component.sunrpc_suite)
+    ?service_overhead_ms () =
+  let server =
+    Hrpc.Server.create (Client.stack hns) ~suite ?port ?service_overhead_ms
+      ~prog:agent_prog ~vers:agent_vers ()
+  in
+  Hrpc.Server.register server ~procnum:proc_find_nsm ~sign:find_nsm_sign (fun v ->
+      let context = Wire.Value.get_str (Wire.Value.field v "context") in
+      let query_class = Wire.Value.get_str (Wire.Value.field v "query_class") in
+      match Client.find_nsm hns ~context ~query_class with
+      | Error e -> err e
+      | Ok resolved ->
+          ok
+            (Wire.Value.Struct
+               [
+                 ("nsm_name", Wire.Value.Str resolved.Find_nsm.nsm_name);
+                 ("binding", Hrpc.Binding.to_value resolved.Find_nsm.binding);
+               ]));
+  Hrpc.Server.register server ~procnum:proc_import ~sign:import_sign (fun v ->
+      let service = Wire.Value.get_str (Wire.Value.field v "service") in
+      let hns_name = Hns_name.of_value (Wire.Value.field v "hns_name") in
+      match
+        Client.find_nsm hns ~context:hns_name.Hns_name.context
+          ~query_class:Query_class.hrpc_binding
+      with
+      | Error e -> err e
+      | Ok resolved -> (
+          let access =
+            match List.assoc_opt resolved.Find_nsm.nsm_name linked_nsms with
+            | Some impl -> Nsm_intf.Linked impl
+            | None -> Nsm_intf.Remote resolved.Find_nsm.binding
+          in
+          match
+            Nsm_intf.call (Client.stack hns) access
+              ~payload_ty:Nsm_intf.binding_payload_ty ~service ~hns_name
+          with
+          | Error e -> err e
+          | Ok None -> err (Errors.Name_not_found hns_name)
+          | Ok (Some payload) -> ok payload));
+  { server }
+
+let binding t = Hrpc.Server.binding t.server
+let start t = Hrpc.Server.start t.server
+let stop t = Hrpc.Server.stop t.server
+
+let interpret decode_payload = function
+  | Wire.Value.Union (0, payload) -> (
+      match decode_payload payload with
+      | exception Invalid_argument m -> Error (Errors.Meta_error m)
+      | v -> Ok v)
+  | Wire.Value.Union (1, Wire.Value.Str m) -> Error (Errors.Nsm_error m)
+  | v -> Error (Errors.Meta_error ("unexpected agent result " ^ Wire.Value.to_string v))
+
+let remote_find_nsm stack ~agent ~context ~query_class =
+  let arg =
+    Wire.Value.Struct
+      [ ("context", Wire.Value.Str context); ("query_class", Str query_class) ]
+  in
+  match Hrpc.Client.call stack agent ~procnum:proc_find_nsm ~sign:find_nsm_sign arg with
+  | Error e -> Error (Errors.Rpc_error e)
+  | Ok v ->
+      interpret
+        (fun payload ->
+          ( Wire.Value.get_str (Wire.Value.field payload "nsm_name"),
+            Hrpc.Binding.of_value (Wire.Value.field payload "binding") ))
+        v
+
+let remote_import stack ~agent ~service hns_name =
+  let arg =
+    Wire.Value.Struct
+      [ ("service", Wire.Value.Str service); ("hns_name", Hns_name.to_value hns_name) ]
+  in
+  match Hrpc.Client.call stack agent ~procnum:proc_import ~sign:import_sign arg with
+  | Error e -> Error (Errors.Rpc_error e)
+  | Ok v -> interpret Hrpc.Binding.of_value v

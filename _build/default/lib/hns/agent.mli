@@ -1,0 +1,58 @@
+(** The HNS agent: a process that hosts an HNS instance (and
+    optionally NSM instances) and serves them remotely over HRPC.
+
+    This realizes the remote-HNS colocation arrangements of Table 3.1:
+    row 2's combined agent ("a single process remote from the client
+    acted as the client's agent, making local calls to the HNS and
+    then to the NSM"), and rows 3/5's standalone remote HNS serving
+    FindNSM. Caching is "more likely to be effective in long-lived
+    remote servers than in locally linked copies" — the agent is that
+    long-lived server. *)
+
+val agent_prog : int
+val agent_vers : int
+
+(** proc 1: FindNSM(context, query class) → (nsm name, binding). *)
+val proc_find_nsm : int
+
+val find_nsm_sign : Wire.Idl.signature
+
+(** proc 2: Import(service, hns name) → service binding
+    (the agent calls the NSM itself, locally when linked). *)
+val proc_import : int
+
+val import_sign : Wire.Idl.signature
+
+type t
+
+(** [create hns ?linked_nsms ?port ~suite ()] — [linked_nsms] maps NSM
+    names to instances the agent holds locally; unlisted NSMs are
+    called remotely through their bindings. *)
+val create :
+  Client.t ->
+  ?linked_nsms:(string * Nsm_intf.impl) list ->
+  ?port:int ->
+  ?suite:Hrpc.Component.protocol_suite ->
+  ?service_overhead_ms:float ->
+  unit ->
+  t
+
+val binding : t -> Hrpc.Binding.t
+val start : t -> unit
+val stop : t -> unit
+
+(** {1 Client-side wrappers} *)
+
+val remote_find_nsm :
+  Transport.Netstack.stack ->
+  agent:Hrpc.Binding.t ->
+  context:string ->
+  query_class:Query_class.t ->
+  (string * Hrpc.Binding.t, Errors.t) result
+
+val remote_import :
+  Transport.Netstack.stack ->
+  agent:Hrpc.Binding.t ->
+  service:string ->
+  Hns_name.t ->
+  (Hrpc.Binding.t, Errors.t) result

@@ -1,0 +1,107 @@
+type mode = Marshalled | Demarshalled
+
+type stored = Bytes_form of string | Value_form of Wire.Value.t
+
+type entry = { stored : stored; expires_at : float }
+
+type t = {
+  mode : mode;
+  generated_cost : Wire.Generic_marshal.cost_model;
+  hit_overhead_ms : float;
+  hit_per_node_ms : float;
+  insert_overhead_ms : float;
+  default_ttl_ms : float;
+  tbl : (string, entry) Hashtbl.t;
+  mutable hit_count : int;
+  mutable miss_count : int;
+}
+
+(* The canonical storage representation for marshalled entries. *)
+let storage_rep = Wire.Data_rep.Xdr
+
+let create ~mode
+    ?(generated_cost = { Wire.Generic_marshal.per_call_ms = 0.0; per_node_ms = 0.0 })
+    ?(hit_overhead_ms = 0.0) ?(hit_per_node_ms = 0.0) ?(insert_overhead_ms = 0.0)
+    ?(default_ttl_ms = 3_600_000.0) () =
+  {
+    mode;
+    generated_cost;
+    hit_overhead_ms;
+    hit_per_node_ms;
+    insert_overhead_ms;
+    default_ttl_ms;
+    tbl = Hashtbl.create 64;
+    hit_count = 0;
+    miss_count = 0;
+  }
+
+let mode t = t.mode
+
+(* Charge virtual time if we are inside a simulated process; cache use
+   from plain test code costs nothing. *)
+let charge ms =
+  if ms > 0.0 then
+    try Sim.Engine.sleep ms with Effect.Unhandled _ -> ()
+
+let now () =
+  try Sim.Engine.time () with Effect.Unhandled _ -> 0.0
+
+let find t ~key ~ty =
+  match Hashtbl.find_opt t.tbl key with
+  | None ->
+      t.miss_count <- t.miss_count + 1;
+      None
+  | Some entry when entry.expires_at <= now () ->
+      Hashtbl.remove t.tbl key;
+      t.miss_count <- t.miss_count + 1;
+      None
+  | Some entry -> (
+      t.hit_count <- t.hit_count + 1;
+      match entry.stored with
+      | Value_form v ->
+          charge
+            (t.hit_overhead_ms
+            +. (t.hit_per_node_ms *. float_of_int (Wire.Value.node_count v)));
+          Some v
+      | Bytes_form bytes -> (
+          (* The marshalled cache really demarshals on every access,
+             and pays the generated-stub price for it. *)
+          charge t.hit_overhead_ms;
+          match Wire.Generic_marshal.unmarshal storage_rep ty bytes with
+          | exception _ ->
+              Hashtbl.remove t.tbl key;
+              t.hit_count <- t.hit_count - 1;
+              t.miss_count <- t.miss_count + 1;
+              None
+          | v ->
+              charge (Wire.Generic_marshal.cost t.generated_cost v);
+              Some v))
+
+let insert t ~key ~ty ?ttl_ms v =
+  let ttl = match ttl_ms with Some ms -> ms | None -> t.default_ttl_ms in
+  let stored =
+    match t.mode with
+    | Demarshalled -> Value_form v
+    | Marshalled -> Bytes_form (Wire.Generic_marshal.marshal storage_rep ty v)
+  in
+  charge t.insert_overhead_ms;
+  Hashtbl.replace t.tbl key { stored; expires_at = now () +. ttl }
+
+let flush t =
+  Hashtbl.reset t.tbl;
+  t.hit_count <- 0;
+  t.miss_count <- 0
+
+let hits t = t.hit_count
+let misses t = t.miss_count
+let size t = Hashtbl.length t.tbl
+
+let stored_bytes t =
+  Hashtbl.fold
+    (fun _ e acc ->
+      match e.stored with Bytes_form b -> acc + String.length b | Value_form _ -> acc)
+    t.tbl 0
+
+let hit_ratio t =
+  let total = t.hit_count + t.miss_count in
+  if total = 0 then 0.0 else float_of_int t.hit_count /. float_of_int total

@@ -1,0 +1,35 @@
+type t = {
+  stack_ : Transport.Netstack.stack;
+  meta_ : Meta_client.t;
+  finder_ : Find_nsm.t;
+}
+
+let create stack ~meta_server ?fallback_servers ?cache ?generated_cost
+    ?preload_record_ms ?mapping_overhead_ms () =
+  let cache =
+    match cache with
+    | Some c -> c
+    | None -> Cache.create ~mode:Cache.Demarshalled ()
+  in
+  let meta =
+    Meta_client.create stack ~meta_server ?fallback_servers ~cache ?generated_cost
+      ?preload_record_ms ?mapping_overhead_ms ()
+  in
+  { stack_ = stack; meta_ = meta; finder_ = Find_nsm.create ~meta () }
+
+let stack t = t.stack_
+let meta t = t.meta_
+let finder t = t.finder_
+let cache t = Meta_client.cache t.meta_
+let link_hostaddr_nsm t ~name impl = Find_nsm.link_hostaddr_nsm t.finder_ ~name impl
+let find_nsm t ~context ~query_class = Find_nsm.find t.finder_ ~context ~query_class
+
+let resolve t ~query_class ~payload_ty ?(service = "") hns_name =
+  match find_nsm t ~context:hns_name.Hns_name.context ~query_class with
+  | Error _ as e -> e
+  | Ok resolved ->
+      Nsm_intf.call t.stack_ (Nsm_intf.Remote resolved.Find_nsm.binding) ~payload_ty
+        ~service ~hns_name
+
+let preload t = Meta_client.preload t.meta_
+let flush_cache t = Cache.flush (cache t)

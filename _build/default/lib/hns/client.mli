@@ -1,0 +1,48 @@
+(** The HNS itself: "a collection of library routines" that any
+    process can link — a client program, an agent process, or a
+    dedicated server. One [t] owns a cache, a meta-naming client, and
+    the FindNSM machinery; where you instantiate it is the colocation
+    choice ({!Import} exercises the five arrangements of Table 3.1). *)
+
+type t
+
+val create :
+  Transport.Netstack.stack ->
+  meta_server:Transport.Address.t ->
+  ?fallback_servers:Transport.Address.t list ->
+  ?cache:Cache.t ->
+  ?generated_cost:Wire.Generic_marshal.cost_model ->
+  ?preload_record_ms:float ->
+  ?mapping_overhead_ms:float ->
+  unit ->
+  t
+
+val stack : t -> Transport.Netstack.stack
+val meta : t -> Meta_client.t
+val finder : t -> Find_nsm.t
+val cache : t -> Cache.t
+
+(** Link a host-address NSM instance with this HNS (required before
+    FindNSM can complete bindings for hosts named in that NSM's name
+    service). *)
+val link_hostaddr_nsm : t -> name:string -> Nsm_intf.impl -> unit
+
+(** The primary HNS call. *)
+val find_nsm :
+  t -> context:string -> query_class:Query_class.t -> (Find_nsm.resolved, Errors.t) result
+
+(** Full client query: FindNSM, then call the designated NSM remotely.
+    [Ok None] when the underlying name service has no such name. *)
+val resolve :
+  t ->
+  query_class:Query_class.t ->
+  payload_ty:Wire.Idl.ty ->
+  ?service:string ->
+  Hns_name.t ->
+  (Wire.Value.t option, Errors.t) result
+
+(** Preload the cache with the meta zone (BIND zone transfer); returns
+    the number of mappings seeded. *)
+val preload : t -> (int, Errors.t) result
+
+val flush_cache : t -> unit

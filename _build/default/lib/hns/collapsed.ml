@@ -1,0 +1,51 @@
+let key ~context ~query_class =
+  Query_class.validate query_class;
+  Dns.Name.append
+    (Dns.Name.of_labels [ query_class ])
+    (Dns.Name.append (Dns.Name.of_string context)
+       (Dns.Name.append (Dns.Name.of_string "fastbind") Meta_schema.zone_origin))
+
+let record_ty =
+  Wire.Idl.T_struct [ ("nsm_name", Wire.Idl.T_string); ("binding", Hrpc.Binding.idl_ty) ]
+
+let register meta ~context ~query_class ~nsm_name binding =
+  Meta_client.store meta ~key:(key ~context ~query_class) ~ty:record_ty
+    (Wire.Value.Struct
+       [
+         ("nsm_name", Wire.Value.Str nsm_name);
+         ("binding", Hrpc.Binding.to_value binding);
+       ])
+
+let materialize finder ~contexts ~query_classes =
+  let meta = Find_nsm.meta finder in
+  let written = ref 0 in
+  let rec go = function
+    | [] -> Ok !written
+    | (context, query_class) :: rest -> (
+        match Find_nsm.find finder ~context ~query_class with
+        | Error (Errors.No_nsm _) | Error (Errors.Unknown_context _) ->
+            go rest (* nothing to collapse for this pair *)
+        | Error _ as e -> e
+        | Ok resolved -> (
+            match
+              register meta ~context ~query_class
+                ~nsm_name:resolved.Find_nsm.nsm_name resolved.Find_nsm.binding
+            with
+            | Error _ as e -> e
+            | Ok () ->
+                incr written;
+                go rest))
+  in
+  go (List.concat_map (fun c -> List.map (fun q -> (c, q)) query_classes) contexts)
+
+let find meta ~context ~query_class =
+  match Meta_client.lookup meta ~key:(key ~context ~query_class) ~ty:record_ty with
+  | Error _ as e -> e
+  | Ok None -> Error (Errors.Unknown_context context)
+  | Ok (Some v) -> (
+      match
+        ( Wire.Value.get_str (Wire.Value.field v "nsm_name"),
+          Hrpc.Binding.of_value (Wire.Value.field v "binding") )
+      with
+      | pair -> Ok pair
+      | exception Invalid_argument m -> Error (Errors.Meta_error m))

@@ -1,0 +1,24 @@
+type t =
+  | Unknown_context of string
+  | No_nsm of { ns : string; query_class : string }
+  | Unknown_nsm of string
+  | Name_not_found of Hns_name.t
+  | Meta_error of string
+  | Nsm_error of string
+  | Rpc_error of Rpc.Control.error
+
+let pp ppf = function
+  | Unknown_context c -> Format.fprintf ppf "unknown context %S" c
+  | No_nsm { ns; query_class } ->
+      Format.fprintf ppf "no NSM for name service %S, query class %S" ns query_class
+  | Unknown_nsm n -> Format.fprintf ppf "no binding registered for NSM %S" n
+  | Name_not_found n -> Format.fprintf ppf "name not found: %a" Hns_name.pp n
+  | Meta_error m -> Format.fprintf ppf "meta-naming error: %s" m
+  | Nsm_error m -> Format.fprintf ppf "NSM error: %s" m
+  | Rpc_error e -> Rpc.Control.pp_error ppf e
+
+let to_string t = Format.asprintf "%a" pp t
+
+exception Hns_failure of t
+
+let get_ok = function Ok v -> v | Error e -> raise (Hns_failure e)

@@ -1,0 +1,23 @@
+(** The HNS error vocabulary. *)
+
+type t =
+  | Unknown_context of string
+      (** no context record in the meta-naming database *)
+  | No_nsm of { ns : string; query_class : string }
+      (** no NSM registered for this (name service, query class) *)
+  | Unknown_nsm of string
+      (** an NSM name with no binding record *)
+  | Name_not_found of Hns_name.t
+      (** the underlying name service has no such name *)
+  | Meta_error of string
+      (** malformed meta-naming information *)
+  | Nsm_error of string
+      (** NSM-reported failure *)
+  | Rpc_error of Rpc.Control.error
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+exception Hns_failure of t
+
+val get_ok : ('a, t) result -> 'a

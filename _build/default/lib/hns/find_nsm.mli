@@ -1,0 +1,43 @@
+(** FindNSM: the primary HNS function.
+
+    Maps (context, query class) to the HRPC binding of the NSM that
+    can answer, via the paper's sequence of mappings:
+
+    + context → name-service name
+    + (name-service name, query class) → NSM name
+    + NSM name → binding information — which holds the NSM's host
+      {e name}, so completing it is itself an HNS naming operation:
+    + (host's context) → name-service name
+    + (that name service, HostAddress) → host-address NSM name
+    + host name → network address, via a host-address NSM {e linked
+      directly with the HNS} ("further recursion is avoided by linking
+      instances of the NSMs that perform this mapping directly with
+      the HNS, so that their network addresses need not be found").
+
+    Six data mappings; each is a remote call on a cache miss, which is
+    why caching dominates colocation in Table 3.1. *)
+
+type resolved = {
+  ns_name : string;       (** which name service owns the context *)
+  nsm_name : string;      (** which NSM was designated *)
+  binding : Hrpc.Binding.t;  (** how to call it *)
+}
+
+type t
+
+val create : meta:Meta_client.t -> unit -> t
+
+val meta : t -> Meta_client.t
+
+(** Link a host-address NSM instance under its registered NSM name. *)
+val link_hostaddr_nsm : t -> name:string -> Nsm_intf.impl -> unit
+
+(** The FindNSM call. *)
+val find :
+  t -> context:string -> query_class:Query_class.t -> (resolved, Errors.t) result
+
+(** Mappings 4–6 on their own (also used by FindNSM internally):
+    resolve a host name in a context to an address, through the
+    linked host-address NSMs, caching the result. *)
+val resolve_host :
+  t -> context:string -> host:string -> (Transport.Address.ip, Errors.t) result

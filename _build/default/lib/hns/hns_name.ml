@@ -1,0 +1,37 @@
+type t = { context : string; name : string }
+
+let make ~context ~name =
+  if context = "" then invalid_arg "Hns_name.make: empty context";
+  if name = "" then invalid_arg "Hns_name.make: empty individual name";
+  if String.contains context '!' then
+    invalid_arg "Hns_name.make: context may not contain '!'";
+  { context; name }
+
+let of_string s =
+  match String.index_opt s '!' with
+  | None -> invalid_arg (Printf.sprintf "Hns_name.of_string: no '!' in %S" s)
+  | Some i ->
+      make
+        ~context:(String.sub s 0 i)
+        ~name:(String.sub s (i + 1) (String.length s - i - 1))
+
+let to_string t = t.context ^ "!" ^ t.name
+let equal a b = String.equal a.context b.context && String.equal a.name b.name
+
+let compare a b =
+  match String.compare a.context b.context with
+  | 0 -> String.compare a.name b.name
+  | c -> c
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let idl_ty =
+  Wire.Idl.T_struct [ ("context", Wire.Idl.T_string); ("name", Wire.Idl.T_string) ]
+
+let to_value t =
+  Wire.Value.Struct [ ("context", Wire.Value.Str t.context); ("name", Str t.name) ]
+
+let of_value v =
+  make
+    ~context:(Wire.Value.get_str (Wire.Value.field v "context"))
+    ~name:(Wire.Value.get_str (Wire.Value.field v "name"))

@@ -1,0 +1,36 @@
+(** HNS names: a context plus an individual name.
+
+    "HNS names contain two parts, a context and an individual name.
+    Roughly, the context identifies the local name service in which
+    the data can be found while the individual name determines the
+    name of the object in that local service."
+
+    The individual name is an arbitrary string — deliberately: the
+    global name space "does not conform to any simple syntax rules"
+    because each subsystem keeps its own syntax, and the mapping from
+    local name to individual name must merely be a function (unique),
+    which guarantees no conflicts when previously separate systems are
+    combined.
+
+    The printed form is [context!individual-name]; ['!'] may not
+    appear in a context (it may in an individual name). *)
+
+type t = { context : string; name : string }
+
+(** Raises [Invalid_argument] on an empty context, an empty name, or
+    ['!'] in the context. *)
+val make : context:string -> name:string -> t
+
+(** Parse [ctx!name]. The first ['!'] separates. *)
+val of_string : string -> t
+
+val to_string : t -> string
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+(** Wire shape used by NSM interfaces. *)
+val idl_ty : Wire.Idl.ty
+
+val to_value : t -> Wire.Value.t
+val of_value : Wire.Value.t -> t

@@ -1,0 +1,88 @@
+type arrangement =
+  | All_linked
+  | Combined_agent
+  | Remote_hns
+  | Remote_nsms
+  | All_remote
+
+let arrangement_name = function
+  | All_linked -> "[Client, HNS, NSMs]"
+  | Combined_agent -> "[Client] [HNS, NSMs]"
+  | Remote_hns -> "[HNS] [Client, NSMs]"
+  | Remote_nsms -> "[NSMs] [Client, HNS]"
+  | All_remote -> "[Client] [HNS] [NSMs]"
+
+let all_arrangements =
+  [ All_linked; Combined_agent; Remote_hns; Remote_nsms; All_remote ]
+
+type env = {
+  stack : Transport.Netstack.stack;
+  local_hns : Client.t option;
+  agent : Hrpc.Binding.t option;
+  linked_nsms : string -> Nsm_intf.impl option;
+}
+
+let env ~stack ?local_hns ?agent ?(linked_nsms = []) () =
+  { stack; local_hns; agent; linked_nsms = (fun n -> List.assoc_opt n linked_nsms) }
+
+let need_local_hns env =
+  match env.local_hns with
+  | Some hns -> Ok hns
+  | None -> Error (Errors.Meta_error "arrangement requires a local HNS instance")
+
+let need_agent env =
+  match env.agent with
+  | Some b -> Ok b
+  | None -> Error (Errors.Meta_error "arrangement requires an HNS agent binding")
+
+(* FindNSM according to the arrangement: locally or via the agent. *)
+let locate env arrangement ~context =
+  match arrangement with
+  | All_linked | Remote_nsms -> (
+      match need_local_hns env with
+      | Error _ as e -> e
+      | Ok hns -> (
+          match
+            Client.find_nsm hns ~context ~query_class:Query_class.hrpc_binding
+          with
+          | Error _ as e -> e
+          | Ok r -> Ok (r.Find_nsm.nsm_name, r.Find_nsm.binding)))
+  | Remote_hns | All_remote -> (
+      match need_agent env with
+      | Error _ as e -> e
+      | Ok agent ->
+          Agent.remote_find_nsm env.stack ~agent ~context
+            ~query_class:Query_class.hrpc_binding)
+  | Combined_agent -> Error (Errors.Meta_error "combined agent does not locate")
+
+let nsm_access env arrangement ~nsm_name ~binding =
+  match arrangement with
+  | All_linked | Remote_hns -> (
+      (* Prefer the instance linked with the client; fall back to the
+         remote NSM when this NSM is not linked here. *)
+      match env.linked_nsms nsm_name with
+      | Some impl -> Nsm_intf.Linked impl
+      | None -> Nsm_intf.Remote binding)
+  | Remote_nsms | All_remote | Combined_agent -> Nsm_intf.Remote binding
+
+let import env arrangement ~service hns_name =
+  match arrangement with
+  | Combined_agent -> (
+      match need_agent env with
+      | Error _ as e -> e
+      | Ok agent -> Agent.remote_import env.stack ~agent ~service hns_name)
+  | All_linked | Remote_hns | Remote_nsms | All_remote -> (
+      match locate env arrangement ~context:hns_name.Hns_name.context with
+      | Error _ as e -> e
+      | Ok (nsm_name, binding) -> (
+          let access = nsm_access env arrangement ~nsm_name ~binding in
+          match
+            Nsm_intf.call env.stack access ~payload_ty:Nsm_intf.binding_payload_ty
+              ~service ~hns_name
+          with
+          | Error _ as e -> e
+          | Ok None -> Error (Errors.Name_not_found hns_name)
+          | Ok (Some payload) -> (
+              match Hrpc.Binding.of_value payload with
+              | exception Invalid_argument m -> Error (Errors.Nsm_error m)
+              | b -> Ok b)))

@@ -1,0 +1,53 @@
+(** Import: HRPC binding through the HNS, under every colocation
+    arrangement of Table 3.1.
+
+    "The freedom to link the HNS and NSMs with any process ... We call
+    the choice of where the HNS and NSMs are linked for each client
+    the colocation arrangement." The five arrangements measured:
+
+    + [All_linked] — [Client, HNS, NSMs]: everything local.
+    + [Combined_agent] — [Client] [HNS, NSMs]: one remote agent makes
+      local calls to HNS and NSM on the client's behalf.
+    + [Remote_hns] — [HNS] [Client, NSMs]: FindNSM is a remote call;
+      the designated NSM is linked with the client.
+    + [Remote_nsms] — [NSMs] [Client, HNS]: FindNSM is local; the NSM
+      is called remotely.
+    + [All_remote] — [Client] [HNS] [NSMs]: two remote calls. *)
+
+type arrangement =
+  | All_linked
+  | Combined_agent
+  | Remote_hns
+  | Remote_nsms
+  | All_remote
+
+val arrangement_name : arrangement -> string
+val all_arrangements : arrangement list
+
+(** What an importing client holds, depending on arrangement:
+    a local HNS instance and linked NSMs, an agent binding, or both. *)
+type env = {
+  stack : Transport.Netstack.stack;
+  local_hns : Client.t option;       (** for [All_linked], [Remote_nsms] *)
+  agent : Hrpc.Binding.t option;     (** for [Combined_agent], [Remote_hns], [All_remote] *)
+  linked_nsms : string -> Nsm_intf.impl option;
+      (** NSM instances linked with the client, by NSM name
+          (for [All_linked], [Remote_hns]) *)
+}
+
+val env :
+  stack:Transport.Netstack.stack ->
+  ?local_hns:Client.t ->
+  ?agent:Hrpc.Binding.t ->
+  ?linked_nsms:(string * Nsm_intf.impl) list ->
+  unit ->
+  env
+
+(** The paper's [Import] call: present a service name and an HNS name,
+    receive a system-independent binding to the service. *)
+val import :
+  env ->
+  arrangement ->
+  service:string ->
+  Hns_name.t ->
+  (Hrpc.Binding.t, Errors.t) result

@@ -1,0 +1,205 @@
+type t = {
+  stack : Transport.Netstack.stack;
+  meta_server : Transport.Address.t;
+  fallback_servers : Transport.Address.t list;
+  cache_ : Cache.t;
+  generated_cost : Wire.Generic_marshal.cost_model;
+  preload_record_ms : float;
+  mapping_overhead_ms : float;
+  mutable walk : (string * bool * float) list; (* newest first, max 64 *)
+  raw_binding : Hrpc.Binding.t;
+  mutable lookup_count : int;
+  mutable next_id : int;
+}
+
+let create stack ~meta_server ?(fallback_servers = []) ~cache
+    ?(generated_cost = { Wire.Generic_marshal.per_call_ms = 0.0; per_node_ms = 0.0 })
+    ?(preload_record_ms = 0.0) ?(mapping_overhead_ms = 0.0) () =
+  {
+    stack;
+    meta_server;
+    fallback_servers;
+    cache_ = cache;
+    generated_cost;
+    preload_record_ms;
+    mapping_overhead_ms;
+    walk = [];
+    raw_binding =
+      Hrpc.Binding.make ~suite:Hrpc.Component.raw_udp_suite ~server:meta_server
+        ~prog:0 ~vers:0;
+    lookup_count = 0;
+    next_id = 1;
+  }
+
+let cache t = t.cache_
+let remote_lookups t = t.lookup_count
+
+let charge ms =
+  if ms > 0.0 then
+    try Sim.Engine.sleep ms with Effect.Unhandled _ -> ()
+
+let fresh_id t =
+  let id = t.next_id in
+  t.next_id <- (t.next_id + 1) land 0xFFFF;
+  id
+
+(* One raw DNS exchange, paying the generated-stub marshalling price
+   on both directions; reads fail over to replica servers in order. *)
+let raw_query t key =
+  t.lookup_count <- t.lookup_count + 1;
+  let request = Dns.Msg.query ~id:(fresh_id t) key Dns.Rr.T_unspec in
+  (* Request encode through the generated path: fixed entry cost. *)
+  charge t.generated_cost.Wire.Generic_marshal.per_call_ms;
+  let exchange server =
+    let binding = { t.raw_binding with Hrpc.Binding.server } in
+    match Hrpc.Client.call_raw t.stack binding (Dns.Msg.encode request) with
+    | Error e -> Error (Errors.Rpc_error e)
+    | Ok payload -> (
+        match Dns.Msg.decode payload with
+        | exception Dns.Msg.Bad_message m -> Error (Errors.Meta_error m)
+        | reply -> Ok reply)
+  in
+  let rec go last = function
+    | [] -> last
+    | server :: rest -> (
+        match exchange server with
+        | Error (Errors.Rpc_error Rpc.Control.Timeout) as e -> go e rest
+        | outcome -> outcome)
+  in
+  go (Error (Errors.Rpc_error Rpc.Control.Timeout)) (t.meta_server :: t.fallback_servers)
+
+let first_unspec (reply : Dns.Msg.t) =
+  List.find_map
+    (fun (rr : Dns.Rr.t) ->
+      match rr.rdata with Dns.Rr.Unspec bytes -> Some (bytes, rr.ttl) | _ -> None)
+    reply.answers
+
+(* HNS library bookkeeping charged once per data mapping: TTL checks,
+   key construction, designation logic. *)
+let charge_mapping_overhead t = charge t.mapping_overhead_ms
+
+let log_mapping t key hit cost =
+  let entry = (key, hit, cost) in
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: rest -> x :: take (n - 1) rest
+  in
+  t.walk <- take 64 (entry :: t.walk)
+
+let walk_log t = List.rev t.walk
+let clear_walk_log t = t.walk <- []
+
+let now_ms () = try Sim.Engine.time () with Effect.Unhandled _ -> 0.0
+
+let lookup_remote t ~key ~ty =
+  match () with
+  | () -> (
+      match raw_query t key with
+      | Error _ as e -> e
+      | Ok reply -> (
+          match reply.rcode with
+          | Dns.Msg.Nx_domain -> Ok None
+          | Dns.Msg.No_error -> (
+              match first_unspec reply with
+              | None -> Ok None
+              | Some (bytes, ttl_s) -> (
+                  match Wire.Xdr.of_string ty bytes with
+                  | exception _ ->
+                      Error
+                        (Errors.Meta_error
+                           (Printf.sprintf "malformed record at %s"
+                              (Dns.Name.to_string key)))
+                  | v ->
+                      (* Response decode through the generated path. *)
+                      charge (Wire.Generic_marshal.cost t.generated_cost v);
+                      Cache.insert t.cache_ ~key:(Meta_schema.cache_key key) ~ty
+                        ~ttl_ms:(Int32.to_float ttl_s *. 1000.0)
+                        v;
+                      Ok (Some v)))
+          | rc -> Error (Errors.Meta_error (Dns.Msg.rcode_to_string rc))))
+
+let lookup t ~key ~ty =
+  let t0 = now_ms () in
+  charge_mapping_overhead t;
+  let finish hit outcome =
+    log_mapping t (Meta_schema.cache_key key) hit (now_ms () -. t0);
+    outcome
+  in
+  match Cache.find t.cache_ ~key:(Meta_schema.cache_key key) ~ty with
+  | Some v -> finish true (Ok (Some v))
+  | None -> finish false (lookup_remote t ~key ~ty)
+
+let transact t ops =
+  let request = Dns.Msg.update_request ~id:(fresh_id t) ~zone:Meta_schema.zone_origin ops in
+  match Hrpc.Client.call_raw t.stack t.raw_binding (Dns.Msg.encode request) with
+  | Error e -> Error (Errors.Rpc_error e)
+  | Ok payload -> (
+      match Dns.Msg.decode payload with
+      | exception Dns.Msg.Bad_message m -> Error (Errors.Meta_error m)
+      | reply -> (
+          match reply.rcode with
+          | Dns.Msg.No_error -> Ok ()
+          | rc -> Error (Errors.Meta_error ("update: " ^ Dns.Msg.rcode_to_string rc))))
+
+let store t ~key ~ty ?(ttl_s = 3600l) v =
+  Wire.Idl.check ~what:"Meta_client.store" ty v;
+  let bytes = Wire.Xdr.to_string ty v in
+  let rr =
+    Dns.Rr.make ~ttl:ttl_s key (Dns.Rr.Unspec bytes)
+  in
+  match transact t [ Dns.Msg.Delete_rrset (key, Dns.Rr.T_unspec); Dns.Msg.Add rr ] with
+  | Error _ as e -> e
+  | Ok () ->
+      (* Keep our own cache coherent immediately; other caches rely on
+         TTL expiry, as the paper accepts. *)
+      Cache.insert t.cache_ ~key:(Meta_schema.cache_key key) ~ty
+        ~ttl_ms:(Int32.to_float ttl_s *. 1000.0)
+        v;
+      Ok ()
+
+let remove t ~key = transact t [ Dns.Msg.Delete_name key ]
+
+let preload t =
+  match
+    Dns.Axfr.fetch t.stack ~server:t.meta_server ~zone:Meta_schema.zone_origin
+  with
+  | Error e ->
+      Error (Errors.Meta_error (Format.asprintf "preload: %a" Dns.Axfr.pp_error e))
+  | Ok records ->
+      let seeded = ref 0 in
+      List.iter
+        (fun (rr : Dns.Rr.t) ->
+          match rr.rdata with
+          | Dns.Rr.Unspec bytes -> (
+              match Meta_schema.ty_of_key rr.name with
+              | None -> ()
+              | Some ty -> (
+                  match Wire.Xdr.of_string ty bytes with
+                  | exception _ -> ()
+                  | v ->
+                      charge t.preload_record_ms;
+                      Cache.insert t.cache_ ~key:(Meta_schema.cache_key rr.name) ~ty
+                        ~ttl_ms:(Int32.to_float rr.ttl *. 1000.0)
+                        v;
+                      incr seeded))
+          | _ -> ())
+        records;
+      Ok !seeded
+
+let cache_host_addr t ~context ~host ip =
+  Cache.insert t.cache_
+    ~key:(Meta_schema.host_addr_cache_key ~context ~host)
+    ~ty:Meta_schema.host_addr_ty (Wire.Value.Uint ip)
+
+let cached_host_addr t ~context ~host =
+  let key = Meta_schema.host_addr_cache_key ~context ~host in
+  let t0 = now_ms () in
+  charge_mapping_overhead t;
+  match Cache.find t.cache_ ~key ~ty:Meta_schema.host_addr_ty with
+  | Some (Wire.Value.Uint ip) ->
+      log_mapping t key true (now_ms () -. t0);
+      Some ip
+  | Some _ | None ->
+      log_mapping t key false (now_ms () -. t0);
+      None

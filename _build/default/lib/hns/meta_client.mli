@@ -1,0 +1,78 @@
+(** Access to the meta-naming database: the HNS side of the modified
+    BIND.
+
+    Lookups go through the HNS cache first; misses perform a raw-HRPC
+    exchange of native DNS messages with the meta-BIND server, paying
+    the generated-stub marshalling price the paper measured (the
+    request encode and the response decode each run through the
+    {!Wire.Generic_marshal} cost model — this is "the price we paid
+    for the RPC-style structure we built for our BIND interface").
+
+    Writes are dynamic-update transactions: replace-rrset semantics,
+    one UNSPEC record per key. Preloading transfers the whole meta
+    zone (AXFR) and seeds the cache, as BIND secondaries do. *)
+
+type t
+
+(** [mapping_overhead_ms] is HNS library bookkeeping charged once per
+    data mapping (both on {!lookup} and, via
+    {!charge_mapping_overhead}, on the host-address mapping).
+    [fallback_servers] are tried in order when the primary meta server
+    does not answer — typically BIND secondaries of the meta zone
+    ({!Dns.Secondary}); reads fail over, writes go to the primary
+    only. *)
+val create :
+  Transport.Netstack.stack ->
+  meta_server:Transport.Address.t ->
+  ?fallback_servers:Transport.Address.t list ->
+  cache:Cache.t ->
+  ?generated_cost:Wire.Generic_marshal.cost_model ->
+  ?preload_record_ms:float ->
+  ?mapping_overhead_ms:float ->
+  unit ->
+  t
+
+(** Charge one mapping's worth of HNS processing. {!lookup} and
+    {!cached_host_addr} do this themselves; exposed for extensions
+    implementing additional mapping kinds. *)
+val charge_mapping_overhead : t -> unit
+
+val cache : t -> Cache.t
+
+(** Remote lookups actually performed (cache misses). *)
+val remote_lookups : t -> int
+
+(** [Ok None] when the meta database has no record at the key. *)
+val lookup :
+  t -> key:Dns.Name.t -> ty:Wire.Idl.ty -> (Wire.Value.t option, Errors.t) result
+
+(** Replace the record at [key]. [ttl_s] defaults to 3600. *)
+val store :
+  t -> key:Dns.Name.t -> ty:Wire.Idl.ty -> ?ttl_s:int32 -> Wire.Value.t -> (unit, Errors.t) result
+
+val remove : t -> key:Dns.Name.t -> (unit, Errors.t) result
+
+(** Transfer the meta zone and seed the cache; returns the number of
+    records seeded. *)
+val preload : t -> (int, Errors.t) result
+
+(** {1 Mapping walk log}
+
+    Each data mapping performed is appended to a bounded log
+    (newest 64): the mapping's cache key, whether it hit, and its
+    virtual-time cost. FindNSM's six mappings show up here one by
+    one — the trace behind Figure 2.1. *)
+
+(** Oldest first. *)
+val walk_log : t -> (string * bool * float) list
+
+val clear_walk_log : t -> unit
+
+(** Cache a host-address mapping on behalf of FindNSM (mapping six). *)
+val cache_host_addr :
+  t -> context:string -> host:string -> Transport.Address.ip -> unit
+
+(** Consult the cached host-address mapping; charges one mapping's
+    overhead and logs the consultation either way. *)
+val cached_host_addr :
+  t -> context:string -> host:string -> Transport.Address.ip option

@@ -1,0 +1,156 @@
+let zone_origin = Dns.Name.of_string "hns-meta"
+
+type ns_info = {
+  ns_type : string;
+  ns_host : string;
+  ns_host_context : string;
+  ns_port : int;
+}
+
+type nsm_info = {
+  nsm_host : string;
+  nsm_host_context : string;
+  nsm_port : int;
+  nsm_prog : int;
+  nsm_vers : int;
+  nsm_suite : Hrpc.Component.protocol_suite;
+}
+
+let validate_simple_name ~what s =
+  if s = "" then invalid_arg (Printf.sprintf "%s: empty name" what);
+  String.iter
+    (fun c ->
+      if c = '.' || c = '!' then
+        invalid_arg (Printf.sprintf "%s: %S contains %C" what s c))
+    s
+
+(* Contexts may contain dots; each dot-separated piece becomes a
+   label, which keeps keys valid DNS names and collision-free. *)
+let context_key context =
+  Dns.Name.append (Dns.Name.of_string context)
+    (Dns.Name.append (Dns.Name.of_string "ctx") zone_origin)
+
+let nsm_name_key ~ns ~query_class =
+  validate_simple_name ~what:"Meta_schema.nsm_name_key" ns;
+  Query_class.validate query_class;
+  Dns.Name.of_labels
+    ([ query_class; ns; "nsm" ] @ Dns.Name.labels zone_origin)
+
+let nsm_binding_key nsm =
+  validate_simple_name ~what:"Meta_schema.nsm_binding_key" nsm;
+  Dns.Name.of_labels ([ nsm; "nsmbind" ] @ Dns.Name.labels zone_origin)
+
+let ns_info_key ns =
+  validate_simple_name ~what:"Meta_schema.ns_info_key" ns;
+  Dns.Name.of_labels ([ ns; "ns" ] @ Dns.Name.labels zone_origin)
+
+let string_ty = Wire.Idl.T_string
+
+let ns_info_ty =
+  Wire.Idl.T_struct
+    [
+      ("type", Wire.Idl.T_string);
+      ("host", Wire.Idl.T_string);
+      ("host_context", Wire.Idl.T_string);
+      ("port", Wire.Idl.T_int);
+    ]
+
+let nsm_info_ty =
+  Wire.Idl.T_struct
+    [
+      ("host", Wire.Idl.T_string);
+      ("host_context", Wire.Idl.T_string);
+      ("port", Wire.Idl.T_int);
+      ("prog", Wire.Idl.T_int);
+      ("vers", Wire.Idl.T_int);
+      ("data_rep", Wire.Idl.T_enum [ "xdr"; "courier" ]);
+      ("transport", Wire.Idl.T_enum [ "udp"; "tcp" ]);
+      ("control", Wire.Idl.T_enum [ "sunrpc"; "courier"; "raw" ]);
+    ]
+
+let ns_info_to_value i =
+  Wire.Value.Struct
+    [
+      ("type", Wire.Value.Str i.ns_type);
+      ("host", Str i.ns_host);
+      ("host_context", Str i.ns_host_context);
+      ("port", Wire.Value.int i.ns_port);
+    ]
+
+let ns_info_of_value v =
+  let f name = Wire.Value.field v name in
+  {
+    ns_type = Wire.Value.get_str (f "type");
+    ns_host = Wire.Value.get_str (f "host");
+    ns_host_context = Wire.Value.get_str (f "host_context");
+    ns_port = Wire.Value.get_int (f "port");
+  }
+
+let nsm_info_to_value i =
+  let dr = match i.nsm_suite.Hrpc.Component.data_rep with Wire.Data_rep.Xdr -> 0 | Courier -> 1 in
+  let tr = match i.nsm_suite.Hrpc.Component.transport with Hrpc.Component.T_udp -> 0 | T_tcp -> 1 in
+  let ct =
+    match i.nsm_suite.Hrpc.Component.control with
+    | Hrpc.Component.C_sunrpc -> 0
+    | C_courier -> 1
+    | C_raw -> 2
+  in
+  Wire.Value.Struct
+    [
+      ("host", Wire.Value.Str i.nsm_host);
+      ("host_context", Str i.nsm_host_context);
+      ("port", Wire.Value.int i.nsm_port);
+      ("prog", Wire.Value.int i.nsm_prog);
+      ("vers", Wire.Value.int i.nsm_vers);
+      ("data_rep", Wire.Value.Enum dr);
+      ("transport", Wire.Value.Enum tr);
+      ("control", Wire.Value.Enum ct);
+    ]
+
+let nsm_info_of_value v =
+  let f name = Wire.Value.field v name in
+  let data_rep =
+    match Wire.Value.get_int (f "data_rep") with
+    | 0 -> Wire.Data_rep.Xdr
+    | _ -> Wire.Data_rep.Courier
+  in
+  let transport =
+    match Wire.Value.get_int (f "transport") with
+    | 0 -> Hrpc.Component.T_udp
+    | _ -> Hrpc.Component.T_tcp
+  in
+  let control =
+    match Wire.Value.get_int (f "control") with
+    | 0 -> Hrpc.Component.C_sunrpc
+    | 1 -> Hrpc.Component.C_courier
+    | _ -> Hrpc.Component.C_raw
+  in
+  {
+    nsm_host = Wire.Value.get_str (f "host");
+    nsm_host_context = Wire.Value.get_str (f "host_context");
+    nsm_port = Wire.Value.get_int (f "port");
+    nsm_prog = Wire.Value.get_int (f "prog");
+    nsm_vers = Wire.Value.get_int (f "vers");
+    nsm_suite = { Hrpc.Component.data_rep; transport; control };
+  }
+
+let host_addr_ty = Wire.Idl.T_uint
+
+(* The marker label sits immediately above the zone origin. *)
+let ty_of_key key =
+  let rec marker = function
+    | [ m; "hns-meta" ] -> Some m
+    | _ :: rest -> marker rest
+    | [] -> None
+  in
+  match marker (Dns.Name.labels key) with
+  | Some "ctx" -> Some string_ty
+  | Some "nsm" -> Some string_ty
+  | Some "nsmbind" -> Some nsm_info_ty
+  | Some "ns" -> Some ns_info_ty
+  | Some _ | None -> None
+
+let cache_key key = "meta:" ^ Dns.Name.to_string key
+
+let host_addr_cache_key ~context ~host =
+  Printf.sprintf "addr:%s!%s" context (String.lowercase_ascii host)

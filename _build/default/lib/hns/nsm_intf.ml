@@ -1,0 +1,64 @@
+let query_procnum = 1
+let nsm_prog_base = 390100
+
+let arg_ty =
+  Wire.Idl.T_struct [ ("service", Wire.Idl.T_string); ("hns_name", Hns_name.idl_ty) ]
+
+let result_ty ~payload_ty =
+  Wire.Idl.T_union ([ (0, payload_ty); (1, Wire.Idl.T_void) ], None)
+
+let query_sign ~payload_ty = Wire.Idl.signature ~arg:arg_ty ~res:(result_ty ~payload_ty)
+
+let binding_payload_ty = Hrpc.Binding.idl_ty
+let host_address_payload_ty = Wire.Idl.T_uint
+let text_payload_ty = Wire.Idl.T_string
+
+let payload_ty_of qc =
+  if Query_class.equal qc Query_class.hrpc_binding then Some binding_payload_ty
+  else if Query_class.equal qc Query_class.host_address then Some host_address_payload_ty
+  else if Query_class.equal qc Query_class.file_location then Some text_payload_ty
+  else if Query_class.equal qc Query_class.mailbox_location then Some text_payload_ty
+  else None
+
+let make_arg ~service ~hns_name =
+  Wire.Value.Struct
+    [ ("service", Wire.Value.Str service); ("hns_name", Hns_name.to_value hns_name) ]
+
+let parse_arg v =
+  ( Wire.Value.get_str (Wire.Value.field v "service"),
+    Hns_name.of_value (Wire.Value.field v "hns_name") )
+
+let found payload = Wire.Value.Union (0, payload)
+let not_found = Wire.Value.Union (1, Wire.Value.Void)
+
+type impl = Wire.Value.t -> Wire.Value.t
+
+type access = Linked of impl | Remote of Hrpc.Binding.t
+
+let interpret_result = function
+  | Wire.Value.Union (0, payload) -> Ok (Some payload)
+  | Wire.Value.Union (1, _) -> Ok None
+  | v -> Error (Errors.Nsm_error ("unexpected NSM result " ^ Wire.Value.to_string v))
+
+let call_linked impl ~service ~hns_name =
+  (* "C(local call) is effectively zero in the time scale of the
+     other terms" — no charge for the call itself. *)
+  match impl (make_arg ~service ~hns_name) with
+  | v -> interpret_result v
+  | exception Failure m -> Error (Errors.Nsm_error m)
+
+let call stack access ~payload_ty ~service ~hns_name =
+  let arg = make_arg ~service ~hns_name in
+  match access with
+  | Linked impl -> (
+      ignore stack;
+      match impl arg with
+      | v -> interpret_result v
+      | exception Failure m -> Error (Errors.Nsm_error m))
+  | Remote binding -> (
+      let sign = query_sign ~payload_ty in
+      match
+        Hrpc.Client.call stack binding ~procnum:query_procnum ~sign arg
+      with
+      | Error e -> Error (Errors.Rpc_error e)
+      | Ok v -> interpret_result v)

@@ -1,0 +1,1 @@
+lib/hrpc/bind_protocol.ml: Binding Clearinghouse Component Format Rpc Transport

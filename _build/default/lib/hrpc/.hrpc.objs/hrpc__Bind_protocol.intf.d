@@ -1,0 +1,1 @@
+lib/hrpc/bind_protocol.mli: Binding Clearinghouse Component Format Rpc Transport

@@ -1,0 +1,1 @@
+lib/hrpc/binding.ml: Component Format Int32 Printf Transport Wire

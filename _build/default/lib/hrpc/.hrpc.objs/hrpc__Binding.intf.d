@@ -1,0 +1,1 @@
+lib/hrpc/binding.mli: Component Format Transport Wire

@@ -1,0 +1,1 @@
+lib/hrpc/client.ml: Binding Component Int32 Rpc Sim Tcp Transport Udp Wire

@@ -1,0 +1,1 @@
+lib/hrpc/client.mli: Binding Rpc Transport Wire

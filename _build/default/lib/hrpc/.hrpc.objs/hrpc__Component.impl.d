@@ -1,0 +1,1 @@
+lib/hrpc/component.ml: Format Printf Wire

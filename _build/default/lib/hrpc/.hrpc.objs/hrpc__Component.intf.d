@@ -1,0 +1,1 @@
+lib/hrpc/component.mli: Format Wire

@@ -1,0 +1,1 @@
+lib/hrpc/conn_cache.ml: Binding Client Component Int32 Map Rpc Sim Transport Wire

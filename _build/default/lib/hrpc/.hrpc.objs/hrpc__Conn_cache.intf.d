@@ -1,0 +1,1 @@
+lib/hrpc/conn_cache.mli: Binding Rpc Transport Wire

@@ -1,0 +1,1 @@
+lib/hrpc/server.ml: Address Binding Component Hashtbl Int32 Netstack Printf Rpc Sim Tcp Transport Udp Wire

@@ -1,0 +1,1 @@
+lib/hrpc/server.mli: Binding Component Transport Wire

@@ -1,0 +1,1 @@
+lib/hrpc/stub.ml: Client Rpc Wire

@@ -1,0 +1,1 @@
+lib/hrpc/stub.mli: Binding Rpc Transport Wire

@@ -1,0 +1,89 @@
+type t = {
+  suite : Component.protocol_suite;
+  server : Transport.Address.t;
+  prog : int;
+  vers : int;
+}
+
+let make ~suite ~server ~prog ~vers = { suite; server; prog; vers }
+
+let equal a b =
+  Component.equal_suite a.suite b.suite
+  && Transport.Address.equal a.server b.server
+  && a.prog = b.prog && a.vers = b.vers
+
+let pp ppf t =
+  Format.fprintf ppf "%a@%a prog=%d vers=%d" Component.pp_suite t.suite
+    Transport.Address.pp t.server t.prog t.vers
+
+let idl_ty =
+  Wire.Idl.T_struct
+    [
+      ("data_rep", Wire.Idl.T_enum [ "xdr"; "courier" ]);
+      ("transport", Wire.Idl.T_enum [ "udp"; "tcp" ]);
+      ("control", Wire.Idl.T_enum [ "sunrpc"; "courier"; "raw" ]);
+      ("ip", Wire.Idl.T_uint);
+      ("port", Wire.Idl.T_int);
+      ("prog", Wire.Idl.T_int);
+      ("vers", Wire.Idl.T_int);
+    ]
+
+let to_value t =
+  let data_rep = match t.suite.Component.data_rep with Wire.Data_rep.Xdr -> 0 | Courier -> 1 in
+  let transport = match t.suite.Component.transport with Component.T_udp -> 0 | T_tcp -> 1 in
+  let control =
+    match t.suite.Component.control with
+    | Component.C_sunrpc -> 0
+    | C_courier -> 1
+    | C_raw -> 2
+  in
+  Wire.Value.Struct
+    [
+      ("data_rep", Wire.Value.Enum data_rep);
+      ("transport", Wire.Value.Enum transport);
+      ("control", Wire.Value.Enum control);
+      ("ip", Wire.Value.Uint t.server.Transport.Address.ip);
+      ("port", Wire.Value.int t.server.Transport.Address.port);
+      ("prog", Wire.Value.int t.prog);
+      ("vers", Wire.Value.int t.vers);
+    ]
+
+let of_value v =
+  let f name = Wire.Value.field v name in
+  let data_rep =
+    match Wire.Value.get_int (f "data_rep") with
+    | 0 -> Wire.Data_rep.Xdr
+    | 1 -> Wire.Data_rep.Courier
+    | n -> invalid_arg (Printf.sprintf "Binding.of_value: bad data_rep %d" n)
+  in
+  let transport =
+    match Wire.Value.get_int (f "transport") with
+    | 0 -> Component.T_udp
+    | 1 -> Component.T_tcp
+    | n -> invalid_arg (Printf.sprintf "Binding.of_value: bad transport %d" n)
+  in
+  let control =
+    match Wire.Value.get_int (f "control") with
+    | 0 -> Component.C_sunrpc
+    | 1 -> Component.C_courier
+    | 2 -> Component.C_raw
+    | n -> invalid_arg (Printf.sprintf "Binding.of_value: bad control %d" n)
+  in
+  let ip =
+    match f "ip" with
+    | Wire.Value.Uint ip -> ip
+    | other -> Int32.of_int (Wire.Value.get_int other)
+  in
+  {
+    suite = { Component.data_rep; transport; control };
+    server = Transport.Address.make ip (Wire.Value.get_int (f "port"));
+    prog = Wire.Value.get_int (f "prog");
+    vers = Wire.Value.get_int (f "vers");
+  }
+
+let to_bytes t = Wire.Xdr.to_string idl_ty (to_value t)
+
+let of_bytes s =
+  match Wire.Xdr.of_string idl_ty s with
+  | exception Wire.Xdr.Decode_error m -> invalid_arg ("Binding.of_bytes: " ^ m)
+  | v -> of_value v

@@ -1,0 +1,42 @@
+(** HRPC Bindings: the handle a client needs to call a remote
+    procedure, and the value the HNS traffics in.
+
+    A binding names the protocol suite the server speaks, where it
+    is, and which remote program it is. From the client's point of
+    view a binding is system-independent — "even though the means by
+    which this information is gathered by the NSM varies widely from
+    system to system".
+
+    Bindings have a canonical serialized form (an XDR struct) so name
+    services can store them: the meta-BIND keeps NSM bindings in
+    UNSPEC records; the Clearinghouse keeps service bindings in an
+    item property. *)
+
+type t = {
+  suite : Component.protocol_suite;
+  server : Transport.Address.t;
+  prog : int;
+  vers : int;
+}
+
+val make :
+  suite:Component.protocol_suite ->
+  server:Transport.Address.t ->
+  prog:int ->
+  vers:int ->
+  t
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+(** Canonical serialized form. *)
+val to_bytes : t -> string
+
+(** Raises [Invalid_argument] on malformed bytes. *)
+val of_bytes : string -> t
+
+(** Wire shape, should a service want to pass bindings as values. *)
+val idl_ty : Wire.Idl.ty
+
+val to_value : t -> Wire.Value.t
+val of_value : Wire.Value.t -> t

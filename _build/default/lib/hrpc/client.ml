@@ -1,0 +1,117 @@
+open Transport
+
+(* One request/response exchange over the binding's transport. The
+   [matches] predicate filters stale datagrams (retransmission races). *)
+let exchange stack (b : Binding.t) ~timeout ~attempts ~matches payload =
+  match b.suite.Component.transport with
+  | Component.T_udp ->
+      let sock = Udp.bind_any stack in
+      let attempt ~timeout =
+        Udp.sendto sock ~dst:b.server payload;
+        let deadline = Sim.Engine.time () +. timeout in
+        let rec wait () =
+          let remaining = deadline -. Sim.Engine.time () in
+          if remaining <= 0.0 then None
+          else
+            match Udp.recv_timeout sock remaining with
+            | None -> None
+            | Some (_, resp) -> if matches resp then Some resp else wait ()
+        in
+        wait ()
+      in
+      let result =
+        match Rpc.Control.with_retries ~attempts ~timeout attempt with
+        | Some resp -> Ok resp
+        | None -> Error Rpc.Control.Timeout
+      in
+      Udp.close sock;
+      result
+  | Component.T_tcp -> (
+      match Tcp.connect stack b.server with
+      | exception Tcp.Connection_refused _ -> Error Rpc.Control.Refused
+      | conn ->
+          Tcp.send conn payload;
+          let deadline = Sim.Engine.time () +. timeout in
+          let rec wait () =
+            let remaining = deadline -. Sim.Engine.time () in
+            if remaining <= 0.0 then Error Rpc.Control.Timeout
+            else
+              match Tcp.recv_timeout conn remaining with
+              | exception Tcp.Connection_closed -> Error Rpc.Control.Refused
+              | None -> Error Rpc.Control.Timeout
+              | Some resp -> if matches resp then Ok resp else wait ()
+          in
+          let result = wait () in
+          Tcp.close conn;
+          result)
+
+let call_raw stack (b : Binding.t) ?(timeout = 1000.0) ?(attempts = 3) payload =
+  exchange stack b ~timeout ~attempts ~matches:(fun _ -> true) payload
+
+let call stack (b : Binding.t) ~procnum ~sign ?(timeout = 1000.0) ?(attempts = 3) v =
+  Wire.Idl.check ~what:"Hrpc.call args" sign.Wire.Idl.arg v;
+  let rep = b.suite.Component.data_rep in
+  let body = Wire.Data_rep.to_string rep sign.Wire.Idl.arg v in
+  let decode_res body =
+    match Wire.Data_rep.of_string rep sign.Wire.Idl.res body with
+    | exception _ -> Error (Rpc.Control.Protocol_error "undecodable results")
+    | res -> Ok res
+  in
+  match b.suite.Component.control with
+  | Component.C_raw -> (
+      match call_raw stack b ~timeout ~attempts body with
+      | Error _ as e -> e
+      | Ok resp -> decode_res resp)
+  | Component.C_sunrpc -> (
+      let xid = Rpc.Control.next_xid () in
+      let payload =
+        Rpc.Sunrpc_wire.(
+          encode
+            (Call
+               {
+                 xid;
+                 prog = Int32.of_int b.prog;
+                 vers = Int32.of_int b.vers;
+                 procnum = Int32.of_int procnum;
+                 body;
+               }))
+      in
+      let matches resp =
+        match Rpc.Sunrpc_wire.decode resp with
+        | Rpc.Sunrpc_wire.Reply r -> r.rxid = xid
+        | Rpc.Sunrpc_wire.Call _ | (exception Rpc.Sunrpc_wire.Bad_message _) -> false
+      in
+      match exchange stack b ~timeout ~attempts ~matches payload with
+      | Error _ as e -> e
+      | Ok resp -> (
+          match Rpc.Sunrpc_wire.decode resp with
+          | Rpc.Sunrpc_wire.Reply r -> (
+              match Rpc.Sunrpc_wire.reply_to_result r.rbody with
+              | Error _ as e -> e
+              | Ok body -> decode_res body)
+          | Rpc.Sunrpc_wire.Call _ ->
+              Error (Rpc.Control.Protocol_error "call in reply position")))
+  | Component.C_courier -> (
+      let transaction = Int32.to_int (Rpc.Control.next_xid ()) land 0xFFFF in
+      let payload =
+        Rpc.Courier_wire.(
+          encode
+            (Call { transaction; prog = Int32.of_int b.prog; vers = b.vers; procnum; body }))
+      in
+      let matches resp =
+        match Rpc.Courier_wire.decode resp with
+        | Rpc.Courier_wire.Return r -> r.transaction = transaction
+        | Rpc.Courier_wire.Abort a -> a.transaction = transaction
+        | Rpc.Courier_wire.Reject r -> r.transaction = transaction
+        | Rpc.Courier_wire.Call _ | (exception Rpc.Courier_wire.Bad_message _) -> false
+      in
+      match exchange stack b ~timeout ~attempts ~matches payload with
+      | Error _ as e -> e
+      | Ok resp -> (
+          match Rpc.Courier_wire.decode resp with
+          | Rpc.Courier_wire.Return r -> decode_res r.body
+          | Rpc.Courier_wire.Abort _ ->
+              Error (Rpc.Control.Protocol_error "remote abort")
+          | Rpc.Courier_wire.Reject r -> Error (Rpc.Courier_wire.reject_to_error r.code)
+          | Rpc.Courier_wire.Call _ ->
+              Error (Rpc.Control.Protocol_error "call in reply position")))

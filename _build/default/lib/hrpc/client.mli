@@ -1,0 +1,33 @@
+(** The HRPC client call engine.
+
+    [call] is the run-time half of a client stub: given a binding it
+    selects the data representation, transport, and control protocol
+    the server speaks and performs one complete remote call. The
+    components were separated at stub-generation time and are
+    recombined here, at call time — the emulation mechanism that lets
+    one linked client speak Sun RPC, Courier, or a raw message
+    protocol depending on what it is bound to. *)
+
+(** Defaults: 1000 ms timeout, 3 attempts (UDP transports retransmit;
+    TCP transports use a single attempt's timeout per connection). *)
+val call :
+  Transport.Netstack.stack ->
+  Binding.t ->
+  procnum:int ->
+  sign:Wire.Idl.signature ->
+  ?timeout:float ->
+  ?attempts:int ->
+  Wire.Value.t ->
+  (Wire.Value.t, Rpc.Control.error) result
+
+(** [call_raw] sends pre-encoded bytes with the binding's control and
+    transport components, skipping value marshalling — used by the
+    HNS's HRPC interface to BIND, whose payloads are native DNS
+    messages. *)
+val call_raw :
+  Transport.Netstack.stack ->
+  Binding.t ->
+  ?timeout:float ->
+  ?attempts:int ->
+  string ->
+  (string, Rpc.Control.error) result

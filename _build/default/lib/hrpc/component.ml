@@ -1,0 +1,41 @@
+type transport_kind = T_udp | T_tcp
+
+type control_kind = C_sunrpc | C_courier | C_raw
+
+type protocol_suite = {
+  data_rep : Wire.Data_rep.t;
+  transport : transport_kind;
+  control : control_kind;
+}
+
+let sunrpc_suite =
+  { data_rep = Wire.Data_rep.Xdr; transport = T_udp; control = C_sunrpc }
+
+let courier_suite =
+  { data_rep = Wire.Data_rep.Courier; transport = T_tcp; control = C_courier }
+
+let raw_udp_suite = { data_rep = Wire.Data_rep.Xdr; transport = T_udp; control = C_raw }
+
+let transport_name = function T_udp -> "udp" | T_tcp -> "tcp"
+let control_name = function C_sunrpc -> "sunrpc" | C_courier -> "courier" | C_raw -> "raw"
+
+let transport_of_name = function
+  | "udp" -> Some T_udp
+  | "tcp" -> Some T_tcp
+  | _ -> None
+
+let control_of_name = function
+  | "sunrpc" -> Some C_sunrpc
+  | "courier" -> Some C_courier
+  | "raw" -> Some C_raw
+  | _ -> None
+
+let suite_name s =
+  Printf.sprintf "%s/%s/%s" (Wire.Data_rep.name s.data_rep) (transport_name s.transport)
+    (control_name s.control)
+
+let equal_suite a b =
+  Wire.Data_rep.equal a.data_rep b.data_rep && a.transport = b.transport
+  && a.control = b.control
+
+let pp_suite ppf s = Format.pp_print_string ppf (suite_name s)

@@ -1,0 +1,32 @@
+(** Connection reuse for TCP-transport bindings.
+
+    Courier sessions hold their transport open across calls; an HRPC
+    client that imports a Courier binding and calls it repeatedly
+    should not pay the SYN round trip every time. A [t] keeps one live
+    connection per (server address) and transparently reconnects when
+    the peer has closed it. UDP-transport bindings pass straight
+    through to {!Client.call}. *)
+
+type t
+
+val create : Transport.Netstack.stack -> t
+
+(** Like {!Client.call}, but TCP exchanges reuse a cached connection. *)
+val call :
+  t ->
+  Binding.t ->
+  procnum:int ->
+  sign:Wire.Idl.signature ->
+  ?timeout:float ->
+  ?attempts:int ->
+  Wire.Value.t ->
+  (Wire.Value.t, Rpc.Control.error) result
+
+(** Live connections held. *)
+val live : t -> int
+
+(** Number of calls that reused an existing connection. *)
+val reuses : t -> int
+
+(** Close everything. *)
+val clear : t -> unit

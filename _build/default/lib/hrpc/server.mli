@@ -1,0 +1,38 @@
+(** Exporting a service over a chosen protocol suite.
+
+    An HRPC server looks to clients of the emulated system exactly
+    like a homogeneous peer: export with {!Component.sunrpc_suite} and
+    native Sun RPC clients can call you; export with
+    {!Component.courier_suite} and Courier clients can. The NSMs are
+    served this way.
+
+    Raw control cannot be exported here — raw servers {e are} the
+    native message-passing programs (e.g. the BIND server). *)
+
+type t
+
+(** Raises [Invalid_argument] for a raw-control suite. *)
+val create :
+  Transport.Netstack.stack ->
+  suite:Component.protocol_suite ->
+  ?port:int ->
+  ?service_overhead_ms:float ->
+  prog:int ->
+  vers:int ->
+  unit ->
+  t
+
+val register :
+  t ->
+  procnum:int ->
+  sign:Wire.Idl.signature ->
+  (Wire.Value.t -> Wire.Value.t) ->
+  unit
+
+val start : t -> unit
+val stop : t -> unit
+
+(** The binding clients use to call this server. *)
+val binding : t -> Binding.t
+
+val calls_served : t -> int

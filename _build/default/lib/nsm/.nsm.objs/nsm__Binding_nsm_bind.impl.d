@@ -1,0 +1,1 @@
+lib/nsm/binding_nsm_bind.ml: Dns Format Hashtbl Hns Hrpc List Nsm_common Printf Rpc String Transport Wire

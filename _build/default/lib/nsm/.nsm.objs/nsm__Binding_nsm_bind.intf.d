@@ -1,0 +1,1 @@
+lib/nsm/binding_nsm_bind.mli: Hns Hrpc Transport

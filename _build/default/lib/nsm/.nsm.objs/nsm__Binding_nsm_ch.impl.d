@@ -1,0 +1,1 @@
+lib/nsm/binding_nsm_ch.ml: Clearinghouse Format Hns Hrpc Nsm_common Rpc Transport

@@ -1,0 +1,1 @@
+lib/nsm/binding_nsm_ch.mli: Clearinghouse Hns Hrpc Transport

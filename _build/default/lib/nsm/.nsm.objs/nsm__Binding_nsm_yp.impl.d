@@ -1,0 +1,1 @@
+lib/nsm/binding_nsm_yp.ml: Format Hashtbl Hns Hrpc List Nsm_common Printf Rpc String Transport Yp

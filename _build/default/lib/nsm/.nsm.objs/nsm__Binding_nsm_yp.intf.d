@@ -1,0 +1,1 @@
+lib/nsm/binding_nsm_yp.mli: Hns Hrpc Transport

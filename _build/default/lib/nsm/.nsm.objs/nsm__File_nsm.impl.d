@@ -1,0 +1,1 @@
+lib/nsm/file_nsm.ml: Clearinghouse Text_nsm

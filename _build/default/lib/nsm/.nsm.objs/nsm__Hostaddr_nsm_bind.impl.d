@@ -1,0 +1,1 @@
+lib/nsm/hostaddr_nsm_bind.ml: Dns Format Hns Nsm_common Transport Wire

@@ -1,0 +1,1 @@
+lib/nsm/hostaddr_nsm_bind.mli: Hns Hrpc Transport

@@ -1,0 +1,1 @@
+lib/nsm/hostaddr_nsm_ch.ml: Clearinghouse Format Hns Nsm_common Rpc String Transport Wire

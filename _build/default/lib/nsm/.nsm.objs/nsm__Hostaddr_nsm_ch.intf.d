@@ -1,0 +1,1 @@
+lib/nsm/hostaddr_nsm_ch.mli: Clearinghouse Hns Hrpc Transport

@@ -1,0 +1,1 @@
+lib/nsm/hostaddr_nsm_yp.ml: Format Hns Nsm_common Printf Rpc String Transport Wire Yp

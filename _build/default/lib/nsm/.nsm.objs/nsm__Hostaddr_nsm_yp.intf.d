@@ -1,0 +1,1 @@
+lib/nsm/hostaddr_nsm_yp.mli: Hns Hrpc Transport

@@ -1,0 +1,1 @@
+lib/nsm/mail_nsm.ml: Clearinghouse Text_nsm

@@ -1,0 +1,1 @@
+lib/nsm/mail_nsm.mli: Clearinghouse Hns Text_nsm Transport

@@ -1,0 +1,1 @@
+lib/nsm/nsm_common.ml: Effect Hns Hrpc Int32 Printf Sim String

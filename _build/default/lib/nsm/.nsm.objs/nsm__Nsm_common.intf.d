@@ -1,0 +1,1 @@
+lib/nsm/nsm_common.mli: Hns Hrpc Transport Wire

@@ -1,0 +1,1 @@
+lib/nsm/text_nsm.ml: Clearinghouse Dns Format Hns List Nsm_common Option Rpc Transport Wire

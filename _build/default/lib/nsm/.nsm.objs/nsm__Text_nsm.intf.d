@@ -1,0 +1,1 @@
+lib/nsm/text_nsm.mli: Clearinghouse Hns Hrpc Transport

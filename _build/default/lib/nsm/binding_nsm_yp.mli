@@ -1,0 +1,35 @@
+(** The binding NSM for YP (NIS) subsystems (query class HRPCBinding).
+
+    Sun machines running NIS still bind with the Sun protocol: look
+    the host up in [hosts.byname], then ask that host's portmapper —
+    the same (host, service) interface as {!Binding_nsm_bind}, with a
+    different name service underneath, which is exactly the NSM
+    contract. *)
+
+type t
+
+val create :
+  Transport.Netstack.stack ->
+  yp_server:Transport.Address.t ->
+  domain:string ->
+  ?services:(string * (int * int)) list ->
+  ?cache:Hns.Cache.t ->
+  ?cache_ttl_ms:float ->
+  ?per_query_ms:float ->
+  unit ->
+  t
+
+val add_service : t -> string -> prog:int -> vers:int -> unit
+val impl : t -> Hns.Nsm_intf.impl
+val cache : t -> Hns.Cache.t
+val backend_queries : t -> int
+
+val serve :
+  t ->
+  prog:int ->
+  ?vers:int ->
+  ?suite:Hrpc.Component.protocol_suite ->
+  ?port:int ->
+  ?service_overhead_ms:float ->
+  unit ->
+  Hrpc.Server.t

@@ -1,0 +1,33 @@
+(** The host-address NSM for YP (NIS) subsystems: host name →
+    address, via a MATCH against the domain's [hosts.byname] map.
+
+    The third name service type in the federation. Its existence is
+    the paper's point: to support HostAddress queries for the Sun
+    machines' YP world, this one NSM is written and registered — no
+    client, no other NSM, and no HNS code changes. *)
+
+type t
+
+val create :
+  Transport.Netstack.stack ->
+  yp_server:Transport.Address.t ->
+  domain:string ->
+  ?cache:Hns.Cache.t ->
+  ?cache_ttl_ms:float ->
+  ?per_query_ms:float ->
+  unit ->
+  t
+
+val impl : t -> Hns.Nsm_intf.impl
+val cache : t -> Hns.Cache.t
+val backend_queries : t -> int
+
+val serve :
+  t ->
+  prog:int ->
+  ?vers:int ->
+  ?suite:Hrpc.Component.protocol_suite ->
+  ?port:int ->
+  ?service_overhead_ms:float ->
+  unit ->
+  Hrpc.Server.t

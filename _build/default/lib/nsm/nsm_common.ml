@@ -1,0 +1,28 @@
+let serve stack ~impl ~payload_ty ~prog ?(vers = 1)
+    ?(suite = Hrpc.Component.sunrpc_suite) ?port ?service_overhead_ms () =
+  let server =
+    Hrpc.Server.create stack ~suite ?port ?service_overhead_ms ~prog ~vers ()
+  in
+  Hrpc.Server.register server ~procnum:Hns.Nsm_intf.query_procnum
+    ~sign:(Hns.Nsm_intf.query_sign ~payload_ty)
+    impl;
+  server
+
+let cache_key ~tag ~service hns_name =
+  Printf.sprintf "nsm:%s:%s!%s" tag service (Hns.Hns_name.to_string hns_name)
+
+let charge ms =
+  if ms > 0.0 then
+    try Sim.Engine.sleep ms with Effect.Unhandled _ -> ()
+
+let parse_dotted_quad s =
+  match String.split_on_char '.' (String.trim s) with
+  | [ a; b; c; d ] -> (
+      match
+        (int_of_string_opt a, int_of_string_opt b, int_of_string_opt c, int_of_string_opt d)
+      with
+      | Some a, Some b, Some c, Some d
+        when a land 0xFF = a && b land 0xFF = b && c land 0xFF = c && d land 0xFF = d ->
+          Some (Int32.of_int ((a lsl 24) lor (b lsl 16) lor (c lsl 8) lor d))
+      | _ -> None)
+  | _ -> None

@@ -1,0 +1,46 @@
+(** A generic text-valued NSM, parameterized by backend.
+
+    Several HCS network services need only a string of location
+    information per name: the filing service maps names to file
+    locations, the mail service maps user names to mailbox sites.
+    In BIND that string lives in a TXT record; in the Clearinghouse,
+    in an item property. {!File_nsm} and {!Mail_nsm} instantiate this
+    module per query class. *)
+
+type backend =
+  | Bind of { server : Transport.Address.t }
+      (** TXT record at the individual name *)
+  | Ch of {
+      server : Transport.Address.t;
+      credentials : Clearinghouse.Ch_proto.credentials;
+      domain : string;
+      org : string;
+      prop : int;
+    }
+      (** item property of the object named by the individual name *)
+
+type t
+
+val create :
+  Transport.Netstack.stack ->
+  backend ->
+  tag:string ->
+  ?cache:Hns.Cache.t ->
+  ?cache_ttl_ms:float ->
+  ?per_query_ms:float ->
+  unit ->
+  t
+
+val impl : t -> Hns.Nsm_intf.impl
+val cache : t -> Hns.Cache.t
+val backend_queries : t -> int
+
+val serve :
+  t ->
+  prog:int ->
+  ?vers:int ->
+  ?suite:Hrpc.Component.protocol_suite ->
+  ?port:int ->
+  ?service_overhead_ms:float ->
+  unit ->
+  Hrpc.Server.t

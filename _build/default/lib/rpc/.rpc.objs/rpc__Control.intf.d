@@ -1,0 +1,1 @@
+lib/rpc/control.mli: Format

@@ -1,0 +1,1 @@
+lib/rpc/courier_rpc.ml: Address Control Courier_wire Hashtbl Int32 Printf Sim Tcp Transport Wire

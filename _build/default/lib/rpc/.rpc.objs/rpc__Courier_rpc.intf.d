@@ -1,0 +1,1 @@
+lib/rpc/courier_rpc.mli: Control Transport Wire

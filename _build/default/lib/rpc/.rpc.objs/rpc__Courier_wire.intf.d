@@ -1,0 +1,1 @@
+lib/rpc/courier_wire.mli: Control

@@ -1,0 +1,1 @@
+lib/rpc/portmap.ml: Hashtbl Int32 Sunrpc Transport Wire

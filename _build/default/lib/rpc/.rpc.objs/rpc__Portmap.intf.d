@@ -1,0 +1,1 @@
+lib/rpc/portmap.mli: Control Sunrpc Transport

@@ -1,0 +1,1 @@
+lib/rpc/rawrpc.ml: Control Printf Sim Transport Udp

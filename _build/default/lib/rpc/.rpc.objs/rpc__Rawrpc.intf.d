@@ -1,0 +1,1 @@
+lib/rpc/rawrpc.mli: Control Transport

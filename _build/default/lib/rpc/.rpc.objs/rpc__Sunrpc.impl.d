@@ -1,0 +1,1 @@
+lib/rpc/sunrpc.ml: Address Control Hashtbl Int32 Printf Sim Sunrpc_wire Transport Udp Wire

@@ -1,0 +1,1 @@
+lib/rpc/sunrpc.mli: Control Transport Wire

@@ -1,0 +1,1 @@
+lib/rpc/sunrpc_wire.ml: Control Format Int32 Wire

@@ -1,0 +1,1 @@
+lib/rpc/sunrpc_wire.mli: Control

@@ -1,0 +1,36 @@
+type error =
+  | Timeout
+  | Prog_unavailable
+  | Proc_unavailable
+  | Garbage_args
+  | Refused
+  | Protocol_error of string
+
+let pp_error ppf = function
+  | Timeout -> Format.pp_print_string ppf "timeout"
+  | Prog_unavailable -> Format.pp_print_string ppf "program unavailable"
+  | Proc_unavailable -> Format.pp_print_string ppf "procedure unavailable"
+  | Garbage_args -> Format.pp_print_string ppf "garbage arguments"
+  | Refused -> Format.pp_print_string ppf "refused"
+  | Protocol_error s -> Format.fprintf ppf "protocol error: %s" s
+
+let error_to_string e = Format.asprintf "%a" pp_error e
+
+exception Rpc_failure of error
+
+let get_ok = function Ok v -> v | Error e -> raise (Rpc_failure e)
+
+let xid_counter = ref 0l
+
+let next_xid () =
+  xid_counter := Int32.add !xid_counter 1l;
+  !xid_counter
+
+let with_retries ~attempts ~timeout ?(backoff = 2.0) f =
+  if attempts < 1 then invalid_arg "Control.with_retries: attempts must be >= 1";
+  let rec go n timeout =
+    match f ~timeout with
+    | Some _ as r -> r
+    | None -> if n <= 1 then None else go (n - 1) (timeout *. backoff)
+  in
+  go attempts timeout

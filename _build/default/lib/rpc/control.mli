@@ -1,0 +1,38 @@
+(** The control-protocol component shared by the concrete RPC systems:
+    transaction ids, call outcomes, and the retransmission policy.
+
+    In the five-component HRPC model this is the piece that "tracks the
+    state of a call". Both Sun RPC and Raw exchanges retransmit over
+    UDP; Courier relies on its reliable transport. *)
+
+(** Uniform failure vocabulary across RPC systems. *)
+type error =
+  | Timeout                  (** no reply within the retry budget *)
+  | Prog_unavailable         (** no such program/remote interface *)
+  | Proc_unavailable         (** no such procedure *)
+  | Garbage_args             (** peer could not decode our arguments *)
+  | Refused                  (** connection or binding refused *)
+  | Protocol_error of string (** malformed or unexpected message *)
+
+val pp_error : Format.formatter -> error -> unit
+val error_to_string : error -> string
+
+exception Rpc_failure of error
+
+(** [get_ok r] unwraps or raises {!Rpc_failure}. *)
+val get_ok : ('a, error) result -> 'a
+
+(** Fresh transaction id; a single global counter keeps ids unique
+    across every client in a simulation, which makes traces easy to
+    follow. *)
+val next_xid : unit -> int32
+
+(** [with_retries ~attempts ~timeout ~backoff f] calls [f ~timeout]
+    up to [attempts] times, doubling the timeout by [backoff] after
+    each [None], returning the first [Some]. [attempts >= 1]. *)
+val with_retries :
+  attempts:int ->
+  timeout:float ->
+  ?backoff:float ->
+  (timeout:float -> 'a option) ->
+  'a option

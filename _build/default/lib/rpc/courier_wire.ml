@@ -1,0 +1,81 @@
+type call = { transaction : int; prog : int32; vers : int; procnum : int; body : string }
+
+type reject_code =
+  | No_such_program
+  | No_such_version
+  | No_such_procedure
+  | Invalid_arguments
+
+type msg =
+  | Call of call
+  | Return of { transaction : int; body : string }
+  | Abort of { transaction : int; error : int; body : string }
+  | Reject of { transaction : int; code : reject_code }
+
+exception Bad_message of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Bad_message s)) fmt
+
+let reject_code_to_int = function
+  | No_such_program -> 0
+  | No_such_version -> 1
+  | No_such_procedure -> 2
+  | Invalid_arguments -> 3
+
+let reject_code_of_int = function
+  | 0 -> No_such_program
+  | 1 -> No_such_version
+  | 2 -> No_such_procedure
+  | 3 -> Invalid_arguments
+  | n -> fail "bad Courier reject code %d" n
+
+let encode msg =
+  let wr = Wire.Bytebuf.Wr.create () in
+  (match msg with
+  | Call c ->
+      Wire.Bytebuf.Wr.u16 wr 0;
+      Wire.Bytebuf.Wr.u16 wr c.transaction;
+      Wire.Bytebuf.Wr.u32 wr c.prog;
+      Wire.Bytebuf.Wr.u16 wr c.vers;
+      Wire.Bytebuf.Wr.u16 wr c.procnum;
+      Wire.Bytebuf.Wr.bytes wr c.body
+  | Reject { transaction; code } ->
+      Wire.Bytebuf.Wr.u16 wr 1;
+      Wire.Bytebuf.Wr.u16 wr transaction;
+      Wire.Bytebuf.Wr.u16 wr (reject_code_to_int code)
+  | Return { transaction; body } ->
+      Wire.Bytebuf.Wr.u16 wr 2;
+      Wire.Bytebuf.Wr.u16 wr transaction;
+      Wire.Bytebuf.Wr.bytes wr body
+  | Abort { transaction; error; body } ->
+      Wire.Bytebuf.Wr.u16 wr 3;
+      Wire.Bytebuf.Wr.u16 wr transaction;
+      Wire.Bytebuf.Wr.u16 wr error;
+      Wire.Bytebuf.Wr.bytes wr body);
+  Wire.Bytebuf.Wr.contents wr
+
+let rest rd = Wire.Bytebuf.Rd.bytes rd (Wire.Bytebuf.Rd.remaining rd)
+
+let decode s =
+  let rd = Wire.Bytebuf.Rd.of_string s in
+  try
+    let msgtype = Wire.Bytebuf.Rd.u16 rd in
+    let transaction = Wire.Bytebuf.Rd.u16 rd in
+    match msgtype with
+    | 0 ->
+        let prog = Wire.Bytebuf.Rd.u32 rd in
+        let vers = Wire.Bytebuf.Rd.u16 rd in
+        let procnum = Wire.Bytebuf.Rd.u16 rd in
+        Call { transaction; prog; vers; procnum; body = rest rd }
+    | 1 -> Reject { transaction; code = reject_code_of_int (Wire.Bytebuf.Rd.u16 rd) }
+    | 2 -> Return { transaction; body = rest rd }
+    | 3 ->
+        let error = Wire.Bytebuf.Rd.u16 rd in
+        Abort { transaction; error; body = rest rd }
+    | n -> fail "bad Courier message type %d" n
+  with Wire.Bytebuf.Truncated -> fail "truncated Courier message"
+
+let reject_to_error = function
+  | No_such_program | No_such_version -> Control.Prog_unavailable
+  | No_such_procedure -> Control.Proc_unavailable
+  | Invalid_arguments -> Control.Garbage_args

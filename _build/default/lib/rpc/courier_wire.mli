@@ -1,0 +1,31 @@
+(** Xerox Courier RPC message format (XSIS 038112 subset).
+
+    Pure encode/decode. Message bodies are Courier-representation
+    values, carried opaquely: as with {!Sunrpc_wire}, the control
+    protocol does not interpret the data representation. *)
+
+type call = {
+  transaction : int;   (** 16-bit transaction id *)
+  prog : int32;        (** 32-bit program number *)
+  vers : int;          (** 16-bit version *)
+  procnum : int;       (** 16-bit procedure *)
+  body : string;
+}
+
+type reject_code =
+  | No_such_program
+  | No_such_version
+  | No_such_procedure
+  | Invalid_arguments
+
+type msg =
+  | Call of call
+  | Return of { transaction : int; body : string }
+  | Abort of { transaction : int; error : int; body : string }
+  | Reject of { transaction : int; code : reject_code }
+
+exception Bad_message of string
+
+val encode : msg -> string
+val decode : string -> msg
+val reject_to_error : reject_code -> Control.error

@@ -1,0 +1,98 @@
+type call = { xid : int32; prog : int32; vers : int32; procnum : int32; body : string }
+
+type reply_body =
+  | Success of string
+  | Prog_unavail
+  | Proc_unavail
+  | Garbage_args
+  | System_err
+
+type reply = { rxid : int32; rbody : reply_body }
+
+type msg = Call of call | Reply of reply
+
+exception Bad_message of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Bad_message s)) fmt
+
+let rpc_version = 2l
+
+(* AUTH_NONE: flavor 0, zero-length body. *)
+let encode_auth wr =
+  Wire.Bytebuf.Wr.u32 wr 0l;
+  Wire.Bytebuf.Wr.u32 wr 0l
+
+let decode_auth rd =
+  let _flavor = Wire.Bytebuf.Rd.u32 rd in
+  let len = Int32.to_int (Wire.Bytebuf.Rd.u32 rd) in
+  if len < 0 || len > 400 then fail "bad auth length %d" len;
+  ignore (Wire.Bytebuf.Rd.bytes rd len);
+  Wire.Bytebuf.Rd.align rd 4
+
+let encode msg =
+  let wr = Wire.Bytebuf.Wr.create () in
+  (match msg with
+  | Call c ->
+      Wire.Bytebuf.Wr.u32 wr c.xid;
+      Wire.Bytebuf.Wr.u32 wr 0l (* CALL *);
+      Wire.Bytebuf.Wr.u32 wr rpc_version;
+      Wire.Bytebuf.Wr.u32 wr c.prog;
+      Wire.Bytebuf.Wr.u32 wr c.vers;
+      Wire.Bytebuf.Wr.u32 wr c.procnum;
+      encode_auth wr (* cred *);
+      encode_auth wr (* verf *);
+      Wire.Bytebuf.Wr.bytes wr c.body
+  | Reply r ->
+      Wire.Bytebuf.Wr.u32 wr r.rxid;
+      Wire.Bytebuf.Wr.u32 wr 1l (* REPLY *);
+      Wire.Bytebuf.Wr.u32 wr 0l (* MSG_ACCEPTED *);
+      encode_auth wr (* verf *);
+      let accept_stat, body =
+        match r.rbody with
+        | Success b -> (0l, b)
+        | Prog_unavail -> (1l, "")
+        | Proc_unavail -> (3l, "")
+        | Garbage_args -> (4l, "")
+        | System_err -> (5l, "")
+      in
+      Wire.Bytebuf.Wr.u32 wr accept_stat;
+      Wire.Bytebuf.Wr.bytes wr body);
+  Wire.Bytebuf.Wr.contents wr
+
+let rest rd = Wire.Bytebuf.Rd.bytes rd (Wire.Bytebuf.Rd.remaining rd)
+
+let decode s =
+  let rd = Wire.Bytebuf.Rd.of_string s in
+  try
+    let xid = Wire.Bytebuf.Rd.u32 rd in
+    match Wire.Bytebuf.Rd.u32 rd with
+    | 0l ->
+        let rpcvers = Wire.Bytebuf.Rd.u32 rd in
+        if rpcvers <> rpc_version then fail "bad RPC version %ld" rpcvers;
+        let prog = Wire.Bytebuf.Rd.u32 rd in
+        let vers = Wire.Bytebuf.Rd.u32 rd in
+        let procnum = Wire.Bytebuf.Rd.u32 rd in
+        decode_auth rd;
+        decode_auth rd;
+        Call { xid; prog; vers; procnum; body = rest rd }
+    | 1l -> (
+        match Wire.Bytebuf.Rd.u32 rd with
+        | 0l -> (
+            decode_auth rd;
+            match Wire.Bytebuf.Rd.u32 rd with
+            | 0l -> Reply { rxid = xid; rbody = Success (rest rd) }
+            | 1l -> Reply { rxid = xid; rbody = Prog_unavail }
+            | 3l -> Reply { rxid = xid; rbody = Proc_unavail }
+            | 4l -> Reply { rxid = xid; rbody = Garbage_args }
+            | 5l -> Reply { rxid = xid; rbody = System_err }
+            | n -> fail "unsupported accept_stat %ld" n)
+        | n -> fail "unsupported reply_stat %ld" n)
+    | n -> fail "bad msg_type %ld" n
+  with Wire.Bytebuf.Truncated -> fail "truncated Sun RPC message"
+
+let reply_to_result = function
+  | Success b -> Ok b
+  | Prog_unavail -> Error Control.Prog_unavailable
+  | Proc_unavail -> Error Control.Proc_unavailable
+  | Garbage_args -> Error Control.Garbage_args
+  | System_err -> Error (Control.Protocol_error "remote system error")

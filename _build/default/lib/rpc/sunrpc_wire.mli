@@ -1,0 +1,34 @@
+(** Sun RPC message format (RFC 1057 subset, AUTH_NONE).
+
+    Pure encode/decode, shared by the native {!Sunrpc} client/server
+    and by HRPC when it emulates a Sun RPC peer. Argument and result
+    bodies are XDR-encoded by the caller and carried opaquely here so
+    the control protocol stays independent of the data representation
+    — the separation the HRPC design insists on. *)
+
+type call = {
+  xid : int32;
+  prog : int32;
+  vers : int32;
+  procnum : int32;
+  body : string;  (** XDR-encoded arguments *)
+}
+
+type reply_body =
+  | Success of string       (** XDR-encoded results *)
+  | Prog_unavail
+  | Proc_unavail
+  | Garbage_args
+  | System_err              (** the procedure crashed serverside *)
+
+type reply = { rxid : int32; rbody : reply_body }
+
+type msg = Call of call | Reply of reply
+
+exception Bad_message of string
+
+val encode : msg -> string
+val decode : string -> msg
+
+(** Convenience: map a reply body to the shared error vocabulary. *)
+val reply_to_result : reply_body -> (string, Control.error) result

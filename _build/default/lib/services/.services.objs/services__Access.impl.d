@@ -1,0 +1,1 @@
+lib/services/access.ml: Format Hashtbl Hns Hrpc Rpc String Wire

@@ -1,0 +1,1 @@
+lib/services/access.mli: Format Hns Hrpc Rpc Wire

@@ -1,0 +1,1 @@
+lib/services/file_server.ml: Effect Hashtbl Hrpc List Sim Wire

@@ -1,0 +1,1 @@
+lib/services/file_server.mli: Hrpc Transport Wire

@@ -1,0 +1,1 @@
+lib/services/filing.ml: Access File_server Hns List Option String Wire

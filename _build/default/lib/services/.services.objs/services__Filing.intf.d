@@ -1,0 +1,1 @@
+lib/services/filing.mli: Access Hns

@@ -1,0 +1,1 @@
+lib/services/mail.ml: Access Hns List Mailbox_server Printf String Wire

@@ -1,0 +1,1 @@
+lib/services/mail.mli: Access Hns Mailbox_server

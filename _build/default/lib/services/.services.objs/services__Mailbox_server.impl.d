@@ -1,0 +1,1 @@
+lib/services/mailbox_server.ml: Effect Hashtbl Hrpc List Sim Wire

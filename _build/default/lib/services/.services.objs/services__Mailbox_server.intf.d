@@ -1,0 +1,1 @@
+lib/services/mailbox_server.mli: Hrpc Transport Wire

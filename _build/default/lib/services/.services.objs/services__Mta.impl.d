@@ -1,0 +1,1 @@
+lib/services/mta.ml: Access Format Hns List Mail Printf Queue Sim

@@ -1,0 +1,1 @@
+lib/services/mta.mli: Hns

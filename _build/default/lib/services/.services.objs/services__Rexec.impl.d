@@ -1,0 +1,1 @@
+lib/services/rexec.ml: Access List Rexec_server Wire

@@ -1,0 +1,1 @@
+lib/services/rexec.mli: Access Hns Rexec_server

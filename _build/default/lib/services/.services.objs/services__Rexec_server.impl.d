@@ -1,0 +1,1 @@
+lib/services/rexec_server.ml: Effect Hashtbl Hrpc List Printf Sim Wire

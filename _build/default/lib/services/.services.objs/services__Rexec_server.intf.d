@@ -1,0 +1,1 @@
+lib/services/rexec_server.mli: Hrpc Transport Wire

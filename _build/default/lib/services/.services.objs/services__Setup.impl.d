@@ -1,0 +1,1 @@
+lib/services/setup.ml: Clearinghouse Dns File_server Filing Hns Hrpc List Mail Mailbox_server Nsm Printf Rexec Rexec_server Rpc Sim String Transport Workload

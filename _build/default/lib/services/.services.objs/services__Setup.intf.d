@@ -1,0 +1,1 @@
+lib/services/setup.mli: File_server Hns Mailbox_server Rexec_server Workload

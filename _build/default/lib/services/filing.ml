@@ -1,0 +1,96 @@
+type t = { access : Access.t }
+
+let service_name = "hcsfs"
+
+let create hns = { access = Access.create hns }
+
+(* A file's location record is "filesrv=<host-spec>[;name=<local>]":
+   the server holding it, plus — when the server-local name differs
+   from the HNS individual name — the local name to use with that
+   server. The local -> individual mapping is a function, per the
+   paper's conflict-freedom requirement; this record is its inverse. *)
+let locate t (name : Hns.Hns_name.t) =
+  match
+    Access.resolve_location_string t.access ~query_class:Hns.Query_class.file_location
+      name
+  with
+  | Error _ as e -> e
+  | Ok record -> (
+      match String.split_on_char ';' record with
+      | host_part :: rest -> (
+          let host_spec =
+            match String.index_opt host_part '=' with
+            | Some i when String.sub host_part 0 i = "filesrv" ->
+                Some (String.sub host_part (i + 1) (String.length host_part - i - 1))
+            | _ -> None
+          in
+          match host_spec with
+          | None -> Error (Access.Malformed_location record)
+          | Some spec -> (
+              match Access.parse_host_spec ~default_context:name.context spec with
+              | Error _ as e -> e
+              | Ok host ->
+                  let local =
+                    List.find_map
+                      (fun part ->
+                        match String.index_opt part '=' with
+                        | Some i when String.sub part 0 i = "name" ->
+                            Some (String.sub part (i + 1) (String.length part - i - 1))
+                        | _ -> None)
+                      rest
+                  in
+                  Ok (host, Option.value local ~default:name.name)))
+      | [] -> Error (Access.Malformed_location record))
+
+let with_server t name k =
+  match locate t name with
+  | Error _ as e -> e
+  | Ok (host, local) -> (
+      match Access.import t.access ~service:service_name host with
+      | Error _ as e -> e
+      | Ok binding -> k binding local)
+
+let fetch t (name : Hns.Hns_name.t) =
+  with_server t name (fun binding local ->
+      match
+        Access.call t.access binding ~procnum:File_server.proc_fetch
+          ~sign:File_server.fetch_sign (Wire.Value.Str local)
+      with
+      | Error _ as e -> e
+      | Ok (Wire.Value.Union (0, Wire.Value.Opaque data)) -> Ok data
+      | Ok (Wire.Value.Union (1, _)) ->
+          Error (Access.Name_error (Hns.Errors.Name_not_found name))
+      | Ok v -> Error (Access.Service_error (Wire.Value.to_string v)))
+
+let store t (name : Hns.Hns_name.t) data =
+  with_server t name (fun binding local ->
+      match
+        Access.call t.access binding ~procnum:File_server.proc_store
+          ~sign:File_server.store_sign
+          (Wire.Value.Struct
+             [ ("name", Wire.Value.Str local); ("data", Wire.Value.Opaque data) ])
+      with
+      | Error _ as e -> e
+      | Ok (Wire.Value.Bool true) -> Ok ()
+      | Ok (Wire.Value.Bool false) -> Error (Access.Service_error "store refused")
+      | Ok v -> Error (Access.Service_error (Wire.Value.to_string v)))
+
+let remove t (name : Hns.Hns_name.t) =
+  with_server t name (fun binding local ->
+      match
+        Access.call t.access binding ~procnum:File_server.proc_remove
+          ~sign:File_server.remove_sign (Wire.Value.Str local)
+      with
+      | Error _ as e -> e
+      | Ok (Wire.Value.Bool existed) -> Ok existed
+      | Ok v -> Error (Access.Service_error (Wire.Value.to_string v)))
+
+let list_at t name =
+  with_server t name (fun binding _local ->
+      match
+        Access.call t.access binding ~procnum:File_server.proc_list
+          ~sign:File_server.list_sign Wire.Value.Void
+      with
+      | Error _ as e -> e
+      | Ok (Wire.Value.Array vs) -> Ok (List.map Wire.Value.get_str vs)
+      | Ok v -> Error (Access.Service_error (Wire.Value.to_string v)))

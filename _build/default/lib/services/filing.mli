@@ -1,0 +1,25 @@
+(** The heterogeneous filing service: Fetch/Store over the set of
+    local file systems, located through the HNS.
+
+    A file's HNS name resolves (FileLocation query class) to a
+    location record naming the host whose file server stores it; the
+    client imports that server's binding and speaks HRPC — Sun RPC to
+    the Unix servers, Courier to the XDE servers, invisibly.
+
+    This is the "heterogeneous file system that mediates access to the
+    set of local file systems" the paper's conclusion describes, with
+    the Jasmine-style Fetch/Store interface of Section 4. *)
+
+type t
+
+(** The ServiceName file servers register under. *)
+val service_name : string
+
+val create : Hns.Client.t -> t
+
+val fetch : t -> Hns.Hns_name.t -> (string, Access.error) result
+val store : t -> Hns.Hns_name.t -> string -> (unit, Access.error) result
+val remove : t -> Hns.Hns_name.t -> (bool, Access.error) result
+
+(** All files on the server a file name locates to. *)
+val list_at : t -> Hns.Hns_name.t -> (string list, Access.error) result

@@ -1,0 +1,55 @@
+type t = { access : Access.t; from : string }
+
+let service_name = "hcsmail"
+
+let create hns ~from = { access = Access.create hns; from }
+
+(* The local-part of a user's HNS name: "alice.users.cs.washington.edu"
+   delivers to mailbox user "alice". *)
+let local_part (name : Hns.Hns_name.t) =
+  match String.index_opt name.name '.' with
+  | Some i -> String.sub name.name 0 i
+  | None -> name.name
+
+let with_site t (user : Hns.Hns_name.t) k =
+  match
+    Access.resolve_location t.access ~query_class:Hns.Query_class.mailbox_location
+      ~key:"mailbox" user
+  with
+  | Error _ as e -> e
+  | Ok site -> (
+      match Access.import t.access ~service:service_name site with
+      | Error _ as e -> e
+      | Ok binding -> k site binding)
+
+let send t ~recipient ~subject ~body =
+  with_site t recipient (fun site binding ->
+      match
+        Access.call t.access binding ~procnum:Mailbox_server.proc_deliver
+          ~sign:Mailbox_server.deliver_sign
+          (Wire.Value.Struct
+             [
+               ("user", Wire.Value.Str (local_part recipient));
+               ( "message",
+                 Mailbox_server.message_to_value
+                   { Mailbox_server.from = t.from; subject; body } );
+             ])
+      with
+      | Error _ as e -> e
+      | Ok (Wire.Value.Bool true) -> Ok site
+      | Ok (Wire.Value.Bool false) ->
+          Error
+            (Access.Service_error
+               (Printf.sprintf "no such user %S at %s" (local_part recipient)
+                  (Hns.Hns_name.to_string site)))
+      | Ok v -> Error (Access.Service_error (Wire.Value.to_string v)))
+
+let read_mailbox t ~user =
+  with_site t user (fun _site binding ->
+      match
+        Access.call t.access binding ~procnum:Mailbox_server.proc_read
+          ~sign:Mailbox_server.read_sign (Wire.Value.Str (local_part user))
+      with
+      | Error _ as e -> e
+      | Ok (Wire.Value.Array vs) -> Ok (List.map Mailbox_server.message_of_value vs)
+      | Ok v -> Error (Access.Service_error (Wire.Value.to_string v)))

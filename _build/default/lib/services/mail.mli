@@ -1,0 +1,25 @@
+(** The HCS mail service client: deliver to a user's mailbox site,
+    found through the HNS (MailboxLocation query class). *)
+
+type t
+
+val service_name : string
+
+(** [create hns ~from] — [from] is the sender's printable address. *)
+val create : Hns.Client.t -> from:string -> t
+
+(** [send t ~recipient ~subject ~body] resolves the recipient's
+    mailbox site, imports the mailbox service there, and delivers.
+    Returns the site's HNS name on success; an unknown user at a
+    valid site is a [Service_error]. *)
+val send :
+  t ->
+  recipient:Hns.Hns_name.t ->
+  subject:string ->
+  body:string ->
+  (Hns.Hns_name.t, Access.error) result
+
+(** Read a user's mailbox from their site. The [user] name is the
+    same HNS name used for sending. *)
+val read_mailbox :
+  t -> user:Hns.Hns_name.t -> (Mailbox_server.message list, Access.error) result

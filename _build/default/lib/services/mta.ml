@@ -1,0 +1,90 @@
+type outcome = Delivered of Hns.Hns_name.t | Bounced of string
+
+type item = {
+  recipient : Hns.Hns_name.t;
+  subject : string;
+  body : string;
+  mutable tries : int;
+}
+
+type t = {
+  mail : Mail.t;
+  retry_interval_ms : float;
+  max_attempts : int;
+  queue : item Queue.t;
+  wakeup : unit Sim.Engine.Mailbox.mailbox;
+  mutable running : bool;
+  mutable delivered_count : int;
+  mutable attempt_count : int;
+  mutable bounce_log : (Hns.Hns_name.t * string) list; (* newest first *)
+}
+
+let create hns ~from ?(retry_interval_ms = 30_000.0) ?(max_attempts = 8) () =
+  {
+    mail = Mail.create hns ~from;
+    retry_interval_ms;
+    max_attempts;
+    queue = Queue.create ();
+    wakeup = Sim.Engine.Mailbox.create ();
+    running = false;
+    delivered_count = 0;
+    attempt_count = 0;
+    bounce_log = [];
+  }
+
+let submit t ~recipient ~subject ~body =
+  Queue.push { recipient; subject; body; tries = 0 } t.queue;
+  Sim.Engine.Mailbox.send t.wakeup ()
+
+let queue_length t = Queue.length t.queue
+let delivered t = t.delivered_count
+let bounces t = List.rev t.bounce_log
+let attempts t = t.attempt_count
+
+let bounce t item reason = t.bounce_log <- (item.recipient, reason) :: t.bounce_log
+
+(* Attempt everything currently queued once; requeue transient
+   failures that still have attempts left. *)
+let run_queue_once t =
+  let pending = Queue.length t.queue in
+  for _ = 1 to pending do
+    let item = Queue.pop t.queue in
+    item.tries <- item.tries + 1;
+    t.attempt_count <- t.attempt_count + 1;
+    match
+      Mail.send t.mail ~recipient:item.recipient ~subject:item.subject
+        ~body:item.body
+    with
+    | Ok _site -> t.delivered_count <- t.delivered_count + 1
+    | Error (Access.Service_error reason) ->
+        (* the site answered: the user does not exist there *)
+        bounce t item reason
+    | Error (Access.Name_error (Hns.Errors.Name_not_found _)) ->
+        bounce t item "no mailbox record"
+    | Error e ->
+        (* transient: site or name machinery unreachable *)
+        if item.tries >= t.max_attempts then
+          bounce t item
+            (Printf.sprintf "giving up after %d attempts: %s" item.tries
+               (Format.asprintf "%a" Access.pp_error e))
+        else Queue.push item t.queue
+  done
+
+let start t =
+  if t.running then invalid_arg "Mta.start: already running";
+  t.running <- true;
+  Sim.Engine.spawn_child ~name:"mta" (fun () ->
+      while t.running do
+        if Queue.is_empty t.queue then
+          (* idle: wait for a submission (or a stop poke) *)
+          ignore (Sim.Engine.Mailbox.recv t.wakeup)
+        else begin
+          run_queue_once t;
+          if not (Queue.is_empty t.queue) then Sim.Engine.sleep t.retry_interval_ms
+        end
+      done)
+
+let stop t =
+  t.running <- false;
+  (* poke the runner out of its idle wait *)
+  Sim.Engine.Mailbox.send t.wakeup ()

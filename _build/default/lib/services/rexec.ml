@@ -1,0 +1,26 @@
+type t = { access : Access.t }
+
+let service_name = "rexecd"
+
+let create hns = { access = Access.create hns }
+
+let run t ~host ~command ~args =
+  match Access.import t.access ~service:service_name host with
+  | Error _ as e -> e
+  | Ok binding -> (
+      match
+        Access.call t.access binding ~procnum:Rexec_server.proc_exec
+          ~sign:Rexec_server.exec_sign
+          (Wire.Value.Struct
+             [
+               ("command", Wire.Value.Str command);
+               ("args", Wire.Value.Array (List.map (fun a -> Wire.Value.Str a) args));
+             ])
+      with
+      | Error _ as e -> e
+      | Ok v ->
+          Ok
+            {
+              Rexec_server.status = Wire.Value.get_int (Wire.Value.field v "status");
+              output = Wire.Value.get_str (Wire.Value.field v "output");
+            })

@@ -1,0 +1,17 @@
+(** Remote computation client: run a command on a host found through
+    the HNS. *)
+
+type t
+
+val service_name : string
+
+val create : Hns.Client.t -> t
+
+(** [run t ~host ~command ~args] imports the host's rexec service and
+    executes. A nonzero status is returned, not an error. *)
+val run :
+  t ->
+  host:Hns.Hns_name.t ->
+  command:string ->
+  args:string list ->
+  (Rexec_server.outcome, Access.error) result

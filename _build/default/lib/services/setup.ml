@@ -1,0 +1,159 @@
+module S = Workload.Scenario
+
+type t = {
+  unix_fs : File_server.t;
+  xde_fs : File_server.t;
+  mailhub : Mailbox_server.t;
+  mail_annex : Mailbox_server.t;
+  rexec_unix : Rexec_server.t;
+  rexec_service_host : Rexec_server.t;
+}
+
+let unix_files =
+  [
+    ("report.tex", "\\documentclass{article} The HNS design report.");
+    ("kernel.o", "\x7fOBJ\x00\x01unix-kernel-object");
+    ("todo", "calibrate; write tests; ship");
+  ]
+
+let xde_files =
+  [
+    ("notes", "XDE desktop notes: mesa modules to rebuild");
+    ("fonts.db", "press-fonts-database");
+  ]
+
+let unix_file_name (scn : S.t) file =
+  Hns.Hns_name.make ~context:scn.bind_context
+    ~name:(Printf.sprintf "%s.files.%s" file scn.zone)
+
+let xde_file_name (scn : S.t) file =
+  Hns.Hns_name.make ~context:scn.ch_context ~name:file
+
+let user_name (scn : S.t) user =
+  Hns.Hns_name.make ~context:scn.bind_context
+    ~name:(Printf.sprintf "%s.users.%s" user scn.zone)
+
+let host_name (scn : S.t) stack =
+  Printf.sprintf "%s.%s" (Transport.Netstack.host stack).Sim.Topology.hostname scn.zone
+
+let install (scn : S.t) =
+  let module C = Workload.Calib in
+  (* --- file servers --- *)
+  let unix_fs =
+    File_server.create scn.bind_stack ~suite:Hrpc.Component.sunrpc_suite ~port:2201
+      ~io_ms:12.0 ()
+  in
+  List.iter (fun (name, data) -> File_server.put unix_fs ~name data) unix_files;
+  File_server.start unix_fs;
+  let xde_fs =
+    File_server.create scn.ch_stack ~suite:Hrpc.Component.courier_suite ~port:742
+      ~io_ms:18.0 ()
+  in
+  List.iter (fun (name, data) -> File_server.put xde_fs ~name data) xde_files;
+  File_server.start xde_fs;
+  (* --- mailbox servers --- *)
+  let mailhub = Mailbox_server.create scn.bind_stack ~port:2202 ~io_ms:8.0 () in
+  List.iter (Mailbox_server.add_user mailhub) [ "alice"; "bob"; "carol" ];
+  Mailbox_server.start mailhub;
+  let mail_annex = Mailbox_server.create scn.service_stack ~port:2202 ~io_ms:8.0 () in
+  Mailbox_server.add_user mail_annex "dave";
+  Mailbox_server.start mail_annex;
+  (* --- rexec daemons --- *)
+  let mk_rexec stack =
+    let r = Rexec_server.create stack ~port:2203 () in
+    let host = host_name scn stack in
+    Rexec_server.register_command r "hostname" ~cpu_ms:2.0 (fun _ -> host);
+    Rexec_server.register_command r "date" ~cpu_ms:2.0 (fun _ ->
+        Printf.sprintf "virtual +%.0f ms" (Sim.Engine.time ()));
+    Rexec_server.register_command r "echo" ~cpu_ms:1.0 (String.concat " ");
+    Rexec_server.register_command r "compile" ~cpu_ms:500.0 (fun args ->
+        Printf.sprintf "compiled %s" (String.concat " " args));
+    Rexec_server.start r;
+    r
+  in
+  let rexec_unix = mk_rexec scn.bind_stack in
+  let rexec_service_host = mk_rexec scn.service_stack in
+  (* --- Sun binding machinery: portmappers on the hosts that gained
+     services, plus ServiceName entries in the BIND binding NSM. --- *)
+  let pm_bind =
+    Rpc.Portmap.start ~service_overhead_ms:C.portmapper_service_overhead_ms
+      scn.bind_stack
+  in
+  Rpc.Portmap.set pm_bind ~prog:File_server.prog ~vers:File_server.vers
+    ~protocol:Rpc.Portmap.P_udp ~port:2201;
+  Rpc.Portmap.set pm_bind ~prog:Mailbox_server.prog ~vers:Mailbox_server.vers
+    ~protocol:Rpc.Portmap.P_udp ~port:2202;
+  Rpc.Portmap.set pm_bind ~prog:Rexec_server.prog ~vers:Rexec_server.vers
+    ~protocol:Rpc.Portmap.P_udp ~port:2203;
+  (* the scenario's service host already runs a portmapper *)
+  Rpc.Portmap.set scn.portmap ~prog:Mailbox_server.prog ~vers:Mailbox_server.vers
+    ~protocol:Rpc.Portmap.P_udp ~port:2202;
+  Rpc.Portmap.set scn.portmap ~prog:Rexec_server.prog ~vers:Rexec_server.vers
+    ~protocol:Rpc.Portmap.P_udp ~port:2203;
+  List.iter
+    (fun (service, prog, vers) ->
+      Nsm.Binding_nsm_bind.add_service scn.remote_binding_nsm_bind service ~prog ~vers)
+    [
+      (Filing.service_name, File_server.prog, File_server.vers);
+      (Mail.service_name, Mailbox_server.prog, Mailbox_server.vers);
+      (Rexec.service_name, Rexec_server.prog, Rexec_server.vers);
+    ];
+  (* --- Xerox side: the XDE file server travels through the
+     Clearinghouse as a service object holding its Courier binding. --- *)
+  let ch_db = Clearinghouse.Ch_server.db scn.ch in
+  Clearinghouse.Ch_db.store ch_db
+    (Clearinghouse.Ch_name.make ~local:Filing.service_name ~domain:scn.ch_domain
+       ~org:scn.ch_org)
+    (Clearinghouse.Property.item Clearinghouse.Property.Id.service_binding
+       (Hrpc.Binding.to_bytes (File_server.binding xde_fs)));
+  (* XDE files are Clearinghouse objects; their description property is
+     the location record. *)
+  List.iter
+    (fun (file, _) ->
+      Clearinghouse.Ch_db.store ch_db
+        (Clearinghouse.Ch_name.make ~local:file ~domain:scn.ch_domain ~org:scn.ch_org)
+        (Clearinghouse.Property.item Clearinghouse.Property.Id.description
+           (Printf.sprintf "filesrv=%s!dandelion" scn.ch_context)))
+    xde_files;
+  (* A FileLocation NSM for the Clearinghouse, served and registered. *)
+  let file_nsm_ch =
+    Nsm.File_nsm.create_ch scn.nsm_stack
+      ~ch_server:(Clearinghouse.Ch_server.addr scn.ch) ~credentials:scn.credentials
+      ~domain:scn.ch_domain ~org:scn.ch_org ~per_query_ms:C.nsm_per_query_ms ()
+  in
+  let file_nsm_ch_server =
+    Nsm.Text_nsm.serve file_nsm_ch
+      ~prog:(Hns.Nsm_intf.nsm_prog_base + 20)
+      ~service_overhead_ms:C.nsm_service_overhead_ms ()
+  in
+  Hrpc.Server.start file_nsm_ch_server;
+  (* Registration goes through an administrative meta client. *)
+  let admin_meta =
+    Hns.Meta_client.create scn.meta_stack ~meta_server:(Dns.Server.addr scn.meta_bind)
+      ~cache:(Hns.Cache.create ~mode:Hns.Cache.Demarshalled ()) ()
+  in
+  (match
+     Hns.Admin.register_nsm_server admin_meta ~name:"file-ch" ~ns:"PARC-CH"
+       ~query_class:Hns.Query_class.file_location
+       ~host:(host_name scn scn.nsm_stack) ~host_context:scn.bind_context
+       (Hrpc.Server.binding file_nsm_ch_server)
+   with
+  | Ok () -> ()
+  | Error e -> failwith (Hns.Errors.to_string e));
+  (* --- location records for the Unix-hosted files and for dave --- *)
+  let public_db = Dns.Zone.db scn.public_zone in
+  List.iter
+    (fun (file, _) ->
+      Dns.Db.add public_db
+        (Dns.Rr.make
+           (Dns.Name.of_string (Printf.sprintf "%s.files.%s" file scn.zone))
+           (Dns.Rr.Txt
+              [
+                Printf.sprintf "filesrv=%s;name=%s" (host_name scn scn.bind_stack) file;
+              ])))
+    unix_files;
+  Dns.Db.add public_db
+    (Dns.Rr.make
+       (Dns.Name.of_string (Printf.sprintf "dave.users.%s" scn.zone))
+       (Dns.Rr.Txt [ Printf.sprintf "mailbox=%s" (host_name scn scn.service_stack) ]));
+  { unix_fs; xde_fs; mailhub; mail_annex; rexec_unix; rexec_service_host }

@@ -1,0 +1,31 @@
+(** Install the HCS network services into a scenario testbed:
+    file servers (Sun RPC on the Unix host, Courier on the XDE host),
+    mailbox servers on two sites, and rexec daemons — each registered
+    with its host's binding machinery and locatable through the HNS.
+
+    Must run inside {!Workload.Scenario.in_sim}. *)
+
+type t = {
+  unix_fs : File_server.t;   (** on the BIND host, Sun RPC *)
+  xde_fs : File_server.t;    (** on the Clearinghouse host, Courier *)
+  mailhub : Mailbox_server.t;   (** samoa: alice, bob, carol *)
+  mail_annex : Mailbox_server.t;  (** vanuatu: dave *)
+  rexec_unix : Rexec_server.t;
+  rexec_service_host : Rexec_server.t;
+}
+
+(** Files seeded on each server. *)
+val unix_files : (string * string) list
+
+val xde_files : (string * string) list
+
+val install : Workload.Scenario.t -> t
+
+(** The HNS name of a Unix-hosted file ([<file>.files.<zone>]). *)
+val unix_file_name : Workload.Scenario.t -> string -> Hns.Hns_name.t
+
+(** The HNS name of an XDE-hosted file (a Clearinghouse object). *)
+val xde_file_name : Workload.Scenario.t -> string -> Hns.Hns_name.t
+
+(** The HNS name of a user ([<user>.users.<zone>]). *)
+val user_name : Workload.Scenario.t -> string -> Hns.Hns_name.t

@@ -1,0 +1,43 @@
+type t = {
+  capacity : int;
+  mutable on : bool;
+  buf : (float * string * string) option array;
+  mutable next : int; (* next write slot *)
+  mutable stored : int;
+}
+
+let create ?(capacity = 4096) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  { capacity; on = false; buf = Array.make capacity None; next = 0; stored = 0 }
+
+let enable t = t.on <- true
+let disable t = t.on <- false
+let enabled t = t.on
+
+let record t ~time ~tag msg =
+  if t.on then begin
+    t.buf.(t.next) <- Some (time, tag, msg);
+    t.next <- (t.next + 1) mod t.capacity;
+    if t.stored < t.capacity then t.stored <- t.stored + 1
+  end
+
+let recordf t ~time ~tag fmt =
+  Format.kasprintf (fun s -> record t ~time ~tag s) fmt
+
+let lines t =
+  let out = ref [] in
+  for i = t.stored - 1 downto 0 do
+    let idx = (t.next - 1 - i + (2 * t.capacity)) mod t.capacity in
+    match t.buf.(idx) with Some l -> out := l :: !out | None -> ()
+  done;
+  List.rev !out
+
+let clear t =
+  Array.fill t.buf 0 t.capacity None;
+  t.next <- 0;
+  t.stored <- 0
+
+let pp ppf t =
+  List.iter
+    (fun (time, tag, msg) -> Format.fprintf ppf "[%8.2f ms] %-12s %s@." time tag msg)
+    (lines t)

@@ -1,0 +1,26 @@
+(** Lightweight event tracing for debugging and for reproducing the
+    paper's Figure 2.1 as a message-sequence walk-through.
+
+    A trace is a bounded ring of timestamped, tagged lines. Tracing is
+    off by default and costs one branch per call when disabled. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+val enable : t -> unit
+val disable : t -> unit
+val enabled : t -> bool
+
+(** [record t ~time ~tag msg] appends a line (dropping the oldest when
+    full). No-op when disabled. *)
+val record : t -> time:float -> tag:string -> string -> unit
+
+(** Formatted convenience wrapper over {!record}. *)
+val recordf :
+  t -> time:float -> tag:string -> ('a, Format.formatter, unit, unit) format4 -> 'a
+
+(** Oldest-first. *)
+val lines : t -> (float * string * string) list
+
+val clear : t -> unit
+val pp : Format.formatter -> t -> unit

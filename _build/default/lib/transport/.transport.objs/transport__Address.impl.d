@@ -1,0 +1,1 @@
+lib/transport/address.ml: Format Int Int32 Printf

@@ -1,0 +1,1 @@
+lib/transport/address.mli: Format

@@ -1,0 +1,1 @@
+lib/transport/netstack.ml: Address Float Hashtbl Int Int32 List Printf Sim

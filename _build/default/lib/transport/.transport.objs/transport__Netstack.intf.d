@@ -1,0 +1,1 @@
+lib/transport/netstack.mli: Address Sim

@@ -1,0 +1,1 @@
+lib/transport/tcp.ml: Address Netstack Sim String

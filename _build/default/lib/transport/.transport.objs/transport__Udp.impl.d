@@ -1,0 +1,1 @@
+lib/transport/udp.ml: Address List Netstack Sim String

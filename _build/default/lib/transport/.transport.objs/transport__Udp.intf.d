@@ -1,0 +1,1 @@
+lib/transport/udp.mli: Address Netstack

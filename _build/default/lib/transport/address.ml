@@ -1,0 +1,25 @@
+type ip = int32
+type port = int
+
+type t = { ip : ip; port : port }
+
+let make ip port = { ip; port }
+let equal a b = Int32.equal a.ip b.ip && a.port = b.port
+
+let compare a b =
+  match Int32.compare a.ip b.ip with 0 -> Int.compare a.port b.port | c -> c
+
+let ip_to_string ip =
+  let b n = Int32.to_int (Int32.logand (Int32.shift_right_logical ip n) 0xFFl) in
+  Printf.sprintf "%d.%d.%d.%d" (b 24) (b 16) (b 8) (b 0)
+
+let pp ppf t = Format.fprintf ppf "%s:%d" (ip_to_string t.ip) t.port
+let to_string t = Format.asprintf "%a" pp t
+
+module Well_known = struct
+  let sunrpc_portmapper = 111
+  let dns = 53
+  let courier = 5
+  let clearinghouse = 20
+  let hns_meta = 1053
+end

@@ -1,0 +1,39 @@
+(** Network addresses for the simulated internet.
+
+    An address is an (IP, port) pair; IPs are assigned sequentially as
+    host stacks attach. These play the role of the "network address"
+    the paper's NSMs resolve host names into. *)
+
+type ip = int32
+type port = int
+
+type t = { ip : ip; port : port }
+
+val make : ip -> port -> t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** Dotted-quad rendering of a simulated IP. *)
+val ip_to_string : ip -> string
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** Well-known ports used by the repository's services, mirroring
+    their historical assignments where one exists. *)
+module Well_known : sig
+  (** 111 *)
+  val sunrpc_portmapper : port
+
+  (** 53 *)
+  val dns : port
+
+  (** 5 — XNS Courier *)
+  val courier : port
+
+  (** 20 — XNS Clearinghouse *)
+  val clearinghouse : port
+
+  (** 1053 — the HNS meta-BIND instance *)
+  val hns_meta : port
+end

@@ -1,0 +1,63 @@
+type socket = {
+  stack : Netstack.stack;
+  port : int;
+  inbox : (Address.t * string) Sim.Engine.Mailbox.mailbox;
+  mutable closed : bool;
+}
+
+let install stack port =
+  let inbox = Sim.Engine.Mailbox.create () in
+  let handler ~src payload = Sim.Engine.Mailbox.send inbox (src, payload) in
+  Netstack.udp_register stack ~port handler;
+  { stack; port; inbox; closed = false }
+
+let bind stack ~port = install stack port
+let bind_any stack = install stack (Netstack.alloc_udp_port stack)
+let local_addr sock = Address.make (Netstack.ip sock.stack) sock.port
+
+let check_open sock =
+  if sock.closed then invalid_arg "Udp: socket is closed"
+
+let sendto sock ~dst payload =
+  check_open sock;
+  let net = Netstack.net sock.stack in
+  match Netstack.find_stack net dst.Address.ip with
+  | None -> () (* unreachable destination: datagram vanishes *)
+  | Some dst_stack ->
+      let src_addr = local_addr sock in
+      Netstack.transit net ~src:sock.stack ~dst:dst_stack
+        ~bytes:(String.length payload + 28 (* IP + UDP headers *))
+        (fun () ->
+          match Netstack.udp_handler dst_stack ~port:dst.Address.port with
+          | Some h -> h ~src:src_addr payload
+          | None -> () (* port not bound on arrival *))
+
+let broadcast sock ~port payload =
+  check_open sock;
+  let net = Netstack.net sock.stack in
+  let src_addr = local_addr sock in
+  List.iter
+    (fun dst_stack ->
+      Netstack.transit net ~src:sock.stack ~dst:dst_stack
+        ~bytes:(String.length payload + 28)
+        (fun () ->
+          match Netstack.udp_handler dst_stack ~port with
+          | Some h -> h ~src:src_addr payload
+          | None -> ()))
+    (Netstack.all_stacks net)
+
+let recv sock =
+  check_open sock;
+  Sim.Engine.Mailbox.recv sock.inbox
+
+let recv_timeout sock d =
+  check_open sock;
+  Sim.Engine.Mailbox.recv_timeout sock.inbox d
+
+let pending sock = Sim.Engine.Mailbox.length sock.inbox
+
+let close sock =
+  if not sock.closed then begin
+    sock.closed <- true;
+    Netstack.udp_unregister sock.stack ~port:sock.port
+  end

@@ -1,0 +1,39 @@
+(** Datagram sockets over the simulated network.
+
+    Unreliable (subject to the netstack's drop model), unordered
+    across differing message sizes, message-boundary-preserving —
+    the transport under Sun RPC and under DNS queries. *)
+
+type socket
+
+(** [bind stack ~port] claims a specific port.
+    Raises [Invalid_argument] if taken. *)
+val bind : Netstack.stack -> port:int -> socket
+
+(** Bind to a fresh ephemeral port. *)
+val bind_any : Netstack.stack -> socket
+
+val local_addr : socket -> Address.t
+
+(** [sendto sock ~dst payload] never blocks; delivery (or loss)
+    happens after the simulated transit time. Sending to an unbound
+    destination port silently discards (no ICMP in 1987 HCS). *)
+val sendto : socket -> dst:Address.t -> string -> unit
+
+(** [broadcast sock ~port payload] delivers one copy to [port] on
+    every attached host (including the sender's own) — the Ethernet
+    broadcast the V-style location protocols rely on. Each copy is
+    subject to the loss model independently. *)
+val broadcast : socket -> port:int -> string -> unit
+
+(** Block until a datagram arrives. In-process only. *)
+val recv : socket -> Address.t * string
+
+(** Wait at most the given number of virtual ms. In-process only. *)
+val recv_timeout : socket -> float -> (Address.t * string) option
+
+(** Datagrams queued right now. *)
+val pending : socket -> int
+
+(** Release the port. Further operations raise [Invalid_argument]. *)
+val close : socket -> unit

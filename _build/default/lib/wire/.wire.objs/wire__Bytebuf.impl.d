@@ -1,0 +1,1 @@
+lib/wire/bytebuf.ml: Buffer Char Int32 Int64 String

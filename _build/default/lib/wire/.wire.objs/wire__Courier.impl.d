@@ -1,0 +1,1 @@
+lib/wire/courier.ml: Bytebuf Format Idl List String Value

@@ -1,0 +1,1 @@
+lib/wire/courier.mli: Bytebuf Idl Value

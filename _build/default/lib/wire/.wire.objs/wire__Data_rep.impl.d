@@ -1,0 +1,1 @@
+lib/wire/data_rep.ml: Courier Format Xdr

@@ -1,0 +1,1 @@
+lib/wire/data_rep.mli: Bytebuf Format Idl Value

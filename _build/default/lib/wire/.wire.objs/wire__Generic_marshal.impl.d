@@ -1,0 +1,1 @@
+lib/wire/generic_marshal.ml: Bytebuf Data_rep Idl Int32 List Value

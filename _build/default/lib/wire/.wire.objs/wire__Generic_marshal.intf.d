@@ -1,0 +1,1 @@
+lib/wire/generic_marshal.mli: Bytebuf Data_rep Idl Value

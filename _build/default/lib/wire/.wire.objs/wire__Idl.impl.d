@@ -1,0 +1,1 @@
+lib/wire/idl.ml: Format List String Value

@@ -1,0 +1,1 @@
+lib/wire/idl.mli: Format Value

@@ -1,0 +1,1 @@
+lib/wire/value.ml: Format Int32 Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/wire/xdr.ml: Bytebuf Format Idl Int32 List String Value

@@ -1,0 +1,1 @@
+lib/wire/xdr.mli: Bytebuf Idl Value

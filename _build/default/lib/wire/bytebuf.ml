@@ -1,0 +1,87 @@
+exception Truncated
+
+module Wr = struct
+  type t = Buffer.t
+
+  let create ?(initial = 64) () = Buffer.create initial
+  let length = Buffer.length
+  let contents = Buffer.contents
+  let u8 b v = Buffer.add_char b (Char.chr (v land 0xff))
+
+  let u16 b v =
+    u8 b (v lsr 8);
+    u8 b v
+
+  let u32 b v =
+    let v = Int32.to_int v in
+    u8 b (v lsr 24);
+    u8 b (v lsr 16);
+    u8 b (v lsr 8);
+    u8 b v
+
+  let u64 b v =
+    u32 b (Int64.to_int32 (Int64.shift_right_logical v 32));
+    u32 b (Int64.to_int32 v)
+
+  let bytes = Buffer.add_string
+
+  let pad_to b align =
+    while Buffer.length b mod align <> 0 do
+      Buffer.add_char b '\000'
+    done
+
+  let clear = Buffer.clear
+end
+
+module Rd = struct
+  type t = { data : string; mutable off : int; limit : int }
+
+  let of_string s = { data = s; off = 0; limit = String.length s }
+
+  let need r n = if r.off + n > r.limit then raise Truncated
+
+  let sub r ~len =
+    need r len;
+    let child = { data = r.data; off = r.off; limit = r.off + len } in
+    r.off <- r.off + len;
+    child
+
+  let pos r = r.off
+  let remaining r = r.limit - r.off
+  let at_end r = r.off >= r.limit
+
+  let u8 r =
+    need r 1;
+    let v = Char.code r.data.[r.off] in
+    r.off <- r.off + 1;
+    v
+
+  let u16 r =
+    let hi = u8 r in
+    let lo = u8 r in
+    (hi lsl 8) lor lo
+
+  let u32 r =
+    let a = u16 r and b = u16 r in
+    Int32.logor (Int32.shift_left (Int32.of_int a) 16) (Int32.of_int b)
+
+  let u64 r =
+    let hi = u32 r and lo = u32 r in
+    Int64.logor
+      (Int64.shift_left (Int64.of_int32 hi) 32)
+      (Int64.logand (Int64.of_int32 lo) 0xFFFFFFFFL)
+
+  let bytes r n =
+    need r n;
+    let s = String.sub r.data r.off n in
+    r.off <- r.off + n;
+    s
+
+  let align r a =
+    let rem = r.off mod a in
+    if rem <> 0 then ignore (bytes r (a - rem))
+
+  let peek_at r off f =
+    if off < 0 || off > String.length r.data then raise Truncated;
+    f { data = r.data; off; limit = String.length r.data }
+end

@@ -1,0 +1,54 @@
+(** Big-endian byte readers and writers shared by every wire format in
+    the repository (XDR, Courier, DNS messages, Clearinghouse).
+
+    Writers are growable; readers raise {!Truncated} instead of
+    returning short reads, so protocol decoders can be written
+    straight-line. *)
+
+exception Truncated
+
+module Wr : sig
+  type t
+
+  val create : ?initial:int -> unit -> t
+  val length : t -> int
+  val contents : t -> string
+  val u8 : t -> int -> unit
+  val u16 : t -> int -> unit
+  val u32 : t -> int32 -> unit
+  val u64 : t -> int64 -> unit
+
+  (** Raw bytes, no length prefix. *)
+  val bytes : t -> string -> unit
+
+  (** Pad with zero bytes until [length] is a multiple of [align]. *)
+  val pad_to : t -> int -> unit
+
+  val clear : t -> unit
+end
+
+module Rd : sig
+  type t
+
+  val of_string : string -> t
+
+  (** [sub r ~len] is a reader over the next [len] bytes, advancing the
+      parent past them. *)
+  val sub : t -> len:int -> t
+
+  val pos : t -> int
+  val remaining : t -> int
+  val at_end : t -> bool
+  val u8 : t -> int
+  val u16 : t -> int
+  val u32 : t -> int32
+  val u64 : t -> int64
+  val bytes : t -> int -> string
+
+  (** Skip padding so that [pos] is a multiple of [align]. *)
+  val align : t -> int -> unit
+
+  (** Re-read from an absolute offset (used by DNS name compression).
+      Does not move the read cursor. *)
+  val peek_at : t -> int -> (t -> 'a) -> 'a
+end

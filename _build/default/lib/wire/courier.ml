@@ -1,0 +1,98 @@
+exception Decode_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Decode_error s)) fmt
+
+let rec encode_value ty wr (v : Value.t) =
+  let module W = Bytebuf.Wr in
+  match (ty, v) with
+  | Idl.T_void, Value.Void -> ()
+  | T_int, Int n | T_uint, Uint n -> W.u32 wr n
+  | T_hyper, Hyper n -> W.u64 wr n
+  | T_bool, Bool b -> W.u16 wr (if b then 1 else 0)
+  | T_enum _, Enum e -> W.u16 wr e
+  | (T_string, Str s) | (T_opaque, Opaque s) ->
+      W.u16 wr (String.length s);
+      W.bytes wr s;
+      W.pad_to wr 2
+  | T_array elt, Array xs ->
+      W.u16 wr (List.length xs);
+      List.iter (encode_value elt wr) xs
+  | T_struct fields, Struct fs ->
+      List.iter2 (fun (_, fty) (_, fv) -> encode_value fty wr fv) fields fs
+  | T_union (arms, default), Union (d, av) ->
+      W.u16 wr d;
+      let arm_ty =
+        match List.assoc_opt d arms with
+        | Some t -> t
+        | None -> (
+            match default with
+            | Some t -> t
+            | None -> invalid_arg "Courier.encode: CHOICE designator has no arm")
+      in
+      encode_value arm_ty wr av
+  | T_opt _, Opt None -> W.u16 wr 0
+  | T_opt elt, Opt (Some x) ->
+      W.u16 wr 1;
+      encode_value elt wr x
+  | _, _ -> invalid_arg "Courier.encode: value does not match descriptor"
+
+let encode ?(check = true) ty wr v =
+  if check then Idl.check ~what:"Courier.encode" ty v;
+  encode_value ty wr v
+
+let rec decode ty rd : Value.t =
+  let module R = Bytebuf.Rd in
+  match ty with
+  | Idl.T_void -> Void
+  | T_int -> Int (R.u32 rd)
+  | T_uint -> Uint (R.u32 rd)
+  | T_hyper -> Hyper (R.u64 rd)
+  | T_bool -> (
+      match R.u16 rd with
+      | 0 -> Bool false
+      | 1 -> Bool true
+      | n -> fail "bad Courier BOOLEAN %d" n)
+  | T_enum labels ->
+      let e = R.u16 rd in
+      if e >= List.length labels then fail "bad Courier enumeration ordinal %d" e;
+      Enum e
+  | T_string -> Str (decode_bytes rd)
+  | T_opaque -> Opaque (decode_bytes rd)
+  | T_array elt ->
+      let n = R.u16 rd in
+      Array (List.init n (fun _ -> decode elt rd))
+  | T_struct fields -> Struct (List.map (fun (n, fty) -> (n, decode fty rd)) fields)
+  | T_union (arms, default) -> (
+      let d = R.u16 rd in
+      match List.assoc_opt d arms with
+      | Some arm_ty -> Union (d, decode arm_ty rd)
+      | None -> (
+          match default with
+          | Some dty -> Union (d, decode dty rd)
+          | None -> fail "Courier CHOICE: unknown designator %d" d))
+  | T_opt elt -> (
+      match R.u16 rd with
+      | 0 -> Opt None
+      | 1 -> Opt (Some (decode elt rd))
+      | n -> fail "bad Courier optional designator %d" n)
+
+and decode_bytes rd =
+  let module R = Bytebuf.Rd in
+  let n = R.u16 rd in
+  let s = R.bytes rd n in
+  R.align rd 2;
+  s
+
+let to_string ty v =
+  let wr = Bytebuf.Wr.create () in
+  encode ty wr v;
+  Bytebuf.Wr.contents wr
+
+let of_string ty s =
+  let rd = Bytebuf.Rd.of_string s in
+  let v = decode ty rd in
+  if not (Bytebuf.Rd.at_end rd) then
+    fail "trailing bytes after Courier value (%d left)" (Bytebuf.Rd.remaining rd);
+  v
+
+let encoded_size ty v = String.length (to_string ty v)

@@ -1,0 +1,15 @@
+(** Xerox Courier data representation — the wire format of Courier RPC
+    and the Clearinghouse.
+
+    Courier is word-oriented: the unit is the 16-bit big-endian word.
+    CARDINAL and enumerations occupy one word; LONG quantities two;
+    strings are a word count of bytes followed by the bytes, padded to
+    a word boundary. CHOICE (union) carries a one-word designator. *)
+
+exception Decode_error of string
+
+val encode : ?check:bool -> Idl.ty -> Bytebuf.Wr.t -> Value.t -> unit
+val decode : Idl.ty -> Bytebuf.Rd.t -> Value.t
+val to_string : Idl.ty -> Value.t -> string
+val of_string : Idl.ty -> string -> Value.t
+val encoded_size : Idl.ty -> Value.t -> int

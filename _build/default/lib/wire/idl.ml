@@ -1,0 +1,92 @@
+type ty =
+  | T_void
+  | T_int
+  | T_uint
+  | T_hyper
+  | T_bool
+  | T_string
+  | T_opaque
+  | T_enum of string list
+  | T_array of ty
+  | T_struct of (string * ty) list
+  | T_union of (int * ty) list * ty option
+  | T_opt of ty
+
+type signature = { arg : ty; res : ty }
+
+let signature ~arg ~res = { arg; res }
+
+let rec conforms ty (v : Value.t) =
+  match (ty, v) with
+  | T_void, Void -> true
+  | T_int, Int _ -> true
+  | T_uint, Uint _ -> true
+  | T_hyper, Hyper _ -> true
+  | T_bool, Bool _ -> true
+  | T_string, Str _ -> true
+  | T_opaque, Opaque _ -> true
+  | T_enum labels, Enum e -> e >= 0 && e < List.length labels
+  | T_array elt, Array xs -> List.for_all (conforms elt) xs
+  | T_struct fields, Struct fs ->
+      List.length fields = List.length fs
+      && List.for_all2
+           (fun (fname, fty) (vname, fv) -> String.equal fname vname && conforms fty fv)
+           fields fs
+  | T_union (arms, default), Union (d, av) -> (
+      match List.assoc_opt d arms with
+      | Some arm_ty -> conforms arm_ty av
+      | None -> ( match default with Some dty -> conforms dty av | None -> false))
+  | T_opt _, Opt None -> true
+  | T_opt elt, Opt (Some v) -> conforms elt v
+  | ( ( T_void | T_int | T_uint | T_hyper | T_bool | T_string | T_opaque
+      | T_enum _ | T_array _ | T_struct _ | T_union _ | T_opt _ ),
+      _ ) ->
+      false
+
+let rec pp ppf = function
+  | T_void -> Format.pp_print_string ppf "void"
+  | T_int -> Format.pp_print_string ppf "int"
+  | T_uint -> Format.pp_print_string ppf "uint"
+  | T_hyper -> Format.pp_print_string ppf "hyper"
+  | T_bool -> Format.pp_print_string ppf "bool"
+  | T_string -> Format.pp_print_string ppf "string"
+  | T_opaque -> Format.pp_print_string ppf "opaque"
+  | T_enum labels -> Format.fprintf ppf "enum{%s}" (String.concat "," labels)
+  | T_array elt -> Format.fprintf ppf "%a[]" pp elt
+  | T_struct fields ->
+      let pp_field ppf (n, t) = Format.fprintf ppf "%s:%a" n pp t in
+      Format.fprintf ppf "struct{@[%a@]}"
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ") pp_field)
+        fields
+  | T_union (arms, default) ->
+      let pp_arm ppf (d, t) = Format.fprintf ppf "%d:%a" d pp t in
+      Format.fprintf ppf "union{@[%a%s@]}"
+        (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ") pp_arm)
+        arms
+        (match default with Some _ -> ";default" | None -> "")
+  | T_opt elt -> Format.fprintf ppf "%a?" pp elt
+
+let check ~what ty v =
+  if not (conforms ty v) then
+    invalid_arg
+      (Format.asprintf "%s: value %a does not conform to %a" what Value.pp v pp ty)
+
+let rec default_value : ty -> Value.t = function
+  | T_void -> Void
+  | T_int -> Int 0l
+  | T_uint -> Uint 0l
+  | T_hyper -> Hyper 0L
+  | T_bool -> Bool false
+  | T_string -> Str ""
+  | T_opaque -> Opaque ""
+  | T_enum _ -> Enum 0
+  | T_array _ -> Array []
+  | T_struct fields -> Struct (List.map (fun (n, t) -> (n, default_value t)) fields)
+  | T_union (arms, default) -> (
+      match arms with
+      | (d, t) :: _ -> Union (d, default_value t)
+      | [] -> (
+          match default with
+          | Some t -> Union (0, default_value t)
+          | None -> invalid_arg "Idl.default_value: empty union"))
+  | T_opt _ -> Opt None

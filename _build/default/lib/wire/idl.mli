@@ -1,0 +1,39 @@
+(** Interface-description-language type descriptors.
+
+    A descriptor is the compile-time half of a {!Value.t}: it drives
+    wire-format encoders/decoders ({!Xdr}, {!Courier}, the generic
+    marshaller) and validates values at the stub boundary, the way a
+    stub compiler's generated code would enforce its signature. *)
+
+type ty =
+  | T_void
+  | T_int
+  | T_uint
+  | T_hyper
+  | T_bool
+  | T_string
+  | T_opaque
+  | T_enum of string list               (** ordinal -> label *)
+  | T_array of ty
+  | T_struct of (string * ty) list
+  | T_union of (int * ty) list * ty option  (** arms; optional default *)
+  | T_opt of ty
+
+(** A procedure signature: argument and result descriptors. *)
+type signature = { arg : ty; res : ty }
+
+val signature : arg:ty -> res:ty -> signature
+
+(** [conforms ty v] checks the value against the descriptor, including
+    field names and union discriminants. *)
+val conforms : ty -> Value.t -> bool
+
+(** [check ~what ty v] raises [Invalid_argument] mentioning [what] when
+    [conforms] fails. *)
+val check : what:string -> ty -> Value.t -> unit
+
+(** A canonical value of the type (zero/empty/first arm), used to
+    seed caches and tests. *)
+val default_value : ty -> Value.t
+
+val pp : Format.formatter -> ty -> unit

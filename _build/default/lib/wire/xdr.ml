@@ -1,0 +1,105 @@
+exception Decode_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Decode_error s)) fmt
+
+let rec encode_value ty wr (v : Value.t) =
+  let module W = Bytebuf.Wr in
+  match (ty, v) with
+  | Idl.T_void, Value.Void -> ()
+  | T_int, Int n -> W.u32 wr n
+  | T_uint, Uint n -> W.u32 wr n
+  | T_hyper, Hyper n -> W.u64 wr n
+  | T_bool, Bool b -> W.u32 wr (if b then 1l else 0l)
+  | T_enum _, Enum e -> W.u32 wr (Int32.of_int e)
+  | (T_string, Str s) | (T_opaque, Opaque s) ->
+      W.u32 wr (Int32.of_int (String.length s));
+      W.bytes wr s;
+      W.pad_to wr 4
+  | T_array elt, Array xs ->
+      W.u32 wr (Int32.of_int (List.length xs));
+      List.iter (encode_value elt wr) xs
+  | T_struct fields, Struct fs ->
+      List.iter2 (fun (_, fty) (_, fv) -> encode_value fty wr fv) fields fs
+  | T_union (arms, default), Union (d, av) ->
+      W.u32 wr (Int32.of_int d);
+      let arm_ty =
+        match List.assoc_opt d arms with
+        | Some t -> t
+        | None -> (
+            match default with
+            | Some t -> t
+            | None -> invalid_arg "Xdr.encode: union discriminant has no arm")
+      in
+      encode_value arm_ty wr av
+  | T_opt _, Opt None -> W.u32 wr 0l
+  | T_opt elt, Opt (Some x) ->
+      W.u32 wr 1l;
+      encode_value elt wr x
+  | _, _ -> invalid_arg "Xdr.encode: value does not match descriptor"
+
+let encode ?(check = true) ty wr v =
+  if check then Idl.check ~what:"Xdr.encode" ty v;
+  encode_value ty wr v
+
+let rec decode ty rd : Value.t =
+  let module R = Bytebuf.Rd in
+  match ty with
+  | Idl.T_void -> Void
+  | T_int -> Int (R.u32 rd)
+  | T_uint -> Uint (R.u32 rd)
+  | T_hyper -> Hyper (R.u64 rd)
+  | T_bool -> (
+      match R.u32 rd with
+      | 0l -> Bool false
+      | 1l -> Bool true
+      | n -> fail "bad XDR bool %ld" n)
+  | T_enum labels ->
+      let e = Int32.to_int (R.u32 rd) in
+      if e < 0 || e >= List.length labels then fail "bad XDR enum ordinal %d" e;
+      Enum e
+  | T_string ->
+      let s = decode_bytes rd in
+      Str s
+  | T_opaque ->
+      let s = decode_bytes rd in
+      Opaque s
+  | T_array elt ->
+      let n = Int32.to_int (R.u32 rd) in
+      if n < 0 || n > 1_000_000 then fail "unreasonable XDR array length %d" n;
+      Array (List.init n (fun _ -> decode elt rd))
+  | T_struct fields -> Struct (List.map (fun (n, fty) -> (n, decode fty rd)) fields)
+  | T_union (arms, default) -> (
+      let d = Int32.to_int (R.u32 rd) in
+      match List.assoc_opt d arms with
+      | Some arm_ty -> Union (d, decode arm_ty rd)
+      | None -> (
+          match default with
+          | Some dty -> Union (d, decode dty rd)
+          | None -> fail "XDR union: unknown discriminant %d" d))
+  | T_opt elt -> (
+      match R.u32 rd with
+      | 0l -> Opt None
+      | 1l -> Opt (Some (decode elt rd))
+      | n -> fail "bad XDR optional flag %ld" n)
+
+and decode_bytes rd =
+  let module R = Bytebuf.Rd in
+  let n = Int32.to_int (R.u32 rd) in
+  if n < 0 || n > 16_000_000 then fail "unreasonable XDR byte length %d" n;
+  let s = R.bytes rd n in
+  R.align rd 4;
+  s
+
+let to_string ty v =
+  let wr = Bytebuf.Wr.create () in
+  encode ty wr v;
+  Bytebuf.Wr.contents wr
+
+let of_string ty s =
+  let rd = Bytebuf.Rd.of_string s in
+  let v = decode ty rd in
+  if not (Bytebuf.Rd.at_end rd) then
+    fail "trailing bytes after XDR value (%d left)" (Bytebuf.Rd.remaining rd);
+  v
+
+let encoded_size ty v = String.length (to_string ty v)

@@ -1,0 +1,25 @@
+(** XDR (RFC 1014) data representation — the wire format of Sun RPC.
+
+    All quantities occupy multiples of four bytes, big-endian;
+    strings and opaques are length-prefixed and zero-padded to a
+    four-byte boundary. Decoding is schema-driven by an {!Idl.ty}. *)
+
+exception Decode_error of string
+
+(** [encode ?check ty wr v] appends the XDR encoding of [v] to [wr].
+    When [check] (default [true]) the value is validated against [ty]
+    first. *)
+val encode : ?check:bool -> Idl.ty -> Bytebuf.Wr.t -> Value.t -> unit
+
+(** [decode ty rd] consumes one value of shape [ty].
+    Raises {!Decode_error} (malformed) or {!Bytebuf.Truncated} (short). *)
+val decode : Idl.ty -> Bytebuf.Rd.t -> Value.t
+
+(** Encode to a fresh string. *)
+val to_string : Idl.ty -> Value.t -> string
+
+(** Decode a whole string; raises {!Decode_error} on trailing bytes. *)
+val of_string : Idl.ty -> string -> Value.t
+
+(** Size in bytes of the encoding without materializing it. *)
+val encoded_size : Idl.ty -> Value.t -> int

@@ -1,0 +1,1 @@
+lib/workload/experiment.ml: Array Float List Printf Sim String

@@ -1,0 +1,1 @@
+lib/workload/namegen.ml: List Printf Sim String

@@ -1,0 +1,1 @@
+lib/workload/scenario.ml: Baseline Calib Clearinghouse Dns Format Hns Hrpc Int32 List Namegen Nsm Printf Rpc Sim Transport Wire

@@ -1,0 +1,1 @@
+lib/workload/scenario.mli: Baseline Clearinghouse Dns Hns Hrpc Nsm Rpc Sim Transport

@@ -1,0 +1,15 @@
+let hosts ~count ~zone =
+  List.init count (fun i -> Printf.sprintf "host%02d.%s" i zone)
+
+let services ~count ~base =
+  List.init count (fun i -> (Printf.sprintf "svc%02d" i, (base + i, 1)))
+
+let ch_objects ~count ~prefix = List.init count (fun i -> Printf.sprintf "%s%02d" prefix i)
+
+let syllables = [| "ka"; "to"; "mi"; "ra"; "su"; "ne"; "fo"; "li"; "da"; "wu" |]
+
+let words ~count ~seed =
+  let rng = Sim.Rng.create ~seed in
+  List.init count (fun _ ->
+      let len = 2 + Sim.Rng.int rng 3 in
+      String.concat "" (List.init len (fun _ -> Sim.Rng.pick rng syllables)))

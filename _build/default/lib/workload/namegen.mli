@@ -1,0 +1,14 @@
+(** Synthetic name populations for workload generation. *)
+
+(** [hosts ~count ~zone] is ["host00.zone"; "host01.zone"; ...]. *)
+val hosts : count:int -> zone:string -> string list
+
+(** Sun RPC service names with program numbers:
+    [services ~count ~base] is [("svc00", (base, 1)); ...]. *)
+val services : count:int -> base:int -> (string * (int * int)) list
+
+(** Clearinghouse local names. *)
+val ch_objects : count:int -> prefix:string -> string list
+
+(** Deterministic pseudo-words for file/user names. *)
+val words : count:int -> seed:int64 -> string list

@@ -1,0 +1,538 @@
+type t = {
+  engine : Sim.Engine.t;
+  topo : Sim.Topology.t;
+  net : Transport.Netstack.t;
+  client_stack : Transport.Netstack.stack;
+  agent_stack : Transport.Netstack.stack;
+  nsm_stack : Transport.Netstack.stack;
+  meta_stack : Transport.Netstack.stack;
+  bind_stack : Transport.Netstack.stack;
+  ch_stack : Transport.Netstack.stack;
+  service_stack : Transport.Netstack.stack;
+  meta_bind : Dns.Server.t;
+  public_bind : Dns.Server.t;
+  public_zone : Dns.Zone.t;
+  ch : Clearinghouse.Ch_server.t;
+  portmap : Rpc.Portmap.t;
+  credentials : Clearinghouse.Ch_proto.credentials;
+  zone : string;
+  bind_context : string;
+  ch_context : string;
+  service_name : string;
+  service_host : string;
+  target_prog : int;
+  target_vers : int;
+  expected_sun_binding : Hrpc.Binding.t;
+  courier_service_name : string;
+  expected_courier_binding : Hrpc.Binding.t;
+  ch_domain : string;
+  ch_org : string;
+  nsm_binding_bind : string;
+  nsm_hostaddr_bind : string;
+  nsm_binding_ch : string;
+  nsm_hostaddr_ch : string;
+  remote_binding_nsm_bind : Nsm.Binding_nsm_bind.t;
+  remote_hostaddr_nsm_bind : Nsm.Hostaddr_nsm_bind.t;
+  remote_binding_nsm_ch : Nsm.Binding_nsm_ch.t;
+  remote_hostaddr_nsm_ch : Nsm.Hostaddr_nsm_ch.t;
+  localfile : Baseline.Localfile.t;
+  rereg : Baseline.Rereg_ch.t;
+  cache_mode : Hns.Cache.mode;
+}
+
+let in_sim_engine engine f =
+  let result = ref None in
+  Sim.Engine.spawn engine ~name:"experiment" (fun () -> result := Some (f ()));
+  Sim.Engine.run engine;
+  match !result with
+  | Some v -> v
+  | None -> failwith "Scenario.in_sim: experiment process did not complete"
+
+let in_sim t f = in_sim_engine t.engine f
+
+let timed f =
+  let t0 = Sim.Engine.time () in
+  let v = f () in
+  (v, Sim.Engine.time () -. t0)
+
+let new_cache_mode mode () =
+  Hns.Cache.create ~mode ~generated_cost:Calib.generated_cost
+    ~hit_overhead_ms:Calib.cache_hit_overhead_ms
+    ~hit_per_node_ms:Calib.cache_hit_per_node_ms
+    ~insert_overhead_ms:Calib.cache_insert_ms ()
+
+let new_nsm_cache_mode mode () =
+  Hns.Cache.create ~mode ~generated_cost:Calib.generated_cost
+    ~hit_overhead_ms:Calib.nsm_cache_hit_overhead_ms
+    ~hit_per_node_ms:Calib.cache_hit_per_node_ms
+    ~insert_overhead_ms:Calib.cache_insert_ms ()
+
+let new_cache t () = new_cache_mode t.cache_mode ()
+let new_nsm_cache t () = new_nsm_cache_mode t.cache_mode ()
+
+let meta_addr t = Dns.Server.addr t.meta_bind
+let bind_addr t = Dns.Server.addr t.public_bind
+let ch_addr t = Clearinghouse.Ch_server.addr t.ch
+
+let new_hns_raw ~cache_mode ~meta_server ~bind_server ~ch_server ~credentials
+    ~ch_domain ~ch_org ~nsm_hostaddr_bind ~nsm_hostaddr_ch ~on =
+  let cache = new_cache_mode cache_mode () in
+  let hns =
+    Hns.Client.create on ~meta_server ~cache ~generated_cost:Calib.generated_cost
+      ~preload_record_ms:Calib.preload_record_ms
+      ~mapping_overhead_ms:Calib.hns_mapping_overhead_ms ()
+  in
+  let ha_bind =
+    Nsm.Hostaddr_nsm_bind.create on ~bind_server
+      ~cache:(new_nsm_cache_mode cache_mode ())
+      ~per_query_ms:Calib.nsm_per_query_ms ()
+  in
+  let ha_ch =
+    Nsm.Hostaddr_nsm_ch.create on ~ch_server ~credentials ~domain:ch_domain
+      ~org:ch_org
+      ~cache:(new_nsm_cache_mode cache_mode ())
+      ~per_query_ms:Calib.nsm_per_query_ms ()
+  in
+  Hns.Client.link_hostaddr_nsm hns ~name:nsm_hostaddr_bind
+    (Nsm.Hostaddr_nsm_bind.impl ha_bind);
+  Hns.Client.link_hostaddr_nsm hns ~name:nsm_hostaddr_ch
+    (Nsm.Hostaddr_nsm_ch.impl ha_ch);
+  hns
+
+let new_hns t ~on =
+  new_hns_raw ~cache_mode:t.cache_mode ~meta_server:(meta_addr t)
+    ~bind_server:(bind_addr t) ~ch_server:(ch_addr t) ~credentials:t.credentials
+    ~ch_domain:t.ch_domain ~ch_org:t.ch_org ~nsm_hostaddr_bind:t.nsm_hostaddr_bind
+    ~nsm_hostaddr_ch:t.nsm_hostaddr_ch ~on
+
+let new_binding_nsm_bind t ~on =
+  Nsm.Binding_nsm_bind.create on ~bind_server:(bind_addr t)
+    ~services:[ (t.service_name, (t.target_prog, t.target_vers)) ]
+    ~cache:(new_nsm_cache t ()) ~per_query_ms:Calib.nsm_per_query_ms ()
+
+let new_binding_nsm_ch t ~on =
+  Nsm.Binding_nsm_ch.create on ~ch_server:(ch_addr t) ~credentials:t.credentials
+    ~domain:t.ch_domain ~org:t.ch_org ~cache:(new_nsm_cache t ())
+    ~per_query_ms:Calib.nsm_per_query_ms ()
+
+let build ?(cache_mode = Hns.Cache.Marshalled) ?(extra_hosts = 16) () =
+  let engine = Sim.Engine.create () in
+  let topo =
+    Sim.Topology.create ~default_latency_ms:Calib.ethernet_latency_ms
+      ~default_per_byte_ms:Calib.ethernet_per_byte_ms ~loopback_ms:Calib.loopback_ms
+      ()
+  in
+  let net = Transport.Netstack.create engine topo in
+  let attach name = Transport.Netstack.attach net (Sim.Topology.add_host topo name) in
+  let client_stack = attach "tonga" in
+  let agent_stack = attach "rarotonga" in
+  let nsm_stack = attach "niue" in
+  let meta_stack = attach "fiji" in
+  let bind_stack = attach "samoa" in
+  let ch_stack = attach "dandelion" in
+  let service_stack = attach "vanuatu" in
+  let zone = "cs.washington.edu" in
+  let host_of stack =
+    Printf.sprintf "%s.%s" (Transport.Netstack.host stack).Sim.Topology.hostname zone
+  in
+  let bind_context = "uw-cs" in
+  let ch_context = "parc-ch" in
+  let ch_domain = "parc" and ch_org = "xerox" in
+  let credentials =
+    { Clearinghouse.Ch_proto.user = Clearinghouse.Ch_name.make ~local:"hcs" ~domain:ch_domain ~org:ch_org;
+      password = "hcs-secret" }
+  in
+  let service_name = "DesiredService" in
+  let courier_service_name = "printsrv" in
+  let target_prog = 200001 and target_vers = 1 in
+  let target_port = 2049 in
+  let courier_prog = 7001 and courier_vers = 1 in
+  let courier_port = 741 in
+  let expected_sun_binding =
+    Hrpc.Binding.make ~suite:Hrpc.Component.sunrpc_suite
+      ~server:(Transport.Address.make (Transport.Netstack.ip service_stack) target_port)
+      ~prog:target_prog ~vers:target_vers
+  in
+  let expected_courier_binding =
+    Hrpc.Binding.make ~suite:Hrpc.Component.courier_suite
+      ~server:(Transport.Address.make (Transport.Netstack.ip ch_stack) courier_port)
+      ~prog:courier_prog ~vers:courier_vers
+  in
+  let nsm_binding_bind = "b-bind" in
+  let nsm_hostaddr_bind = "ha-bind" in
+  let nsm_binding_ch = "b-ch" in
+  let nsm_hostaddr_ch = "ha-ch" in
+  (* --- the public zone: every testbed host plus synthetic ones. *)
+  let a_record stack =
+    Dns.Rr.make
+      (Dns.Name.of_string (host_of stack))
+      (Dns.Rr.A (Transport.Netstack.ip stack))
+  in
+  let synthetic =
+    List.concat
+      (List.mapi
+         (fun i host ->
+           let name = Dns.Name.of_string host in
+           [
+             Dns.Rr.make name (Dns.Rr.A (Int32.of_int (0x0A000900 + i)));
+             Dns.Rr.make name
+               (Dns.Rr.Txt [ Printf.sprintf "filesrv=%s;vol=%d" host (i mod 4) ]);
+           ])
+         (Namegen.hosts ~count:extra_hosts ~zone))
+  in
+  let mail_records =
+    List.map
+      (fun user ->
+        Dns.Rr.make
+          (Dns.Name.of_string (Printf.sprintf "%s.users.%s" user zone))
+          (Dns.Rr.Txt [ Printf.sprintf "mailbox=%s" (host_of bind_stack) ]))
+      [ "alice"; "bob"; "carol" ]
+  in
+  let public_zone =
+    Dns.Zone.simple ~origin:(Dns.Name.of_string zone)
+      ([
+         a_record client_stack;
+         a_record agent_stack;
+         a_record nsm_stack;
+         a_record meta_stack;
+         a_record bind_stack;
+         a_record service_stack;
+       ]
+      @ synthetic @ mail_records)
+  in
+  let meta_bind =
+    Dns.Server.create meta_stack ~port:Transport.Address.Well_known.hns_meta
+      ~service_overhead_ms:Calib.meta_bind_service_overhead_ms
+      ~per_answer_ms:Calib.bind_per_answer_ms ~allow_update:true ()
+  in
+  Dns.Server.add_zone meta_bind
+    (Dns.Zone.simple ~origin:Hns.Meta_schema.zone_origin []);
+  let public_bind =
+    Dns.Server.create bind_stack ~service_overhead_ms:Calib.bind_service_overhead_ms
+      ~per_answer_ms:Calib.bind_per_answer_ms ()
+  in
+  Dns.Server.add_zone public_bind public_zone;
+  let ch =
+    Clearinghouse.Ch_server.create ch_stack ~auth_ms:Calib.ch_auth_ms
+      ~disk_ms:Calib.ch_disk_ms ()
+  in
+  Clearinghouse.Ch_server.add_user ch credentials.Clearinghouse.Ch_proto.user
+    ~password:credentials.Clearinghouse.Ch_proto.password;
+  (* CH data: host objects with addresses, plus the Courier service. *)
+  let ch_db = Clearinghouse.Ch_server.db ch in
+  Clearinghouse.Ch_db.store ch_db
+    (Clearinghouse.Ch_name.make ~local:"dandelion" ~domain:ch_domain ~org:ch_org)
+    (Clearinghouse.Property.item Clearinghouse.Property.Id.address
+       (Nsm.Hostaddr_nsm_ch.encode_address (Transport.Netstack.ip ch_stack)));
+  Clearinghouse.Ch_db.store ch_db
+    (Clearinghouse.Ch_name.make ~local:courier_service_name ~domain:ch_domain
+       ~org:ch_org)
+    (Clearinghouse.Property.item Clearinghouse.Property.Id.service_binding
+       (Hrpc.Binding.to_bytes expected_courier_binding));
+  List.iter
+    (fun local ->
+      Clearinghouse.Ch_db.store ch_db
+        (Clearinghouse.Ch_name.make ~local ~domain:ch_domain ~org:ch_org)
+        (Clearinghouse.Property.item Clearinghouse.Property.Id.description
+           ("object " ^ local)))
+    (Namegen.ch_objects ~count:8 ~prefix:"obj");
+  (* Remote NSM instances (served from the NSM host). *)
+  let mk_remote_nsm_caches () = new_nsm_cache_mode cache_mode () in
+  let remote_binding_nsm_bind =
+    Nsm.Binding_nsm_bind.create nsm_stack ~bind_server:(Dns.Server.addr public_bind)
+      ~services:[ (service_name, (target_prog, target_vers)) ]
+      ~cache:(mk_remote_nsm_caches ()) ~per_query_ms:Calib.nsm_per_query_ms ()
+  in
+  let remote_hostaddr_nsm_bind =
+    Nsm.Hostaddr_nsm_bind.create nsm_stack ~bind_server:(Dns.Server.addr public_bind)
+      ~cache:(mk_remote_nsm_caches ()) ~per_query_ms:Calib.nsm_per_query_ms ()
+  in
+  let remote_binding_nsm_ch =
+    Nsm.Binding_nsm_ch.create nsm_stack ~ch_server:(Clearinghouse.Ch_server.addr ch)
+      ~credentials ~domain:ch_domain ~org:ch_org ~cache:(mk_remote_nsm_caches ())
+      ~per_query_ms:Calib.nsm_per_query_ms ()
+  in
+  let remote_hostaddr_nsm_ch =
+    Nsm.Hostaddr_nsm_ch.create nsm_stack ~ch_server:(Clearinghouse.Ch_server.addr ch)
+      ~credentials ~domain:ch_domain ~org:ch_org ~cache:(mk_remote_nsm_caches ())
+      ~per_query_ms:Calib.nsm_per_query_ms ()
+  in
+  (* Baselines. *)
+  let localfile =
+    Baseline.Localfile.create ~file_read_ms:Calib.localfile_read_ms
+      ~parse_per_entry_ms:Calib.localfile_parse_per_entry_ms ()
+  in
+  let filler_binding i =
+    Hrpc.Binding.make ~suite:Hrpc.Component.sunrpc_suite
+      ~server:(Transport.Address.make (Int32.of_int (0x0A000900 + i)) (4000 + i))
+      ~prog:(300000 + i) ~vers:1
+  in
+  Baseline.Localfile.replace_all localfile
+    ((service_name, host_of service_stack, expected_sun_binding)
+    :: List.init (Calib.localfile_population - 1) (fun i ->
+           (Printf.sprintf "filler%02d" i, Printf.sprintf "host%02d.%s" i zone,
+            filler_binding i)));
+  let rereg =
+    Baseline.Rereg_ch.create client_stack ~ch_server:(Clearinghouse.Ch_server.addr ch)
+      ~credentials ~domain:ch_domain ~org:ch_org ()
+  in
+  (* --- run the servers up and perform registrations. *)
+  let portmap_ref = ref None in
+  in_sim_engine engine (fun () ->
+      Dns.Server.start meta_bind;
+      Dns.Server.start public_bind;
+      Clearinghouse.Ch_server.start ch;
+      (* Target Sun RPC service and its host's portmapper. *)
+      let portmap =
+        Rpc.Portmap.start ~service_overhead_ms:Calib.portmapper_service_overhead_ms
+          service_stack
+      in
+      Rpc.Portmap.set portmap ~prog:target_prog ~vers:target_vers
+        ~protocol:Rpc.Portmap.P_udp ~port:target_port;
+      let target = Rpc.Sunrpc.create service_stack ~port:target_port () in
+      let echo_sign = Wire.Idl.signature ~arg:Wire.Idl.T_string ~res:Wire.Idl.T_string in
+      Rpc.Sunrpc.register target ~prog:target_prog ~vers:target_vers ~procnum:1
+        ~sign:echo_sign (fun v -> v);
+      Rpc.Sunrpc.start target;
+      (* The Courier target on the Xerox host. *)
+      let courier_target =
+        Rpc.Courier_rpc.create ch_stack ~port:courier_port ()
+      in
+      Rpc.Courier_rpc.register courier_target ~prog:courier_prog ~vers:courier_vers
+        ~procnum:1 ~sign:echo_sign (fun v -> v);
+      Rpc.Courier_rpc.start courier_target;
+      (* Remote NSM servers. *)
+      let serve_bnsm =
+        Nsm.Binding_nsm_bind.serve remote_binding_nsm_bind
+          ~prog:Hns.Nsm_intf.nsm_prog_base
+          ~service_overhead_ms:Calib.nsm_service_overhead_ms ()
+      in
+      Hrpc.Server.start serve_bnsm;
+      let serve_hansm =
+        Nsm.Hostaddr_nsm_bind.serve remote_hostaddr_nsm_bind
+          ~prog:(Hns.Nsm_intf.nsm_prog_base + 1)
+          ~service_overhead_ms:Calib.nsm_service_overhead_ms ()
+      in
+      Hrpc.Server.start serve_hansm;
+      let serve_bnsm_ch =
+        Nsm.Binding_nsm_ch.serve remote_binding_nsm_ch
+          ~prog:(Hns.Nsm_intf.nsm_prog_base + 2)
+          ~service_overhead_ms:Calib.nsm_service_overhead_ms ()
+      in
+      Hrpc.Server.start serve_bnsm_ch;
+      let serve_hansm_ch =
+        Nsm.Hostaddr_nsm_ch.serve remote_hostaddr_nsm_ch
+          ~prog:(Hns.Nsm_intf.nsm_prog_base + 3)
+          ~service_overhead_ms:Calib.nsm_service_overhead_ms ()
+      in
+      Hrpc.Server.start serve_hansm_ch;
+      (* Meta-naming registrations, via an administrative meta client
+         colocated with the meta server. *)
+      let admin_cache = Hns.Cache.create ~mode:Hns.Cache.Demarshalled () in
+      let meta =
+        Hns.Meta_client.create meta_stack ~meta_server:(Dns.Server.addr meta_bind)
+          ~cache:admin_cache ()
+      in
+      let nsm_host = host_of nsm_stack in
+      let reg what = function
+        | Ok () -> ignore what
+        | Error e ->
+            failwith (Printf.sprintf "setup: %s failed: %s" what (Hns.Errors.to_string e))
+      in
+      reg "ns UW-BIND"
+        (Hns.Admin.register_name_service meta ~name:"UW-BIND"
+           {
+             Hns.Meta_schema.ns_type = "bind";
+             ns_host = host_of bind_stack;
+             ns_host_context = bind_context;
+             ns_port = 53;
+           });
+      reg "ns PARC-CH"
+        (Hns.Admin.register_name_service meta ~name:"PARC-CH"
+           {
+             Hns.Meta_schema.ns_type = "clearinghouse";
+             ns_host = "dandelion";
+             ns_host_context = ch_context;
+             ns_port = Transport.Address.Well_known.clearinghouse;
+           });
+      reg "context uw-cs"
+        (Hns.Admin.register_context meta ~context:bind_context ~ns:"UW-BIND");
+      reg "context parc-ch"
+        (Hns.Admin.register_context meta ~context:ch_context ~ns:"PARC-CH");
+      let reg_nsm name ns query_class server =
+        reg
+          (Printf.sprintf "nsm %s" name)
+          (Hns.Admin.register_nsm_server meta ~name ~ns ~query_class ~host:nsm_host
+             ~host_context:bind_context
+             (Hrpc.Server.binding server))
+      in
+      reg_nsm nsm_binding_bind "UW-BIND" Hns.Query_class.hrpc_binding serve_bnsm;
+      reg_nsm nsm_hostaddr_bind "UW-BIND" Hns.Query_class.host_address serve_hansm;
+      reg_nsm nsm_binding_ch "PARC-CH" Hns.Query_class.hrpc_binding serve_bnsm_ch;
+      reg_nsm nsm_hostaddr_ch "PARC-CH" Hns.Query_class.host_address serve_hansm_ch;
+      (* FileLocation and MailboxLocation NSMs over BIND. *)
+      let file_nsm =
+        Nsm.File_nsm.create_bind nsm_stack ~bind_server:(Dns.Server.addr public_bind)
+          ~cache:(mk_remote_nsm_caches ()) ~per_query_ms:Calib.nsm_per_query_ms ()
+      in
+      let serve_file =
+        Nsm.Text_nsm.serve file_nsm
+          ~prog:(Hns.Nsm_intf.nsm_prog_base + 4)
+          ~service_overhead_ms:Calib.nsm_service_overhead_ms ()
+      in
+      Hrpc.Server.start serve_file;
+      reg_nsm "file-bind" "UW-BIND" Hns.Query_class.file_location serve_file;
+      let mail_nsm =
+        Nsm.Mail_nsm.create_bind nsm_stack ~bind_server:(Dns.Server.addr public_bind)
+          ~cache:(mk_remote_nsm_caches ()) ~per_query_ms:Calib.nsm_per_query_ms ()
+      in
+      let serve_mail =
+        Nsm.Text_nsm.serve mail_nsm
+          ~prog:(Hns.Nsm_intf.nsm_prog_base + 5)
+          ~service_overhead_ms:Calib.nsm_service_overhead_ms ()
+      in
+      Hrpc.Server.start serve_mail;
+      reg_nsm "mail-bind" "UW-BIND" Hns.Query_class.mailbox_location serve_mail;
+      (* Reregistration baseline data. *)
+      (match
+         Baseline.Rereg_ch.register rereg ~service:service_name expected_sun_binding
+       with
+      | Ok () -> ()
+      | Error e ->
+          failwith
+            (Format.asprintf "setup: rereg register failed: %a" Baseline.Rereg_ch.pp_error
+               e));
+      (portmap_ref := Some portmap));
+  let portmap = match !portmap_ref with Some p -> p | None -> assert false in
+  {
+    engine;
+    topo;
+    net;
+    client_stack;
+    agent_stack;
+    nsm_stack;
+    meta_stack;
+    bind_stack;
+    ch_stack;
+    service_stack;
+    meta_bind;
+    public_bind;
+    public_zone;
+    ch;
+    portmap;
+    credentials;
+    zone;
+    bind_context;
+    ch_context;
+    service_name;
+    service_host = host_of service_stack;
+    target_prog;
+    target_vers;
+    expected_sun_binding;
+    courier_service_name;
+    expected_courier_binding;
+    ch_domain;
+    ch_org;
+    nsm_binding_bind;
+    nsm_hostaddr_bind;
+    nsm_binding_ch;
+    nsm_hostaddr_ch;
+    remote_binding_nsm_bind;
+    remote_hostaddr_nsm_bind;
+    remote_binding_nsm_ch;
+    remote_hostaddr_nsm_ch;
+    localfile;
+    rereg;
+    cache_mode;
+  }
+
+type parties = {
+  env : Hns.Import.env;
+  hns : Hns.Client.t;
+  hns_cache : Hns.Cache.t;
+  nsm_bind : Nsm.Binding_nsm_bind.t;
+  nsm_cache : Hns.Cache.t;
+  agent : Hns.Agent.t option;
+}
+
+let arrange t arrangement =
+  match (arrangement : Hns.Import.arrangement) with
+  | Hns.Import.All_linked ->
+      let hns = new_hns t ~on:t.client_stack in
+      let nsm = new_binding_nsm_bind t ~on:t.client_stack in
+      {
+        env =
+          Hns.Import.env ~stack:t.client_stack ~local_hns:hns
+            ~linked_nsms:[ (t.nsm_binding_bind, Nsm.Binding_nsm_bind.impl nsm) ]
+            ();
+        hns;
+        hns_cache = Hns.Client.cache hns;
+        nsm_bind = nsm;
+        nsm_cache = Nsm.Binding_nsm_bind.cache nsm;
+        agent = None;
+      }
+  | Hns.Import.Combined_agent ->
+      let hns = new_hns t ~on:t.agent_stack in
+      let nsm = new_binding_nsm_bind t ~on:t.agent_stack in
+      let agent =
+        Hns.Agent.create hns
+          ~linked_nsms:[ (t.nsm_binding_bind, Nsm.Binding_nsm_bind.impl nsm) ]
+          ~service_overhead_ms:Calib.agent_service_overhead_ms ()
+      in
+      Hns.Agent.start agent;
+      {
+        env = Hns.Import.env ~stack:t.client_stack ~agent:(Hns.Agent.binding agent) ();
+        hns;
+        hns_cache = Hns.Client.cache hns;
+        nsm_bind = nsm;
+        nsm_cache = Nsm.Binding_nsm_bind.cache nsm;
+        agent = Some agent;
+      }
+  | Hns.Import.Remote_hns ->
+      let hns = new_hns t ~on:t.agent_stack in
+      let agent =
+        Hns.Agent.create hns ~service_overhead_ms:Calib.agent_service_overhead_ms ()
+      in
+      Hns.Agent.start agent;
+      let nsm = new_binding_nsm_bind t ~on:t.client_stack in
+      {
+        env =
+          Hns.Import.env ~stack:t.client_stack ~agent:(Hns.Agent.binding agent)
+            ~linked_nsms:[ (t.nsm_binding_bind, Nsm.Binding_nsm_bind.impl nsm) ]
+            ();
+        hns;
+        hns_cache = Hns.Client.cache hns;
+        nsm_bind = nsm;
+        nsm_cache = Nsm.Binding_nsm_bind.cache nsm;
+        agent = Some agent;
+      }
+  | Hns.Import.Remote_nsms ->
+      let hns = new_hns t ~on:t.client_stack in
+      {
+        env = Hns.Import.env ~stack:t.client_stack ~local_hns:hns ();
+        hns;
+        hns_cache = Hns.Client.cache hns;
+        nsm_bind = t.remote_binding_nsm_bind;
+        nsm_cache = Nsm.Binding_nsm_bind.cache t.remote_binding_nsm_bind;
+        agent = None;
+      }
+  | Hns.Import.All_remote ->
+      let hns = new_hns t ~on:t.agent_stack in
+      let agent =
+        Hns.Agent.create hns ~service_overhead_ms:Calib.agent_service_overhead_ms ()
+      in
+      Hns.Agent.start agent;
+      {
+        env = Hns.Import.env ~stack:t.client_stack ~agent:(Hns.Agent.binding agent) ();
+        hns;
+        hns_cache = Hns.Client.cache hns;
+        nsm_bind = t.remote_binding_nsm_bind;
+        nsm_cache = Nsm.Binding_nsm_bind.cache t.remote_binding_nsm_bind;
+        agent = Some agent;
+      }
+
+let stop_parties p = match p.agent with Some a -> Hns.Agent.stop a | None -> ()
+
+let flush_parties p =
+  Hns.Cache.flush p.hns_cache;
+  Hns.Cache.flush p.nsm_cache

@@ -1,0 +1,101 @@
+(** The standard simulated HCS testbed.
+
+    Reproduces the paper's measurement environment: MicroVAX-class
+    hosts on a lightly loaded Ethernet; a public BIND serving the
+    [cs.washington.edu] zone; the modified meta-BIND serving
+    [hns-meta.]; a Clearinghouse for the Xerox subsystem; a portmapper
+    and a Sun RPC target service ("DesiredService") to import; plus
+    remote NSM servers for both name services, registered in the
+    meta-naming database. All costs come from {!Calib}.
+
+    [build] returns with every server running and every registration
+    done (it runs the engine to quiescence once). Experiment code then
+    uses {!in_sim} to execute client work on the virtual clock. *)
+
+type t = {
+  engine : Sim.Engine.t;
+  topo : Sim.Topology.t;
+  net : Transport.Netstack.t;
+  client_stack : Transport.Netstack.stack;
+  agent_stack : Transport.Netstack.stack;
+  nsm_stack : Transport.Netstack.stack;
+  meta_stack : Transport.Netstack.stack;
+  bind_stack : Transport.Netstack.stack;
+  ch_stack : Transport.Netstack.stack;
+  service_stack : Transport.Netstack.stack;
+  meta_bind : Dns.Server.t;
+  public_bind : Dns.Server.t;
+  public_zone : Dns.Zone.t;
+  ch : Clearinghouse.Ch_server.t;
+  portmap : Rpc.Portmap.t;
+  credentials : Clearinghouse.Ch_proto.credentials;
+  zone : string;
+  bind_context : string;
+  ch_context : string;
+  service_name : string;
+  service_host : string;
+  target_prog : int;
+  target_vers : int;
+  expected_sun_binding : Hrpc.Binding.t;
+  courier_service_name : string;
+  expected_courier_binding : Hrpc.Binding.t;
+  ch_domain : string;
+  ch_org : string;
+  nsm_binding_bind : string;
+  nsm_hostaddr_bind : string;
+  nsm_binding_ch : string;
+  nsm_hostaddr_ch : string;
+  remote_binding_nsm_bind : Nsm.Binding_nsm_bind.t;
+  remote_hostaddr_nsm_bind : Nsm.Hostaddr_nsm_bind.t;
+  remote_binding_nsm_ch : Nsm.Binding_nsm_ch.t;
+  remote_hostaddr_nsm_ch : Nsm.Hostaddr_nsm_ch.t;
+  localfile : Baseline.Localfile.t;
+  rereg : Baseline.Rereg_ch.t;
+  cache_mode : Hns.Cache.mode;
+}
+
+(** [build ?cache_mode ?extra_hosts ()] — [cache_mode] (default
+    [Marshalled], as in the paper's Table 3.1 measurements) applies to
+    every HNS and NSM cache the scenario creates. *)
+val build : ?cache_mode:Hns.Cache.mode -> ?extra_hosts:int -> unit -> t
+
+(** Run a thunk as a simulated process and drive the engine to
+    quiescence; returns the thunk's value. *)
+val in_sim : t -> (unit -> 'a) -> 'a
+
+(** Virtual-time duration of a thunk, for use {e inside} [in_sim]. *)
+val timed : (unit -> 'a) -> 'a * float
+
+(** {1 Component factories (calibrated)} *)
+
+val new_cache : t -> unit -> Hns.Cache.t
+val new_nsm_cache : t -> unit -> Hns.Cache.t
+
+(** An HNS instance on a stack, with fresh linked host-address NSMs. *)
+val new_hns : t -> on:Transport.Netstack.stack -> Hns.Client.t
+
+val new_binding_nsm_bind :
+  t -> on:Transport.Netstack.stack -> Nsm.Binding_nsm_bind.t
+
+val new_binding_nsm_ch : t -> on:Transport.Netstack.stack -> Nsm.Binding_nsm_ch.t
+
+(** {1 Colocation arrangements (Table 3.1)} *)
+
+(** Everything one arrangement's measurement needs: the import
+    environment plus handles to the caches in play. *)
+type parties = {
+  env : Hns.Import.env;
+  hns : Hns.Client.t;
+  hns_cache : Hns.Cache.t;
+  nsm_bind : Nsm.Binding_nsm_bind.t;
+  nsm_cache : Hns.Cache.t;
+  agent : Hns.Agent.t option;
+}
+
+(** Must run inside {!in_sim} (it may start agent servers). *)
+val arrange : t -> Hns.Import.arrangement -> parties
+
+val stop_parties : parties -> unit
+
+(** Flush every cache belonging to the parties. *)
+val flush_parties : parties -> unit

@@ -1,0 +1,1 @@
+lib/yp/yp_client.ml: List Rpc Transport Wire Yp_proto

@@ -1,0 +1,1 @@
+lib/yp/yp_client.mli: Rpc Transport

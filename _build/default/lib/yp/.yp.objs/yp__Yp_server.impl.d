@@ -1,0 +1,1 @@
+lib/yp/yp_server.ml: Effect Hashtbl List Rpc Sim String Wire Yp_proto

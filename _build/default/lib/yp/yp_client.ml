@@ -1,0 +1,79 @@
+type t = {
+  stack : Transport.Netstack.stack;
+  server : Transport.Address.t;
+  domain : string;
+}
+
+let create stack ~server ~domain = { stack; server; domain }
+
+let call t procnum sign arg =
+  Rpc.Sunrpc.call t.stack ~dst:t.server ~prog:Yp_proto.program ~vers:Yp_proto.version
+    ~procnum ~sign arg
+
+let check_domain t =
+  match call t Yp_proto.proc_domain Yp_proto.domain_sign (Wire.Value.Str t.domain) with
+  | Error _ as e -> e
+  | Ok v -> Ok (Wire.Value.get_bool v)
+
+let interpret_value = function
+  | Wire.Value.Union (0, Wire.Value.Opaque v) -> Ok (Some v)
+  | Wire.Value.Union (1, _) -> Ok None
+  | v -> Error (Rpc.Control.Protocol_error (Wire.Value.to_string v))
+
+let interpret_entry = function
+  | Wire.Value.Union (0, entry) ->
+      let f name =
+        match Wire.Value.field entry name with
+        | Wire.Value.Opaque s -> s
+        | other -> Wire.Value.get_str other
+      in
+      Ok (Some (f "key", f "value"))
+  | Wire.Value.Union (1, _) -> Ok None
+  | v -> Error (Rpc.Control.Protocol_error (Wire.Value.to_string v))
+
+let match_ t ~map key =
+  match
+    call t Yp_proto.proc_match Yp_proto.match_sign
+      (Wire.Value.Struct
+         [
+           ("domain", Wire.Value.Str t.domain);
+           ("map", Wire.Value.Str map);
+           ("key", Wire.Value.Opaque key);
+         ])
+  with
+  | Error _ as e -> e
+  | Ok v -> interpret_value v
+
+let first t ~map =
+  match
+    call t Yp_proto.proc_first Yp_proto.first_sign
+      (Wire.Value.Struct
+         [ ("domain", Wire.Value.Str t.domain); ("map", Wire.Value.Str map) ])
+  with
+  | Error _ as e -> e
+  | Ok v -> interpret_entry v
+
+let next t ~map ~after =
+  match
+    call t Yp_proto.proc_next Yp_proto.next_sign
+      (Wire.Value.Struct
+         [
+           ("domain", Wire.Value.Str t.domain);
+           ("map", Wire.Value.Str map);
+           ("key", Wire.Value.Opaque after);
+         ])
+  with
+  | Error _ as e -> e
+  | Ok v -> interpret_entry v
+
+let all t ~map =
+  let rec go acc current =
+    match next t ~map ~after:current with
+    | Error _ as e -> e
+    | Ok None -> Ok (List.rev acc)
+    | Ok (Some ((k, _) as entry)) -> go (entry :: acc) k
+  in
+  match first t ~map with
+  | Error _ as e -> e
+  | Ok None -> Ok []
+  | Ok (Some ((k, _) as entry)) -> go [ entry ] k

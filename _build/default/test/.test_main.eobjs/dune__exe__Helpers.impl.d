@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array Float Printf QCheck_alcotest Sim Transport

@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Array Baseline Helpers Hrpc Lazy List Printf String Transport Workload

@@ -1,0 +1,1 @@
+test/test_clearinghouse.ml: Alcotest Array Clearinghouse Helpers List Rpc String Workload

@@ -1,0 +1,1 @@
+test/test_dns.ml: Alcotest Array Char Dns Helpers Int32 List Printf QCheck Rpc Sim String Transport Wire Workload

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Baseline Dns Gen Helpers Hns Hrpc Int32 Lazy List Nsm Printf QCheck Rpc Services Sim String Transport Wire Workload Yp

@@ -1,0 +1,1 @@
+test/test_failure.ml: Alcotest Array Baseline Dns Helpers Hns Hrpc List Nsm Rpc Sim String Transport Wire Workload

@@ -1,0 +1,1 @@
+test/test_hns.ml: Alcotest Dns Helpers Hns Hrpc Lazy List Sim String Transport Wire Workload

@@ -1,0 +1,1 @@
+test/test_hrpc.ml: Alcotest Array Clearinghouse Dns Format Helpers Hrpc Int32 List QCheck Rpc Transport Wire

@@ -1,0 +1,1 @@
+test/test_nsm.ml: Alcotest Clearinghouse Dns Helpers Hns Hrpc Lazy Nsm Printf String Transport Wire Workload

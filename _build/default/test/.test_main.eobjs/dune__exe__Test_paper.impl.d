@@ -1,0 +1,1 @@
+test/test_paper.ml: Alcotest Array Baseline Clearinghouse Dns Helpers Hns Int32 Lazy List Printf Sim Wire Workload

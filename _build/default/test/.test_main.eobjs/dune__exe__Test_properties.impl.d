@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Array Dns Float Format Gen Helpers Hns Hrpc Int32 List QCheck Rpc Sim String Test_wire Transport Wire Workload

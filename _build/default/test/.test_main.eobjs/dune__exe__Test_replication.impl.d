@@ -1,0 +1,1 @@
+test/test_replication.ml: Alcotest Array Clearinghouse Dns Helpers Hns Nsm Sim Workload

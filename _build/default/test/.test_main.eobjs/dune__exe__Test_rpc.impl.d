@@ -1,0 +1,1 @@
+test/test_rpc.ml: Alcotest Array Helpers List Rpc Sim String Transport Wire

@@ -1,0 +1,1 @@
+test/test_services.ml: Alcotest Format Helpers Hns Lazy List Printf Services Sim String Workload

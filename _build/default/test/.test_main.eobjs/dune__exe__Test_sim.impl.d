@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Format Gen Helpers Int64 List Printexc QCheck Sim String

@@ -1,0 +1,1 @@
+test/test_soak.ml: Alcotest Array Helpers Hns Result Services Sim Transport Workload

@@ -1,0 +1,1 @@
+test/test_transport.ml: Alcotest Array Helpers Sim String Transport

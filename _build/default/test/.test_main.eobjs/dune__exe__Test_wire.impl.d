@@ -1,0 +1,1 @@
+test/test_wire.ml: Alcotest Format Helpers Int32 Int64 List QCheck String Wire

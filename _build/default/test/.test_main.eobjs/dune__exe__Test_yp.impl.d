@@ -1,0 +1,1 @@
+test/test_yp.ml: Alcotest Dns Fun Helpers Hns Hrpc Lazy List Nsm Printf Rpc Sim Transport Wire Workload Yp

@@ -1,0 +1,43 @@
+(* Shared test plumbing: a small simulated network and process runner. *)
+
+let check = Alcotest.check
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let check_float_near msg expected actual =
+  if Float.abs (expected -. actual) > 1e-6 then
+    Alcotest.failf "%s: expected %.6f, got %.6f" msg expected actual
+
+(* A small world: engine + topology + n attached hosts. *)
+type world = {
+  engine : Sim.Engine.t;
+  topo : Sim.Topology.t;
+  net : Transport.Netstack.t;
+  stacks : Transport.Netstack.stack array;
+}
+
+let make_world ?(hosts = 3) ?drop_probability () =
+  let engine = Sim.Engine.create () in
+  let topo = Sim.Topology.create () in
+  let net = Transport.Netstack.create ?drop_probability engine topo in
+  let stacks =
+    Array.init hosts (fun i ->
+        Transport.Netstack.attach net (Sim.Topology.add_host topo (Printf.sprintf "h%d" i)))
+  in
+  { engine; topo; net; stacks }
+
+(* Run [f] as a simulated process to completion and return its value. *)
+let in_sim world f =
+  let result = ref None in
+  Sim.Engine.spawn world.engine ~name:"test" (fun () -> result := Some (f ()));
+  Sim.Engine.run world.engine;
+  match !result with
+  | Some v -> v
+  | None -> Alcotest.fail "test process blocked without completing"
+
+let get_ok ~msg = function
+  | Ok v -> v
+  | Error _ -> Alcotest.failf "%s: unexpected Error" msg
+
+let qtest = QCheck_alcotest.to_alcotest

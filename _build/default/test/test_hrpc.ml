@@ -1,0 +1,298 @@
+(* Tests for HRPC: the five-component model, bindings, emulation of
+   native peers, mix-and-match suites, and binding protocols. *)
+
+open Helpers
+
+let echo_sign = Wire.Idl.signature ~arg:Wire.Idl.T_string ~res:Wire.Idl.T_string
+
+(* --- component naming --- *)
+
+let suite_names () =
+  check_string "sun suite" "xdr/udp/sunrpc" (Hrpc.Component.suite_name Hrpc.Component.sunrpc_suite);
+  check_string "courier suite" "courier/tcp/courier"
+    (Hrpc.Component.suite_name Hrpc.Component.courier_suite);
+  check_bool "parse transport" true (Hrpc.Component.transport_of_name "tcp" = Some Hrpc.Component.T_tcp);
+  check_bool "parse control" true (Hrpc.Component.control_of_name "raw" = Some Hrpc.Component.C_raw);
+  check_bool "unknown" true (Hrpc.Component.control_of_name "xns" = None)
+
+(* --- binding serialization --- *)
+
+let all_suites =
+  [
+    Hrpc.Component.sunrpc_suite;
+    Hrpc.Component.courier_suite;
+    Hrpc.Component.raw_udp_suite;
+    { Hrpc.Component.data_rep = Wire.Data_rep.Courier; transport = T_udp; control = C_sunrpc };
+    { Hrpc.Component.data_rep = Wire.Data_rep.Xdr; transport = T_tcp; control = C_courier };
+  ]
+
+let arb_binding =
+  let gen =
+    QCheck.Gen.(
+      oneofl all_suites >>= fun suite ->
+      map2
+        (fun ip port ->
+          Hrpc.Binding.make ~suite
+            ~server:(Transport.Address.make (Int32.of_int ip) (port land 0xFFFF))
+            ~prog:(port * 3) ~vers:(1 + (port mod 5)))
+        int (int_range 1 60000))
+  in
+  QCheck.make gen ~print:(Format.asprintf "%a" Hrpc.Binding.pp)
+
+let binding_bytes_roundtrip =
+  QCheck.Test.make ~name:"binding bytes roundtrip" ~count:200 arb_binding (fun b ->
+      Hrpc.Binding.equal b (Hrpc.Binding.of_bytes (Hrpc.Binding.to_bytes b)))
+
+let binding_value_roundtrip =
+  QCheck.Test.make ~name:"binding value roundtrip" ~count:200 arb_binding (fun b ->
+      Hrpc.Binding.equal b (Hrpc.Binding.of_value (Hrpc.Binding.to_value b)))
+
+let binding_rejects_garbage () =
+  match Hrpc.Binding.of_bytes "nonsense" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "garbage should fail"
+
+(* --- hrpc server/client across suites --- *)
+
+let exportable_suites =
+  List.filter (fun s -> s.Hrpc.Component.control <> Hrpc.Component.C_raw) all_suites
+
+let hrpc_echo_all_suites () =
+  List.iter
+    (fun suite ->
+      let w = make_world () in
+      let r =
+        in_sim w (fun () ->
+            let server =
+              Hrpc.Server.create w.stacks.(0) ~suite ~prog:700 ~vers:2 ()
+            in
+            Hrpc.Server.register server ~procnum:1 ~sign:echo_sign (fun v -> v);
+            Hrpc.Server.start server;
+            Hrpc.Client.call w.stacks.(1) (Hrpc.Server.binding server) ~procnum:1
+              ~sign:echo_sign (Wire.Value.Str "mix"))
+      in
+      if r <> Ok (Wire.Value.Str "mix") then
+        Alcotest.failf "suite %s failed" (Hrpc.Component.suite_name suite))
+    exportable_suites
+
+let hrpc_raw_export_rejected () =
+  let w = make_world () in
+  match
+    Hrpc.Server.create w.stacks.(0) ~suite:Hrpc.Component.raw_udp_suite ~prog:1 ~vers:1 ()
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "raw suite export should be rejected"
+
+(* Emulation: an HRPC client calls a NATIVE Sun RPC server; an HRPC
+   server is called by a NATIVE Sun RPC client. Same for Courier.
+   This is the paper's core claim about HRPC: "looks to each existing
+   RPC mechanism exactly the same as a homogeneous peer". *)
+
+let hrpc_emulates_sun_client () =
+  let w = make_world () in
+  let r =
+    in_sim w (fun () ->
+        let native = Rpc.Sunrpc.create w.stacks.(0) () in
+        Rpc.Sunrpc.register native ~prog:301 ~vers:1 ~procnum:1 ~sign:echo_sign (fun v -> v);
+        Rpc.Sunrpc.start native;
+        let binding =
+          Hrpc.Binding.make ~suite:Hrpc.Component.sunrpc_suite
+            ~server:(Rpc.Sunrpc.addr native) ~prog:301 ~vers:1
+        in
+        Hrpc.Client.call w.stacks.(1) binding ~procnum:1 ~sign:echo_sign
+          (Wire.Value.Str "native server"))
+  in
+  check_bool "hrpc -> native sun" true (r = Ok (Wire.Value.Str "native server"))
+
+let hrpc_emulates_sun_server () =
+  let w = make_world () in
+  let r =
+    in_sim w (fun () ->
+        let server =
+          Hrpc.Server.create w.stacks.(0) ~suite:Hrpc.Component.sunrpc_suite ~prog:302
+            ~vers:1 ()
+        in
+        Hrpc.Server.register server ~procnum:1 ~sign:echo_sign (fun v -> v);
+        Hrpc.Server.start server;
+        (* Call it with the NATIVE Sun RPC client. *)
+        Rpc.Sunrpc.call w.stacks.(1)
+          ~dst:(Hrpc.Server.binding server).Hrpc.Binding.server ~prog:302 ~vers:1
+          ~procnum:1 ~sign:echo_sign (Wire.Value.Str "native client"))
+  in
+  check_bool "native sun -> hrpc" true (r = Ok (Wire.Value.Str "native client"))
+
+let hrpc_emulates_courier_client () =
+  let w = make_world () in
+  let r =
+    in_sim w (fun () ->
+        let native = Rpc.Courier_rpc.create w.stacks.(0) () in
+        Rpc.Courier_rpc.register native ~prog:2 ~vers:3 ~procnum:4 ~sign:echo_sign
+          (fun v -> v);
+        Rpc.Courier_rpc.start native;
+        let binding =
+          Hrpc.Binding.make ~suite:Hrpc.Component.courier_suite
+            ~server:(Rpc.Courier_rpc.addr native) ~prog:2 ~vers:3
+        in
+        Hrpc.Client.call w.stacks.(1) binding ~procnum:4 ~sign:echo_sign
+          (Wire.Value.Str "xerox"))
+  in
+  check_bool "hrpc -> native courier" true (r = Ok (Wire.Value.Str "xerox"))
+
+let hrpc_emulates_courier_server () =
+  let w = make_world () in
+  let r =
+    in_sim w (fun () ->
+        let server =
+          Hrpc.Server.create w.stacks.(0) ~suite:Hrpc.Component.courier_suite ~prog:2
+            ~vers:3 ()
+        in
+        Hrpc.Server.register server ~procnum:1 ~sign:echo_sign (fun v -> v);
+        Hrpc.Server.start server;
+        Rpc.Courier_rpc.call_once w.stacks.(1)
+          ~dst:(Hrpc.Server.binding server).Hrpc.Binding.server ~prog:2 ~vers:3
+          ~procnum:1 ~sign:echo_sign (Wire.Value.Str "native courier client"))
+  in
+  check_bool "native courier -> hrpc" true (r = Ok (Wire.Value.Str "native courier client"))
+
+let hrpc_call_raw_to_bind () =
+  (* call_raw speaks a server's native format: a DNS query here. *)
+  let w = make_world () in
+  let answers =
+    in_sim w (fun () ->
+        let zone =
+          Dns.Zone.simple ~origin:(Dns.Name.of_string "z")
+            [ Dns.Rr.make (Dns.Name.of_string "h.z") (Dns.Rr.A 9l) ]
+        in
+        let server = Dns.Server.create w.stacks.(0) () in
+        Dns.Server.add_zone server zone;
+        Dns.Server.start server;
+        let binding =
+          Hrpc.Binding.make ~suite:Hrpc.Component.raw_udp_suite
+            ~server:(Dns.Server.addr server) ~prog:0 ~vers:0
+        in
+        let request = Dns.Msg.encode (Dns.Msg.query ~id:5 (Dns.Name.of_string "h.z") Dns.Rr.T_a) in
+        match Hrpc.Client.call_raw w.stacks.(1) binding request with
+        | Ok payload -> (Dns.Msg.decode payload).Dns.Msg.answers
+        | Error e -> Alcotest.failf "raw call failed: %a" Rpc.Control.pp_error e)
+  in
+  check_int "one answer" 1 (List.length answers)
+
+let hrpc_wrong_prog () =
+  let w = make_world () in
+  let r =
+    in_sim w (fun () ->
+        let server =
+          Hrpc.Server.create w.stacks.(0) ~suite:Hrpc.Component.sunrpc_suite ~prog:10
+            ~vers:1 ()
+        in
+        Hrpc.Server.register server ~procnum:1 ~sign:echo_sign (fun v -> v);
+        Hrpc.Server.start server;
+        let b = Hrpc.Server.binding server in
+        Hrpc.Client.call w.stacks.(1) { b with Hrpc.Binding.prog = 11 } ~procnum:1
+          ~sign:echo_sign (Wire.Value.Str "x"))
+  in
+  check_bool "prog unavailable" true (r = Error Rpc.Control.Prog_unavailable)
+
+(* --- binding protocols --- *)
+
+let bind_protocol_static () =
+  let w = make_world () in
+  let b =
+    Hrpc.Binding.make ~suite:Hrpc.Component.sunrpc_suite
+      ~server:(Transport.Address.make 1l 2) ~prog:3 ~vers:4
+  in
+  let r = in_sim w (fun () -> Hrpc.Bind_protocol.resolve w.stacks.(0) (Hrpc.Bind_protocol.Static b)) in
+  check_bool "static" true (r = Ok b)
+
+let bind_protocol_portmapper () =
+  let w = make_world () in
+  let r =
+    in_sim w (fun () ->
+        let pm = Rpc.Portmap.start w.stacks.(0) in
+        Rpc.Portmap.set pm ~prog:100005 ~vers:1 ~protocol:Rpc.Portmap.P_udp ~port:888;
+        Hrpc.Bind_protocol.resolve w.stacks.(1)
+          (Hrpc.Bind_protocol.Sun_portmapper
+             {
+               host = Transport.Netstack.ip w.stacks.(0);
+               prog = 100005;
+               vers = 1;
+               suite = Hrpc.Component.sunrpc_suite;
+             }))
+  in
+  match r with
+  | Ok b ->
+      check_int "resolved port" 888 b.Hrpc.Binding.server.Transport.Address.port;
+      check_int "prog carried" 100005 b.Hrpc.Binding.prog
+  | Error e -> Alcotest.failf "portmapper binding failed: %a" Rpc.Control.pp_error e
+
+let bind_protocol_clearinghouse () =
+  let w = make_world () in
+  let cred =
+    { Clearinghouse.Ch_proto.user = Clearinghouse.Ch_name.of_string "hcs:parc:xerox";
+      password = "" }
+  in
+  let expected =
+    Hrpc.Binding.make ~suite:Hrpc.Component.courier_suite
+      ~server:(Transport.Address.make 7l 9) ~prog:5 ~vers:6
+  in
+  let r =
+    in_sim w (fun () ->
+        let ch = Clearinghouse.Ch_server.create w.stacks.(0) () in
+        Clearinghouse.Ch_db.store (Clearinghouse.Ch_server.db ch)
+          (Clearinghouse.Ch_name.of_string "printsrv:parc:xerox")
+          (Clearinghouse.Property.item Clearinghouse.Property.Id.service_binding
+             (Hrpc.Binding.to_bytes expected));
+        Clearinghouse.Ch_server.start ch;
+        Hrpc.Bind_protocol.resolve w.stacks.(1)
+          (Hrpc.Bind_protocol.Clearinghouse_binding
+             {
+               ch = Clearinghouse.Ch_server.addr ch;
+               service = Clearinghouse.Ch_name.of_string "printsrv:parc:xerox";
+               credentials = cred;
+             }))
+  in
+  check_bool "clearinghouse binding" true (r = Ok expected)
+
+(* --- typed stubs --- *)
+
+let stub_typed_call () =
+  let w = make_world () in
+  let double =
+    Hrpc.Stub.proc ~procnum:1
+      ~sign:(Wire.Idl.signature ~arg:Wire.Idl.T_int ~res:Wire.Idl.T_int)
+      ~encode_arg:(fun i -> Wire.Value.int i)
+      ~decode_res:Wire.Value.get_int
+  in
+  let r =
+    in_sim w (fun () ->
+        let server =
+          Hrpc.Server.create w.stacks.(0) ~suite:Hrpc.Component.sunrpc_suite ~prog:11
+            ~vers:1 ()
+        in
+        Hrpc.Server.register server ~procnum:1
+          ~sign:(Wire.Idl.signature ~arg:Wire.Idl.T_int ~res:Wire.Idl.T_int)
+          (fun v -> Wire.Value.int (2 * Wire.Value.get_int v));
+        Hrpc.Server.start server;
+        Hrpc.Stub.call w.stacks.(1) (Hrpc.Server.binding server) double 21)
+  in
+  check_bool "typed result" true (r = Ok 42)
+
+let suite =
+  [
+    Alcotest.test_case "suite names" `Quick suite_names;
+    qtest binding_bytes_roundtrip;
+    qtest binding_value_roundtrip;
+    Alcotest.test_case "binding garbage" `Quick binding_rejects_garbage;
+    Alcotest.test_case "echo across suites" `Quick hrpc_echo_all_suites;
+    Alcotest.test_case "raw export rejected" `Quick hrpc_raw_export_rejected;
+    Alcotest.test_case "emulate sun (client)" `Quick hrpc_emulates_sun_client;
+    Alcotest.test_case "emulate sun (server)" `Quick hrpc_emulates_sun_server;
+    Alcotest.test_case "emulate courier (client)" `Quick hrpc_emulates_courier_client;
+    Alcotest.test_case "emulate courier (server)" `Quick hrpc_emulates_courier_server;
+    Alcotest.test_case "raw call to BIND" `Quick hrpc_call_raw_to_bind;
+    Alcotest.test_case "wrong prog" `Quick hrpc_wrong_prog;
+    Alcotest.test_case "static binding" `Quick bind_protocol_static;
+    Alcotest.test_case "portmapper binding" `Quick bind_protocol_portmapper;
+    Alcotest.test_case "clearinghouse binding" `Quick bind_protocol_clearinghouse;
+    Alcotest.test_case "typed stub" `Quick stub_typed_call;
+  ]

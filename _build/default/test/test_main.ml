@@ -1,0 +1,23 @@
+let () =
+  Alcotest.run "hns"
+    [
+      ("sim", Test_sim.suite);
+      ("wire", Test_wire.suite);
+      ("transport", Test_transport.suite);
+      ("rpc", Test_rpc.suite);
+      ("dns", Test_dns.suite);
+      ("clearinghouse", Test_clearinghouse.suite);
+      ("replication", Test_replication.suite);
+      ("failure", Test_failure.suite);
+      ("properties", Test_properties.suite);
+      ("extensions", Test_extensions.suite);
+      ("yp", Test_yp.suite);
+      ("soak", Test_soak.suite);
+      ("hrpc", Test_hrpc.suite);
+      ("hns", Test_hns.suite);
+      ("nsm", Test_nsm.suite);
+      ("baseline", Test_baseline.suite);
+      ("workload", Test_workload.suite);
+      ("services", Test_services.suite);
+      ("paper", Test_paper.suite);
+    ]

@@ -1,0 +1,331 @@
+(* Reproduction regression tests: the simulated system must keep
+   producing the paper's measurements (within tolerance). These pin
+   the calibration so refactors cannot silently break the shape of
+   Tables 3.1/3.2 and the Section 3 scalars. *)
+
+open Helpers
+
+let scn = lazy (Workload.Scenario.build ())
+
+let assert_close ~label ~tolerance ~paper measured =
+  let c = Workload.Experiment.cell ~label ~paper_ms:paper ~measured_ms:measured in
+  if not (Workload.Experiment.within ~tolerance c) then
+    Alcotest.failf "%s: measured %.1f ms vs paper %.1f ms (%.0f%% off)" label measured
+      paper
+      (100.0 *. Workload.Experiment.relative_error c)
+
+let bind_lookup_27ms () =
+  let scn = Lazy.force scn in
+  let d =
+    Workload.Scenario.in_sim scn (fun () ->
+        let r =
+          Dns.Resolver.create scn.client_stack
+            ~servers:[ Dns.Server.addr scn.public_bind ] ~enable_cache:false ()
+        in
+        let _, d =
+          Workload.Scenario.timed (fun () ->
+              ignore (Dns.Resolver.lookup_a r (Dns.Name.of_string scn.service_host)))
+        in
+        d)
+  in
+  assert_close ~label:"BIND lookup" ~tolerance:0.1
+    ~paper:Workload.Calib.Paper.bind_lookup_ms d
+
+let clearinghouse_lookup_156ms () =
+  let scn = Lazy.force scn in
+  let d =
+    Workload.Scenario.in_sim scn (fun () ->
+        let client =
+          Clearinghouse.Ch_client.connect scn.client_stack
+            ~server:(Clearinghouse.Ch_server.addr scn.ch) ~credentials:scn.credentials
+        in
+        let _, d =
+          Workload.Scenario.timed (fun () ->
+              ignore
+                (Clearinghouse.Ch_client.retrieve_item client
+                   (Clearinghouse.Ch_name.make ~local:"dandelion" ~domain:scn.ch_domain
+                      ~org:scn.ch_org)
+                   ~prop:Clearinghouse.Property.Id.address))
+        in
+        Clearinghouse.Ch_client.close client;
+        d)
+  in
+  assert_close ~label:"Clearinghouse lookup" ~tolerance:0.1
+    ~paper:Workload.Calib.Paper.clearinghouse_lookup_ms d
+
+let import_binding p arrangement scn =
+  let hns_name =
+    Hns.Hns_name.make
+      ~context:(Lazy.force scn).Workload.Scenario.bind_context
+      ~name:(Lazy.force scn).Workload.Scenario.service_host
+  in
+  match
+    Hns.Import.import p.Workload.Scenario.env arrangement
+      ~service:(Lazy.force scn).Workload.Scenario.service_name hns_name
+  with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "import failed: %s" (Hns.Errors.to_string e)
+
+let table_3_1_cells () =
+  let s = Lazy.force scn in
+  List.iter2
+    (fun arrangement (label, paper_a, paper_b, paper_c) ->
+      let a, b, c =
+        Workload.Scenario.in_sim s (fun () ->
+            let p = Workload.Scenario.arrange s arrangement in
+            Workload.Scenario.flush_parties p;
+            let (), a = Workload.Scenario.timed (fun () -> import_binding p arrangement scn) in
+            Hns.Cache.flush p.nsm_cache;
+            let (), b = Workload.Scenario.timed (fun () -> import_binding p arrangement scn) in
+            let (), c = Workload.Scenario.timed (fun () -> import_binding p arrangement scn) in
+            Workload.Scenario.stop_parties p;
+            (a, b, c))
+      in
+      assert_close ~label:(label ^ " / miss") ~tolerance:0.12 ~paper:paper_a a;
+      assert_close ~label:(label ^ " / HNS hit") ~tolerance:0.12 ~paper:paper_b b;
+      assert_close ~label:(label ^ " / both hit") ~tolerance:0.12 ~paper:paper_c c;
+      (* Orderings that give the table its meaning. *)
+      check_bool "miss > HNS hit > both hit" true (a > b && b > c))
+    Hns.Import.all_arrangements Workload.Calib.Paper.table_3_1
+
+let table_3_1_colocation_vs_caching_lesson () =
+  (* "The potential benefit of caching far exceeds that obtainable
+     solely by colocation." *)
+  let s = Lazy.force scn in
+  let cell arrangement warm =
+    Workload.Scenario.in_sim s (fun () ->
+        let p = Workload.Scenario.arrange s arrangement in
+        Workload.Scenario.flush_parties p;
+        if warm then import_binding p arrangement scn;
+        let (), d = Workload.Scenario.timed (fun () -> import_binding p arrangement scn) in
+        Workload.Scenario.stop_parties p;
+        d)
+  in
+  let colocation_gain = cell Hns.Import.All_remote false -. cell Hns.Import.All_linked false in
+  let caching_gain = cell Hns.Import.All_linked false -. cell Hns.Import.All_linked true in
+  check_bool "caching gain far exceeds colocation gain" true
+    (caching_gain > 3.0 *. colocation_gain)
+
+let find_nsm_overheads () =
+  let s = Lazy.force scn in
+  let cold, warm =
+    Workload.Scenario.in_sim s (fun () ->
+        let hns = Workload.Scenario.new_hns s ~on:s.client_stack in
+        let go () =
+          ignore
+            (get_ok ~msg:"find"
+               (Hns.Client.find_nsm hns ~context:s.bind_context
+                  ~query_class:Hns.Query_class.hrpc_binding))
+        in
+        let (), cold = Workload.Scenario.timed go in
+        let (), warm = Workload.Scenario.timed go in
+        (cold, warm))
+  in
+  (* FindNSM cached = 88 ms; cold FindNSM is the six-mapping walk
+     (the quoted 460 ms corresponds to the full row-1 import). *)
+  assert_close ~label:"FindNSM cached" ~tolerance:0.12
+    ~paper:Workload.Calib.Paper.find_nsm_cached_ms warm;
+  check_bool "cold FindNSM ~ 370ms (six remote mappings)" true
+    (cold > 300.0 && cold < Workload.Calib.Paper.find_nsm_cold_ms)
+
+let baselines_match_paper () =
+  let s = Lazy.force scn in
+  let localfile_d =
+    Workload.Scenario.in_sim s (fun () ->
+        let _, d =
+          Workload.Scenario.timed (fun () ->
+              match
+                Baseline.Localfile.import s.localfile ~service:s.service_name
+                  ~host:s.service_host
+              with
+              | Ok _ -> ()
+              | Error m -> Alcotest.failf "localfile import failed: %s" m)
+        in
+        d)
+  in
+  assert_close ~label:"interim local-file binding" ~tolerance:0.1
+    ~paper:Workload.Calib.Paper.interim_localfile_binding_ms localfile_d;
+  let rereg_d =
+    Workload.Scenario.in_sim s (fun () ->
+        let _, d =
+          Workload.Scenario.timed (fun () ->
+              match Baseline.Rereg_ch.import s.rereg ~service:s.service_name with
+              | Ok _ -> ()
+              | Error e ->
+                  Alcotest.failf "rereg import failed: %a" Baseline.Rereg_ch.pp_error e)
+        in
+        d)
+  in
+  assert_close ~label:"reregistered Clearinghouse binding" ~tolerance:0.1
+    ~paper:Workload.Calib.Paper.rereg_clearinghouse_binding_ms rereg_d
+
+let preload_cost_and_payoff () =
+  let s = Lazy.force scn in
+  let preload_d, first_after =
+    Workload.Scenario.in_sim s (fun () ->
+        let hns = Workload.Scenario.new_hns s ~on:s.client_stack in
+        let _, preload_d =
+          Workload.Scenario.timed (fun () ->
+              ignore (get_ok ~msg:"preload" (Hns.Client.preload hns)))
+        in
+        let (), first_after =
+          Workload.Scenario.timed (fun () ->
+              ignore
+                (get_ok ~msg:"find"
+                   (Hns.Client.find_nsm hns ~context:s.bind_context
+                      ~query_class:Hns.Query_class.hrpc_binding)))
+        in
+        (preload_d, first_after))
+  in
+  assert_close ~label:"preload" ~tolerance:0.15 ~paper:Workload.Calib.Paper.preload_ms
+    preload_d;
+  (* "the cost of preloading plus a cache hit falls between one and
+     two cache miss times" *)
+  let one_miss = Workload.Calib.Paper.find_nsm_cold_ms in
+  check_bool "preload + hit between one and two misses" true
+    (preload_d +. first_after > one_miss && preload_d +. first_after < 2.0 *. one_miss)
+
+let table_3_2_cells () =
+  (* BIND lookups through the HNS-style cache: miss, marshalled hit,
+     demarshalled hit, at 1 and 6 resource records per name. *)
+  let w = make_world ~hosts:2 () in
+  let name_1 = Dns.Name.of_string "one.z" and name_6 = Dns.Name.of_string "six.z" in
+  let records name n =
+    List.init n (fun i ->
+        Dns.Rr.make name (Dns.Rr.A (Int32.of_int (0x0A000100 + i))))
+  in
+  let zone =
+    Dns.Zone.simple ~origin:(Dns.Name.of_string "z")
+      (records name_1 1 @ records name_6 6)
+  in
+  (* The meta-BIND instance the paper measured this cache against was
+     the HNS's repository, not the heavyweight public server. *)
+  let server =
+    Dns.Server.create w.stacks.(0)
+      ~service_overhead_ms:9.0
+      ~per_answer_ms:Workload.Calib.bind_per_answer_ms ()
+  in
+  Dns.Server.add_zone server zone;
+  (* One resource record demarshals to a 5-node struct; with the array
+     wrapper a 1-RR answer is 6 value nodes and a 6-RR answer 31 — the
+     node counts the calibration fit (Calib.generated_cost) assumes. *)
+  let rr_list_ty =
+    Wire.Idl.T_array
+      (Wire.Idl.T_struct
+         [
+           ("name", Wire.Idl.T_string);
+           ("a", Wire.Idl.T_uint);
+           ("ttl", Wire.Idl.T_int);
+           ("cls", Wire.Idl.T_int);
+         ])
+  in
+  let to_value rrs =
+    Wire.Value.Array
+      (List.map
+         (fun (rr : Dns.Rr.t) ->
+           Wire.Value.Struct
+             [
+               ("name", Wire.Value.Str (Dns.Name.to_string rr.name));
+               ("a", Wire.Value.Uint (match rr.rdata with Dns.Rr.A ip -> ip | _ -> 0l));
+               ("ttl", Wire.Value.Int rr.ttl);
+               ("cls", Wire.Value.int 1);
+             ])
+         rrs)
+  in
+  let run mode name =
+    in_sim w (fun () ->
+        if Dns.Server.queries_served server = 0 then Dns.Server.start server;
+        let cache =
+          Hns.Cache.create ~mode ~generated_cost:Workload.Calib.generated_cost
+            ~hit_overhead_ms:Workload.Calib.cache_hit_overhead_ms
+            ~hit_per_node_ms:Workload.Calib.cache_hit_per_node_ms
+            ~insert_overhead_ms:Workload.Calib.cache_insert_ms ()
+        in
+        (* The paper ran this cache experiment against a colocated
+           BIND (loopback), which is why its miss costs sit below a
+           cross-host lookup. *)
+        let resolver =
+          Dns.Resolver.create w.stacks.(0) ~servers:[ Dns.Server.addr server ]
+            ~enable_cache:false ()
+        in
+        let key = Dns.Name.to_string name in
+        let lookup () =
+          match Hns.Cache.find cache ~key ~ty:rr_list_ty with
+          | Some _ -> ()
+          | None -> (
+              match Dns.Resolver.query resolver name Dns.Rr.T_a with
+              | Ok rrs ->
+                  let v = to_value rrs in
+                  (* response decode through the generated path *)
+                  Sim.Engine.sleep (Wire.Generic_marshal.cost Workload.Calib.generated_cost v);
+                  Hns.Cache.insert cache ~key ~ty:rr_list_ty v
+              | Error e -> Alcotest.failf "lookup failed: %a" Dns.Resolver.pp_error e)
+        in
+        let (), miss = Workload.Scenario.timed lookup in
+        let (), hit = Workload.Scenario.timed lookup in
+        (miss, hit))
+  in
+  List.iter
+    (fun (rr_count, paper_miss, paper_marshalled, paper_demarshalled) ->
+      let name = if rr_count = 1 then name_1 else name_6 in
+      let miss, marshalled_hit = run Hns.Cache.Marshalled name in
+      let _, demarshalled_hit = run Hns.Cache.Demarshalled name in
+      assert_close
+        ~label:(Printf.sprintf "T3.2 miss (%d RR)" rr_count)
+        ~tolerance:0.25 ~paper:paper_miss miss;
+      assert_close
+        ~label:(Printf.sprintf "T3.2 marshalled hit (%d RR)" rr_count)
+        ~tolerance:0.15 ~paper:paper_marshalled marshalled_hit;
+      assert_close
+        ~label:(Printf.sprintf "T3.2 demarshalled hit (%d RR)" rr_count)
+        ~tolerance:0.30 ~paper:paper_demarshalled demarshalled_hit;
+      (* the lesson: demarshalled caching is an order of magnitude
+         cheaper *)
+      check_bool "demarshalled << marshalled" true
+        (demarshalled_hit *. 5.0 < marshalled_hit))
+    Workload.Calib.Paper.table_3_2
+
+let eq1_breakevens () =
+  (* Equation (1): q > C(remote call) / (C(miss) - C(hit)). The paper
+     computes 11% for the HNS and 42% for the NSMs; our measured costs
+     must produce breakevens in those neighbourhoods. *)
+  let s = Lazy.force scn in
+  let measure arrangement state =
+    Workload.Scenario.in_sim s (fun () ->
+        let p = Workload.Scenario.arrange s arrangement in
+        Workload.Scenario.flush_parties p;
+        (match state with
+        | `Miss -> ()
+        | `Hit -> import_binding p arrangement scn
+        | `Hns_hit ->
+            import_binding p arrangement scn;
+            Hns.Cache.flush p.nsm_cache);
+        let (), d = Workload.Scenario.timed (fun () -> import_binding p arrangement scn) in
+        Workload.Scenario.stop_parties p;
+        d)
+  in
+  (* HNS local vs remote, fully remote NSMs (row 5 basis in the paper). *)
+  let remote_call = 42.0 (* one extra remote party, from Table 3.1 row deltas *) in
+  let miss = measure Hns.Import.All_remote `Miss in
+  let hit = measure Hns.Import.All_remote `Hit in
+  let q_hns = remote_call /. (miss -. hit) in
+  check_bool "HNS breakeven ~11%" true (q_hns > 0.05 && q_hns < 0.20);
+  (* NSM local vs remote: miss/hit costs of the NSM phase alone. *)
+  let nsm_miss = measure Hns.Import.Remote_nsms `Hns_hit in
+  let nsm_hit = measure Hns.Import.Remote_nsms `Hit in
+  let q_nsm = remote_call /. (nsm_miss -. nsm_hit) in
+  check_bool "NSM breakeven ~42%" true (q_nsm > 0.25 && q_nsm < 0.75)
+
+let suite =
+  [
+    Alcotest.test_case "BIND lookup 27ms" `Quick bind_lookup_27ms;
+    Alcotest.test_case "Clearinghouse lookup 156ms" `Quick clearinghouse_lookup_156ms;
+    Alcotest.test_case "Table 3.1 cells" `Slow table_3_1_cells;
+    Alcotest.test_case "caching beats colocation" `Quick
+      table_3_1_colocation_vs_caching_lesson;
+    Alcotest.test_case "FindNSM overheads" `Quick find_nsm_overheads;
+    Alcotest.test_case "baseline timings" `Quick baselines_match_paper;
+    Alcotest.test_case "preload cost and payoff" `Quick preload_cost_and_payoff;
+    Alcotest.test_case "Table 3.2 cells" `Slow table_3_2_cells;
+    Alcotest.test_case "equation (1) breakevens" `Quick eq1_breakevens;
+  ]

@@ -1,0 +1,286 @@
+(* Cross-cutting property tests: whole-message roundtrips for every
+   wire protocol, cache laws, and engine scheduling laws. *)
+
+open Helpers
+
+(* --- generators --- *)
+
+let gen_label =
+  QCheck.Gen.(
+    map (String.concat "")
+      (list_size (int_range 1 8) (map (String.make 1) (char_range 'a' 'z'))))
+
+let gen_dns_name = QCheck.Gen.(map Dns.Name.of_labels (list_size (int_range 0 4) gen_label))
+
+let gen_rdata =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun ip -> Dns.Rr.A (Int32.of_int ip)) int;
+        map (fun n -> Dns.Rr.Ns n) gen_dns_name;
+        map (fun n -> Dns.Rr.Cname n) gen_dns_name;
+        map (fun n -> Dns.Rr.Ptr n) gen_dns_name;
+        map2 (fun cpu os -> Dns.Rr.Hinfo (cpu, os)) gen_label gen_label;
+        map2 (fun pref n -> Dns.Rr.Mx (pref land 0xFFFF, n)) small_int gen_dns_name;
+        map (fun ss -> Dns.Rr.Txt ss) (list_size (int_range 1 3) gen_label);
+        map (fun s -> Dns.Rr.Unspec s) (string_size (int_bound 40));
+        map2
+          (fun m r ->
+            Dns.Rr.Soa
+              {
+                Dns.Rr.mname = m;
+                rname = r;
+                serial = 5l;
+                refresh = 6l;
+                retry = 7l;
+                expire = 8l;
+                minimum = 9l;
+              })
+          gen_dns_name gen_dns_name;
+      ])
+
+let gen_rr =
+  QCheck.Gen.(
+    map2
+      (fun name rdata -> Dns.Rr.make ~ttl:300l name rdata)
+      (map2 (fun l n -> Dns.Name.prepend l n) gen_label gen_dns_name)
+      gen_rdata)
+
+let gen_qtype =
+  QCheck.Gen.oneofl
+    [ Dns.Rr.T_a; T_ns; T_cname; T_soa; T_ptr; T_hinfo; T_mx; T_txt; T_unspec; T_any ]
+
+let gen_query_msg =
+  QCheck.Gen.(
+    map2
+      (fun (id, name) qtype -> Dns.Msg.query ~id:(id land 0xFFFF) name qtype)
+      (pair small_int (map2 Dns.Name.prepend gen_label gen_dns_name))
+      gen_qtype)
+
+let gen_response_msg =
+  QCheck.Gen.(
+    gen_query_msg >>= fun q ->
+    map (fun answers -> Dns.Msg.response ~request:q answers) (list_size (int_bound 5) gen_rr))
+
+let gen_update_msg =
+  QCheck.Gen.(
+    let zone = Dns.Name.of_string "z" in
+    let in_zone = map (fun l -> Dns.Name.prepend l zone) gen_label in
+    let gen_op =
+      oneof
+        [
+          map2 (fun n rd -> Dns.Msg.Add (Dns.Rr.make n rd)) in_zone gen_rdata;
+          map (fun n -> Dns.Msg.Delete_rrset (n, Dns.Rr.T_a)) in_zone;
+          map2 (fun n rd -> Dns.Msg.Delete_rr (n, rd)) in_zone gen_rdata;
+          map (fun n -> Dns.Msg.Delete_name n) in_zone;
+        ]
+    in
+    map2
+      (fun id ops -> Dns.Msg.update_request ~id:(id land 0xFFFF) ~zone ops)
+      small_int
+      (list_size (int_range 1 5) gen_op))
+
+let arb_msg =
+  QCheck.make
+    QCheck.Gen.(oneof [ gen_query_msg; gen_response_msg; gen_update_msg ])
+    ~print:(Format.asprintf "%a" Dns.Msg.pp)
+
+let dns_msg_roundtrip =
+  QCheck.Test.make ~name:"DNS message roundtrip (queries/responses/updates)" ~count:500
+    arb_msg
+    (fun m -> Dns.Msg.decode (Dns.Msg.encode m) = m)
+
+let dns_msg_decode_total =
+  (* decode never raises anything but Bad_message on arbitrary bytes *)
+  QCheck.Test.make ~name:"DNS decode is total" ~count:500
+    QCheck.(string_of_size (Gen.int_bound 64))
+    (fun s ->
+      match Dns.Msg.decode s with
+      | _ -> true
+      | exception Dns.Msg.Bad_message _ -> true
+      | exception _ -> false)
+
+(* --- sun rpc / courier wire fuzz --- *)
+
+let sunrpc_decode_total =
+  QCheck.Test.make ~name:"Sun RPC decode is total" ~count:500
+    QCheck.(string_of_size (Gen.int_bound 64))
+    (fun s ->
+      match Rpc.Sunrpc_wire.decode s with
+      | _ -> true
+      | exception Rpc.Sunrpc_wire.Bad_message _ -> true
+      | exception _ -> false)
+
+let courier_decode_total =
+  QCheck.Test.make ~name:"Courier decode is total" ~count:500
+    QCheck.(string_of_size (Gen.int_bound 64))
+    (fun s ->
+      match Rpc.Courier_wire.decode s with
+      | _ -> true
+      | exception Rpc.Courier_wire.Bad_message _ -> true
+      | exception _ -> false)
+
+(* --- binding/hrpc properties --- *)
+
+let binding_bytes_stable =
+  (* serialization is canonical: encode . decode . encode = encode *)
+  let gen =
+    QCheck.Gen.(
+      map2
+        (fun ip port ->
+          Hrpc.Binding.make ~suite:Hrpc.Component.courier_suite
+            ~server:(Transport.Address.make (Int32.of_int ip) (port land 0xFFFF))
+            ~prog:port ~vers:1)
+        int small_int)
+  in
+  QCheck.Test.make ~name:"binding bytes canonical" ~count:200
+    (QCheck.make gen ~print:(Format.asprintf "%a" Hrpc.Binding.pp))
+    (fun b ->
+      let once = Hrpc.Binding.to_bytes b in
+      String.equal once (Hrpc.Binding.to_bytes (Hrpc.Binding.of_bytes once)))
+
+(* --- cache laws --- *)
+
+let cache_read_your_write =
+  QCheck.Test.make ~name:"cache: read-your-write within TTL" ~count:200
+    QCheck.(pair (oneofl [ Hns.Cache.Marshalled; Hns.Cache.Demarshalled ]) small_int)
+    (fun (mode, n) ->
+      let c = Hns.Cache.create ~mode () in
+      let v = Wire.Value.Array (List.init (n mod 5) (fun i -> Wire.Value.int i)) in
+      let ty = Wire.Idl.T_array Wire.Idl.T_int in
+      Hns.Cache.insert c ~key:"k" ~ty v;
+      match Hns.Cache.find c ~key:"k" ~ty with
+      | Some v' -> Wire.Value.equal v v'
+      | None -> false)
+
+let cache_overwrite_wins =
+  QCheck.Test.make ~name:"cache: last insert wins" ~count:200
+    QCheck.(pair small_int small_int)
+    (fun (a, b) ->
+      let c = Hns.Cache.create ~mode:Hns.Cache.Marshalled () in
+      let ty = Wire.Idl.T_int in
+      Hns.Cache.insert c ~key:"k" ~ty (Wire.Value.int a);
+      Hns.Cache.insert c ~key:"k" ~ty (Wire.Value.int b);
+      Hns.Cache.find c ~key:"k" ~ty = Some (Wire.Value.int b))
+
+(* --- engine laws --- *)
+
+let engine_events_fire_in_time_order =
+  QCheck.Test.make ~name:"engine: callbacks fire in timestamp order" ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 20) (float_range 0.0 1000.0))
+    (fun delays ->
+      let w = make_world ~hosts:1 () in
+      let fired = ref [] in
+      List.iter
+        (fun d -> Sim.Engine.at w.engine d (fun () -> fired := d :: !fired))
+        delays;
+      Sim.Engine.run w.engine;
+      let fired = List.rev !fired in
+      fired = List.stable_sort compare delays)
+
+let engine_sleep_additive =
+  QCheck.Test.make ~name:"engine: sleeps accumulate exactly" ~count:100
+    QCheck.(list_of_size (Gen.int_range 1 10) (float_range 0.0 100.0))
+    (fun delays ->
+      let w = make_world ~hosts:1 () in
+      let total = ref nan in
+      Sim.Engine.spawn w.engine (fun () ->
+          List.iter Sim.Engine.sleep delays;
+          total := Sim.Engine.time ());
+      Sim.Engine.run w.engine;
+      Float.abs (!total -. List.fold_left ( +. ) 0.0 delays) < 1e-6)
+
+(* --- idl/value laws --- *)
+
+let node_count_positive =
+  QCheck.Test.make ~name:"node_count >= 1" ~count:300 Test_wire.arb_ty_value
+    (fun (_, v) -> Wire.Value.node_count v >= 1)
+
+let xdr_courier_disagree_is_fine =
+  (* the two representations are genuinely different formats for any
+     value with a string or bool in it — sanity that we aren't testing
+     a codec against itself *)
+  QCheck.Test.make ~name:"XDR and Courier differ on booleans" ~count:50 QCheck.bool
+    (fun b ->
+      let v = Wire.Value.Bool b in
+      Wire.Xdr.to_string Wire.Idl.T_bool v <> Wire.Courier.to_string Wire.Idl.T_bool v)
+
+let suite =
+  [
+    qtest dns_msg_roundtrip;
+    qtest dns_msg_decode_total;
+    qtest sunrpc_decode_total;
+    qtest courier_decode_total;
+    qtest binding_bytes_stable;
+    qtest cache_read_your_write;
+    qtest cache_overwrite_wins;
+    qtest engine_events_fire_in_time_order;
+    qtest engine_sleep_additive;
+    qtest node_count_positive;
+    qtest xdr_courier_disagree_is_fine;
+  ]
+
+(* --- a few more cross-cutting checks --- *)
+
+let iterative_query_caches () =
+  let w = Helpers.make_world ~hosts:3 () in
+  let served_after_two =
+    Helpers.in_sim w (fun () ->
+        let parent = Dns.Server.create w.stacks.(0) () in
+        Dns.Server.add_zone parent
+          (Dns.Zone.simple ~origin:(Dns.Name.of_string "z")
+             [ Dns.Rr.make (Dns.Name.of_string "h.z") (Dns.Rr.A 3l) ]);
+        Dns.Server.start parent;
+        let r = Dns.Resolver.create w.stacks.(2) ~servers:[ Dns.Server.addr parent ] () in
+        ignore (Dns.Resolver.query_iterative r (Dns.Name.of_string "h.z") Dns.Rr.T_a);
+        ignore (Dns.Resolver.query_iterative r (Dns.Name.of_string "h.z") Dns.Rr.T_a);
+        Dns.Server.queries_served parent)
+  in
+  Helpers.check_int "second iterative query is a cache hit" 1 served_after_two
+
+let address_ordering_total =
+  QCheck.Test.make ~name:"address compare is a total order" ~count:200
+    QCheck.(triple (pair int small_int) (pair int small_int) (pair int small_int))
+    (fun ((i1, p1), (i2, p2), (i3, p3)) ->
+      let mk (i, p) = Transport.Address.make (Int32.of_int i) (p land 0xFFFF) in
+      let a = mk (i1, p1) and b = mk (i2, p2) and c = mk (i3, p3) in
+      let cmp = Transport.Address.compare in
+      (* antisymmetry and transitivity spot checks *)
+      (cmp a b = -cmp b a || cmp a b = 0)
+      && (not (cmp a b <= 0 && cmp b c <= 0) || cmp a c <= 0))
+
+let engine_negative_delay_rejected () =
+  let w = Helpers.make_world ~hosts:1 () in
+  match Sim.Engine.at w.engine (-1.0) (fun () -> ()) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative delay must be rejected"
+
+let idl_pp_total =
+  QCheck.Test.make ~name:"Idl.pp and Value.pp never raise" ~count:200
+    Test_wire.arb_ty_value
+    (fun (ty, v) ->
+      ignore (Format.asprintf "%a" Wire.Idl.pp ty);
+      ignore (Format.asprintf "%a" Wire.Value.pp v);
+      true)
+
+let zipf_cdf_monotone =
+  QCheck.Test.make ~name:"zipf pmf is nonincreasing in rank" ~count:100
+    QCheck.(pair (int_range 2 60) (float_range 0.1 3.0))
+    (fun (n, s) ->
+      let z = Workload.Zipf.create ~n ~s in
+      let ok = ref true in
+      for k = 1 to n - 1 do
+        if Workload.Zipf.pmf z k > Workload.Zipf.pmf z (k - 1) +. 1e-12 then ok := false
+      done;
+      !ok)
+
+let more_properties =
+  [
+    Alcotest.test_case "iterative query caches" `Quick iterative_query_caches;
+    qtest address_ordering_total;
+    Alcotest.test_case "negative delay rejected" `Quick engine_negative_delay_rejected;
+    qtest idl_pp_total;
+    qtest zipf_cdf_monotone;
+  ]
+
+let suite = suite @ more_properties

@@ -1,0 +1,321 @@
+(* Unit and property tests for the simulation substrate. *)
+
+open Helpers
+
+(* --- Heap --- *)
+
+let heap_pop_order () =
+  let h = Sim.Heap.create ~leq:(fun a b -> a <= b) in
+  List.iter (Sim.Heap.push h) [ 5; 1; 4; 1; 3; 9; 2 ];
+  check (Alcotest.list Alcotest.int) "sorted" [ 1; 1; 2; 3; 4; 5; 9 ]
+    (Sim.Heap.to_sorted_list h)
+
+let heap_empty () =
+  let h = Sim.Heap.create ~leq:(fun (a : int) b -> a <= b) in
+  check_bool "empty" true (Sim.Heap.is_empty h);
+  (match Sim.Heap.pop h with
+  | exception Not_found -> ()
+  | _ -> Alcotest.fail "pop on empty should raise");
+  Sim.Heap.push h 7;
+  check_int "peek" 7 (Sim.Heap.peek h);
+  check_int "length" 1 (Sim.Heap.length h);
+  Sim.Heap.clear h;
+  check_bool "cleared" true (Sim.Heap.is_empty h)
+
+let heap_sorts_any_list =
+  QCheck.Test.make ~name:"heap sorts like List.sort" ~count:200
+    QCheck.(list int)
+    (fun xs ->
+      let h = Sim.Heap.of_list ~leq:(fun a b -> a <= b) xs in
+      Sim.Heap.to_sorted_list h = List.sort compare xs)
+
+(* --- Rng --- *)
+
+let rng_deterministic () =
+  let a = Sim.Rng.create ~seed:42L and b = Sim.Rng.create ~seed:42L in
+  for _ = 1 to 100 do
+    check_bool "same stream" true (Sim.Rng.bits64 a = Sim.Rng.bits64 b)
+  done
+
+let rng_split_independent () =
+  let a = Sim.Rng.create ~seed:42L in
+  let b = Sim.Rng.split a in
+  check_bool "split differs from parent" true (Sim.Rng.bits64 a <> Sim.Rng.bits64 b)
+
+let rng_int_in_range =
+  QCheck.Test.make ~name:"Rng.int stays in range" ~count:500
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, n) ->
+      let rng = Sim.Rng.create ~seed:(Int64.of_int seed) in
+      let v = Sim.Rng.int rng n in
+      v >= 0 && v < n)
+
+let rng_exponential_positive () =
+  let rng = Sim.Rng.create ~seed:7L in
+  for _ = 1 to 1000 do
+    check_bool "positive" true (Sim.Rng.exponential rng ~mean:5.0 >= 0.0)
+  done
+
+let rng_shuffle_permutes =
+  QCheck.Test.make ~name:"shuffle is a permutation" ~count:100
+    QCheck.(pair small_int (list small_int))
+    (fun (seed, xs) ->
+      let arr = Array.of_list xs in
+      let rng = Sim.Rng.create ~seed:(Int64.of_int seed) in
+      Sim.Rng.shuffle rng arr;
+      List.sort compare (Array.to_list arr) = List.sort compare xs)
+
+(* --- Engine --- *)
+
+let engine_virtual_time () =
+  let w = make_world ~hosts:1 () in
+  let times = ref [] in
+  Sim.Engine.spawn w.engine (fun () ->
+      Sim.Engine.sleep 10.0;
+      times := Sim.Engine.time () :: !times;
+      Sim.Engine.sleep 5.5;
+      times := Sim.Engine.time () :: !times);
+  Sim.Engine.run w.engine;
+  check (Alcotest.list (Alcotest.float 1e-9)) "sleep advances clock" [ 15.5; 10.0 ]
+    !times
+
+let engine_fifo_same_instant () =
+  let w = make_world ~hosts:1 () in
+  let order = ref [] in
+  for i = 1 to 5 do
+    Sim.Engine.spawn w.engine (fun () -> order := i :: !order)
+  done;
+  Sim.Engine.run w.engine;
+  check (Alcotest.list Alcotest.int) "FIFO at same timestamp" [ 1; 2; 3; 4; 5 ]
+    (List.rev !order)
+
+let engine_ivar_blocks () =
+  let w = make_world ~hosts:1 () in
+  let iv = Sim.Engine.Ivar.create () in
+  let got = ref 0 in
+  Sim.Engine.spawn w.engine (fun () -> got := Sim.Engine.Ivar.read iv);
+  Sim.Engine.spawn w.engine (fun () ->
+      Sim.Engine.sleep 3.0;
+      Sim.Engine.Ivar.fill iv 42);
+  Sim.Engine.run w.engine;
+  check_int "ivar delivered" 42 !got
+
+let engine_ivar_double_fill () =
+  let iv = Sim.Engine.Ivar.create () in
+  Sim.Engine.Ivar.fill iv 1;
+  check_bool "fill_if_empty refuses" false (Sim.Engine.Ivar.fill_if_empty iv 2);
+  (match Sim.Engine.Ivar.fill iv 2 with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "second fill should raise");
+  check (Alcotest.option Alcotest.int) "peek" (Some 1) (Sim.Engine.Ivar.peek iv)
+
+let engine_ivar_timeout () =
+  let w = make_world ~hosts:1 () in
+  let iv = Sim.Engine.Ivar.create () in
+  let r =
+    in_sim w (fun () ->
+        let a = Sim.Engine.Ivar.read_timeout iv 5.0 in
+        let t_after = Sim.Engine.time () in
+        Sim.Engine.Ivar.fill iv 9;
+        let b = Sim.Engine.Ivar.read_timeout iv 5.0 in
+        (a, t_after, b))
+  in
+  (match r with
+  | None, 5.0, Some 9 -> ()
+  | _ -> Alcotest.fail "timeout semantics wrong")
+
+let engine_mailbox_fifo () =
+  let w = make_world ~hosts:1 () in
+  let mb = Sim.Engine.Mailbox.create () in
+  let got =
+    in_sim w (fun () ->
+        Sim.Engine.Mailbox.send mb 1;
+        Sim.Engine.Mailbox.send mb 2;
+        Sim.Engine.Mailbox.send mb 3;
+        let a = Sim.Engine.Mailbox.recv mb in
+        let b = Sim.Engine.Mailbox.recv mb in
+        let c = Sim.Engine.Mailbox.recv mb in
+        [ a; b; c ])
+  in
+  check (Alcotest.list Alcotest.int) "fifo" [ 1; 2; 3 ] got
+
+let engine_mailbox_timeout_no_lost_message () =
+  (* A timed-out receiver must not swallow a message that arrives
+     later. *)
+  let w = make_world ~hosts:1 () in
+  let mb = Sim.Engine.Mailbox.create () in
+  let got = ref (-1) in
+  Sim.Engine.spawn w.engine (fun () ->
+      (match Sim.Engine.Mailbox.recv_timeout mb 2.0 with
+      | Some _ -> Alcotest.fail "nothing should arrive before 2ms"
+      | None -> ());
+      got := Sim.Engine.Mailbox.recv mb);
+  Sim.Engine.spawn w.engine (fun () ->
+      Sim.Engine.sleep 10.0;
+      Sim.Engine.Mailbox.send mb 77);
+  Sim.Engine.run w.engine;
+  check_int "late message delivered" 77 !got
+
+let engine_process_failure () =
+  let w = make_world ~hosts:1 () in
+  Sim.Engine.spawn w.engine ~name:"crasher" (fun () -> failwith "boom");
+  match Sim.Engine.run w.engine with
+  | exception Sim.Engine.Process_failure (name, Failure msg) ->
+      check_string "process name" "crasher" name;
+      check_string "original exception" "boom" msg
+  | exception e -> Alcotest.failf "wrong exception %s" (Printexc.to_string e)
+  | () -> Alcotest.fail "failure should propagate"
+
+let engine_run_until () =
+  let w = make_world ~hosts:1 () in
+  let fired = ref [] in
+  Sim.Engine.at w.engine 5.0 (fun () -> fired := 5 :: !fired);
+  Sim.Engine.at w.engine 15.0 (fun () -> fired := 15 :: !fired);
+  Sim.Engine.run_until w.engine 10.0;
+  check (Alcotest.list Alcotest.int) "only early event" [ 5 ] !fired;
+  check_float_near "clock at deadline" 10.0 (Sim.Engine.now w.engine);
+  Sim.Engine.run w.engine;
+  check (Alcotest.list Alcotest.int) "rest runs" [ 15; 5 ] !fired
+
+let engine_determinism () =
+  (* Two identical runs execute the same number of events and end at
+     the same virtual time. *)
+  let run () =
+    let w = make_world ~hosts:2 () in
+    let mb = Sim.Engine.Mailbox.create () in
+    Sim.Engine.spawn w.engine (fun () ->
+        for i = 1 to 10 do
+          Sim.Engine.sleep (float_of_int i);
+          Sim.Engine.Mailbox.send mb i
+        done);
+    Sim.Engine.spawn w.engine (fun () ->
+        for _ = 1 to 10 do
+          ignore (Sim.Engine.Mailbox.recv mb);
+          Sim.Engine.sleep 0.5
+        done);
+    Sim.Engine.run w.engine;
+    (Sim.Engine.now w.engine, Sim.Engine.events_executed w.engine)
+  in
+  let a = run () and b = run () in
+  check_bool "identical executions" true (a = b)
+
+(* --- Stats --- *)
+
+let stats_basic () =
+  let s = Sim.Stats.create ~name:"t" () in
+  List.iter (Sim.Stats.add s) [ 1.0; 2.0; 3.0; 4.0 ];
+  check_int "count" 4 (Sim.Stats.count s);
+  check_float_near "mean" 2.5 (Sim.Stats.mean s);
+  check_float_near "min" 1.0 (Sim.Stats.min_value s);
+  check_float_near "max" 4.0 (Sim.Stats.max_value s);
+  check_float_near "median" 2.5 (Sim.Stats.median s);
+  check_float_near "p0" 1.0 (Sim.Stats.percentile s 0.0);
+  check_float_near "p100" 4.0 (Sim.Stats.percentile s 100.0)
+
+let stats_stddev () =
+  let s = Sim.Stats.create () in
+  List.iter (Sim.Stats.add s) [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ];
+  check_float_near "population stddev" 2.0 (Sim.Stats.stddev s)
+
+let stats_percentile_interpolates =
+  QCheck.Test.make ~name:"percentile within [min,max]" ~count:200
+    QCheck.(pair (list_of_size (Gen.int_range 1 50) (float_range (-1000.) 1000.)) (float_range 0. 100.))
+    (fun (xs, p) ->
+      let s = Sim.Stats.create () in
+      List.iter (Sim.Stats.add s) xs;
+      let v = Sim.Stats.percentile s p in
+      v >= Sim.Stats.min_value s -. 1e-9 && v <= Sim.Stats.max_value s +. 1e-9)
+
+let histogram_counts () =
+  let h = Sim.Stats.Histogram.create ~lo:0.0 ~hi:10.0 ~bins:5 in
+  List.iter (Sim.Stats.Histogram.add h) [ -1.0; 0.0; 1.9; 2.0; 9.99; 10.0; 50.0 ];
+  check_int "underflow" 1 (Sim.Stats.Histogram.underflow h);
+  check_int "overflow" 2 (Sim.Stats.Histogram.overflow h);
+  check (Alcotest.array Alcotest.int) "bins" [| 2; 1; 0; 0; 1 |]
+    (Sim.Stats.Histogram.counts h);
+  check_int "total" 7 (Sim.Stats.Histogram.total h)
+
+(* --- Topology --- *)
+
+let topology_delays () =
+  let topo = Sim.Topology.create ~default_latency_ms:1.0 ~default_per_byte_ms:0.001 ~loopback_ms:0.05 () in
+  let a = Sim.Topology.add_host topo "a" and b = Sim.Topology.add_host topo "b" in
+  check_float_near "loopback" 0.05 (Sim.Topology.delay topo ~src:a ~dst:a ~bytes:1000);
+  check_float_near "default" 2.0 (Sim.Topology.delay topo ~src:a ~dst:b ~bytes:1000);
+  Sim.Topology.set_link topo a b ~latency_ms:10.0 ~per_byte_ms:0.0;
+  check_float_near "override" 10.0 (Sim.Topology.delay topo ~src:b ~dst:a ~bytes:1000)
+
+let topology_duplicate_host () =
+  let topo = Sim.Topology.create () in
+  ignore (Sim.Topology.add_host topo "x");
+  match Sim.Topology.add_host topo "x" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "duplicate host should raise"
+
+(* --- Trace --- *)
+
+let trace_ring () =
+  let tr = Sim.Trace.create ~capacity:3 () in
+  Sim.Trace.record tr ~time:1.0 ~tag:"t" "dropped when disabled";
+  check_int "disabled records nothing" 0 (List.length (Sim.Trace.lines tr));
+  Sim.Trace.enable tr;
+  List.iter (fun i -> Sim.Trace.record tr ~time:(float_of_int i) ~tag:"t" (string_of_int i))
+    [ 1; 2; 3; 4 ];
+  let lines = Sim.Trace.lines tr in
+  check_int "capacity bounds" 3 (List.length lines);
+  check_string "oldest dropped" "2" (match lines with (_, _, m) :: _ -> m | [] -> "")
+
+let suite =
+  [
+    Alcotest.test_case "heap pop order" `Quick heap_pop_order;
+    Alcotest.test_case "heap empty ops" `Quick heap_empty;
+    qtest heap_sorts_any_list;
+    Alcotest.test_case "rng deterministic" `Quick rng_deterministic;
+    Alcotest.test_case "rng split" `Quick rng_split_independent;
+    qtest rng_int_in_range;
+    Alcotest.test_case "rng exponential" `Quick rng_exponential_positive;
+    qtest rng_shuffle_permutes;
+    Alcotest.test_case "virtual time" `Quick engine_virtual_time;
+    Alcotest.test_case "FIFO at instant" `Quick engine_fifo_same_instant;
+    Alcotest.test_case "ivar blocks" `Quick engine_ivar_blocks;
+    Alcotest.test_case "ivar double fill" `Quick engine_ivar_double_fill;
+    Alcotest.test_case "ivar timeout" `Quick engine_ivar_timeout;
+    Alcotest.test_case "mailbox fifo" `Quick engine_mailbox_fifo;
+    Alcotest.test_case "mailbox timeout keeps messages" `Quick
+      engine_mailbox_timeout_no_lost_message;
+    Alcotest.test_case "process failure propagates" `Quick engine_process_failure;
+    Alcotest.test_case "run_until" `Quick engine_run_until;
+    Alcotest.test_case "determinism" `Quick engine_determinism;
+    Alcotest.test_case "stats basics" `Quick stats_basic;
+    Alcotest.test_case "stats stddev" `Quick stats_stddev;
+    qtest stats_percentile_interpolates;
+    Alcotest.test_case "histogram" `Quick histogram_counts;
+    Alcotest.test_case "topology delays" `Quick topology_delays;
+    Alcotest.test_case "topology duplicate host" `Quick topology_duplicate_host;
+    Alcotest.test_case "trace ring" `Quick trace_ring;
+  ]
+
+(* pretty-printer smoke tests: they must never raise and must contain
+   the load-bearing numbers *)
+
+let contains ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let pp_smoke () =
+  let s = Sim.Stats.create ~name:"lat" () in
+  List.iter (Sim.Stats.add s) [ 1.0; 2.0; 3.0 ];
+  let rendered = Format.asprintf "%a" Sim.Stats.pp s in
+  check_bool "stats pp mentions mean" true (contains ~needle:"mean=2.00" rendered);
+  let h = Sim.Stats.Histogram.create ~lo:0.0 ~hi:10.0 ~bins:2 in
+  Sim.Stats.Histogram.add h 1.0;
+  check_bool "histogram pp" true (String.length (Format.asprintf "%a" Sim.Stats.Histogram.pp h) > 0);
+  let tr = Sim.Trace.create () in
+  Sim.Trace.enable tr;
+  Sim.Trace.record tr ~time:1.0 ~tag:"t" "m";
+  check_bool "trace pp" true (String.length (Format.asprintf "%a" Sim.Trace.pp tr) > 0)
+
+let pp_cases = [ Alcotest.test_case "pp smoke" `Quick pp_smoke ]
+
+let suite = suite @ pp_cases

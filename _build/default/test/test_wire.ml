@@ -1,0 +1,252 @@
+(* Tests for the data-representation substrate: byte buffers, XDR,
+   Courier, IDL conformance, and the generic marshaller. *)
+
+open Helpers
+
+(* --- Bytebuf --- *)
+
+let bytebuf_roundtrip () =
+  let wr = Wire.Bytebuf.Wr.create () in
+  Wire.Bytebuf.Wr.u8 wr 0xAB;
+  Wire.Bytebuf.Wr.u16 wr 0xCDEF;
+  Wire.Bytebuf.Wr.u32 wr 0xDEADBEEFl;
+  Wire.Bytebuf.Wr.u64 wr 0x0123456789ABCDEFL;
+  Wire.Bytebuf.Wr.bytes wr "xyz";
+  Wire.Bytebuf.Wr.pad_to wr 4;
+  let rd = Wire.Bytebuf.Rd.of_string (Wire.Bytebuf.Wr.contents wr) in
+  check_int "u8" 0xAB (Wire.Bytebuf.Rd.u8 rd);
+  check_int "u16" 0xCDEF (Wire.Bytebuf.Rd.u16 rd);
+  check_bool "u32" true (Wire.Bytebuf.Rd.u32 rd = 0xDEADBEEFl);
+  check_bool "u64" true (Wire.Bytebuf.Rd.u64 rd = 0x0123456789ABCDEFL);
+  check_string "bytes" "xyz" (Wire.Bytebuf.Rd.bytes rd 3);
+  Wire.Bytebuf.Rd.align rd 4;
+  check_bool "aligned to end" true (Wire.Bytebuf.Rd.at_end rd)
+
+let bytebuf_truncated () =
+  let rd = Wire.Bytebuf.Rd.of_string "\001" in
+  match Wire.Bytebuf.Rd.u32 rd with
+  | exception Wire.Bytebuf.Truncated -> ()
+  | _ -> Alcotest.fail "short read should raise Truncated"
+
+let bytebuf_sub_isolation () =
+  let rd = Wire.Bytebuf.Rd.of_string "abcdef" in
+  let sub = Wire.Bytebuf.Rd.sub rd ~len:3 in
+  check_string "sub reads own window" "abc" (Wire.Bytebuf.Rd.bytes sub 3);
+  check_bool "sub exhausted" true (Wire.Bytebuf.Rd.at_end sub);
+  check_string "parent advanced" "def" (Wire.Bytebuf.Rd.bytes rd 3)
+
+(* --- (ty, value) generator for property tests --- *)
+
+let rec gen_ty depth : Wire.Idl.ty QCheck.Gen.t =
+  let open QCheck.Gen in
+  let leaf =
+    oneofl
+      [
+        Wire.Idl.T_void;
+        Wire.Idl.T_int;
+        Wire.Idl.T_uint;
+        Wire.Idl.T_hyper;
+        Wire.Idl.T_bool;
+        Wire.Idl.T_string;
+        Wire.Idl.T_opaque;
+        Wire.Idl.T_enum [ "a"; "b"; "c" ];
+      ]
+  in
+  if depth <= 0 then leaf
+  else
+    frequency
+      [
+        (4, leaf);
+        (1, map (fun t -> Wire.Idl.T_array t) (gen_ty (depth - 1)));
+        (1, map (fun t -> Wire.Idl.T_opt t) (gen_ty (depth - 1)));
+        ( 1,
+          map2
+            (fun a b -> Wire.Idl.T_struct [ ("f0", a); ("f1", b) ])
+            (gen_ty (depth - 1))
+            (gen_ty (depth - 1)) );
+        ( 1,
+          map2
+            (fun a b -> Wire.Idl.T_union ([ (0, a); (3, b) ], None))
+            (gen_ty (depth - 1))
+            (gen_ty (depth - 1)) );
+      ]
+
+let printable_string =
+  QCheck.Gen.(map (String.concat "") (list_size (int_bound 12) (map (String.make 1) (char_range 'a' 'z'))))
+
+let rec gen_value (ty : Wire.Idl.ty) : Wire.Value.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  match ty with
+  | T_void -> return Wire.Value.Void
+  | T_int -> map (fun i -> Wire.Value.Int (Int32.of_int i)) int
+  | T_uint -> map (fun i -> Wire.Value.Uint (Int32.of_int i)) int
+  | T_hyper -> map (fun i -> Wire.Value.Hyper (Int64.of_int i)) int
+  | T_bool -> map (fun b -> Wire.Value.Bool b) bool
+  | T_string -> map (fun s -> Wire.Value.Str s) printable_string
+  | T_opaque -> map (fun s -> Wire.Value.Opaque s) printable_string
+  | T_enum labels -> map (fun i -> Wire.Value.Enum i) (int_bound (List.length labels - 1))
+  | T_array elt ->
+      map (fun vs -> Wire.Value.Array vs) (list_size (int_bound 4) (gen_value elt))
+  | T_struct fields ->
+      let rec gen_fields = function
+        | [] -> return []
+        | (name, fty) :: rest ->
+            gen_value fty >>= fun v ->
+            gen_fields rest >>= fun vs -> return ((name, v) :: vs)
+      in
+      map (fun fs -> Wire.Value.Struct fs) (gen_fields fields)
+  | T_union (arms, _) ->
+      oneofl arms >>= fun (d, aty) -> map (fun v -> Wire.Value.Union (d, v)) (gen_value aty)
+  | T_opt elt ->
+      bool >>= fun present ->
+      if present then map (fun v -> Wire.Value.Opt (Some v)) (gen_value elt)
+      else return (Wire.Value.Opt None)
+
+let gen_ty_value =
+  QCheck.Gen.(gen_ty 3 >>= fun ty -> gen_value ty >>= fun v -> return (ty, v))
+
+let arb_ty_value =
+  QCheck.make gen_ty_value ~print:(fun (ty, v) ->
+      Format.asprintf "%a / %a" Wire.Idl.pp ty Wire.Value.pp v)
+
+(* --- properties --- *)
+
+let generated_conforms =
+  QCheck.Test.make ~name:"generated values conform to their type" ~count:300
+    arb_ty_value
+    (fun (ty, v) -> Wire.Idl.conforms ty v)
+
+let xdr_roundtrip =
+  QCheck.Test.make ~name:"XDR roundtrip" ~count:300 arb_ty_value (fun (ty, v) ->
+      Wire.Value.equal v (Wire.Xdr.of_string ty (Wire.Xdr.to_string ty v)))
+
+let xdr_alignment =
+  QCheck.Test.make ~name:"XDR encodings are 4-byte multiples" ~count:300 arb_ty_value
+    (fun (ty, v) -> String.length (Wire.Xdr.to_string ty v) mod 4 = 0)
+
+let courier_roundtrip =
+  QCheck.Test.make ~name:"Courier roundtrip" ~count:300 arb_ty_value (fun (ty, v) ->
+      Wire.Value.equal v (Wire.Courier.of_string ty (Wire.Courier.to_string ty v)))
+
+let courier_alignment =
+  QCheck.Test.make ~name:"Courier encodings are word multiples" ~count:300 arb_ty_value
+    (fun (ty, v) -> String.length (Wire.Courier.to_string ty v) mod 2 = 0)
+
+let generic_matches_direct_xdr =
+  QCheck.Test.make ~name:"generic marshal = direct XDR bytes" ~count:300 arb_ty_value
+    (fun (ty, v) ->
+      String.equal
+        (Wire.Generic_marshal.marshal Wire.Data_rep.Xdr ty v)
+        (Wire.Xdr.to_string ty v))
+
+let generic_matches_direct_courier =
+  QCheck.Test.make ~name:"generic marshal = direct Courier bytes" ~count:300
+    arb_ty_value
+    (fun (ty, v) ->
+      String.equal
+        (Wire.Generic_marshal.marshal Wire.Data_rep.Courier ty v)
+        (Wire.Courier.to_string ty v))
+
+let generic_unmarshal_roundtrip =
+  QCheck.Test.make ~name:"generic unmarshal roundtrip" ~count:300 arb_ty_value
+    (fun (ty, v) ->
+      Wire.Value.equal v
+        (Wire.Generic_marshal.unmarshal Wire.Data_rep.Xdr ty
+           (Wire.Generic_marshal.marshal Wire.Data_rep.Xdr ty v)))
+
+let encoded_size_consistent =
+  QCheck.Test.make ~name:"encoded_size equals encoding length" ~count:200 arb_ty_value
+    (fun (ty, v) ->
+      Wire.Xdr.encoded_size ty v = String.length (Wire.Xdr.to_string ty v)
+      && Wire.Courier.encoded_size ty v = String.length (Wire.Courier.to_string ty v))
+
+(* --- directed cases --- *)
+
+let xdr_wire_format () =
+  (* Spot-check actual bytes against RFC 1014 rules. *)
+  check_string "int" "\x00\x00\x00\x2a" (Wire.Xdr.to_string Wire.Idl.T_int (Wire.Value.Int 42l));
+  check_string "bool true" "\x00\x00\x00\x01" (Wire.Xdr.to_string Wire.Idl.T_bool (Wire.Value.Bool true));
+  check_string "string pads to 4" "\x00\x00\x00\x05hello\x00\x00\x00"
+    (Wire.Xdr.to_string Wire.Idl.T_string (Wire.Value.Str "hello"));
+  check_string "optional none" "\x00\x00\x00\x00"
+    (Wire.Xdr.to_string (Wire.Idl.T_opt Wire.Idl.T_int) (Wire.Value.Opt None))
+
+let courier_wire_format () =
+  check_string "bool is one word" "\x00\x01"
+    (Wire.Courier.to_string Wire.Idl.T_bool (Wire.Value.Bool true));
+  check_string "string pads to 2" "\x00\x03abc\x00"
+    (Wire.Courier.to_string Wire.Idl.T_string (Wire.Value.Str "abc"));
+  check_string "enum is one word" "\x00\x02"
+    (Wire.Courier.to_string (Wire.Idl.T_enum [ "x"; "y"; "z" ]) (Wire.Value.Enum 2))
+
+let xdr_rejects_garbage () =
+  (match Wire.Xdr.of_string Wire.Idl.T_bool "\x00\x00\x00\x07" with
+  | exception Wire.Xdr.Decode_error _ -> ()
+  | _ -> Alcotest.fail "bad bool should fail");
+  match Wire.Xdr.of_string Wire.Idl.T_int "\x00\x00\x00\x01\x02" with
+  | exception Wire.Xdr.Decode_error _ -> ()
+  | _ -> Alcotest.fail "trailing bytes should fail"
+
+let idl_conformance_negative () =
+  check_bool "int vs string" false (Wire.Idl.conforms Wire.Idl.T_int (Wire.Value.Str "x"));
+  check_bool "enum out of range" false
+    (Wire.Idl.conforms (Wire.Idl.T_enum [ "a" ]) (Wire.Value.Enum 1));
+  check_bool "struct field name mismatch" false
+    (Wire.Idl.conforms
+       (Wire.Idl.T_struct [ ("a", Wire.Idl.T_int) ])
+       (Wire.Value.Struct [ ("b", Wire.Value.Int 0l) ]));
+  check_bool "union unknown arm" false
+    (Wire.Idl.conforms
+       (Wire.Idl.T_union ([ (0, Wire.Idl.T_int) ], None))
+       (Wire.Value.Union (5, Wire.Value.Int 0l)))
+
+let idl_default_value_conforms =
+  QCheck.Test.make ~name:"default_value conforms" ~count:100
+    (QCheck.make (gen_ty 3) ~print:(Format.asprintf "%a" Wire.Idl.pp))
+    (fun ty -> Wire.Idl.conforms ty (Wire.Idl.default_value ty))
+
+let value_accessors () =
+  let v = Wire.Value.Struct [ ("x", Wire.Value.int 5); ("s", Wire.Value.str "hi") ] in
+  check_int "field int" 5 (Wire.Value.get_int (Wire.Value.field v "x"));
+  check_string "field str" "hi" (Wire.Value.get_str (Wire.Value.field v "s"));
+  (match Wire.Value.field v "missing" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "missing field should raise");
+  check_int "node_count" 3 (Wire.Value.node_count v)
+
+let cost_model_linear () =
+  let m = { Wire.Generic_marshal.per_call_ms = 2.0; per_node_ms = 0.5 } in
+  check_float_near "cost" 3.5 (Wire.Generic_marshal.cost m (Wire.Value.Struct [ ("a", Wire.Value.int 1); ("b", Wire.Value.int 2) ]))
+
+let data_rep_names () =
+  check_bool "xdr roundtrip" true
+    (Wire.Data_rep.of_name (Wire.Data_rep.name Wire.Data_rep.Xdr) = Some Wire.Data_rep.Xdr);
+  check_bool "courier roundtrip" true
+    (Wire.Data_rep.of_name "courier" = Some Wire.Data_rep.Courier);
+  check_bool "unknown" true (Wire.Data_rep.of_name "ascii" = None);
+  check_int "xdr alignment" 4 (Wire.Data_rep.alignment Wire.Data_rep.Xdr);
+  check_int "courier alignment" 2 (Wire.Data_rep.alignment Wire.Data_rep.Courier)
+
+let suite =
+  [
+    Alcotest.test_case "bytebuf roundtrip" `Quick bytebuf_roundtrip;
+    Alcotest.test_case "bytebuf truncated" `Quick bytebuf_truncated;
+    Alcotest.test_case "bytebuf sub isolation" `Quick bytebuf_sub_isolation;
+    qtest generated_conforms;
+    qtest xdr_roundtrip;
+    qtest xdr_alignment;
+    qtest courier_roundtrip;
+    qtest courier_alignment;
+    qtest generic_matches_direct_xdr;
+    qtest generic_matches_direct_courier;
+    qtest generic_unmarshal_roundtrip;
+    qtest encoded_size_consistent;
+    Alcotest.test_case "XDR wire format" `Quick xdr_wire_format;
+    Alcotest.test_case "Courier wire format" `Quick courier_wire_format;
+    Alcotest.test_case "XDR rejects garbage" `Quick xdr_rejects_garbage;
+    Alcotest.test_case "IDL conformance negatives" `Quick idl_conformance_negative;
+    qtest idl_default_value_conforms;
+    Alcotest.test_case "value accessors" `Quick value_accessors;
+    Alcotest.test_case "cost model" `Quick cost_model_linear;
+    Alcotest.test_case "data rep names" `Quick data_rep_names;
+  ]

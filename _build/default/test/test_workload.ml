@@ -1,0 +1,103 @@
+(* Tests for the workload library: Zipf sampling, name generation, the
+   experiment helpers, and calibration sanity. *)
+
+open Helpers
+
+let zipf_bounds =
+  QCheck.Test.make ~name:"zipf samples in range" ~count:300
+    QCheck.(pair (int_range 1 50) (float_range 0.0 3.0))
+    (fun (n, s) ->
+      let z = Workload.Zipf.create ~n ~s in
+      let rng = Sim.Rng.create ~seed:1L in
+      let ok = ref true in
+      for _ = 1 to 50 do
+        let k = Workload.Zipf.sample z rng in
+        if k < 0 || k >= n then ok := false
+      done;
+      !ok)
+
+let zipf_pmf_sums_to_one () =
+  let z = Workload.Zipf.create ~n:20 ~s:1.2 in
+  let total = ref 0.0 in
+  for k = 0 to 19 do
+    total := !total +. Workload.Zipf.pmf z k
+  done;
+  check_bool "pmf sums to 1" true (Float.abs (!total -. 1.0) < 1e-9)
+
+let zipf_skew_orders_ranks () =
+  let z = Workload.Zipf.create ~n:10 ~s:1.5 in
+  check_bool "rank 0 most likely" true (Workload.Zipf.pmf z 0 > Workload.Zipf.pmf z 1);
+  check_bool "monotone" true (Workload.Zipf.pmf z 1 > Workload.Zipf.pmf z 9)
+
+let zipf_uniform_when_s_zero () =
+  let z = Workload.Zipf.create ~n:4 ~s:0.0 in
+  for k = 0 to 3 do
+    check_bool "uniform pmf" true (Float.abs (Workload.Zipf.pmf z k -. 0.25) < 1e-9)
+  done
+
+let zipf_skew_concentrates () =
+  let count_distinct s =
+    let z = Workload.Zipf.create ~n:100 ~s in
+    let rng = Sim.Rng.create ~seed:5L in
+    let seen = Hashtbl.create 16 in
+    for _ = 1 to 200 do
+      Hashtbl.replace seen (Workload.Zipf.sample z rng) ()
+    done;
+    Hashtbl.length seen
+  in
+  check_bool "higher skew -> fewer distinct names" true
+    (count_distinct 2.0 < count_distinct 0.2)
+
+let namegen_shapes () =
+  let hosts = Workload.Namegen.hosts ~count:3 ~zone:"z.edu" in
+  check (Alcotest.list Alcotest.string) "hosts" [ "host00.z.edu"; "host01.z.edu"; "host02.z.edu" ] hosts;
+  let svcs = Workload.Namegen.services ~count:2 ~base:100 in
+  check_bool "services numbered" true (svcs = [ ("svc00", (100, 1)); ("svc01", (101, 1)) ]);
+  check_int "words" 5 (List.length (Workload.Namegen.words ~count:5 ~seed:3L))
+
+let experiment_cells () =
+  let c = Workload.Experiment.cell ~label:"x" ~paper_ms:100.0 ~measured_ms:110.0 in
+  check_bool "rel err" true (Float.abs (Workload.Experiment.relative_error c -. 0.1) < 1e-9);
+  check_bool "within 15%" true (Workload.Experiment.within ~tolerance:0.15 c);
+  check_bool "not within 5%" false (Workload.Experiment.within ~tolerance:0.05 c)
+
+let calib_hand_marshal_matches_paper () =
+  List.iter
+    (fun (rr_count, paper) ->
+      let ours = Workload.Calib.hand_marshal_ms ~rr_count in
+      check_bool "within 1%" true (Float.abs (ours -. paper) /. paper < 0.01)
+    )
+    Workload.Calib.Paper.hand_marshal
+
+let calib_generated_cost_matches_table_3_2 () =
+  (* 1 RR ~ 6 value nodes, 6 RRs ~ 31: the fit must land on the
+     marshalled-minus-demarshalled deltas. *)
+  let cost nodes =
+    Workload.Calib.generated_cost.Wire.Generic_marshal.per_call_ms
+    +. (Workload.Calib.generated_cost.Wire.Generic_marshal.per_node_ms *. float_of_int nodes)
+  in
+  check_bool "1 RR demarshal ~10.28" true (Float.abs (cost 6 -. 10.28) < 0.1);
+  check_bool "6 RR demarshal ~24.95" true (Float.abs (cost 31 -. 24.95) < 0.1)
+
+let repeat_timed_collects () =
+  let w = make_world ~hosts:1 () in
+  let stats =
+    in_sim w (fun () ->
+        Workload.Experiment.repeat_timed ~trials:4 (fun () -> Sim.Engine.sleep 10.0))
+  in
+  check_int "four trials" 4 (Sim.Stats.count stats);
+  check_float_near "each 10ms" 10.0 (Sim.Stats.mean stats)
+
+let suite =
+  [
+    qtest zipf_bounds;
+    Alcotest.test_case "zipf pmf sums" `Quick zipf_pmf_sums_to_one;
+    Alcotest.test_case "zipf skew order" `Quick zipf_skew_orders_ranks;
+    Alcotest.test_case "zipf uniform" `Quick zipf_uniform_when_s_zero;
+    Alcotest.test_case "zipf concentration" `Quick zipf_skew_concentrates;
+    Alcotest.test_case "namegen" `Quick namegen_shapes;
+    Alcotest.test_case "experiment cells" `Quick experiment_cells;
+    Alcotest.test_case "calib hand marshal" `Quick calib_hand_marshal_matches_paper;
+    Alcotest.test_case "calib generated cost" `Quick calib_generated_cost_matches_table_3_2;
+    Alcotest.test_case "repeat_timed" `Quick repeat_timed_collects;
+  ]

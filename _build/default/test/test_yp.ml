@@ -1,0 +1,215 @@
+(* Tests for the YP (NIS) name service and its federation into the
+   HNS — the third system type, added without touching anything
+   existing. *)
+
+open Helpers
+
+let scn = lazy (Workload.Scenario.build ())
+
+(* One YP domain, served from the agent host, federated as "ee-yp".
+   Shared lazily: registration mutates the scenario's meta database. *)
+let yp_world =
+  lazy
+    (let s = Lazy.force scn in
+     Workload.Scenario.in_sim s (fun () ->
+         let ypserv =
+           Yp.Yp_server.create s.agent_stack ~domain:"ee.washington.edu"
+             ~lookup_ms:14.0 ()
+         in
+         List.iter
+           (fun (host, addr) ->
+             Yp.Yp_server.set ypserv ~map:Yp.Yp_proto.map_hosts_byname ~key:host
+               (addr ^ " " ^ host))
+           [
+             ("sparcstation1", "10.1.0.1");
+             ("sparcstation2", "10.1.0.2");
+             ("laserwriter", "10.1.0.9");
+           ];
+         Yp.Yp_server.start ypserv;
+         (* Federate: NSMs on the NSM host, registrations in the meta db. *)
+         let ha =
+           Nsm.Hostaddr_nsm_yp.create s.nsm_stack ~yp_server:(Yp.Yp_server.addr ypserv)
+             ~domain:"ee.washington.edu" ~per_query_ms:Workload.Calib.nsm_per_query_ms
+             ()
+         in
+         let ha_server =
+           Nsm.Hostaddr_nsm_yp.serve ha
+             ~prog:(Hns.Nsm_intf.nsm_prog_base + 30)
+             ~service_overhead_ms:Workload.Calib.nsm_service_overhead_ms ()
+         in
+         Hrpc.Server.start ha_server;
+         let admin_meta =
+           Hns.Meta_client.create s.meta_stack
+             ~meta_server:(Dns.Server.addr s.meta_bind)
+             ~cache:(Hns.Cache.create ~mode:Hns.Cache.Demarshalled ()) ()
+         in
+         let host_of stack =
+           Printf.sprintf "%s.%s" (Transport.Netstack.host stack).Sim.Topology.hostname
+             s.zone
+         in
+         let reg = function
+           | Ok () -> ()
+           | Error e -> Alcotest.failf "setup failed: %s" (Hns.Errors.to_string e)
+         in
+         reg
+           (Hns.Admin.register_name_service admin_meta ~name:"EE-YP"
+              {
+                Hns.Meta_schema.ns_type = "yp";
+                ns_host = host_of s.agent_stack;
+                ns_host_context = s.bind_context;
+                ns_port = Yp.Yp_server.port ypserv;
+              });
+         reg (Hns.Admin.register_context admin_meta ~context:"ee-yp" ~ns:"EE-YP");
+         reg
+           (Hns.Admin.register_nsm_server admin_meta ~name:"ha-yp" ~ns:"EE-YP"
+              ~query_class:Hns.Query_class.host_address ~host:(host_of s.nsm_stack)
+              ~host_context:s.bind_context
+              (Hrpc.Server.binding ha_server));
+         (s, ypserv)))
+
+(* --- the YP protocol itself --- *)
+
+let yp_match_and_domain () =
+  let s, ypserv = Lazy.force yp_world in
+  Workload.Scenario.in_sim s (fun () ->
+      let c =
+        Yp.Yp_client.create s.client_stack ~server:(Yp.Yp_server.addr ypserv)
+          ~domain:"ee.washington.edu"
+      in
+      check_bool "domain served" true (get_ok ~msg:"domain" (Yp.Yp_client.check_domain c));
+      (match Yp.Yp_client.match_ c ~map:Yp.Yp_proto.map_hosts_byname "sparcstation1" with
+      | Ok (Some v) -> check_string "entry" "10.1.0.1 sparcstation1" v
+      | _ -> Alcotest.fail "match should find the host");
+      match Yp.Yp_client.match_ c ~map:Yp.Yp_proto.map_hosts_byname "vaxstation" with
+      | Ok None -> ()
+      | _ -> Alcotest.fail "unknown key should be unbound")
+
+let yp_wrong_domain_unbound () =
+  let s, ypserv = Lazy.force yp_world in
+  Workload.Scenario.in_sim s (fun () ->
+      let c =
+        Yp.Yp_client.create s.client_stack ~server:(Yp.Yp_server.addr ypserv)
+          ~domain:"other.domain"
+      in
+      check_bool "domain refused" false
+        (get_ok ~msg:"domain" (Yp.Yp_client.check_domain c));
+      match Yp.Yp_client.match_ c ~map:Yp.Yp_proto.map_hosts_byname "sparcstation1" with
+      | Ok None -> ()
+      | _ -> Alcotest.fail "wrong domain must not answer")
+
+let yp_enumeration () =
+  let s, ypserv = Lazy.force yp_world in
+  Workload.Scenario.in_sim s (fun () ->
+      let c =
+        Yp.Yp_client.create s.client_stack ~server:(Yp.Yp_server.addr ypserv)
+          ~domain:"ee.washington.edu"
+      in
+      let entries = get_ok ~msg:"all" (Yp.Yp_client.all c ~map:Yp.Yp_proto.map_hosts_byname) in
+      check_int "three hosts" 3 (List.length entries);
+      check_string "insertion order" "sparcstation1" (fst (List.hd entries)))
+
+let yp_update_visible () =
+  (* direct access again: a native tool edits the YP map; the next
+     MATCH sees it with no reregistration anywhere. *)
+  let s, ypserv = Lazy.force yp_world in
+  Workload.Scenario.in_sim s (fun () ->
+      Yp.Yp_server.set ypserv ~map:Yp.Yp_proto.map_hosts_byname ~key:"newsun"
+        "10.1.0.42 newsun";
+      let c =
+        Yp.Yp_client.create s.client_stack ~server:(Yp.Yp_server.addr ypserv)
+          ~domain:"ee.washington.edu"
+      in
+      match Yp.Yp_client.match_ c ~map:Yp.Yp_proto.map_hosts_byname "newsun" with
+      | Ok (Some _) -> Yp.Yp_server.remove ypserv ~map:Yp.Yp_proto.map_hosts_byname ~key:"newsun"
+      | _ -> Alcotest.fail "native update must be visible")
+
+(* --- federation through the HNS --- *)
+
+let yp_context_resolves_through_hns () =
+  let s, _ = Lazy.force yp_world in
+  let r =
+    Workload.Scenario.in_sim s (fun () ->
+        let hns = Workload.Scenario.new_hns s ~on:s.client_stack in
+        get_ok ~msg:"resolve"
+          (Hns.Client.resolve hns ~query_class:Hns.Query_class.host_address
+             ~payload_ty:Hns.Nsm_intf.host_address_payload_ty
+             (Hns.Hns_name.make ~context:"ee-yp" ~name:"laserwriter")))
+  in
+  check_bool "YP-backed address through the HNS" true
+    (r = Some (Wire.Value.Uint 0x0A010009l))
+
+let yp_nsm_identical_interface () =
+  (* The three host-address NSMs (BIND, CH, YP) answer the same query
+     class through the same client code path. *)
+  let s, _ = Lazy.force yp_world in
+  let answers =
+    Workload.Scenario.in_sim s (fun () ->
+        let hns = Workload.Scenario.new_hns s ~on:s.client_stack in
+        List.map
+          (fun (context, name) ->
+            match
+              Hns.Client.resolve hns ~query_class:Hns.Query_class.host_address
+                ~payload_ty:Hns.Nsm_intf.host_address_payload_ty
+                (Hns.Hns_name.make ~context ~name)
+            with
+            | Ok (Some (Wire.Value.Uint _)) -> true
+            | _ -> false)
+          [
+            (s.bind_context, s.service_host);
+            (s.ch_context, "dandelion");
+            ("ee-yp", "sparcstation2");
+          ])
+  in
+  check_bool "all three system types answer" true (List.for_all Fun.id answers)
+
+let yp_binding_nsm_full_import () =
+  (* Stand a Sun RPC service on a "YP host" and import it through the
+     YP binding NSM: hosts.byname + portmapper. *)
+  let s, ypserv = Lazy.force yp_world in
+  Workload.Scenario.in_sim s (fun () ->
+      (* The YP host is really the agent stack; alias it in the map. *)
+      Yp.Yp_server.set ypserv ~map:Yp.Yp_proto.map_hosts_byname ~key:"sunfs"
+        (Transport.Address.ip_to_string (Transport.Netstack.ip s.agent_stack) ^ " sunfs");
+      let pm =
+        Rpc.Portmap.start
+          ~service_overhead_ms:Workload.Calib.portmapper_service_overhead_ms
+          s.agent_stack
+      in
+      let target = Rpc.Sunrpc.create s.agent_stack ~port:3300 () in
+      let sign = Wire.Idl.signature ~arg:Wire.Idl.T_string ~res:Wire.Idl.T_string in
+      Rpc.Sunrpc.register target ~prog:200777 ~vers:1 ~procnum:1 ~sign (fun v -> v);
+      Rpc.Sunrpc.start target;
+      Rpc.Portmap.set pm ~prog:200777 ~vers:1 ~protocol:Rpc.Portmap.P_udp ~port:3300;
+      let nsm =
+        Nsm.Binding_nsm_yp.create s.client_stack ~yp_server:(Yp.Yp_server.addr ypserv)
+          ~domain:"ee.washington.edu"
+          ~services:[ ("sunfsd", (200777, 1)) ]
+          ()
+      in
+      match
+        Hns.Nsm_intf.call_linked (Nsm.Binding_nsm_yp.impl nsm) ~service:"sunfsd"
+          ~hns_name:(Hns.Hns_name.make ~context:"ee-yp" ~name:"sunfs")
+      with
+      | Ok (Some payload) -> (
+          let binding = Hrpc.Binding.of_value payload in
+          check_int "right port" 3300 binding.Hrpc.Binding.server.Transport.Address.port;
+          (* and the binding works *)
+          match
+            Hrpc.Client.call s.client_stack binding ~procnum:1 ~sign
+              (Wire.Value.Str "via YP")
+          with
+          | Ok (Wire.Value.Str "via YP") -> ()
+          | _ -> Alcotest.fail "imported binding should work")
+      | Ok None -> Alcotest.fail "service should be found"
+      | Error e -> Alcotest.failf "YP binding NSM failed: %s" (Hns.Errors.to_string e))
+
+let suite =
+  [
+    Alcotest.test_case "ypmatch + domain" `Quick yp_match_and_domain;
+    Alcotest.test_case "wrong domain" `Quick yp_wrong_domain_unbound;
+    Alcotest.test_case "map enumeration" `Quick yp_enumeration;
+    Alcotest.test_case "native update visible" `Quick yp_update_visible;
+    Alcotest.test_case "resolve via HNS" `Quick yp_context_resolves_through_hns;
+    Alcotest.test_case "three backends, one interface" `Quick yp_nsm_identical_interface;
+    Alcotest.test_case "YP binding NSM import" `Quick yp_binding_nsm_full_import;
+  ]

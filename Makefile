@@ -1,0 +1,30 @@
+# Convenience wrappers around dune; `make check` is the pre-commit gate.
+
+.PHONY: all build test bench check fmt clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+# ocamlformat is optional in the container: format when present, skip
+# (with a note) when not, so check works everywhere.
+fmt:
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+		dune build @fmt --auto-promote || true; \
+	else \
+		echo "ocamlformat not installed; skipping fmt"; \
+	fi
+
+check: fmt
+	dune build
+	dune runtest
+
+clean:
+	dune clean

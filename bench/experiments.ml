@@ -1037,3 +1037,101 @@ let scale_types () =
     \  flexibility the paper kept the mappings separate to get. A new\n\
     \  context's first query is cheaper than the first ever query because\n\
     \  mappings 2-6 are already cached.\n"
+
+(* --- JSON artifacts ------------------------------------------------- *)
+
+(* Per-experiment latency distributions for BENCH_hns.json. Each row
+   repeats a compact workload [n] times on the virtual clock so the
+   document carries p50/p95, not single shots. *)
+let json_rows ?(n = 8) () =
+  let scn = S.build () in
+  let sampled name f =
+    let stats = Sim.Stats.create ~name () in
+    for _ = 1 to n do
+      Sim.Stats.add stats (f scn)
+    done;
+    (name, stats)
+  in
+  let resolve (scn : S.t) hns =
+    let (), d =
+      S.timed (fun () ->
+          match
+            Hns.Client.resolve hns ~query_class:Hns.Query_class.host_address
+              ~payload_ty:Hns.Nsm_intf.host_address_payload_ty (import_name scn)
+          with
+          | Ok (Some _) -> ()
+          | Ok None -> failwith "resolve: not found"
+          | Error e -> failwith (Hns.Errors.to_string e))
+    in
+    d
+  in
+  let resolve_cold (scn : S.t) =
+    S.in_sim scn (fun () -> resolve scn (S.new_hns scn ~on:scn.client_stack))
+  in
+  let resolve_warm (scn : S.t) =
+    S.in_sim scn (fun () ->
+        let hns = S.new_hns scn ~on:scn.client_stack in
+        ignore (resolve scn hns);
+        resolve scn hns)
+  in
+  let find_nsm (scn : S.t) hns =
+    let (), d =
+      S.timed (fun () ->
+          match
+            Hns.Client.find_nsm hns ~context:scn.bind_context
+              ~query_class:Hns.Query_class.hrpc_binding
+          with
+          | Ok _ -> ()
+          | Error e -> failwith (Hns.Errors.to_string e))
+    in
+    d
+  in
+  let find_nsm_cold (scn : S.t) =
+    S.in_sim scn (fun () -> find_nsm scn (S.new_hns scn ~on:scn.client_stack))
+  in
+  let find_nsm_warm (scn : S.t) =
+    S.in_sim scn (fun () ->
+        let hns = S.new_hns scn ~on:scn.client_stack in
+        ignore (find_nsm scn hns);
+        find_nsm scn hns)
+  in
+  let import_rows =
+    List.concat_map
+      (fun (label, arrangement) ->
+        let miss = Sim.Stats.create () in
+        let hns_hit = Sim.Stats.create () in
+        let both_hit = Sim.Stats.create () in
+        for _ = 1 to n do
+          let a, b, c = measure_table_3_1_row scn arrangement in
+          Sim.Stats.add miss a;
+          Sim.Stats.add hns_hit b;
+          Sim.Stats.add both_hit c
+        done;
+        [
+          (label ^ ".miss", miss);
+          (label ^ ".hns_hit", hns_hit);
+          (label ^ ".both_hit", both_hit);
+        ])
+      [
+        ("import.all_linked", Hns.Import.All_linked);
+        ("import.all_remote", Hns.Import.All_remote);
+      ]
+  in
+  [
+    sampled "resolve.cold" resolve_cold;
+    sampled "resolve.warm" resolve_warm;
+    sampled "find_nsm.cold" find_nsm_cold;
+    sampled "find_nsm.warm" find_nsm_warm;
+  ]
+  @ import_rows
+
+(* Write BENCH_hns.json (latency distributions) and BENCH_obs.json (the
+   metrics registry as left by everything this process ran). Returns
+   both paths. *)
+let write_json_artifacts ?(dir = ".") ?n () =
+  let rows = json_rows ?n () in
+  let bench_path = Filename.concat dir "BENCH_hns.json" in
+  Obs.Export.write_bench_json ~path:bench_path rows;
+  let obs_path = Filename.concat dir "BENCH_obs.json" in
+  Obs.Export.write_metrics_snapshot ~path:obs_path ();
+  (bench_path, obs_path)

@@ -105,6 +105,11 @@ let run_bechamel () =
     (List.map (fun t -> Test.make_grouped ~name:"" [ t ]) (bechamel_tests ()));
   print_newline ()
 
+let write_artifacts () =
+  let bench_path, obs_path = Experiments.write_json_artifacts () in
+  Printf.printf "wrote %s (latency distributions) and %s (metrics registry)\n"
+    bench_path obs_path
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let args = List.filter (fun a -> a <> "--") args in
@@ -113,6 +118,9 @@ let () =
   match args with
   | [ "--list" ] ->
       List.iter (fun (name, descr, _) -> Printf.printf "%-12s %s\n" name descr) experiments
+  | [ "--json" ] ->
+      (* Just the machine-readable artifacts. *)
+      write_artifacts ()
   | [] ->
       print_endline "HNS evaluation: reproducing every table and figure (SOSP 1987)";
       print_endline "================================================================";
@@ -123,7 +131,8 @@ let () =
           print_endline "%%";
           print_newline ())
         experiments;
-      if with_bechamel then run_bechamel ()
+      if with_bechamel then run_bechamel ();
+      write_artifacts ()
   | names ->
       List.iter
         (fun name ->

@@ -26,6 +26,32 @@ let parse_hns_name s =
   | name -> Ok name
   | exception Invalid_argument m -> Error m
 
+(* --- observability plumbing --- *)
+
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "After the operation, print the span tree and the metrics panel \
+           for this run (scenario set-up is excluded).")
+
+(* Building the scenario itself exercises the instrumented layers, so
+   with [--stats] the registry is reset and tracing enabled only around
+   the measured operation. *)
+let with_obs ~stats f =
+  if stats then begin
+    Obs.Metrics.reset ();
+    Obs.Span.clear ();
+    Obs.Span.enable ()
+  end;
+  let r = f () in
+  if stats then begin
+    Format.printf "@.spans:@.%a" Obs.Span.pp_tree ();
+    Format.printf "@.metrics:@.%a" Obs.Export.pp_metrics ()
+  end;
+  r
+
 (* --- resolve --- *)
 
 let resolve_cmd =
@@ -42,7 +68,7 @@ let resolve_cmd =
       & info [ "query-class"; "q" ] ~docv:"CLASS"
           ~doc:"Query class (HostAddress, FileLocation, MailboxLocation).")
   in
-  let run name_str query_class =
+  let run name_str query_class stats =
     match parse_hns_name name_str with
     | Error m ->
         Printf.eprintf "bad HNS name: %s\n" m;
@@ -54,29 +80,30 @@ let resolve_cmd =
             1
         | Some payload_ty ->
             with_scenario (fun _scn hns ->
-                let t0 = Sim.Engine.time () in
-                match Hns.Client.resolve hns ~query_class ~payload_ty name with
-                | Ok (Some v) ->
-                    let rendered =
-                      match v with
-                      | Wire.Value.Uint ip -> Transport.Address.ip_to_string ip
-                      | Wire.Value.Str s -> s
-                      | other -> Wire.Value.to_string other
-                    in
-                    Printf.printf "%s = %s   (%.1f ms virtual)\n"
-                      (Hns.Hns_name.to_string name) rendered
-                      (Sim.Engine.time () -. t0);
-                    0
-                | Ok None ->
-                    Printf.printf "%s: not found\n" (Hns.Hns_name.to_string name);
-                    1
-                | Error e ->
-                    Printf.printf "error: %s\n" (Hns.Errors.to_string e);
-                    1))
+                with_obs ~stats (fun () ->
+                    let t0 = Sim.Engine.time () in
+                    match Hns.Client.resolve hns ~query_class ~payload_ty name with
+                    | Ok (Some v) ->
+                        let rendered =
+                          match v with
+                          | Wire.Value.Uint ip -> Transport.Address.ip_to_string ip
+                          | Wire.Value.Str s -> s
+                          | other -> Wire.Value.to_string other
+                        in
+                        Printf.printf "%s = %s   (%.1f ms virtual)\n"
+                          (Hns.Hns_name.to_string name) rendered
+                          (Sim.Engine.time () -. t0);
+                        0
+                    | Ok None ->
+                        Printf.printf "%s: not found\n" (Hns.Hns_name.to_string name);
+                        1
+                    | Error e ->
+                        Printf.printf "error: %s\n" (Hns.Errors.to_string e);
+                        1)))
   in
   Cmd.v
     (Cmd.info "resolve" ~doc:"Resolve an HNS name through the federation.")
-    Term.(const run $ name_arg $ class_arg)
+    Term.(const run $ name_arg $ class_arg $ stats_arg)
 
 (* --- import --- *)
 
@@ -211,8 +238,9 @@ let contexts_cmd =
 (* --- trace --- *)
 
 let trace_cmd =
-  let run () =
+  let run stats =
     with_scenario (fun scn hns ->
+        with_obs ~stats (fun () ->
         (* Narrate one FindNSM by instrumenting the virtual clock. *)
         let name = Hns.Hns_name.make ~context:scn.bind_context ~name:scn.service_host in
         Printf.printf "FindNSM(%S, %S):\n" name.context Hns.Query_class.hrpc_binding;
@@ -243,11 +271,56 @@ let trace_cmd =
              ~query_class:Hns.Query_class.hrpc_binding);
         Printf.printf "  warm walk (%.1f ms):\n" (Sim.Engine.time () -. t1);
         print_walk ();
-        0)
+        0))
   in
   Cmd.v
     (Cmd.info "trace" ~doc:"Trace a cold and a warm FindNSM walk.")
-    Term.(const run $ const ())
+    Term.(const run $ stats_arg)
+
+(* --- stats --- *)
+
+let stats_cmd =
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit one compact JSON object per metric instead of the table.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"PATH"
+          ~doc:"Also write the registry as a BENCH_obs.json snapshot to $(docv).")
+  in
+  let run json out =
+    with_scenario (fun scn hns ->
+        (* Scripted workload: a cold then warm resolve for each query
+           class, so every instrumented layer registers activity. *)
+        Obs.Metrics.reset ();
+        let name = Hns.Hns_name.make ~context:scn.bind_context ~name:scn.service_host in
+        let resolve ?service query_class =
+          match Hns.Nsm_intf.payload_ty_of query_class with
+          | None -> ()
+          | Some payload_ty ->
+              ignore (Hns.Client.resolve hns ~query_class ~payload_ty ?service name)
+        in
+        let twice ?service qc =
+          resolve ?service qc;
+          resolve ?service qc
+        in
+        twice Hns.Query_class.host_address;
+        twice ~service:scn.service_name Hns.Query_class.hrpc_binding;
+        if json then print_string (Obs.Export.metrics_json_lines ())
+        else Format.printf "%a" Obs.Export.pp_metrics ();
+        Option.iter (fun path -> Obs.Export.write_metrics_snapshot ~path ()) out;
+        0)
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Run a scripted resolve workload and dump the full metrics registry.")
+    Term.(const run $ json_arg $ out_arg)
 
 (* --- network services --- *)
 
@@ -365,6 +438,7 @@ let () =
             meta_dump_cmd;
             contexts_cmd;
             trace_cmd;
+            stats_cmd;
             fetch_cmd;
             send_mail_cmd;
             rexec_cmd;

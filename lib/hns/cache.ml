@@ -19,6 +19,30 @@ type t = {
 (* The canonical storage representation for marshalled entries. *)
 let storage_rep = Wire.Data_rep.Xdr
 
+(* Registry instruments, split by storage mode so Table 3.2's
+   marshalled-vs-demarshalled contrast shows up on the panel. *)
+type mode_metrics = {
+  m_hits : Obs.Metrics.counter;
+  m_misses : Obs.Metrics.counter;
+  m_evictions : Obs.Metrics.counter;
+  m_hit_ms : Obs.Metrics.histogram;
+}
+
+let mode_metrics prefix =
+  {
+    m_hits = Obs.Metrics.counter (prefix ^ ".hits");
+    m_misses = Obs.Metrics.counter (prefix ^ ".misses");
+    m_evictions = Obs.Metrics.counter (prefix ^ ".evictions");
+    m_hit_ms = Obs.Metrics.histogram (prefix ^ ".hit_ms");
+  }
+
+let marshalled_metrics = mode_metrics "hns.cache.marshalled"
+let demarshalled_metrics = mode_metrics "hns.cache.demarshalled"
+
+let metrics_of = function
+  | Marshalled -> marshalled_metrics
+  | Demarshalled -> demarshalled_metrics
+
 let create ~mode
     ?(generated_cost = { Wire.Generic_marshal.per_call_ms = 0.0; per_node_ms = 0.0 })
     ?(hit_overhead_ms = 0.0) ?(hit_per_node_ms = 0.0) ?(insert_overhead_ms = 0.0)
@@ -47,14 +71,24 @@ let now () =
   try Sim.Engine.time () with Effect.Unhandled _ -> 0.0
 
 let find t ~key ~ty =
+  let m = metrics_of t.mode in
+  let miss () =
+    t.miss_count <- t.miss_count + 1;
+    Obs.Metrics.incr m.m_misses;
+    None
+  in
+  let hit_t0 = Obs.Metrics.now_ms () in
+  let hit v =
+    Obs.Metrics.incr m.m_hits;
+    Obs.Metrics.observe m.m_hit_ms (Obs.Metrics.now_ms () -. hit_t0);
+    Some v
+  in
   match Hashtbl.find_opt t.tbl key with
-  | None ->
-      t.miss_count <- t.miss_count + 1;
-      None
+  | None -> miss ()
   | Some entry when entry.expires_at <= now () ->
       Hashtbl.remove t.tbl key;
-      t.miss_count <- t.miss_count + 1;
-      None
+      Obs.Metrics.incr m.m_evictions;
+      miss ()
   | Some entry -> (
       t.hit_count <- t.hit_count + 1;
       match entry.stored with
@@ -62,7 +96,7 @@ let find t ~key ~ty =
           charge
             (t.hit_overhead_ms
             +. (t.hit_per_node_ms *. float_of_int (Wire.Value.node_count v)));
-          Some v
+          hit v
       | Bytes_form bytes -> (
           (* The marshalled cache really demarshals on every access,
              and pays the generated-stub price for it. *)
@@ -71,11 +105,11 @@ let find t ~key ~ty =
           | exception _ ->
               Hashtbl.remove t.tbl key;
               t.hit_count <- t.hit_count - 1;
-              t.miss_count <- t.miss_count + 1;
-              None
+              Obs.Metrics.incr m.m_evictions;
+              miss ()
           | v ->
               charge (Wire.Generic_marshal.cost t.generated_cost v);
-              Some v))
+              hit v))
 
 let insert t ~key ~ty ?ttl_ms v =
   let ttl = match ttl_ms with Some ms -> ms | None -> t.default_ttl_ms in

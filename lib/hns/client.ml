@@ -24,12 +24,32 @@ let cache t = Meta_client.cache t.meta_
 let link_hostaddr_nsm t ~name impl = Find_nsm.link_hostaddr_nsm t.finder_ ~name impl
 let find_nsm t ~context ~query_class = Find_nsm.find t.finder_ ~context ~query_class
 
+let m_resolves = Obs.Metrics.counter "hns.client.resolves"
+let m_resolve_errors = Obs.Metrics.counter "hns.client.resolve_errors"
+
+(* Per-query-class latency: one histogram per class, named
+   hns.client.resolve_ms.<class>. Resolved per call — the class set is
+   tiny and the registry lookup is one hashtable probe. *)
+let resolve_ms_hist query_class =
+  Obs.Metrics.histogram
+    ("hns.client.resolve_ms." ^ String.lowercase_ascii query_class)
+
 let resolve t ~query_class ~payload_ty ?(service = "") hns_name =
-  match find_nsm t ~context:hns_name.Hns_name.context ~query_class with
-  | Error _ as e -> e
-  | Ok resolved ->
-      Nsm_intf.call t.stack_ (Nsm_intf.Remote resolved.Find_nsm.binding) ~payload_ty
-        ~service ~hns_name
+  Obs.Metrics.incr m_resolves;
+  Obs.Metrics.time (resolve_ms_hist query_class) (fun () ->
+      let result =
+        Obs.Span.with_span "resolve"
+          ~attrs:
+            [ ("name", Hns_name.to_string hns_name); ("query_class", query_class) ]
+          (fun () ->
+            match find_nsm t ~context:hns_name.Hns_name.context ~query_class with
+            | Error _ as e -> e
+            | Ok resolved ->
+                Nsm_intf.call t.stack_ (Nsm_intf.Remote resolved.Find_nsm.binding)
+                  ~payload_ty ~service ~hns_name)
+      in
+      (match result with Error _ -> Obs.Metrics.incr m_resolve_errors | Ok _ -> ());
+      result)
 
 let preload t = Meta_client.preload t.meta_
 let flush_cache t = Cache.flush (cache t)

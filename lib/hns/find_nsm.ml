@@ -5,6 +5,10 @@ type t = {
   linked_hostaddr : (string, Nsm_intf.impl) Hashtbl.t;
 }
 
+let m_calls = Obs.Metrics.counter "hns.find_nsm.calls"
+let m_errors = Obs.Metrics.counter "hns.find_nsm.errors"
+let m_ms = Obs.Metrics.histogram "hns.find_nsm.ms"
+
 let create ~meta () = { meta_ = meta; linked_hostaddr = Hashtbl.create 8 }
 let meta t = t.meta_
 
@@ -14,91 +18,119 @@ let link_hostaddr_nsm t ~name impl =
 
 (* Mapping 1 (and 4): context -> name-service name. *)
 let context_to_ns t context =
-  match
-    Meta_client.lookup t.meta_ ~key:(Meta_schema.context_key context)
-      ~ty:Meta_schema.string_ty
-  with
-  | Error _ as e -> e
-  | Ok None -> Error (Errors.Unknown_context context)
-  | Ok (Some v) -> Ok (Wire.Value.get_str v)
+  Obs.Span.with_span "ctx_to_ns" ~attrs:[ ("context", context) ] (fun () ->
+      match
+        Meta_client.lookup t.meta_ ~key:(Meta_schema.context_key context)
+          ~ty:Meta_schema.string_ty
+      with
+      | Error _ as e -> e
+      | Ok None -> Error (Errors.Unknown_context context)
+      | Ok (Some v) ->
+          let ns = Wire.Value.get_str v in
+          Obs.Span.add_attr "ns" ns;
+          Ok ns)
 
 (* Mapping 2 (and 5): (ns, query class) -> NSM name. *)
 let ns_to_nsm t ~ns ~query_class =
-  match
-    Meta_client.lookup t.meta_
-      ~key:(Meta_schema.nsm_name_key ~ns ~query_class)
-      ~ty:Meta_schema.string_ty
-  with
-  | Error _ as e -> e
-  | Ok None -> Error (Errors.No_nsm { ns; query_class })
-  | Ok (Some v) -> Ok (Wire.Value.get_str v)
+  Obs.Span.with_span "ns_to_nsm"
+    ~attrs:[ ("ns", ns); ("query_class", query_class) ]
+    (fun () ->
+      match
+        Meta_client.lookup t.meta_
+          ~key:(Meta_schema.nsm_name_key ~ns ~query_class)
+          ~ty:Meta_schema.string_ty
+      with
+      | Error _ as e -> e
+      | Ok None -> Error (Errors.No_nsm { ns; query_class })
+      | Ok (Some v) ->
+          let nsm = Wire.Value.get_str v in
+          Obs.Span.add_attr "nsm" nsm;
+          Ok nsm)
 
 (* Mapping 3: NSM name -> binding information (with a host name). *)
 let nsm_to_info t nsm_name =
-  match
-    Meta_client.lookup t.meta_
-      ~key:(Meta_schema.nsm_binding_key nsm_name)
-      ~ty:Meta_schema.nsm_info_ty
-  with
-  | Error _ as e -> e
-  | Ok None -> Error (Errors.Unknown_nsm nsm_name)
-  | Ok (Some v) -> Ok (Meta_schema.nsm_info_of_value v)
+  Obs.Span.with_span "nsm_to_binding" ~attrs:[ ("nsm", nsm_name) ] (fun () ->
+      match
+        Meta_client.lookup t.meta_
+          ~key:(Meta_schema.nsm_binding_key nsm_name)
+          ~ty:Meta_schema.nsm_info_ty
+      with
+      | Error _ as e -> e
+      | Ok None -> Error (Errors.Unknown_nsm nsm_name)
+      | Ok (Some v) -> Ok (Meta_schema.nsm_info_of_value v))
 
 (* Mappings 4-6: host name in a context -> network address. All three
    mappings are always consulted (cheaply, as cache hits on the warm
    path): the paper counts six data mappings per FindNSM regardless of
    cache state. *)
 let resolve_host t ~context ~host =
-  match context_to_ns t context with
-  | Error _ as e -> e
-  | Ok ns -> (
-      match ns_to_nsm t ~ns ~query_class:Query_class.host_address with
+  Obs.Span.with_span "resolve_host"
+    ~attrs:[ ("context", context); ("host", host) ]
+    (fun () ->
+      match context_to_ns t context with
       | Error _ as e -> e
-      | Ok hostaddr_nsm -> (
-          (* mapping six's HNS overhead is charged inside
-             [cached_host_addr] so the walk log accounts it *)
-          match Meta_client.cached_host_addr t.meta_ ~context ~host with
-          | Some ip -> Ok ip
-          | None -> (
-              match Hashtbl.find_opt t.linked_hostaddr hostaddr_nsm with
-              | None ->
-                  Error
-                    (Errors.Meta_error
-                       (Printf.sprintf
-                          "host-address NSM %S is not linked with this HNS instance"
-                          hostaddr_nsm))
-              | Some impl -> (
-                  let hns_name = Hns_name.make ~context ~name:host in
-                  match Nsm_intf.call_linked impl ~service:"" ~hns_name with
-                  | Error _ as e -> e
-                  | Ok None -> Error (Errors.Name_not_found hns_name)
-                  | Ok (Some (Wire.Value.Uint ip)) ->
-                      Meta_client.cache_host_addr t.meta_ ~context ~host ip;
-                      Ok ip
-                  | Ok (Some v) ->
-                      Error
-                        (Errors.Nsm_error
-                           ("host-address NSM returned " ^ Wire.Value.to_string v))))))
+      | Ok ns -> (
+          match ns_to_nsm t ~ns ~query_class:Query_class.host_address with
+          | Error _ as e -> e
+          | Ok hostaddr_nsm ->
+              Obs.Span.with_span "host_to_addr" ~attrs:[ ("host", host) ] (fun () ->
+                  (* mapping six's HNS overhead is charged inside
+                     [cached_host_addr] so the walk log accounts it *)
+                  match Meta_client.cached_host_addr t.meta_ ~context ~host with
+                  | Some ip -> Ok ip
+                  | None -> (
+                      match Hashtbl.find_opt t.linked_hostaddr hostaddr_nsm with
+                      | None ->
+                          Error
+                            (Errors.Meta_error
+                               (Printf.sprintf
+                                  "host-address NSM %S is not linked with this HNS \
+                                   instance"
+                                  hostaddr_nsm))
+                      | Some impl -> (
+                          let hns_name = Hns_name.make ~context ~name:host in
+                          match Nsm_intf.call_linked impl ~service:"" ~hns_name with
+                          | Error _ as e -> e
+                          | Ok None -> Error (Errors.Name_not_found hns_name)
+                          | Ok (Some (Wire.Value.Uint ip)) ->
+                              Meta_client.cache_host_addr t.meta_ ~context ~host ip;
+                              Ok ip
+                          | Ok (Some v) ->
+                              Error
+                                (Errors.Nsm_error
+                                   ("host-address NSM returned "
+                                  ^ Wire.Value.to_string v)))))))
 
 let find t ~context ~query_class =
-  match context_to_ns t context with
-  | Error _ as e -> e
-  | Ok ns_name -> (
-      match ns_to_nsm t ~ns:ns_name ~query_class with
-      | Error _ as e -> e
-      | Ok nsm_name -> (
-          match nsm_to_info t nsm_name with
-          | Error _ as e -> e
-          | Ok info -> (
-              match
-                resolve_host t ~context:info.Meta_schema.nsm_host_context
-                  ~host:info.Meta_schema.nsm_host
-              with
-              | Error _ as e -> e
-              | Ok ip ->
-                  let binding =
-                    Hrpc.Binding.make ~suite:info.Meta_schema.nsm_suite
-                      ~server:(Transport.Address.make ip info.Meta_schema.nsm_port)
-                      ~prog:info.Meta_schema.nsm_prog ~vers:info.Meta_schema.nsm_vers
-                  in
-                  Ok { ns_name; nsm_name; binding })))
+  Obs.Metrics.incr m_calls;
+  Obs.Metrics.time m_ms (fun () ->
+      let result =
+        Obs.Span.with_span "find_nsm"
+          ~attrs:[ ("context", context); ("query_class", query_class) ]
+          (fun () ->
+            match context_to_ns t context with
+            | Error _ as e -> e
+            | Ok ns_name -> (
+                match ns_to_nsm t ~ns:ns_name ~query_class with
+                | Error _ as e -> e
+                | Ok nsm_name -> (
+                    match nsm_to_info t nsm_name with
+                    | Error _ as e -> e
+                    | Ok info -> (
+                        match
+                          resolve_host t ~context:info.Meta_schema.nsm_host_context
+                            ~host:info.Meta_schema.nsm_host
+                        with
+                        | Error _ as e -> e
+                        | Ok ip ->
+                            let binding =
+                              Hrpc.Binding.make ~suite:info.Meta_schema.nsm_suite
+                                ~server:
+                                  (Transport.Address.make ip info.Meta_schema.nsm_port)
+                                ~prog:info.Meta_schema.nsm_prog
+                                ~vers:info.Meta_schema.nsm_vers
+                            in
+                            Ok { ns_name; nsm_name; binding }))))
+      in
+      (match result with Error _ -> Obs.Metrics.incr m_errors | Ok _ -> ());
+      result)

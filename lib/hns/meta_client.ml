@@ -34,6 +34,10 @@ let create stack ~meta_server ?(fallback_servers = []) ~cache
 let cache t = t.cache_
 let remote_lookups t = t.lookup_count
 
+let m_lookups = Obs.Metrics.counter "hns.meta.lookups"
+let m_remote_lookups = Obs.Metrics.counter "hns.meta.remote_lookups"
+let m_lookup_ms = Obs.Metrics.histogram "hns.meta.lookup_ms"
+
 let charge ms =
   if ms > 0.0 then
     try Sim.Engine.sleep ms with Effect.Unhandled _ -> ()
@@ -47,6 +51,7 @@ let fresh_id t =
    on both directions; reads fail over to replica servers in order. *)
 let raw_query t key =
   t.lookup_count <- t.lookup_count + 1;
+  Obs.Metrics.incr m_remote_lookups;
   let request = Dns.Msg.query ~id:(fresh_id t) key Dns.Rr.T_unspec in
   (* Request encode through the generated path: fixed entry cost. *)
   charge t.generated_cost.Wire.Generic_marshal.per_call_ms;
@@ -121,9 +126,13 @@ let lookup_remote t ~key ~ty =
 
 let lookup t ~key ~ty =
   let t0 = now_ms () in
+  Obs.Metrics.incr m_lookups;
   charge_mapping_overhead t;
   let finish hit outcome =
-    log_mapping t (Meta_schema.cache_key key) hit (now_ms () -. t0);
+    let elapsed = now_ms () -. t0 in
+    Obs.Metrics.observe m_lookup_ms elapsed;
+    Obs.Span.add_attr "hit" (if hit then "true" else "false");
+    log_mapping t (Meta_schema.cache_key key) hit elapsed;
     outcome
   in
   match Cache.find t.cache_ ~key:(Meta_schema.cache_key key) ~ty with

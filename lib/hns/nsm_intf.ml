@@ -35,30 +35,50 @@ type impl = Wire.Value.t -> Wire.Value.t
 
 type access = Linked of impl | Remote of Hrpc.Binding.t
 
+let m_calls = Obs.Metrics.counter "hns.nsm.calls"
+let m_errors = Obs.Metrics.counter "hns.nsm.errors"
+let m_call_ms = Obs.Metrics.histogram "hns.nsm.call_ms"
+
 let interpret_result = function
   | Wire.Value.Union (0, payload) -> Ok (Some payload)
   | Wire.Value.Union (1, _) -> Ok None
   | v -> Error (Errors.Nsm_error ("unexpected NSM result " ^ Wire.Value.to_string v))
 
+(* Shared accounting for both access paths: one span per NSM call with
+   the access mode as attribute, plus call/error counters and virtual
+   latency. *)
+let instrumented ~access_label ~hns_name f =
+  Obs.Metrics.incr m_calls;
+  Obs.Metrics.time m_call_ms (fun () ->
+      let result =
+        Obs.Span.with_span "nsm_call"
+          ~attrs:
+            [ ("access", access_label); ("name", Hns_name.to_string hns_name) ]
+          f
+      in
+      (match result with Error _ -> Obs.Metrics.incr m_errors | Ok _ -> ());
+      result)
+
 let call_linked impl ~service ~hns_name =
   (* "C(local call) is effectively zero in the time scale of the
      other terms" — no charge for the call itself. *)
-  match impl (make_arg ~service ~hns_name) with
-  | v -> interpret_result v
-  | exception Failure m -> Error (Errors.Nsm_error m)
+  instrumented ~access_label:"linked" ~hns_name (fun () ->
+      match impl (make_arg ~service ~hns_name) with
+      | v -> interpret_result v
+      | exception Failure m -> Error (Errors.Nsm_error m))
 
 let call stack access ~payload_ty ~service ~hns_name =
   let arg = make_arg ~service ~hns_name in
   match access with
-  | Linked impl -> (
+  | Linked impl ->
       ignore stack;
-      match impl arg with
-      | v -> interpret_result v
-      | exception Failure m -> Error (Errors.Nsm_error m))
-  | Remote binding -> (
-      let sign = query_sign ~payload_ty in
-      match
-        Hrpc.Client.call stack binding ~procnum:query_procnum ~sign arg
-      with
-      | Error e -> Error (Errors.Rpc_error e)
-      | Ok v -> interpret_result v)
+      instrumented ~access_label:"linked" ~hns_name (fun () ->
+          match impl arg with
+          | v -> interpret_result v
+          | exception Failure m -> Error (Errors.Nsm_error m))
+  | Remote binding ->
+      instrumented ~access_label:"remote" ~hns_name (fun () ->
+          let sign = query_sign ~payload_ty in
+          match Hrpc.Client.call stack binding ~procnum:query_procnum ~sign arg with
+          | Error e -> Error (Errors.Rpc_error e)
+          | Ok v -> interpret_result v)

@@ -12,7 +12,10 @@ type t =
       credentials : Clearinghouse.Ch_proto.credentials;
     }
 
-let resolve stack = function
+let m_binds = Obs.Metrics.counter "hrpc.bind.resolves"
+let m_bind_errors = Obs.Metrics.counter "hrpc.bind.errors"
+
+let resolve_inner stack = function
   | Static b -> Ok b
   | Sun_portmapper { host; prog; vers; suite } -> (
       match Rpc.Portmap.getport stack ~portmapper:host ~prog ~vers () with
@@ -39,6 +42,15 @@ let resolve stack = function
               match Binding.of_bytes bytes with
               | exception Invalid_argument m -> Error (Rpc.Control.Protocol_error m)
               | b -> Ok b)))
+
+let resolve stack bind =
+  Obs.Metrics.incr m_binds;
+  Obs.Span.with_span "hrpc_bind" (fun () ->
+      match resolve_inner stack bind with
+      | Error _ as e ->
+          Obs.Metrics.incr m_bind_errors;
+          e
+      | Ok _ as ok -> ok)
 
 let pp ppf = function
   | Static b -> Format.fprintf ppf "static(%a)" Binding.pp b

@@ -1,12 +1,21 @@
 open Transport
 
+let m_calls = Obs.Metrics.counter "hrpc.client.calls"
+let m_raw_calls = Obs.Metrics.counter "hrpc.client.raw_calls"
+let m_errors = Obs.Metrics.counter "hrpc.client.errors"
+let m_retries = Obs.Metrics.counter "hrpc.client.retries"
+let m_call_ms = Obs.Metrics.histogram "hrpc.client.call_ms"
+
 (* One request/response exchange over the binding's transport. The
    [matches] predicate filters stale datagrams (retransmission races). *)
 let exchange stack (b : Binding.t) ~timeout ~attempts ~matches payload =
   match b.suite.Component.transport with
   | Component.T_udp ->
       let sock = Udp.bind_any stack in
+      let tries = ref 0 in
       let attempt ~timeout =
+        incr tries;
+        if !tries > 1 then Obs.Metrics.incr m_retries;
         Udp.sendto sock ~dst:b.server payload;
         let deadline = Sim.Engine.time () +. timeout in
         let rec wait () =
@@ -46,9 +55,10 @@ let exchange stack (b : Binding.t) ~timeout ~attempts ~matches payload =
           result)
 
 let call_raw stack (b : Binding.t) ?(timeout = 1000.0) ?(attempts = 3) payload =
+  Obs.Metrics.incr m_raw_calls;
   exchange stack b ~timeout ~attempts ~matches:(fun _ -> true) payload
 
-let call stack (b : Binding.t) ~procnum ~sign ?(timeout = 1000.0) ?(attempts = 3) v =
+let call_inner stack (b : Binding.t) ~procnum ~sign ~timeout ~attempts v =
   Wire.Idl.check ~what:"Hrpc.call args" sign.Wire.Idl.arg v;
   let rep = b.suite.Component.data_rep in
   let body = Wire.Data_rep.to_string rep sign.Wire.Idl.arg v in
@@ -115,3 +125,10 @@ let call stack (b : Binding.t) ~procnum ~sign ?(timeout = 1000.0) ?(attempts = 3
           | Rpc.Courier_wire.Reject r -> Error (Rpc.Courier_wire.reject_to_error r.code)
           | Rpc.Courier_wire.Call _ ->
               Error (Rpc.Control.Protocol_error "call in reply position")))
+
+let call stack (b : Binding.t) ~procnum ~sign ?(timeout = 1000.0) ?(attempts = 3) v =
+  Obs.Metrics.incr m_calls;
+  Obs.Metrics.time m_call_ms (fun () ->
+      let result = call_inner stack b ~procnum ~sign ~timeout ~attempts v in
+      (match result with Error _ -> Obs.Metrics.incr m_errors | Ok _ -> ());
+      result)

@@ -6,6 +6,9 @@ type t = {
   mutable reuse_count : int;
 }
 
+let m_reuses = Obs.Metrics.counter "hrpc.conn_cache.reuses"
+let m_connects = Obs.Metrics.counter "hrpc.conn_cache.connects"
+
 let create stack = { stack; conns = Addr_map.empty; reuse_count = 0 }
 
 let drop t addr conn =
@@ -17,11 +20,13 @@ let obtain t addr =
   match Addr_map.find_opt addr t.conns with
   | Some conn ->
       t.reuse_count <- t.reuse_count + 1;
+      Obs.Metrics.incr m_reuses;
       Ok (conn, true)
   | None -> (
       match Transport.Tcp.connect t.stack addr with
       | exception Transport.Tcp.Connection_refused _ -> Error Rpc.Control.Refused
       | conn ->
+          Obs.Metrics.incr m_connects;
           t.conns <- Addr_map.add addr conn t.conns;
           Ok (conn, false))
 

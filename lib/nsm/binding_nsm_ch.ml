@@ -54,9 +54,10 @@ let lookup t ~service ~(hns_name : Hns.Hns_name.t) =
                 ~ttl_ms:t.cache_ttl_ms v;
               Hns.Nsm_intf.found v))
 
-let impl t arg =
-  let service, hns_name = Hns.Nsm_intf.parse_arg arg in
-  lookup t ~service ~hns_name
+let impl t =
+  Nsm_common.instrument ~name:"ch.hrpcbinding" (fun arg ->
+      let service, hns_name = Hns.Nsm_intf.parse_arg arg in
+      lookup t ~service ~hns_name)
 
 let serve t ~prog ?vers ?suite ?port ?service_overhead_ms () =
   Nsm_common.serve t.stack ~impl:(impl t) ~payload_ty:Hns.Nsm_intf.binding_payload_ty

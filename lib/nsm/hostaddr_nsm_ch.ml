@@ -64,9 +64,10 @@ let lookup t ~(hns_name : Hns.Hns_name.t) =
                 ~ttl_ms:t.cache_ttl_ms v;
               Hns.Nsm_intf.found v))
 
-let impl t arg =
-  let _service, hns_name = Hns.Nsm_intf.parse_arg arg in
-  lookup t ~hns_name
+let impl t =
+  Nsm_common.instrument ~name:"ch.hostaddress" (fun arg ->
+      let _service, hns_name = Hns.Nsm_intf.parse_arg arg in
+      lookup t ~hns_name)
 
 let serve t ~prog ?vers ?suite ?port ?service_overhead_ms () =
   Nsm_common.serve t.stack ~impl:(impl t)

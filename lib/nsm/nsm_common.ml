@@ -1,3 +1,29 @@
+(* Per-NSM accounting under nsm.<backend>.<query-class>.*: calls,
+   failures, and virtual latency. Applied where each NSM builds its
+   [impl], so linked and remote access are counted alike. *)
+let instrument ~name (impl : Hns.Nsm_intf.impl) : Hns.Nsm_intf.impl =
+  (* Tags are free-form; fold anything outside the registry's naming
+     alphabet to '-'. *)
+  let name =
+    String.map
+      (fun c ->
+        match Char.lowercase_ascii c with
+        | ('a' .. 'z' | '0' .. '9' | '.' | '_' | '-') as l -> l
+        | _ -> '-')
+      name
+  in
+  let calls = Obs.Metrics.counter (Printf.sprintf "nsm.%s.calls" name) in
+  let errors = Obs.Metrics.counter (Printf.sprintf "nsm.%s.errors" name) in
+  let ms = Obs.Metrics.histogram (Printf.sprintf "nsm.%s.ms" name) in
+  fun arg ->
+    Obs.Metrics.incr calls;
+    Obs.Metrics.time ms (fun () ->
+        match impl arg with
+        | v -> v
+        | exception e ->
+            Obs.Metrics.incr errors;
+            raise e)
+
 let serve stack ~impl ~payload_ty ~prog ?(vers = 1)
     ?(suite = Hrpc.Component.sunrpc_suite) ?port ?service_overhead_ms () =
   let server =

@@ -21,6 +21,12 @@ val serve :
   unit ->
   Hrpc.Server.t
 
+(** [instrument ~name impl] wraps an NSM implementation with registry
+    accounting under [nsm.<name>.calls] / [.errors] / [.ms] (virtual
+    milliseconds; errors are backend failures raised as exceptions,
+    not NotFound results). *)
+val instrument : name:string -> Hns.Nsm_intf.impl -> Hns.Nsm_intf.impl
+
 (** A per-NSM result cache with the standard key layout
     ["nsm:<tag>:<service>!<context>!<name>"]. *)
 val cache_key : tag:string -> service:string -> Hns.Hns_name.t -> string

@@ -1,0 +1,130 @@
+let pp_sample ppf (s : Metrics.sample) =
+  match s with
+  | Metrics.Count n -> Format.fprintf ppf "%d" n
+  | Metrics.Level x -> Format.fprintf ppf "%g" x
+  | Metrics.Summary { n; mean; p50; p95; min; max; _ } ->
+      if n = 0 then Format.fprintf ppf "(no samples)"
+      else
+        Format.fprintf ppf
+          "n=%d mean=%.2f p50=%.2f p95=%.2f min=%.2f max=%.2f" n mean p50 p95 min max
+
+let pp_metrics ppf () =
+  let rows = Metrics.snapshot () in
+  if rows = [] then Format.fprintf ppf "(no metrics registered)@."
+  else begin
+    let width =
+      List.fold_left (fun acc (name, _) -> Stdlib.max acc (String.length name)) 0 rows
+    in
+    List.iter
+      (fun (name, sample) ->
+        Format.fprintf ppf "%-*s  %a@." width name pp_sample sample)
+      rows
+  end
+
+let sample_json (s : Metrics.sample) =
+  match s with
+  | Metrics.Count n ->
+      Json.Obj [ ("type", Json.Str "counter"); ("value", Json.Num (float_of_int n)) ]
+  | Metrics.Level x -> Json.Obj [ ("type", Json.Str "gauge"); ("value", Json.Num x) ]
+  | Metrics.Summary { n; total; mean; p50; p95; min; max } ->
+      Json.Obj
+        [
+          ("type", Json.Str "histogram");
+          ("n", Json.Num (float_of_int n));
+          ("total_ms", Json.Num total);
+          ("mean_ms", Json.Num mean);
+          ("p50_ms", Json.Num p50);
+          ("p95_ms", Json.Num p95);
+          ("min_ms", Json.Num min);
+          ("max_ms", Json.Num max);
+        ]
+
+let metrics_json () =
+  Json.Obj (List.map (fun (name, s) -> (name, sample_json s)) (Metrics.snapshot ()))
+
+let metrics_json_lines () =
+  Metrics.snapshot ()
+  |> List.map (fun (name, s) ->
+         match sample_json s with
+         | Json.Obj fields -> Json.to_string (Json.Obj (("metric", Json.Str name) :: fields))
+         | other -> Json.to_string other)
+  |> String.concat "\n"
+
+let pp_delta ppf ~before ~after =
+  let old name = List.assoc_opt name before in
+  let changes =
+    List.filter_map
+      (fun (name, now) ->
+        match (old name, now) with
+        | Some (Metrics.Count a), Metrics.Count b when a = b -> None
+        | Some (Metrics.Count a), Metrics.Count b -> Some (name, `Count (b - a))
+        | None, Metrics.Count b when b = 0 -> None
+        | None, Metrics.Count b -> Some (name, `Count b)
+        | Some (Metrics.Level a), Metrics.Level b when a = b -> None
+        | _, Metrics.Level b -> Some (name, `Level b)
+        | Some (Metrics.Summary a), Metrics.Summary b when a.n = b.n -> None
+        | prev, Metrics.Summary b ->
+            let a_n, a_total =
+              match prev with
+              | Some (Metrics.Summary a) -> (a.n, a.total)
+              | _ -> (0, 0.0)
+            in
+            let dn = b.n - a_n in
+            Some (name, `Obs (dn, (b.total -. a_total) /. float_of_int dn))
+        | _, Metrics.Count _ -> None)
+      after
+  in
+  if changes = [] then Format.fprintf ppf "(no metric changes)@."
+  else begin
+    let width =
+      List.fold_left (fun acc (name, _) -> Stdlib.max acc (String.length name)) 0 changes
+    in
+    List.iter
+      (fun (name, change) ->
+        match change with
+        | `Count d -> Format.fprintf ppf "%-*s  %+d@." width name d
+        | `Level x -> Format.fprintf ppf "%-*s  -> %g@." width name x
+        | `Obs (n, mean) ->
+            Format.fprintf ppf "%-*s  +%d observations, mean %.2f ms@." width name n mean)
+      changes
+  end
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc contents;
+      output_char oc '\n')
+
+let write_metrics_snapshot ~path () =
+  write_file path
+    (Json.to_string_pretty
+       (Json.Obj [ ("schema", Json.Str "hns-obs/1"); ("metrics", metrics_json ()) ]))
+
+let bench_json rows =
+  let experiment (name, stats) =
+    let n = Sim.Stats.count stats in
+    let num f = if n = 0 then Json.Null else Json.Num f in
+    Json.Obj
+      [
+        ("name", Json.Str name);
+        ("n", Json.Num (float_of_int n));
+        ("mean_ms", num (Sim.Stats.mean stats));
+        ("p50_ms", num (if n = 0 then 0.0 else Sim.Stats.median stats));
+        ("p95_ms", num (if n = 0 then 0.0 else Sim.Stats.percentile stats 95.0));
+        ("min_ms", num (Sim.Stats.min_value stats));
+        ("max_ms", num (Sim.Stats.max_value stats));
+      ]
+  in
+  Json.Obj
+    [
+      ("schema", Json.Str "hns-bench/1");
+      ("experiments", Json.List (List.map experiment rows));
+    ]
+
+let write_bench_json ~path rows =
+  write_file path (Json.to_string_pretty (bench_json rows))
+
+let spans_json () =
+  Json.Obj [ ("schema", Json.Str "hns-spans/1"); ("spans", Span.to_json ()) ]

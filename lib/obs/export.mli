@@ -1,0 +1,42 @@
+(** Exporters for the metrics registry and the span tracer.
+
+    Three audiences: a human at the CLI ({!pp_metrics}, {!pp_delta},
+    {!Span.pp_tree}), a log pipeline ({!metrics_json_lines}), and the
+    bench trajectory ({!write_metrics_snapshot} producing
+    [BENCH_obs.json], {!write_bench_json} producing [BENCH_hns.json]). *)
+
+(** Render every registered metric as an aligned table, counters and
+    gauges one per line, histograms as [n/mean/p50/p95/min/max]. *)
+val pp_metrics : Format.formatter -> unit -> unit
+
+(** The whole registry as one JSON object keyed by metric name. *)
+val metrics_json : unit -> Json.t
+
+(** One compact JSON object per line per metric
+    ([{"metric":...,"type":...,...}]), for line-oriented consumers. *)
+val metrics_json_lines : unit -> string
+
+(** [pp_delta ppf ~before ~after] prints only what changed between two
+    {!Metrics.snapshot}s: counter and gauge deltas, and for histograms
+    the number of new observations with their mean. *)
+val pp_delta :
+  Format.formatter ->
+  before:(string * Metrics.sample) list ->
+  after:(string * Metrics.sample) list ->
+  unit
+
+(** [write_metrics_snapshot ~path ()] writes the registry as a
+    [BENCH_obs.json] document: [{"schema":"hns-obs/1","metrics":{...}}]. *)
+val write_metrics_snapshot : path:string -> unit -> unit
+
+(** [bench_json rows] builds the [BENCH_hns.json] document from named
+    sample sets: [{"schema":"hns-bench/1","experiments":[{"name","n",
+    "mean_ms","p50_ms","p95_ms","min_ms","max_ms"},...]}]. Rows with no
+    samples are emitted with [n = 0] and null statistics. *)
+val bench_json : (string * Sim.Stats.t) list -> Json.t
+
+val write_bench_json : path:string -> (string * Sim.Stats.t) list -> unit
+
+(** Spans of the global tracer as a [{"schema":"hns-spans/1",
+    "spans":[...]}] document. *)
+val spans_json : unit -> Json.t

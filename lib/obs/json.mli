@@ -1,0 +1,39 @@
+(** A minimal JSON tree, printer and parser.
+
+    The observability exporters need machine-readable output and the
+    tests need to read it back; the container has no JSON library, so
+    this is a small, self-contained implementation covering the JSON
+    the exporters emit (standard RFC 8259 syntax, numbers as floats). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+(** Compact one-line rendering; strings are escaped, integral numbers
+    print without a decimal point, other numbers with enough digits to
+    round-trip. *)
+val to_string : t -> string
+
+(** Multi-line rendering with two-space indentation. *)
+val to_string_pretty : t -> string
+
+(** Parse a complete JSON document. Raises {!Parse_error} on syntax
+    errors or trailing garbage. *)
+val of_string : string -> t
+
+(** {1 Accessors} — each raises [Parse_error] on a shape mismatch so
+    test assertions read naturally. *)
+
+val member : string -> t -> t option
+val get : string -> t -> t
+val to_float : t -> float
+val to_int : t -> int
+val to_str : t -> string
+val to_list : t -> t list
+val to_obj : t -> (string * t) list

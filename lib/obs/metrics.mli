@@ -1,0 +1,76 @@
+(** Process-wide metrics registry.
+
+    One global registry holds every named instrument so that any layer
+    (transport, HRPC, HNS, NSMs) can account events without plumbing a
+    handle through its API, and so the CLI / bench can dump a complete
+    panel at the end of a run.
+
+    Names follow the [layer.component.metric] convention, e.g.
+    [transport.netstack.packets_sent] or [hns.cache.marshalled.hits].
+
+    Instruments are cheap enough to leave always-on: callers obtain a
+    handle once (one hashtable lookup, typically from a module-level
+    [let]) and then pay one mutable-field update per event. Latency
+    histograms are backed by {!Sim.Stats} and measure {e virtual}
+    milliseconds — the same clock every paper reproduction number is
+    quoted in. *)
+
+type counter
+type gauge
+type histogram
+
+(** [counter name] returns the counter registered under [name],
+    creating it at zero on first use. Raises [Invalid_argument] if
+    [name] is already registered as a different kind of instrument or
+    is not a dotted lowercase identifier. *)
+val counter : string -> counter
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val value : counter -> int
+
+(** Same get-or-create contract as {!counter}. *)
+val gauge : string -> gauge
+
+val set : gauge -> float -> unit
+val get : gauge -> float
+
+(** Same get-or-create contract as {!counter}. *)
+val histogram : string -> histogram
+
+val observe : histogram -> float -> unit
+val stats : histogram -> Sim.Stats.t
+
+(** [time hist f] runs [f] and observes its duration on the virtual
+    clock (no charge when called outside a simulated process — the
+    observation is then [0.]). *)
+val time : histogram -> (unit -> 'a) -> 'a
+
+(** Virtual time now, [0.] outside a simulated process. *)
+val now_ms : unit -> float
+
+(** {1 Reading the registry} *)
+
+type sample =
+  | Count of int
+  | Level of float
+  | Summary of {
+      n : int;
+      total : float;
+      mean : float;
+      p50 : float;
+      p95 : float;
+      min : float;
+      max : float;
+    }
+
+(** All registered instruments with their current values, sorted by
+    name. Histograms with no observations report an all-zero summary. *)
+val snapshot : unit -> (string * sample) list
+
+val find : string -> sample option
+
+(** Zero every instrument {e without} invalidating handles held by
+    instrumented modules: counters and gauges go to zero, histograms
+    forget their samples. Registrations survive. *)
+val reset : unit -> unit

@@ -1,0 +1,137 @@
+type id = int
+
+type span = {
+  id : id;
+  parent : id option;
+  name : string;
+  mutable attrs : (string * string) list;
+  start_ms : float;
+  mutable end_ms : float;
+}
+
+let max_retained = 8192
+
+type state = {
+  mutable on : bool;
+  mutable next_id : int;
+  mutable stack : span list; (* innermost first *)
+  mutable closed : span list; (* newest first *)
+  mutable closed_count : int;
+  mutable dropped_count : int;
+}
+
+let st =
+  { on = false; next_id = 1; stack = []; closed = []; closed_count = 0; dropped_count = 0 }
+
+let enable () = st.on <- true
+let disable () = st.on <- false
+let enabled () = st.on
+
+let now_ms () = try Sim.Engine.time () with Effect.Unhandled _ -> 0.0
+
+let open_span ?(attrs = []) name =
+  if not st.on then 0
+  else begin
+    let id = st.next_id in
+    st.next_id <- st.next_id + 1;
+    let parent = match st.stack with [] -> None | s :: _ -> Some s.id in
+    let s = { id; parent; name; attrs; start_ms = now_ms (); end_ms = nan } in
+    st.stack <- s :: st.stack;
+    id
+  end
+
+let retire s =
+  st.closed <- s :: st.closed;
+  st.closed_count <- st.closed_count + 1;
+  if st.closed_count > max_retained then begin
+    (* Drop the oldest retained span. Linear, but only on overflow of
+       an already-large buffer. *)
+    (match List.rev st.closed with
+    | [] -> ()
+    | _oldest :: rest -> st.closed <- List.rev rest);
+    st.closed_count <- st.closed_count - 1;
+    st.dropped_count <- st.dropped_count + 1
+  end
+
+(* Deliberately ignores the enabled flag: a span opened while tracing
+   was on must still be closed if tracing gets disabled mid-scope. *)
+let close_span id =
+  if id <> 0 && List.exists (fun s -> s.id = id) st.stack then begin
+    let t = now_ms () in
+    let rec pop () =
+      match st.stack with
+      | [] -> ()
+      | s :: rest ->
+          st.stack <- rest;
+          s.end_ms <- t;
+          retire s;
+          if s.id <> id then pop ()
+    in
+    pop ()
+  end
+
+let with_span ?attrs name f =
+  if not st.on then f ()
+  else begin
+    let id = open_span ?attrs name in
+    Fun.protect ~finally:(fun () -> close_span id) f
+  end
+
+let add_attr key value =
+  if st.on then
+    match st.stack with
+    | [] -> ()
+    | s :: _ -> s.attrs <- s.attrs @ [ (key, value) ]
+
+let finished () = List.rev st.closed
+let open_stack () = List.rev_map (fun s -> (s.id, s.name)) st.stack
+let dropped () = st.dropped_count
+let duration_ms s = s.end_ms -. s.start_ms
+
+let clear () =
+  st.stack <- [];
+  st.closed <- [];
+  st.closed_count <- 0;
+  st.dropped_count <- 0
+
+let pp_attrs ppf attrs =
+  List.iter (fun (k, v) -> Format.fprintf ppf " %s=%s" k v) attrs
+
+let pp_tree ppf () =
+  let spans = finished () in
+  let known = List.map (fun s -> s.id) spans in
+  let children parent =
+    List.filter (fun s -> s.parent = Some parent) spans
+  in
+  let roots =
+    List.filter
+      (fun s ->
+        match s.parent with None -> true | Some p -> not (List.mem p known))
+      spans
+  in
+  let rec render depth s =
+    Format.fprintf ppf "%s%s (%.1f ms)%a@." (String.make (2 * depth) ' ') s.name
+      (duration_ms s) pp_attrs s.attrs;
+    List.iter (render (depth + 1)) (children s.id)
+  in
+  List.iter (render 0) roots;
+  if st.dropped_count > 0 then
+    Format.fprintf ppf "(%d older spans dropped)@." st.dropped_count
+
+let to_json () =
+  Json.List
+    (List.map
+       (fun s ->
+         Json.Obj
+           [
+             ("id", Json.Num (float_of_int s.id));
+             ( "parent",
+               match s.parent with
+               | None -> Json.Null
+               | Some p -> Json.Num (float_of_int p) );
+             ("name", Json.Str s.name);
+             ("start_ms", Json.Num s.start_ms);
+             ("end_ms", Json.Num s.end_ms);
+             ("attrs", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) s.attrs));
+           ])
+       (finished ()))

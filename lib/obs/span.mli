@@ -1,0 +1,82 @@
+(** Span tracing over the simulation's virtual clock.
+
+    A span is a named interval of virtual time with a parent link and
+    free-form [key=value] attributes; a cold [resolve] renders as a
+    tree:
+
+    {v
+    resolve (name=uw-cs!vanuatu..., query_class=HostAddress)
+      find_nsm
+        ctx_to_ns
+        ns_to_nsm
+        nsm_to_binding
+        resolve_host
+          ctx_to_ns
+          ns_to_nsm
+          host_to_addr
+      nsm_call
+    v}
+
+    Tracing is disabled by default and costs one branch per
+    {!with_span} when off. The structured replacement for the
+    [Sim.Trace] string ring: exporters render the tree for humans
+    ({!pp_tree}) and machines ({!to_json}).
+
+    The tracer is global, like the metrics registry, and assumes the
+    single-threaded cooperative execution of the simulator: spans
+    opened by an instrumented call nest by dynamic extent. *)
+
+type id = int
+
+type span = {
+  id : id;
+  parent : id option;
+  name : string;
+  mutable attrs : (string * string) list;  (** insertion order *)
+  start_ms : float;
+  mutable end_ms : float;
+}
+
+val enable : unit -> unit
+val disable : unit -> unit
+val enabled : unit -> bool
+
+(** [with_span ?attrs name f] runs [f] inside a fresh span (closed even
+    if [f] raises). When tracing is disabled this is just [f ()]. *)
+val with_span : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+
+(** Attach an attribute to the innermost open span. No-op when
+    disabled or when no span is open. *)
+val add_attr : string -> string -> unit
+
+(** {1 Explicit open/close}
+
+    For instrumentation that cannot be expressed as a [with_span]
+    scope. Closing a span that is not the innermost one also closes
+    every span opened inside it (they end at the same instant);
+    closing an unknown or already-closed id is a no-op. *)
+
+val open_span : ?attrs:(string * string) list -> string -> id
+val close_span : id -> unit
+
+(** Completed spans, oldest first. At most [8192] are retained;
+    older ones are dropped (see {!dropped}). *)
+val finished : unit -> span list
+
+(** Ids and names of still-open spans, outermost first. *)
+val open_stack : unit -> (id * string) list
+
+val dropped : unit -> int
+val duration_ms : span -> float
+
+(** Forget all recorded and open spans (the enabled flag is
+    unchanged). *)
+val clear : unit -> unit
+
+(** Render completed spans as an indented tree with durations and
+    attributes. *)
+val pp_tree : Format.formatter -> unit -> unit
+
+(** All completed spans as a JSON array (id, parent, name, start_ms,
+    end_ms, attrs). *)
+val to_json : unit -> Json.t

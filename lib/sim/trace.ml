@@ -22,7 +22,10 @@ let record t ~time ~tag msg =
   end
 
 let recordf t ~time ~tag fmt =
-  Format.kasprintf (fun s -> record t ~time ~tag s) fmt
+  (* When disabled, skip formatting entirely: ikfprintf consumes the
+     arguments without rendering them, so the only cost is this branch. *)
+  if t.on then Format.kasprintf (fun s -> record t ~time ~tag s) fmt
+  else Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
 
 let lines t =
   let out = ref [] in

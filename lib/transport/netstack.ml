@@ -2,6 +2,13 @@ type udp_handler = src:Address.t -> string -> unit
 
 let ephemeral_base = 32768
 
+(* Process-wide mirrors of the per-netstack counters, so one registry
+   dump covers every simulated network in the process. *)
+let m_sent = Obs.Metrics.counter "transport.netstack.packets_sent"
+let m_dropped = Obs.Metrics.counter "transport.netstack.packets_dropped"
+let m_received = Obs.Metrics.counter "transport.netstack.packets_received"
+let m_bytes = Obs.Metrics.counter "transport.netstack.bytes_sent"
+
 type tcp_event = Tcp_data of string | Tcp_fin
 
 type conn_half = { deliver : tcp_event -> unit }
@@ -22,6 +29,7 @@ type t = {
   by_host : (int, stack) Hashtbl.t;
   mutable sent : int;
   mutable dropped : int;
+  mutable received : int;
   mutable bytes : int;
 }
 
@@ -49,6 +57,7 @@ let create ?(drop_probability = 0.0) ?(seed = 0x9E3779B9L) engine topology =
     by_host = Hashtbl.create 16;
     sent = 0;
     dropped = 0;
+    received = 0;
     bytes = 0;
   }
 
@@ -85,18 +94,34 @@ let net s = s.net_
 let find_stack t ip = Hashtbl.find_opt t.stacks ip
 let stack_of_host t h = Hashtbl.find_opt t.by_host h.Sim.Topology.id
 
-let transit t ~src ~dst ~bytes k =
+let count_sent t ~bytes =
   t.sent <- t.sent + 1;
   t.bytes <- t.bytes + bytes;
+  Obs.Metrics.incr m_sent;
+  Obs.Metrics.add m_bytes bytes
+
+(* Delivery is counted when the packet's arrival event fires, so tests
+   can cross-check [sent = received + dropped] once the engine is
+   quiescent. *)
+let deliver t k () =
+  t.received <- t.received + 1;
+  Obs.Metrics.incr m_received;
+  k ()
+
+let transit t ~src ~dst ~bytes k =
+  count_sent t ~bytes;
   let crosses_wire = not (Sim.Topology.same_host src.stack_host dst.stack_host) in
   if crosses_wire && t.drop_probability > 0.0
      && Sim.Rng.float t.rng 1.0 < t.drop_probability
-  then t.dropped <- t.dropped + 1
+  then begin
+    t.dropped <- t.dropped + 1;
+    Obs.Metrics.incr m_dropped
+  end
   else begin
     let delay =
       Sim.Topology.delay t.topology ~src:src.stack_host ~dst:dst.stack_host ~bytes
     in
-    Sim.Engine.at t.engine delay k
+    Sim.Engine.at t.engine delay (deliver t k)
   end
 
 type channel = { mutable last_arrival : float }
@@ -104,18 +129,18 @@ type channel = { mutable last_arrival : float }
 let channel () = { last_arrival = 0.0 }
 
 let transit_ordered t ~src ~dst ~bytes ch k =
-  t.sent <- t.sent + 1;
-  t.bytes <- t.bytes + bytes;
+  count_sent t ~bytes;
   let delay =
     Sim.Topology.delay t.topology ~src:src.stack_host ~dst:dst.stack_host ~bytes
   in
   let now = Sim.Engine.now t.engine in
   let arrival = Float.max (now +. delay) ch.last_arrival in
   ch.last_arrival <- arrival;
-  Sim.Engine.at t.engine (arrival -. now) k
+  Sim.Engine.at t.engine (arrival -. now) (deliver t k)
 
 let packets_sent t = t.sent
 let packets_dropped t = t.dropped
+let packets_received t = t.received
 let bytes_sent t = t.bytes
 
 let register_port table what port v =

@@ -4,6 +4,7 @@ let () =
       ("sim", Test_sim.suite);
       ("wire", Test_wire.suite);
       ("transport", Test_transport.suite);
+      ("obs", Test_obs.suite);
       ("rpc", Test_rpc.suite);
       ("dns", Test_dns.suite);
       ("clearinghouse", Test_clearinghouse.suite);

@@ -1,0 +1,244 @@
+(* Tests for the observability layer: the metrics registry, the span
+   tracer, the JSON codec, and the exporters (including the real
+   BENCH_hns.json writer from the bench harness). *)
+
+open Helpers
+
+(* --- registry ------------------------------------------------------- *)
+
+let registry_get_or_create () =
+  Obs.Metrics.reset ();
+  let c1 = Obs.Metrics.counter "test.obs.requests" in
+  let c2 = Obs.Metrics.counter "test.obs.requests" in
+  Obs.Metrics.incr c1;
+  Obs.Metrics.add c2 2;
+  (* both handles name the same instrument *)
+  check_int "shared counter" 3 (Obs.Metrics.value c1);
+  let g = Obs.Metrics.gauge "test.obs.depth" in
+  Obs.Metrics.set g 4.5;
+  check_float_near "gauge" 4.5 (Obs.Metrics.get (Obs.Metrics.gauge "test.obs.depth"))
+
+let registry_kind_mismatch () =
+  ignore (Obs.Metrics.counter "test.obs.kinded");
+  (match Obs.Metrics.gauge "test.obs.kinded" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "re-registering a counter as a gauge should raise");
+  match Obs.Metrics.counter "Not A Valid Name" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "invalid name should raise"
+
+let registry_snapshot_and_find () =
+  Obs.Metrics.reset ();
+  Obs.Metrics.incr (Obs.Metrics.counter "test.obs.snap");
+  (match Obs.Metrics.find "test.obs.snap" with
+  | Some (Obs.Metrics.Count 1) -> ()
+  | _ -> Alcotest.fail "find should see the counter at 1");
+  check_bool "absent name" true (Obs.Metrics.find "test.obs.absent" = None);
+  let names = List.map fst (Obs.Metrics.snapshot ()) in
+  check_bool "snapshot sorted" true (List.sort compare names = names)
+
+let registry_reset_keeps_handles () =
+  let c = Obs.Metrics.counter "test.obs.resettable" in
+  Obs.Metrics.incr c;
+  Obs.Metrics.reset ();
+  check_int "reset zeroes" 0 (Obs.Metrics.value c);
+  Obs.Metrics.incr c;
+  check_int "handle survives reset" 1 (Obs.Metrics.value c)
+
+let histogram_percentiles () =
+  Obs.Metrics.reset ();
+  let h = Obs.Metrics.histogram "test.obs.latency_ms" in
+  (* 1..100: exact percentiles land on sample edges *)
+  for i = 1 to 100 do
+    Obs.Metrics.observe h (float_of_int i)
+  done;
+  match Obs.Metrics.find "test.obs.latency_ms" with
+  | Some (Obs.Metrics.Summary s) ->
+      check_int "n" 100 s.n;
+      check_float_near "mean" 50.5 s.mean;
+      check_float_near "p50" 50.5 s.p50;
+      check_float_near "min" 1.0 s.min;
+      check_float_near "max" 100.0 s.max;
+      check_bool "p95 at the edge" true (s.p95 >= 95.0 && s.p95 <= 96.0)
+  | _ -> Alcotest.fail "histogram summary expected"
+
+let histogram_empty_summary () =
+  Obs.Metrics.reset ();
+  ignore (Obs.Metrics.histogram "test.obs.untouched_ms");
+  match Obs.Metrics.find "test.obs.untouched_ms" with
+  | Some (Obs.Metrics.Summary s) -> check_int "empty histogram n" 0 s.n
+  | _ -> Alcotest.fail "empty histogram should still report a summary"
+
+let time_observes_virtual_clock () =
+  Obs.Metrics.reset ();
+  let h = Obs.Metrics.histogram "test.obs.timed_ms" in
+  let w = make_world ~hosts:1 () in
+  in_sim w (fun () -> Obs.Metrics.time h (fun () -> Sim.Engine.sleep 25.0));
+  (match Obs.Metrics.find "test.obs.timed_ms" with
+  | Some (Obs.Metrics.Summary s) ->
+      check_int "one observation" 1 s.n;
+      check_float_near "virtual duration" 25.0 s.mean
+  | _ -> Alcotest.fail "summary expected");
+  (* outside a simulated process the clock reads 0: no crash, 0 charge *)
+  Obs.Metrics.time h (fun () -> ());
+  match Obs.Metrics.find "test.obs.timed_ms" with
+  | Some (Obs.Metrics.Summary s) -> check_int "second observation" 2 s.n
+  | _ -> Alcotest.fail "summary expected"
+
+(* --- spans ---------------------------------------------------------- *)
+
+let span_nesting () =
+  Obs.Span.clear ();
+  Obs.Span.enable ();
+  Fun.protect ~finally:Obs.Span.disable (fun () ->
+      Obs.Span.with_span "outer" ~attrs:[ ("k", "v") ] (fun () ->
+          Obs.Span.with_span "inner" (fun () -> Obs.Span.add_attr "hit" "true"));
+      match Obs.Span.finished () with
+      | [ inner; outer ] ->
+          check_string "inner name" "inner" inner.Obs.Span.name;
+          check_string "outer name" "outer" outer.Obs.Span.name;
+          check_bool "inner parented" true (inner.Obs.Span.parent = Some outer.Obs.Span.id);
+          check_bool "outer is root" true (outer.Obs.Span.parent = None);
+          check_bool "attr recorded" true
+            (List.mem_assoc "hit" inner.Obs.Span.attrs)
+      | spans -> Alcotest.failf "expected 2 spans, got %d" (List.length spans))
+
+let span_orphan_close () =
+  Obs.Span.clear ();
+  Obs.Span.enable ();
+  Fun.protect ~finally:Obs.Span.disable (fun () ->
+      let a = Obs.Span.open_span "a" in
+      let _b = Obs.Span.open_span "b" in
+      let _c = Obs.Span.open_span "c" in
+      (* closing [a] must also close the still-open [b] and [c] *)
+      Obs.Span.close_span a;
+      check_int "no open spans" 0 (List.length (Obs.Span.open_stack ()));
+      check_int "all recorded" 3 (List.length (Obs.Span.finished ()));
+      (* closing an unknown id is a no-op *)
+      Obs.Span.close_span 9999;
+      check_int "still three" 3 (List.length (Obs.Span.finished ())))
+
+let span_disabled_is_transparent () =
+  Obs.Span.clear ();
+  Obs.Span.disable ();
+  let r = Obs.Span.with_span "ghost" (fun () -> 42) in
+  check_int "value passes through" 42 r;
+  check_int "nothing recorded" 0 (List.length (Obs.Span.finished ()))
+
+let span_exception_closes () =
+  Obs.Span.clear ();
+  Obs.Span.enable ();
+  Fun.protect ~finally:Obs.Span.disable (fun () ->
+      (try Obs.Span.with_span "boom" (fun () -> failwith "x") with Failure _ -> ());
+      check_int "span closed on raise" 1 (List.length (Obs.Span.finished ()));
+      check_int "stack empty" 0 (List.length (Obs.Span.open_stack ())))
+
+(* --- JSON codec ----------------------------------------------------- *)
+
+let json_roundtrip () =
+  let doc =
+    Obs.Json.Obj
+      [
+        ("s", Obs.Json.Str "a \"quoted\"\nline");
+        ("i", Obs.Json.Num 42.0);
+        ("f", Obs.Json.Num 1.5);
+        ("b", Obs.Json.Bool true);
+        ("n", Obs.Json.Null);
+        ("l", Obs.Json.List [ Obs.Json.Num 1.0; Obs.Json.Str "x" ]);
+      ]
+  in
+  let reparsed = Obs.Json.of_string (Obs.Json.to_string doc) in
+  check_bool "compact round-trip" true (reparsed = doc);
+  let reparsed = Obs.Json.of_string (Obs.Json.to_string_pretty doc) in
+  check_bool "pretty round-trip" true (reparsed = doc)
+
+let json_parse_errors () =
+  List.iter
+    (fun s ->
+      match Obs.Json.of_string s with
+      | exception Obs.Json.Parse_error _ -> ()
+      | _ -> Alcotest.failf "should not parse: %s" s)
+    [ "{"; "[1,]"; "{\"a\":1} trailing"; "\"unterminated"; "nul"; "" ]
+
+let metrics_json_roundtrip () =
+  Obs.Metrics.reset ();
+  Obs.Metrics.add (Obs.Metrics.counter "test.obs.json_counter") 7;
+  Obs.Metrics.observe (Obs.Metrics.histogram "test.obs.json_ms") 12.0;
+  let doc = Obs.Json.of_string (Obs.Json.to_string (Obs.Export.metrics_json ())) in
+  let counter = Obs.Json.get "test.obs.json_counter" doc in
+  check_int "counter value" 7 (Obs.Json.to_int (Obs.Json.get "value" counter));
+  let hist = Obs.Json.get "test.obs.json_ms" doc in
+  check_int "histogram n" 1 (Obs.Json.to_int (Obs.Json.get "n" hist));
+  check_float_near "histogram mean" 12.0
+    (Obs.Json.to_float (Obs.Json.get "mean_ms" hist));
+  (* the line-oriented form parses line by line *)
+  String.split_on_char '\n' (Obs.Export.metrics_json_lines ())
+  |> List.filter (fun l -> l <> "")
+  |> List.iter (fun line -> ignore (Obs.Json.of_string line))
+
+(* --- exporters ------------------------------------------------------ *)
+
+let pp_metrics_nonempty () =
+  Obs.Metrics.reset ();
+  Obs.Metrics.incr (Obs.Metrics.counter "test.obs.visible");
+  let rendered = Format.asprintf "%a" Obs.Export.pp_metrics () in
+  check_bool "table mentions the counter" true
+    (let needle = "test.obs.visible" in
+     let n = String.length needle and h = String.length rendered in
+     let rec go i = i + n <= h && (String.sub rendered i n = needle || go (i + 1)) in
+     go 0)
+
+let bench_json_artifact () =
+  (* The real writer from the bench harness: build the document, write
+     it, read it back, and check the shape the trajectory depends on. *)
+  let dir = Filename.temp_file "hns_bench" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  let bench_path, obs_path = Experiments.write_json_artifacts ~dir ~n:2 () in
+  let doc = Obs.Json.of_string (In_channel.with_open_text bench_path In_channel.input_all) in
+  check_string "schema" "hns-bench/1" (Obs.Json.to_str (Obs.Json.get "schema" doc));
+  let experiments = Obs.Json.to_list (Obs.Json.get "experiments" doc) in
+  check_bool "has experiments" true (List.length experiments >= 4);
+  let names =
+    List.map (fun e -> Obs.Json.to_str (Obs.Json.get "name" e)) experiments
+  in
+  List.iter
+    (fun expected -> check_bool expected true (List.mem expected names))
+    [ "resolve.cold"; "resolve.warm"; "find_nsm.cold"; "find_nsm.warm" ];
+  List.iter
+    (fun e ->
+      let n = Obs.Json.to_int (Obs.Json.get "n" e) in
+      check_int "sample count" 2 n;
+      let p50 = Obs.Json.to_float (Obs.Json.get "p50_ms" e) in
+      let p95 = Obs.Json.to_float (Obs.Json.get "p95_ms" e) in
+      let mean = Obs.Json.to_float (Obs.Json.get "mean_ms" e) in
+      check_bool "positive latencies" true (p50 > 0.0 && p95 >= p50 && mean > 0.0))
+    experiments;
+  (* the metrics snapshot rides along and parses too *)
+  let obs = Obs.Json.of_string (In_channel.with_open_text obs_path In_channel.input_all) in
+  check_string "obs schema" "hns-obs/1" (Obs.Json.to_str (Obs.Json.get "schema" obs));
+  check_bool "obs has metrics" true
+    (Obs.Json.to_obj (Obs.Json.get "metrics" obs) <> []);
+  Sys.remove bench_path;
+  Sys.remove obs_path;
+  Sys.rmdir dir
+
+let suite =
+  [
+    Alcotest.test_case "registry get-or-create" `Quick registry_get_or_create;
+    Alcotest.test_case "registry kind mismatch" `Quick registry_kind_mismatch;
+    Alcotest.test_case "registry snapshot + find" `Quick registry_snapshot_and_find;
+    Alcotest.test_case "reset keeps handles" `Quick registry_reset_keeps_handles;
+    Alcotest.test_case "histogram percentiles" `Quick histogram_percentiles;
+    Alcotest.test_case "empty histogram summary" `Quick histogram_empty_summary;
+    Alcotest.test_case "time uses virtual clock" `Quick time_observes_virtual_clock;
+    Alcotest.test_case "span nesting" `Quick span_nesting;
+    Alcotest.test_case "span orphan close" `Quick span_orphan_close;
+    Alcotest.test_case "span disabled transparent" `Quick span_disabled_is_transparent;
+    Alcotest.test_case "span closed on raise" `Quick span_exception_closes;
+    Alcotest.test_case "json round-trip" `Quick json_roundtrip;
+    Alcotest.test_case "json parse errors" `Quick json_parse_errors;
+    Alcotest.test_case "metrics json round-trip" `Quick metrics_json_roundtrip;
+    Alcotest.test_case "pp_metrics non-empty" `Quick pp_metrics_nonempty;
+    Alcotest.test_case "bench json artifact" `Quick bench_json_artifact;
+  ]

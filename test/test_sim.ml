@@ -265,6 +265,24 @@ let trace_ring () =
   check_int "capacity bounds" 3 (List.length lines);
   check_string "oldest dropped" "2" (match lines with (_, _, m) :: _ -> m | [] -> "")
 
+(* Regression: recordf on a disabled trace must not render its
+   arguments. A %t printer with a side effect detects any rendering. *)
+let trace_recordf_lazy () =
+  let tr = Sim.Trace.create () in
+  let rendered = ref 0 in
+  let probe ppf =
+    incr rendered;
+    Format.pp_print_string ppf "probe"
+  in
+  Sim.Trace.recordf tr ~time:1.0 ~tag:"t" "value=%t" probe;
+  check_int "disabled recordf renders nothing" 0 !rendered;
+  check_int "disabled recordf stores nothing" 0 (List.length (Sim.Trace.lines tr));
+  Sim.Trace.enable tr;
+  Sim.Trace.recordf tr ~time:2.0 ~tag:"t" "value=%t" probe;
+  check_int "enabled recordf renders once" 1 !rendered;
+  check_string "enabled recordf stores line" "value=probe"
+    (match Sim.Trace.lines tr with [ (_, _, m) ] -> m | _ -> "")
+
 let suite =
   [
     Alcotest.test_case "heap pop order" `Quick heap_pop_order;
@@ -293,6 +311,7 @@ let suite =
     Alcotest.test_case "topology delays" `Quick topology_delays;
     Alcotest.test_case "topology duplicate host" `Quick topology_duplicate_host;
     Alcotest.test_case "trace ring" `Quick trace_ring;
+    Alcotest.test_case "trace recordf lazy when disabled" `Quick trace_recordf_lazy;
   ]
 
 (* pretty-printer smoke tests: they must never raise and must contain

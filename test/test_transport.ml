@@ -172,6 +172,25 @@ let netstack_counters () =
   check_int "one packet" 1 (Transport.Netstack.packets_sent w.net - before);
   check_bool "bytes counted" true (Transport.Netstack.bytes_sent w.net >= 3)
 
+let netstack_delivery_crosscheck () =
+  (* At quiescence every sent packet was either delivered or dropped:
+     packets_sent = packets_received + packets_dropped. *)
+  let w = make_world ~hosts:2 ~drop_probability:0.3 () in
+  in_sim w (fun () ->
+      let server = Transport.Udp.bind w.stacks.(0) ~port:9101 in
+      let client = Transport.Udp.bind_any w.stacks.(1) in
+      for _ = 1 to 200 do
+        Transport.Udp.sendto client ~dst:(Transport.Udp.local_addr server) "m"
+      done;
+      Sim.Engine.sleep 100.0);
+  let sent = Transport.Netstack.packets_sent w.net in
+  let received = Transport.Netstack.packets_received w.net in
+  let dropped = Transport.Netstack.packets_dropped w.net in
+  check_int "all packets sent" 200 sent;
+  check_bool "some dropped" true (dropped > 0);
+  check_bool "some delivered" true (received > 0);
+  check_int "sent = received + dropped" sent (received + dropped)
+
 let suite =
   [
     Alcotest.test_case "address basics" `Quick address_basics;
@@ -186,4 +205,6 @@ let suite =
     Alcotest.test_case "tcp close propagates" `Quick tcp_close_propagates;
     Alcotest.test_case "tcp handshake RTT" `Quick tcp_handshake_costs_rtt;
     Alcotest.test_case "netstack counters" `Quick netstack_counters;
+    Alcotest.test_case "netstack delivery cross-check" `Quick
+      netstack_delivery_crosscheck;
   ]

@@ -1,6 +1,6 @@
 # Convenience wrappers around dune; `make check` is the pre-commit gate.
 
-.PHONY: all build test bench check fmt clean
+.PHONY: all build test bench chaos check fmt clean
 
 all: build
 
@@ -12,6 +12,11 @@ test:
 
 bench:
 	dune exec bench/main.exe
+
+# The chaos availability demo: scheduled crashes with failover and
+# serve-stale degradation (also available as `hns_cli chaos`).
+chaos:
+	dune exec bench/main.exe -- chaos
 
 # ocamlformat is optional in the container: format when present, skip
 # (with a note) when not, so check works everywhere.
@@ -25,6 +30,7 @@ fmt:
 check: fmt
 	dune build
 	dune runtest
+	$(MAKE) chaos
 
 clean:
 	dune clean

@@ -1038,6 +1038,215 @@ let scale_types () =
     \  context's first query is cheaper than the first ever query because\n\
     \  mappings 2-6 are already cached.\n"
 
+(* --- Chaos: scheduled faults, failover, serve-stale ------------------ *)
+
+(* A snappy policy for the chaos runs: failure detection inside a
+   second rather than the default several, so availability timelines
+   stay readable. *)
+let chaos_policy =
+  {
+    Rpc.Control.default_policy with
+    Rpc.Control.attempts = 2;
+    attempt_timeout_ms = 300.0;
+    backoff_base_ms = 50.0;
+    backoff_cap_ms = 500.0;
+  }
+
+type chaos_outcome = { at : float; kind : string; ms : float }
+
+type chaos_phase = {
+  plan_text : string;
+  fault_trace : string list;
+  outcomes : chaos_outcome list; (* oldest first *)
+}
+
+type chaos_report = {
+  failover_phase : chaos_phase;
+  stale_phase : chaos_phase;
+  failovers : int;
+  stale_served : int;
+  faults_injected : int;
+  errors : int;
+  metrics_text : string;
+}
+
+let chaos_resolve (scn : S.t) hns =
+  S.timed (fun () ->
+      Hns.Client.resolve hns ~query_class:Hns.Query_class.hrpc_binding
+        ~payload_ty:Hns.Nsm_intf.binding_payload_ty ~service:scn.service_name
+        (import_name scn))
+
+(* Warm up, install the plan, then resolve every 500 ms of virtual time
+   for 10 s, classifying each resolution by the chaos counters it
+   moved. [t0]-relative timestamps make the timeline readable. *)
+let chaos_timeline (scn : S.t) hns plan_of_t0 =
+  let c_failover = Obs.Metrics.counter "hns.find_nsm.failovers" in
+  let c_stale = Obs.Metrics.counter "hns.cache.stale_served" in
+  let outcomes = ref [] in
+  let injector = ref None in
+  S.in_sim scn (fun () ->
+      (match fst (chaos_resolve scn hns) with
+      | Ok (Some _) -> ()
+      | Ok None -> failwith "chaos warmup: not found"
+      | Error e -> failwith ("chaos warmup: " ^ Hns.Errors.to_string e));
+      let t0 = Sim.Engine.time () in
+      injector := Some (Chaos.Injector.install (plan_of_t0 t0) scn.net);
+      for i = 1 to 20 do
+        let target = t0 +. (500.0 *. float_of_int i) in
+        let dt = target -. Sim.Engine.time () in
+        if dt > 0.0 then Sim.Engine.sleep dt;
+        let f0 = Obs.Metrics.value c_failover in
+        let s0 = Obs.Metrics.value c_stale in
+        let at = Sim.Engine.time () -. t0 in
+        let r, ms = chaos_resolve scn hns in
+        let kind =
+          match r with
+          | Ok (Some _) ->
+              if Obs.Metrics.value c_failover > f0 then "failover"
+              else if Obs.Metrics.value c_stale > s0 then "stale"
+              else "ok"
+          | Ok None -> "notfound"
+          | Error e -> "error: " ^ Hns.Errors.to_string e
+        in
+        outcomes := { at; kind; ms } :: !outcomes
+      done);
+  let inj = Option.get !injector in
+  Chaos.Injector.uninstall inj;
+  {
+    plan_text = Chaos.Plan.to_string (Chaos.Injector.plan inj);
+    fault_trace = Chaos.Injector.trace inj;
+    outcomes = List.rev !outcomes;
+  }
+
+(* Phase 1 — failover: the designated binding NSM's host (niue)
+   crashes at t=2 s and heals at t=6 s; an alternate NSM on rarotonga
+   is registered in the failover set, so resolutions during the outage
+   detect the timeout and fail over. *)
+let chaos_failover_phase () =
+  let scn = S.build () in
+  let hns =
+    S.new_hns ~rpc_policy:chaos_policy scn ~on:scn.S.client_stack
+  in
+  S.in_sim scn (fun () ->
+      let admin =
+        Hns.Meta_client.create scn.S.meta_stack
+          ~meta_server:(Dns.Server.addr scn.S.meta_bind)
+          ~cache:(Hns.Cache.create ~mode:Hns.Cache.Demarshalled ())
+          ()
+      in
+      let alt_nsm =
+        Nsm.Binding_nsm_bind.create scn.S.agent_stack
+          ~bind_server:(Dns.Server.addr scn.S.public_bind)
+          ~services:[ (scn.S.service_name, (scn.S.target_prog, scn.S.target_vers)) ]
+          ~per_query_ms:C.nsm_per_query_ms ()
+      in
+      let srv =
+        Nsm.Binding_nsm_bind.serve alt_nsm
+          ~prog:(Hns.Nsm_intf.nsm_prog_base + 6)
+          ~service_overhead_ms:C.nsm_service_overhead_ms ()
+      in
+      Hrpc.Server.start srv;
+      match
+        Hns.Admin.register_alternate_nsm_server admin ~name:"b-bind-alt"
+          ~ns:"UW-BIND" ~query_class:Hns.Query_class.hrpc_binding
+          ~host:("rarotonga." ^ scn.S.zone) ~host_context:scn.S.bind_context
+          (Hrpc.Server.binding srv)
+      with
+      | Ok () -> ()
+      | Error e -> failwith ("chaos: alternate NSM: " ^ Hns.Errors.to_string e));
+  chaos_timeline scn hns (fun t0 ->
+      [ Chaos.Plan.crash ~host:"niue" ~at:(t0 +. 2_000.0) ~heal_at:(t0 +. 6_000.0) () ])
+
+(* Phase 2 — serve-stale: the meta-BIND host (fiji) crashes over the
+   same window while the client's context mapping carries a 1 s TTL,
+   so refreshes during the outage fail and the expired entry is served
+   from the staleness budget instead. *)
+let chaos_stale_phase () =
+  let scn = S.build () in
+  let hns =
+    S.new_hns ~staleness_budget_ms:60_000.0 ~rpc_policy:chaos_policy scn
+      ~on:scn.S.client_stack
+  in
+  S.in_sim scn (fun () ->
+      let admin =
+        Hns.Meta_client.create scn.S.meta_stack
+          ~meta_server:(Dns.Server.addr scn.S.meta_bind)
+          ~cache:(Hns.Cache.create ~mode:Hns.Cache.Demarshalled ())
+          ()
+      in
+      match
+        Hns.Meta_client.store admin
+          ~key:(Hns.Meta_schema.context_key scn.S.bind_context)
+          ~ty:Hns.Meta_schema.string_ty ~ttl_s:1l (Wire.Value.Str "UW-BIND")
+      with
+      | Ok () -> ()
+      | Error e -> failwith ("chaos: short-TTL context: " ^ Hns.Errors.to_string e));
+  chaos_timeline scn hns (fun t0 ->
+      [ Chaos.Plan.crash ~host:"fiji" ~at:(t0 +. 2_000.0) ~heal_at:(t0 +. 6_000.0) () ])
+
+let count_errors phase =
+  List.length
+    (List.filter
+       (fun o ->
+         match o.kind with
+         | "ok" | "failover" | "stale" -> false
+         | _ -> true)
+       phase.outcomes)
+
+(* The whole chaos availability experiment. With [reset_metrics] (the
+   default) the registry is zeroed first, making the returned
+   [metrics_text] — and everything else — byte-reproducible across
+   runs of the same seed. *)
+let chaos_run ?(reset_metrics = true) () =
+  if reset_metrics then Obs.Metrics.reset ();
+  let failover_phase = chaos_failover_phase () in
+  let stale_phase = chaos_stale_phase () in
+  let count name =
+    match Obs.Metrics.find name with Some (Obs.Metrics.Count n) -> n | _ -> 0
+  in
+  {
+    failover_phase;
+    stale_phase;
+    failovers = count "hns.find_nsm.failovers";
+    stale_served = count "hns.cache.stale_served";
+    faults_injected = count "chaos.faults_injected";
+    errors = count_errors failover_phase + count_errors stale_phase;
+    metrics_text = Obs.Export.metrics_json_lines ();
+  }
+
+let chaos () =
+  let r = chaos_run () in
+  let phase_rows phase =
+    List.map
+      (fun o ->
+        [ Printf.sprintf "%.0f" o.at; o.kind; Printf.sprintf "%.0f" o.ms ])
+      phase.outcomes
+  in
+  E.print_table
+    ~title:
+      (Printf.sprintf
+         "Chaos phase 1 -- failover (plan: %s;\n\
+         \  alternate NSM on rarotonga; resolutions every 500 ms)"
+         r.failover_phase.plan_text)
+    ~header:[ "t (ms)"; "outcome"; "resolve (ms)" ]
+    (phase_rows r.failover_phase);
+  E.print_table
+    ~title:
+      (Printf.sprintf
+         "Chaos phase 2 -- serve-stale (plan: %s;\n\
+         \  context mapping TTL 1 s, staleness budget 60 s)"
+         r.stale_phase.plan_text)
+    ~header:[ "t (ms)"; "outcome"; "resolve (ms)" ]
+    (phase_rows r.stale_phase);
+  Printf.printf
+    "  faults injected: %d; failovers: %d; stale served: %d; client errors: %d\n"
+    r.faults_injected r.failovers r.stale_served r.errors;
+  Printf.printf "  first faults in the injector trace:\n";
+  List.iteri
+    (fun i line -> if i < 5 then Printf.printf "    %s\n" line)
+    r.failover_phase.fault_trace;
+  print_newline ()
+
 (* --- JSON artifacts ------------------------------------------------- *)
 
 (* Per-experiment latency distributions for BENCH_hns.json. Each row
@@ -1117,13 +1326,29 @@ let json_rows ?(n = 8) () =
         ("import.all_remote", Hns.Import.All_remote);
       ]
   in
+  (* Chaos availability: resolve latency under the fault plans, split
+     by phase. One run (not [n]) — each phase is already 20 samples on
+     the virtual clock. Keeps the chaos.* counters nonzero in the
+     metrics snapshot written alongside. *)
+  let chaos_rows =
+    let r = chaos_run ~reset_metrics:false () in
+    let stats_of name phase =
+      let stats = Sim.Stats.create ~name () in
+      List.iter (fun o -> Sim.Stats.add stats o.ms) phase.outcomes;
+      (name, stats)
+    in
+    [
+      stats_of "chaos.failover.resolve_ms" r.failover_phase;
+      stats_of "chaos.stale.resolve_ms" r.stale_phase;
+    ]
+  in
   [
     sampled "resolve.cold" resolve_cold;
     sampled "resolve.warm" resolve_warm;
     sampled "find_nsm.cold" find_nsm_cold;
     sampled "find_nsm.warm" find_nsm_warm;
   ]
-  @ import_rows
+  @ import_rows @ chaos_rows
 
 (* Write BENCH_hns.json (latency distributions) and BENCH_obs.json (the
    metrics registry as left by everything this process ran). Returns

@@ -30,6 +30,8 @@ let experiments =
      Experiments.compare_broadcast);
     ("scale-types", "Scaling in the heterogeneity dimension",
      Experiments.scale_types);
+    ("chaos", "Chaos availability: failover and serve-stale under faults",
+     Experiments.chaos);
   ]
 
 (* --- Bechamel: wall-clock cost of each experiment's workload -------- *)

@@ -322,6 +322,22 @@ let stats_cmd =
          "Run a scripted resolve workload and dump the full metrics registry.")
     Term.(const run $ json_arg $ out_arg)
 
+(* --- chaos --- *)
+
+let chaos_cmd =
+  let run () =
+    (* The bench experiment is the canonical demo: crash the NSM host
+       and fail over, crash the meta host and serve stale. *)
+    Experiments.chaos ();
+    0
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run the chaos availability experiment: scheduled host crashes with \
+          failover across alternate NSMs and serve-stale degradation.")
+    Term.(const run $ const ())
+
 (* --- network services --- *)
 
 let with_services f =
@@ -439,6 +455,7 @@ let () =
             contexts_cmd;
             trace_cmd;
             stats_cmd;
+            chaos_cmd;
             fetch_cmd;
             send_mail_cmd;
             rexec_cmd;

@@ -1,0 +1,32 @@
+(** Compiles a {!Plan.t} into a {!Transport.Netstack.fault_oracle} and
+    installs it on a netstack.
+
+    Every injected fault — each packet dropped, delayed, or corrupted —
+    is appended to a deterministic event trace (formatted with its
+    virtual timestamp) and counted in the [chaos.*] metrics:
+
+    - [chaos.faults_injected] — every fault decision
+    - [chaos.packet_drops] / [chaos.packet_delays] /
+      [chaos.packet_corruptions] — by kind
+
+    Corruption randomness comes from the injector's own seeded stream,
+    so the same plan, seed, and workload reproduce the same trace
+    byte for byte. *)
+
+type t
+
+(** [install ?seed plan net] replaces any oracle already on [net]. *)
+val install : ?seed:int64 -> Plan.t -> Transport.Netstack.t -> t
+
+(** Remove the oracle; the trace and counters survive. Idempotent. *)
+val uninstall : t -> unit
+
+(** Chronological fault log, e.g.
+    ["  2013.400 drop tonga->niue crash:niue"]. *)
+val trace : t -> string list
+
+(** Faults injected by this injector (the process-wide counter is
+    [chaos.faults_injected]). *)
+val faults_injected : t -> int
+
+val plan : t -> Plan.t

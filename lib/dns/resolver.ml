@@ -88,7 +88,7 @@ let ask_tcp t server request =
         match Transport.Tcp.recv_timeout conn 5_000.0 with
         | exception Transport.Tcp.Connection_closed ->
             Error (Rpc_error Rpc.Control.Refused)
-        | None -> Error (Rpc_error Rpc.Control.Timeout)
+        | None -> Error (Rpc_error (Rpc.Control.Timeout { elapsed_ms = 5_000.0 }))
         | Some payload -> (
             match Msg.decode payload with
             | exception Msg.Bad_message m ->
@@ -140,7 +140,7 @@ let ask_servers t name rtype =
                 try_servers (Rpc_error (Rpc.Control.Protocol_error m)) rest
             | reply -> interpret server reply rest ~try_servers))
   in
-  try_servers (Rpc_error Rpc.Control.Timeout) t.servers
+  try_servers (Rpc_error (Rpc.Control.Timeout { elapsed_ms = 0.0 })) t.servers
 
 let query_uncached t name rtype =
   t.misses <- t.misses + 1;
@@ -172,7 +172,7 @@ let rec iterate t ~depth servers name rtype =
               | Msg.No_error -> Error No_data
               | rc -> try_servers (Server_error rc) rest))
     in
-    try_servers (Rpc_error Rpc.Control.Timeout) servers
+    try_servers (Rpc_error (Rpc.Control.Timeout { elapsed_ms = 0.0 })) servers
   end
 
 and follow_referral t ~depth (reply : Msg.t) name rtype =

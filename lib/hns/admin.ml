@@ -22,6 +22,31 @@ let register_nsm meta ~name ~ns ~query_class info =
         ~ty:Meta_schema.nsm_info_ty
         (Meta_schema.nsm_info_to_value info)
 
+let register_alternate_nsm meta ~name ~ns ~query_class info =
+  Meta_schema.validate_simple_name ~what:"Admin.register_alternate_nsm" name;
+  (* Read-modify-write the alternates array, then record the
+     alternate's own location so failover can resolve it. *)
+  let key = Meta_schema.nsm_alternates_key ~ns ~query_class in
+  let existing =
+    match Meta_client.lookup meta ~key ~ty:Meta_schema.nsm_alternates_ty with
+    | Ok (Some (Wire.Value.Array items)) ->
+        List.filter_map
+          (fun v -> match v with Wire.Value.Str s -> Some s | _ -> None)
+          items
+    | Ok _ | Error _ -> []
+  in
+  let names = if List.mem name existing then existing else existing @ [ name ] in
+  match
+    Meta_client.store meta ~key ~ty:Meta_schema.nsm_alternates_ty
+      (Wire.Value.Array (List.map (fun s -> Wire.Value.Str s) names))
+  with
+  | Error _ as e -> e
+  | Ok () ->
+      Meta_client.store meta
+        ~key:(Meta_schema.nsm_binding_key name)
+        ~ty:Meta_schema.nsm_info_ty
+        (Meta_schema.nsm_info_to_value info)
+
 let remove_context meta ~context =
   Meta_client.remove meta ~key:(Meta_schema.context_key context)
 
@@ -30,14 +55,22 @@ let remove_nsm meta ~name ~ns ~query_class =
   | Error _ as e -> e
   | Ok () -> Meta_client.remove meta ~key:(Meta_schema.nsm_binding_key name)
 
+let nsm_info_of_binding ~host ~host_context (binding : Hrpc.Binding.t) =
+  {
+    Meta_schema.nsm_host = host;
+    nsm_host_context = host_context;
+    nsm_port = binding.Hrpc.Binding.server.Transport.Address.port;
+    nsm_prog = binding.Hrpc.Binding.prog;
+    nsm_vers = binding.Hrpc.Binding.vers;
+    nsm_suite = binding.Hrpc.Binding.suite;
+  }
+
 let register_nsm_server meta ~name ~ns ~query_class ~host ~host_context
     (binding : Hrpc.Binding.t) =
   register_nsm meta ~name ~ns ~query_class
-    {
-      Meta_schema.nsm_host = host;
-      nsm_host_context = host_context;
-      nsm_port = binding.Hrpc.Binding.server.Transport.Address.port;
-      nsm_prog = binding.Hrpc.Binding.prog;
-      nsm_vers = binding.Hrpc.Binding.vers;
-      nsm_suite = binding.Hrpc.Binding.suite;
-    }
+    (nsm_info_of_binding ~host ~host_context binding)
+
+let register_alternate_nsm_server meta ~name ~ns ~query_class ~host ~host_context
+    (binding : Hrpc.Binding.t) =
+  register_alternate_nsm meta ~name ~ns ~query_class
+    (nsm_info_of_binding ~host ~host_context binding)

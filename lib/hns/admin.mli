@@ -25,6 +25,17 @@ val register_nsm :
   Meta_schema.nsm_info ->
   (unit, Errors.t) result
 
+(** Register an {e alternate} NSM for (name service, query class):
+    appended to the failover set consulted when the designated NSM is
+    unreachable, and its location recorded. Idempotent per name. *)
+val register_alternate_nsm :
+  Meta_client.t ->
+  name:string ->
+  ns:string ->
+  query_class:Query_class.t ->
+  Meta_schema.nsm_info ->
+  (unit, Errors.t) result
+
 val remove_context : Meta_client.t -> context:string -> (unit, Errors.t) result
 
 val remove_nsm :
@@ -38,6 +49,18 @@ val remove_nsm :
     (ns, query class) under [name], deriving the location record from
     the server's binding. [host]/[host_context] name where it runs. *)
 val register_nsm_server :
+  Meta_client.t ->
+  name:string ->
+  ns:string ->
+  query_class:Query_class.t ->
+  host:string ->
+  host_context:string ->
+  Hrpc.Binding.t ->
+  (unit, Errors.t) result
+
+(** As {!register_nsm_server}, but into the failover set
+    ({!register_alternate_nsm}) instead of the designation mapping. *)
+val register_alternate_nsm_server :
   Meta_client.t ->
   name:string ->
   ns:string ->

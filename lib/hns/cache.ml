@@ -11,9 +11,11 @@ type t = {
   hit_per_node_ms : float;
   insert_overhead_ms : float;
   default_ttl_ms : float;
+  staleness_budget_ms : float;
   tbl : (string, entry) Hashtbl.t;
   mutable hit_count : int;
   mutable miss_count : int;
+  mutable stale_count : int;
 }
 
 (* The canonical storage representation for marshalled entries. *)
@@ -39,6 +41,8 @@ let mode_metrics prefix =
 let marshalled_metrics = mode_metrics "hns.cache.marshalled"
 let demarshalled_metrics = mode_metrics "hns.cache.demarshalled"
 
+let m_stale_served = Obs.Metrics.counter "hns.cache.stale_served"
+
 let metrics_of = function
   | Marshalled -> marshalled_metrics
   | Demarshalled -> demarshalled_metrics
@@ -46,7 +50,7 @@ let metrics_of = function
 let create ~mode
     ?(generated_cost = { Wire.Generic_marshal.per_call_ms = 0.0; per_node_ms = 0.0 })
     ?(hit_overhead_ms = 0.0) ?(hit_per_node_ms = 0.0) ?(insert_overhead_ms = 0.0)
-    ?(default_ttl_ms = 3_600_000.0) () =
+    ?(default_ttl_ms = 3_600_000.0) ?(staleness_budget_ms = 0.0) () =
   {
     mode;
     generated_cost;
@@ -54,12 +58,15 @@ let create ~mode
     hit_per_node_ms;
     insert_overhead_ms;
     default_ttl_ms;
+    staleness_budget_ms;
     tbl = Hashtbl.create 64;
     hit_count = 0;
     miss_count = 0;
+    stale_count = 0;
   }
 
 let mode t = t.mode
+let staleness_budget_ms t = t.staleness_budget_ms
 
 (* Charge virtual time if we are inside a simulated process; cache use
    from plain test code costs nothing. *)
@@ -70,6 +77,28 @@ let charge ms =
 let now () =
   try Sim.Engine.time () with Effect.Unhandled _ -> 0.0
 
+(* Decode an entry's stored form, charging the mode-dependent hit cost.
+   [None] means the entry was undecodable and has been evicted. *)
+let decode_stored t ~key ~ty stored =
+  match stored with
+  | Value_form v ->
+      charge
+        (t.hit_overhead_ms
+        +. (t.hit_per_node_ms *. float_of_int (Wire.Value.node_count v)));
+      Some v
+  | Bytes_form bytes -> (
+      (* The marshalled cache really demarshals on every access,
+         and pays the generated-stub price for it. *)
+      charge t.hit_overhead_ms;
+      match Wire.Generic_marshal.unmarshal storage_rep ty bytes with
+      | exception _ ->
+          Hashtbl.remove t.tbl key;
+          Obs.Metrics.incr (metrics_of t.mode).m_evictions;
+          None
+      | v ->
+          charge (Wire.Generic_marshal.cost t.generated_cost v);
+          Some v)
+
 let find t ~key ~ty =
   let m = metrics_of t.mode in
   let miss () =
@@ -78,38 +107,42 @@ let find t ~key ~ty =
     None
   in
   let hit_t0 = Obs.Metrics.now_ms () in
-  let hit v =
-    Obs.Metrics.incr m.m_hits;
-    Obs.Metrics.observe m.m_hit_ms (Obs.Metrics.now_ms () -. hit_t0);
-    Some v
-  in
   match Hashtbl.find_opt t.tbl key with
   | None -> miss ()
   | Some entry when entry.expires_at <= now () ->
-      Hashtbl.remove t.tbl key;
-      Obs.Metrics.incr m.m_evictions;
+      (* Expired entries linger for the staleness budget — find still
+         misses (the caller should refresh), but find_stale can serve
+         them if that refresh fails. *)
+      if now () > entry.expires_at +. t.staleness_budget_ms then begin
+        Hashtbl.remove t.tbl key;
+        Obs.Metrics.incr m.m_evictions
+      end;
       miss ()
   | Some entry -> (
-      t.hit_count <- t.hit_count + 1;
-      match entry.stored with
-      | Value_form v ->
-          charge
-            (t.hit_overhead_ms
-            +. (t.hit_per_node_ms *. float_of_int (Wire.Value.node_count v)));
-          hit v
-      | Bytes_form bytes -> (
-          (* The marshalled cache really demarshals on every access,
-             and pays the generated-stub price for it. *)
-          charge t.hit_overhead_ms;
-          match Wire.Generic_marshal.unmarshal storage_rep ty bytes with
-          | exception _ ->
-              Hashtbl.remove t.tbl key;
-              t.hit_count <- t.hit_count - 1;
-              Obs.Metrics.incr m.m_evictions;
-              miss ()
-          | v ->
-              charge (Wire.Generic_marshal.cost t.generated_cost v);
-              hit v))
+      match decode_stored t ~key ~ty entry.stored with
+      | None -> miss ()
+      | Some v ->
+          t.hit_count <- t.hit_count + 1;
+          Obs.Metrics.incr m.m_hits;
+          Obs.Metrics.observe m.m_hit_ms (Obs.Metrics.now_ms () -. hit_t0);
+          Some v)
+
+let find_stale t ~key ~ty =
+  match Hashtbl.find_opt t.tbl key with
+  | None -> None
+  | Some entry ->
+      let n = now () in
+      if
+        entry.expires_at <= n
+        && n <= entry.expires_at +. t.staleness_budget_ms
+      then
+        match decode_stored t ~key ~ty entry.stored with
+        | None -> None
+        | Some v ->
+            t.stale_count <- t.stale_count + 1;
+            Obs.Metrics.incr m_stale_served;
+            Some v
+      else None
 
 let insert t ~key ~ty ?ttl_ms v =
   let ttl = match ttl_ms with Some ms -> ms | None -> t.default_ttl_ms in
@@ -124,10 +157,12 @@ let insert t ~key ~ty ?ttl_ms v =
 let flush t =
   Hashtbl.reset t.tbl;
   t.hit_count <- 0;
-  t.miss_count <- 0
+  t.miss_count <- 0;
+  t.stale_count <- 0
 
 let hits t = t.hit_count
 let misses t = t.miss_count
+let stale_served t = t.stale_count
 let size t = Hashtbl.length t.tbl
 
 let stored_bytes t =

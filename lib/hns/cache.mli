@@ -21,7 +21,16 @@
 
     Misses additionally charge a management cost on insert. All
     charges go to the virtual clock; a cache used outside a simulated
-    process (engine not running) charges nothing. *)
+    process (engine not running) charges nothing.
+
+    {b Serve-stale degradation.} With a nonzero [staleness_budget_ms],
+    expired entries are not evicted immediately: they linger for the
+    budget past their expiry. {!find} still treats them as misses —
+    freshness is always preferred — but when the refresh that follows
+    a miss fails (backend crashed or partitioned), {!find_stale}
+    returns the expired value so resolution degrades to slightly-old
+    data instead of an error. Each such answer is counted in the
+    [hns.cache.stale_served] metric. *)
 
 type mode = Marshalled | Demarshalled
 
@@ -39,16 +48,28 @@ val create :
   ?hit_per_node_ms:float ->
   ?insert_overhead_ms:float ->
   ?default_ttl_ms:float ->
+  ?staleness_budget_ms:float ->
   unit ->
   t
 
 val mode : t -> mode
+
+(** How long past expiry an entry remains servable by {!find_stale};
+    0 (the default) disables serve-stale entirely. *)
+val staleness_budget_ms : t -> float
 
 (** [find t ~key ~ty] returns the cached value, charging the
     mode-dependent hit cost, or [None] (charging nothing — miss costs
     are the remote lookup the caller now performs). Expired entries
     are removed and count as misses. *)
 val find : t -> key:string -> ty:Wire.Idl.ty -> Wire.Value.t option
+
+(** [find_stale t ~key ~ty] returns an expired entry still within the
+    staleness budget, charging the normal hit cost. For use only after
+    a backend refresh has failed; the answer is counted in
+    [hns.cache.stale_served], not as a hit. [None] when the entry is
+    missing, fresh (use {!find}), or past the budget. *)
+val find_stale : t -> key:string -> ty:Wire.Idl.ty -> Wire.Value.t option
 
 (** [insert t ~key ~ty ?ttl_ms v] stores [v] (marshalling it when in
     [Marshalled] mode) and charges the insert cost. *)
@@ -57,6 +78,10 @@ val insert : t -> key:string -> ty:Wire.Idl.ty -> ?ttl_ms:float -> Wire.Value.t 
 val flush : t -> unit
 val hits : t -> int
 val misses : t -> int
+
+(** Stale answers served by {!find_stale} since creation/flush. *)
+val stale_served : t -> int
+
 val size : t -> int
 
 (** Sum of marshalled entry sizes (0 in demarshalled mode) — the

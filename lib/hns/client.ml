@@ -2,10 +2,11 @@ type t = {
   stack_ : Transport.Netstack.stack;
   meta_ : Meta_client.t;
   finder_ : Find_nsm.t;
+  rpc_policy : Rpc.Control.retry_policy option;
 }
 
 let create stack ~meta_server ?fallback_servers ?cache ?generated_cost
-    ?preload_record_ms ?mapping_overhead_ms () =
+    ?preload_record_ms ?mapping_overhead_ms ?rpc_policy () =
   let cache =
     match cache with
     | Some c -> c
@@ -13,9 +14,9 @@ let create stack ~meta_server ?fallback_servers ?cache ?generated_cost
   in
   let meta =
     Meta_client.create stack ~meta_server ?fallback_servers ~cache ?generated_cost
-      ?preload_record_ms ?mapping_overhead_ms ()
+      ?preload_record_ms ?mapping_overhead_ms ?policy:rpc_policy ()
   in
-  { stack_ = stack; meta_ = meta; finder_ = Find_nsm.create ~meta () }
+  { stack_ = stack; meta_ = meta; finder_ = Find_nsm.create ~meta (); rpc_policy }
 
 let stack t = t.stack_
 let meta t = t.meta_
@@ -34,9 +35,20 @@ let resolve_ms_hist query_class =
   Obs.Metrics.histogram
     ("hns.client.resolve_ms." ^ String.lowercase_ascii query_class)
 
+(* Errors meaning "that NSM is unreachable" — worth trying an
+   alternate. Application-level errors (not-found, protocol) are
+   returned as-is: another NSM would answer the same way. *)
+let unreachable = function
+  | Errors.Rpc_error (Rpc.Control.Timeout _ | Rpc.Control.Refused) -> true
+  | _ -> false
+
 let resolve t ~query_class ~payload_ty ?(service = "") hns_name =
   Obs.Metrics.incr m_resolves;
   Obs.Metrics.time (resolve_ms_hist query_class) (fun () ->
+      let call_nsm binding =
+        Nsm_intf.call ?policy:t.rpc_policy t.stack_ (Nsm_intf.Remote binding)
+          ~payload_ty ~service ~hns_name
+      in
       let result =
         Obs.Span.with_span "resolve"
           ~attrs:
@@ -44,9 +56,24 @@ let resolve t ~query_class ~payload_ty ?(service = "") hns_name =
           (fun () ->
             match find_nsm t ~context:hns_name.Hns_name.context ~query_class with
             | Error _ as e -> e
-            | Ok resolved ->
-                Nsm_intf.call t.stack_ (Nsm_intf.Remote resolved.Find_nsm.binding)
-                  ~payload_ty ~service ~hns_name)
+            | Ok resolved -> (
+                match call_nsm resolved.Find_nsm.binding with
+                | Error primary_err when unreachable primary_err ->
+                    (* Designated NSM is down or cut off: fail over
+                       across the registered alternates. *)
+                    let rec try_alternates = function
+                      | [] -> Error primary_err
+                      | (alt : Find_nsm.resolved) :: rest -> (
+                          Find_nsm.note_failover ();
+                          Obs.Span.add_attr "failover" alt.Find_nsm.nsm_name;
+                          match call_nsm alt.Find_nsm.binding with
+                          | Error e when unreachable e -> try_alternates rest
+                          | outcome -> outcome)
+                    in
+                    try_alternates
+                      (Find_nsm.failover_candidates t.finder_ resolved
+                         ~query_class)
+                | outcome -> outcome))
       in
       (match result with Error _ -> Obs.Metrics.incr m_resolve_errors | Ok _ -> ());
       result)

@@ -6,6 +6,9 @@
 
 type t
 
+(** [rpc_policy] governs retries (escalating timeouts, jittered
+    backoff) for every HRPC exchange this instance makes — meta-BIND
+    queries and NSM calls alike. *)
 val create :
   Transport.Netstack.stack ->
   meta_server:Transport.Address.t ->
@@ -14,6 +17,7 @@ val create :
   ?generated_cost:Wire.Generic_marshal.cost_model ->
   ?preload_record_ms:float ->
   ?mapping_overhead_ms:float ->
+  ?rpc_policy:Rpc.Control.retry_policy ->
   unit ->
   t
 
@@ -32,7 +36,10 @@ val find_nsm :
   t -> context:string -> query_class:Query_class.t -> (Find_nsm.resolved, Errors.t) result
 
 (** Full client query: FindNSM, then call the designated NSM remotely.
-    [Ok None] when the underlying name service has no such name. *)
+    [Ok None] when the underlying name service has no such name. When
+    the designated NSM is unreachable (timeout/refused), the call
+    fails over across the alternates registered for the (name service,
+    query class) pair before reporting the primary's error. *)
 val resolve :
   t ->
   query_class:Query_class.t ->

@@ -8,6 +8,9 @@ type t = {
 let m_calls = Obs.Metrics.counter "hns.find_nsm.calls"
 let m_errors = Obs.Metrics.counter "hns.find_nsm.errors"
 let m_ms = Obs.Metrics.histogram "hns.find_nsm.ms"
+let m_failovers = Obs.Metrics.counter "hns.find_nsm.failovers"
+
+let note_failover () = Obs.Metrics.incr m_failovers
 
 let create ~meta () = { meta_ = meta; linked_hostaddr = Hashtbl.create 8 }
 let meta t = t.meta_
@@ -101,6 +104,26 @@ let resolve_host t ~context ~host =
                                    ("host-address NSM returned "
                                   ^ Wire.Value.to_string v)))))))
 
+(* Mappings 3-6 for one named NSM: binding info, then its host's
+   address, combined into a callable binding. *)
+let resolved_of_nsm t ~ns_name nsm_name =
+  match nsm_to_info t nsm_name with
+  | Error _ as e -> e
+  | Ok info -> (
+      match
+        resolve_host t ~context:info.Meta_schema.nsm_host_context
+          ~host:info.Meta_schema.nsm_host
+      with
+      | Error _ as e -> e
+      | Ok ip ->
+          let binding =
+            Hrpc.Binding.make ~suite:info.Meta_schema.nsm_suite
+              ~server:(Transport.Address.make ip info.Meta_schema.nsm_port)
+              ~prog:info.Meta_schema.nsm_prog
+              ~vers:info.Meta_schema.nsm_vers
+          in
+          Ok { ns_name; nsm_name; binding })
+
 let find t ~context ~query_class =
   Obs.Metrics.incr m_calls;
   Obs.Metrics.time m_ms (fun () ->
@@ -113,24 +136,34 @@ let find t ~context ~query_class =
             | Ok ns_name -> (
                 match ns_to_nsm t ~ns:ns_name ~query_class with
                 | Error _ as e -> e
-                | Ok nsm_name -> (
-                    match nsm_to_info t nsm_name with
-                    | Error _ as e -> e
-                    | Ok info -> (
-                        match
-                          resolve_host t ~context:info.Meta_schema.nsm_host_context
-                            ~host:info.Meta_schema.nsm_host
-                        with
-                        | Error _ as e -> e
-                        | Ok ip ->
-                            let binding =
-                              Hrpc.Binding.make ~suite:info.Meta_schema.nsm_suite
-                                ~server:
-                                  (Transport.Address.make ip info.Meta_schema.nsm_port)
-                                ~prog:info.Meta_schema.nsm_prog
-                                ~vers:info.Meta_schema.nsm_vers
-                            in
-                            Ok { ns_name; nsm_name; binding }))))
+                | Ok nsm_name -> resolved_of_nsm t ~ns_name nsm_name))
       in
       (match result with Error _ -> Obs.Metrics.incr m_errors | Ok _ -> ());
       result)
+
+(* The registered alternates for (ns, query class); [] when the meta
+   database has no record or is unreachable — failover is best-effort
+   and must not add failure modes of its own. *)
+let alternates t ~ns ~query_class =
+  match
+    Meta_client.lookup t.meta_
+      ~key:(Meta_schema.nsm_alternates_key ~ns ~query_class)
+      ~ty:Meta_schema.nsm_alternates_ty
+  with
+  | Error _ | Ok None -> []
+  | Ok (Some v) -> (
+      match v with
+      | Wire.Value.Array items ->
+          List.filter_map
+            (fun item ->
+              match item with Wire.Value.Str s -> Some s | _ -> None)
+            items
+      | _ -> [])
+
+let failover_candidates t resolved ~query_class =
+  alternates t ~ns:resolved.ns_name ~query_class
+  |> List.filter (fun nsm -> nsm <> resolved.nsm_name)
+  |> List.filter_map (fun nsm_name ->
+         match resolved_of_nsm t ~ns_name:resolved.ns_name nsm_name with
+         | Error _ -> None
+         | Ok r -> Some r)

@@ -41,3 +41,21 @@ val find :
     linked host-address NSMs, caching the result. *)
 val resolve_host :
   t -> context:string -> host:string -> (Transport.Address.ip, Errors.t) result
+
+(** {1 Failover}
+
+    The meta database may register alternate NSMs for a
+    (name service, query class) pair ({!Meta_schema.nsm_alternates_key}).
+    When a call on the designated NSM's binding fails, the client
+    resolves each alternate in turn — each attempt counted in the
+    [hns.find_nsm.failovers] metric. *)
+
+(** Resolve every registered alternate for [resolved]'s name service
+    and [query_class], excluding [resolved] itself. Alternates that
+    cannot currently be resolved (e.g. their host is down too) are
+    silently skipped; an unreachable meta database yields []. *)
+val failover_candidates :
+  t -> resolved -> query_class:Query_class.t -> resolved list
+
+(** Count one failover attempt in [hns.find_nsm.failovers]. *)
+val note_failover : unit -> unit

@@ -8,13 +8,14 @@ type t = {
   mapping_overhead_ms : float;
   mutable walk : (string * bool * float) list; (* newest first, max 64 *)
   raw_binding : Hrpc.Binding.t;
+  policy : Rpc.Control.retry_policy option;
   mutable lookup_count : int;
   mutable next_id : int;
 }
 
 let create stack ~meta_server ?(fallback_servers = []) ~cache
     ?(generated_cost = { Wire.Generic_marshal.per_call_ms = 0.0; per_node_ms = 0.0 })
-    ?(preload_record_ms = 0.0) ?(mapping_overhead_ms = 0.0) () =
+    ?(preload_record_ms = 0.0) ?(mapping_overhead_ms = 0.0) ?policy () =
   {
     stack;
     meta_server;
@@ -27,6 +28,7 @@ let create stack ~meta_server ?(fallback_servers = []) ~cache
     raw_binding =
       Hrpc.Binding.make ~suite:Hrpc.Component.raw_udp_suite ~server:meta_server
         ~prog:0 ~vers:0;
+    policy;
     lookup_count = 0;
     next_id = 1;
   }
@@ -57,7 +59,10 @@ let raw_query t key =
   charge t.generated_cost.Wire.Generic_marshal.per_call_ms;
   let exchange server =
     let binding = { t.raw_binding with Hrpc.Binding.server } in
-    match Hrpc.Client.call_raw t.stack binding (Dns.Msg.encode request) with
+    match
+      Hrpc.Client.call_raw t.stack binding ?policy:t.policy
+        (Dns.Msg.encode request)
+    with
     | Error e -> Error (Errors.Rpc_error e)
     | Ok payload -> (
         match Dns.Msg.decode payload with
@@ -68,10 +73,12 @@ let raw_query t key =
     | [] -> last
     | server :: rest -> (
         match exchange server with
-        | Error (Errors.Rpc_error Rpc.Control.Timeout) as e -> go e rest
+        | Error (Errors.Rpc_error (Rpc.Control.Timeout _)) as e -> go e rest
         | outcome -> outcome)
   in
-  go (Error (Errors.Rpc_error Rpc.Control.Timeout)) (t.meta_server :: t.fallback_servers)
+  go
+    (Error (Errors.Rpc_error (Rpc.Control.Timeout { elapsed_ms = 0.0 })))
+    (t.meta_server :: t.fallback_servers)
 
 let first_unspec (reply : Dns.Msg.t) =
   List.find_map
@@ -137,11 +144,24 @@ let lookup t ~key ~ty =
   in
   match Cache.find t.cache_ ~key:(Meta_schema.cache_key key) ~ty with
   | Some v -> finish true (Ok (Some v))
-  | None -> finish false (lookup_remote t ~key ~ty)
+  | None -> (
+      match lookup_remote t ~key ~ty with
+      | Error _ as e -> (
+          (* Backend unreachable: serve the expired entry if it is
+             still within the cache's staleness budget. *)
+          match Cache.find_stale t.cache_ ~key:(Meta_schema.cache_key key) ~ty with
+          | Some v ->
+              Obs.Span.add_attr "stale" "true";
+              finish false (Ok (Some v))
+          | None -> finish false e)
+      | ok -> finish false ok)
 
 let transact t ops =
   let request = Dns.Msg.update_request ~id:(fresh_id t) ~zone:Meta_schema.zone_origin ops in
-  match Hrpc.Client.call_raw t.stack t.raw_binding (Dns.Msg.encode request) with
+  match
+    Hrpc.Client.call_raw t.stack t.raw_binding ?policy:t.policy
+      (Dns.Msg.encode request)
+  with
   | Error e -> Error (Errors.Rpc_error e)
   | Ok payload -> (
       match Dns.Msg.decode payload with

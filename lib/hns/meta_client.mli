@@ -20,7 +20,10 @@ type t
     [fallback_servers] are tried in order when the primary meta server
     does not answer — typically BIND secondaries of the meta zone
     ({!Dns.Secondary}); reads fail over, writes go to the primary
-    only. *)
+    only. [policy] governs the underlying HRPC retries (timeouts and
+    jittered backoff); when the cache was created with a staleness
+    budget, a failed refresh falls back to the expired entry
+    (serve-stale). *)
 val create :
   Transport.Netstack.stack ->
   meta_server:Transport.Address.t ->
@@ -29,6 +32,7 @@ val create :
   ?generated_cost:Wire.Generic_marshal.cost_model ->
   ?preload_record_ms:float ->
   ?mapping_overhead_ms:float ->
+  ?policy:Rpc.Control.retry_policy ->
   unit ->
   t
 

@@ -36,6 +36,12 @@ let nsm_name_key ~ns ~query_class =
   Dns.Name.of_labels
     ([ query_class; ns; "nsm" ] @ Dns.Name.labels zone_origin)
 
+let nsm_alternates_key ~ns ~query_class =
+  validate_simple_name ~what:"Meta_schema.nsm_alternates_key" ns;
+  Query_class.validate query_class;
+  Dns.Name.of_labels
+    ([ query_class; ns; "nsmalt" ] @ Dns.Name.labels zone_origin)
+
 let nsm_binding_key nsm =
   validate_simple_name ~what:"Meta_schema.nsm_binding_key" nsm;
   Dns.Name.of_labels ([ nsm; "nsmbind" ] @ Dns.Name.labels zone_origin)
@@ -45,6 +51,7 @@ let ns_info_key ns =
   Dns.Name.of_labels ([ ns; "ns" ] @ Dns.Name.labels zone_origin)
 
 let string_ty = Wire.Idl.T_string
+let nsm_alternates_ty = Wire.Idl.T_array Wire.Idl.T_string
 
 let ns_info_ty =
   Wire.Idl.T_struct
@@ -146,6 +153,7 @@ let ty_of_key key =
   match marker (Dns.Name.labels key) with
   | Some "ctx" -> Some string_ty
   | Some "nsm" -> Some string_ty
+  | Some "nsmalt" -> Some nsm_alternates_ty
   | Some "nsmbind" -> Some nsm_info_ty
   | Some "ns" -> Some ns_info_ty
   | Some _ | None -> None

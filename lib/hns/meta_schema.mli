@@ -48,12 +48,22 @@ val validate_simple_name : what:string -> string -> unit
 
 val context_key : string -> Dns.Name.t
 val nsm_name_key : ns:string -> query_class:Query_class.t -> Dns.Name.t
+
+(** [<qclass>.<ns>.nsmalt.hns-meta.] -> alternate NSM names (an array
+    of strings) that can answer the class when the designated NSM is
+    unreachable — the failover set. *)
+val nsm_alternates_key : ns:string -> query_class:Query_class.t -> Dns.Name.t
+
 val nsm_binding_key : string -> Dns.Name.t
 val ns_info_key : string -> Dns.Name.t
 
 (** {1 Wire shapes stored in UNSPEC records} *)
 
 val string_ty : Wire.Idl.ty
+
+(** Shape of an alternates record: array of NSM names. *)
+val nsm_alternates_ty : Wire.Idl.ty
+
 val ns_info_ty : Wire.Idl.ty
 val nsm_info_ty : Wire.Idl.ty
 val ns_info_to_value : ns_info -> Wire.Value.t

@@ -67,7 +67,7 @@ let call_linked impl ~service ~hns_name =
       | v -> interpret_result v
       | exception Failure m -> Error (Errors.Nsm_error m))
 
-let call stack access ~payload_ty ~service ~hns_name =
+let call ?policy stack access ~payload_ty ~service ~hns_name =
   let arg = make_arg ~service ~hns_name in
   match access with
   | Linked impl ->
@@ -79,6 +79,9 @@ let call stack access ~payload_ty ~service ~hns_name =
   | Remote binding ->
       instrumented ~access_label:"remote" ~hns_name (fun () ->
           let sign = query_sign ~payload_ty in
-          match Hrpc.Client.call stack binding ~procnum:query_procnum ~sign arg with
+          match
+            Hrpc.Client.call stack binding ~procnum:query_procnum ~sign ?policy
+              arg
+          with
           | Error e -> Error (Errors.Rpc_error e)
           | Ok v -> interpret_result v)

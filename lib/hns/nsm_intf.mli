@@ -52,8 +52,10 @@ type impl = Wire.Value.t -> Wire.Value.t
 type access = Linked of impl | Remote of Hrpc.Binding.t
 
 (** [call stack access ~payload_ty ~service ~hns_name] invokes the NSM
-    locally or remotely; [Ok None] is not-found. *)
+    locally or remotely; [Ok None] is not-found. [policy] governs the
+    remote path's HRPC retries. *)
 val call :
+  ?policy:Rpc.Control.retry_policy ->
   Transport.Netstack.stack ->
   access ->
   payload_ty:Wire.Idl.ty ->

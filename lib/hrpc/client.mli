@@ -6,10 +6,21 @@
     components were separated at stub-generation time and are
     recombined here, at call time — the emulation mechanism that lets
     one linked client speak Sun RPC, Courier, or a raw message
-    protocol depending on what it is bound to. *)
+    protocol depending on what it is bound to.
 
-(** Defaults: 1000 ms timeout, 3 attempts (UDP transports retransmit;
-    TCP transports use a single attempt's timeout per connection). *)
+    Retries are governed by a {!Rpc.Control.retry_policy}: UDP
+    transports retransmit with escalating per-attempt deadlines and a
+    jittered exponential backoff pause between attempts (recorded in
+    the [hrpc.backoff_ms] histogram); TCP transports make a single
+    attempt bounded by the attempt timeout, including connection
+    establishment. Exhausting the budget yields
+    [Error (Timeout { elapsed_ms })] carrying the cumulative virtual
+    time spent across every attempt and pause. *)
+
+(** [?policy] supplies the full retry policy (default
+    {!Rpc.Control.default_policy}); [?timeout] and [?attempts]
+    override its [attempt_timeout_ms] and [attempts] fields for
+    callers that only need the legacy knobs. *)
 val call :
   Transport.Netstack.stack ->
   Binding.t ->
@@ -17,6 +28,7 @@ val call :
   sign:Wire.Idl.signature ->
   ?timeout:float ->
   ?attempts:int ->
+  ?policy:Rpc.Control.retry_policy ->
   Wire.Value.t ->
   (Wire.Value.t, Rpc.Control.error) result
 
@@ -29,5 +41,6 @@ val call_raw :
   Binding.t ->
   ?timeout:float ->
   ?attempts:int ->
+  ?policy:Rpc.Control.retry_policy ->
   string ->
   (string, Rpc.Control.error) result

@@ -45,14 +45,19 @@ let rec exchange t addr ~timeout ~matches payload ~retry_on_dead =
       match Transport.Tcp.send conn payload with
       | exception Transport.Tcp.Connection_closed -> dead ()
       | () ->
-          let deadline = Sim.Engine.time () +. timeout in
+          let t0 = Sim.Engine.time () in
+          let timed_out () =
+            Error
+              (Rpc.Control.Timeout { elapsed_ms = Sim.Engine.time () -. t0 })
+          in
+          let deadline = t0 +. timeout in
           let rec wait () =
             let remaining = deadline -. Sim.Engine.time () in
-            if remaining <= 0.0 then Error Rpc.Control.Timeout
+            if remaining <= 0.0 then timed_out ()
             else
               match Transport.Tcp.recv_timeout conn remaining with
               | exception Transport.Tcp.Connection_closed -> dead ()
-              | None -> Error Rpc.Control.Timeout
+              | None -> timed_out ()
               | Some resp -> if matches resp then Ok resp else wait ()
           in
           wait ())

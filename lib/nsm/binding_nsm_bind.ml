@@ -61,8 +61,15 @@ let lookup t ~service ~(hns_name : Hns.Hns_name.t) =
           match Dns.Resolver.lookup_a t.resolver (Dns.Name.of_string hns_name.name) with
           | Error Dns.Resolver.Nxdomain | Error Dns.Resolver.No_data ->
               Hns.Nsm_intf.not_found
-          | Error e ->
-              failwith (Format.asprintf "BIND lookup failed: %a" Dns.Resolver.pp_error e)
+          | Error e -> (
+              (* BIND unreachable: degrade to a stale binding within
+                 the cache's staleness budget before giving up. *)
+              match Hns.Cache.find_stale t.cache_ ~key ~ty:Hrpc.Binding.idl_ty with
+              | Some v -> Hns.Nsm_intf.found v
+              | None ->
+                  failwith
+                    (Format.asprintf "BIND lookup failed: %a" Dns.Resolver.pp_error
+                       e))
           | Ok host_ip -> (
               (* Step 2: the Sun binding protocol — ask the host's
                  portmapper for the service's port. *)

@@ -36,8 +36,17 @@ let lookup t ~(hns_name : Hns.Hns_name.t) =
       match Dns.Resolver.lookup_a t.resolver (Dns.Name.of_string hns_name.name) with
       | Error Dns.Resolver.Nxdomain | Error Dns.Resolver.No_data ->
           Hns.Nsm_intf.not_found
-      | Error e ->
-          failwith (Format.asprintf "BIND lookup failed: %a" Dns.Resolver.pp_error e)
+      | Error e -> (
+          (* BIND unreachable: degrade to a stale entry within the
+             cache's staleness budget before giving up. *)
+          match
+            Hns.Cache.find_stale t.cache_ ~key
+              ~ty:Hns.Nsm_intf.host_address_payload_ty
+          with
+          | Some v -> Hns.Nsm_intf.found v
+          | None ->
+              failwith
+                (Format.asprintf "BIND lookup failed: %a" Dns.Resolver.pp_error e))
       | Ok ip ->
           let v = Wire.Value.Uint ip in
           Hns.Cache.insert t.cache_ ~key ~ty:Hns.Nsm_intf.host_address_payload_ty

@@ -115,13 +115,15 @@ let call session ~prog ~vers ~procnum ~sign ?(timeout = 2000.0) v =
            }))
   in
   Tcp.send session.conn call_msg;
+  let t0 = Sim.Engine.time () in
+  let timed_out () = Error (Control.Timeout { elapsed_ms = Sim.Engine.time () -. t0 }) in
   let rec wait deadline =
     let remaining = deadline -. Sim.Engine.time () in
-    if remaining <= 0.0 then Error Control.Timeout
+    if remaining <= 0.0 then timed_out ()
     else
       match Tcp.recv_timeout session.conn remaining with
       | exception Tcp.Connection_closed -> Error Control.Refused
-      | None -> Error Control.Timeout
+      | None -> timed_out ()
       | Some payload -> (
           match Courier_wire.decode payload with
           | exception Courier_wire.Bad_message m -> Error (Control.Protocol_error m)

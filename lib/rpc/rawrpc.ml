@@ -22,6 +22,7 @@ let serve stack ~port ?(service_overhead_ms = 0.0) ?name handler () =
 
 let call stack ~dst ?(timeout = 1000.0) ?(attempts = 3) payload =
   let sock = Udp.bind_any stack in
+  let t0 = Sim.Engine.time () in
   let attempt ~timeout =
     Udp.sendto sock ~dst payload;
     match Udp.recv_timeout sock timeout with
@@ -31,7 +32,7 @@ let call stack ~dst ?(timeout = 1000.0) ?(attempts = 3) payload =
   let result =
     match Control.with_retries ~attempts ~timeout attempt with
     | Some response -> Ok response
-    | None -> Error Control.Timeout
+    | None -> Error (Control.Timeout { elapsed_ms = Sim.Engine.time () -. t0 })
   in
   Udp.close sock;
   result

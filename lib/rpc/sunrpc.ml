@@ -96,6 +96,7 @@ let call stack ~dst ~prog ~vers ~procnum ~sign ?(timeout = 1000.0) ?(attempts = 
              body = Wire.Xdr.to_string sign.Wire.Idl.arg v;
            }))
   in
+  let t0 = Sim.Engine.time () in
   let attempt ~timeout =
     Udp.sendto sock ~dst call_msg;
     (* Drain until our xid answers or the window closes; stale replies
@@ -117,7 +118,7 @@ let call stack ~dst ~prog ~vers ~procnum ~sign ?(timeout = 1000.0) ?(attempts = 
   in
   let result =
     match Control.with_retries ~attempts ~timeout attempt with
-    | None -> Error Control.Timeout
+    | None -> Error (Control.Timeout { elapsed_ms = Sim.Engine.time () -. t0 })
     | Some rbody -> (
         match Sunrpc_wire.reply_to_result rbody with
         | Error _ as e -> e

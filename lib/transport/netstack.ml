@@ -19,6 +19,18 @@ type tcp_listener_hook = {
   on_syn : src:Address.t -> client:conn_half -> reply:(syn_reply -> unit) -> unit;
 }
 
+type fault_verdict =
+  | Fault_pass
+  | Fault_drop
+  | Fault_deliver of { extra_delay_ms : float; payload : string option }
+
+type fault_oracle =
+  now:float ->
+  src:Sim.Topology.host ->
+  dst:Sim.Topology.host ->
+  payload:string option ->
+  fault_verdict
+
 type t = {
   engine : Sim.Engine.t;
   topology : Sim.Topology.t;
@@ -27,6 +39,7 @@ type t = {
   mutable next_ip : int32;
   stacks : (int32, stack) Hashtbl.t;
   by_host : (int, stack) Hashtbl.t;
+  mutable oracle : fault_oracle option;
   mutable sent : int;
   mutable dropped : int;
   mutable received : int;
@@ -55,6 +68,7 @@ let create ?(drop_probability = 0.0) ?(seed = 0x9E3779B9L) engine topology =
     next_ip = 0x0A000001l (* 10.0.0.1 *);
     stacks = Hashtbl.create 16;
     by_host = Hashtbl.create 16;
+    oracle = None;
     sent = 0;
     dropped = 0;
     received = 0;
@@ -108,21 +122,61 @@ let deliver t k () =
   Obs.Metrics.incr m_received;
   k ()
 
+let set_fault_oracle t oracle = t.oracle <- Some oracle
+let clear_fault_oracle t = t.oracle <- None
+
+let count_dropped t =
+  t.dropped <- t.dropped + 1;
+  Obs.Metrics.incr m_dropped
+
+let random_drop t ~src ~dst =
+  let crosses_wire = not (Sim.Topology.same_host src.stack_host dst.stack_host) in
+  crosses_wire && t.drop_probability > 0.0
+  && Sim.Rng.float t.rng 1.0 < t.drop_probability
+
+let consult t ~src ~dst ~payload =
+  match t.oracle with
+  | None -> Fault_pass
+  | Some oracle ->
+      oracle ~now:(Sim.Engine.now t.engine) ~src:src.stack_host
+        ~dst:dst.stack_host ~payload
+
 let transit t ~src ~dst ~bytes k =
   count_sent t ~bytes;
-  let crosses_wire = not (Sim.Topology.same_host src.stack_host dst.stack_host) in
-  if crosses_wire && t.drop_probability > 0.0
-     && Sim.Rng.float t.rng 1.0 < t.drop_probability
-  then begin
-    t.dropped <- t.dropped + 1;
-    Obs.Metrics.incr m_dropped
-  end
-  else begin
-    let delay =
-      Sim.Topology.delay t.topology ~src:src.stack_host ~dst:dst.stack_host ~bytes
-    in
-    Sim.Engine.at t.engine delay (deliver t k)
-  end
+  if random_drop t ~src ~dst then count_dropped t
+  else
+    match consult t ~src ~dst ~payload:None with
+    | Fault_drop -> count_dropped t
+    | (Fault_pass | Fault_deliver _) as verdict ->
+        let extra =
+          match verdict with
+          | Fault_deliver { extra_delay_ms; _ } -> extra_delay_ms
+          | _ -> 0.0
+        in
+        let delay =
+          Sim.Topology.delay t.topology ~src:src.stack_host ~dst:dst.stack_host
+            ~bytes
+        in
+        Sim.Engine.at t.engine (delay +. extra) (deliver t k)
+
+let transit_msg t ~src ~dst ~bytes payload k =
+  count_sent t ~bytes;
+  if random_drop t ~src ~dst then count_dropped t
+  else
+    match consult t ~src ~dst ~payload:(Some payload) with
+    | Fault_drop -> count_dropped t
+    | (Fault_pass | Fault_deliver _) as verdict ->
+        let extra, payload =
+          match verdict with
+          | Fault_deliver { extra_delay_ms; payload = p } ->
+              (extra_delay_ms, Option.value p ~default:payload)
+          | _ -> (0.0, payload)
+        in
+        let delay =
+          Sim.Topology.delay t.topology ~src:src.stack_host ~dst:dst.stack_host
+            ~bytes
+        in
+        Sim.Engine.at t.engine (delay +. extra) (deliver t (fun () -> k payload))
 
 type channel = { mutable last_arrival : float }
 
@@ -130,13 +184,25 @@ let channel () = { last_arrival = 0.0 }
 
 let transit_ordered t ~src ~dst ~bytes ch k =
   count_sent t ~bytes;
-  let delay =
-    Sim.Topology.delay t.topology ~src:src.stack_host ~dst:dst.stack_host ~bytes
-  in
-  let now = Sim.Engine.now t.engine in
-  let arrival = Float.max (now +. delay) ch.last_arrival in
-  ch.last_arrival <- arrival;
-  Sim.Engine.at t.engine (arrival -. now) (deliver t k)
+  (* The oracle sees ordered (TCP) segments without their payload:
+     partitions and delays apply, corruption does not — the reliable
+     transport's checksums would have discarded a damaged segment. *)
+  match consult t ~src ~dst ~payload:None with
+  | Fault_drop -> count_dropped t
+  | (Fault_pass | Fault_deliver _) as verdict ->
+      let extra =
+        match verdict with
+        | Fault_deliver { extra_delay_ms; _ } -> extra_delay_ms
+        | _ -> 0.0
+      in
+      let delay =
+        Sim.Topology.delay t.topology ~src:src.stack_host ~dst:dst.stack_host
+          ~bytes
+      in
+      let now = Sim.Engine.now t.engine in
+      let arrival = Float.max (now +. delay +. extra) ch.last_arrival in
+      ch.last_arrival <- arrival;
+      Sim.Engine.at t.engine (arrival -. now) (deliver t k)
 
 let packets_sent t = t.sent
 let packets_dropped t = t.dropped

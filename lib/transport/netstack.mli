@@ -29,10 +29,43 @@ val stack_of_host : t -> Sim.Topology.host -> stack option
 (** Every attached stack, in attachment order (used by broadcast). *)
 val all_stacks : t -> stack list
 
+(** {1 Fault injection}
+
+    A simulation may install one {e fault oracle}: a pure function the
+    netstack consults on every transit with the virtual time, the
+    endpoint hosts, and (for datagram sends) the payload. The oracle
+    decides whether the packet passes untouched, is dropped (counted in
+    [packets_dropped], so the send/receive invariant survives), or is
+    delivered late and/or with a rewritten payload. [lib/chaos] builds
+    oracles from timed fault plans; the netstack itself stays
+    policy-free. *)
+
+type fault_verdict =
+  | Fault_pass
+  | Fault_drop
+  | Fault_deliver of { extra_delay_ms : float; payload : string option }
+      (** deliver after the normal delay plus [extra_delay_ms], with
+          [payload] substituted when provided (datagram transits only) *)
+
+type fault_oracle =
+  now:float ->
+  src:Sim.Topology.host ->
+  dst:Sim.Topology.host ->
+  payload:string option ->
+  fault_verdict
+
+val set_fault_oracle : t -> fault_oracle -> unit
+val clear_fault_oracle : t -> unit
+
 (** [transit t ~src ~dst ~bytes k] schedules [k] after the simulated
     network delay from [src] to [dst]. When the hop leaves the host,
     [k] is dropped (never run) with the configured drop probability. *)
 val transit : t -> src:stack -> dst:stack -> bytes:int -> (unit -> unit) -> unit
+
+(** Like {!transit} for a datagram whose payload the fault oracle may
+    corrupt: [k] receives the payload that actually arrives. *)
+val transit_msg :
+  t -> src:stack -> dst:stack -> bytes:int -> string -> (string -> unit) -> unit
 
 (** A FIFO channel clock for reliable, ordered transit (one per
     direction of a TCP connection). *)

@@ -67,7 +67,12 @@ let close_listener l =
     Netstack.tcp_unregister l.l_stack ~port:l.l_port
   end
 
-let connect stack dst =
+(* A SYN or SYN-ACK lost to a partition must not hang the caller
+   forever: the handshake is bounded, and a silent peer looks exactly
+   like a refusing one. *)
+let default_connect_timeout_ms = 30_000.0
+
+let connect ?(timeout_ms = default_connect_timeout_ms) stack dst =
   let net = Netstack.net stack in
   let local_port = Netstack.alloc_tcp_port stack in
   let local = Address.make (Netstack.ip stack) local_port in
@@ -89,9 +94,9 @@ let connect stack dst =
           match Netstack.tcp_hook dst_stack ~port:dst.Address.port with
           | Some hook -> hook.on_syn ~src:local ~client:(half_of_inbox inbox) ~reply
           | None -> reply Netstack.Refused);
-      (match Sim.Engine.Ivar.read result with
-      | Netstack.Refused -> raise (Connection_refused dst)
-      | Netstack.Accepted server_half ->
+      (match Sim.Engine.Ivar.read_timeout result timeout_ms with
+      | None | Some Netstack.Refused -> raise (Connection_refused dst)
+      | Some (Netstack.Accepted server_half) ->
           {
             stack;
             local;

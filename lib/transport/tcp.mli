@@ -25,8 +25,10 @@ val accept : listener -> conn
 val close_listener : listener -> unit
 
 (** Block through the SYN/ACK round trip. In-process only.
-    Raises {!Connection_refused} when nothing listens at [dst]. *)
-val connect : Netstack.stack -> Address.t -> conn
+    Raises {!Connection_refused} when nothing listens at [dst], or when
+    the handshake does not complete within [timeout_ms] (default 30 s —
+    a partitioned peer must not hang the caller forever). *)
+val connect : ?timeout_ms:float -> Netstack.stack -> Address.t -> conn
 
 val local_addr : conn -> Address.t
 val peer_addr : conn -> Address.t

@@ -25,9 +25,10 @@ let sendto sock ~dst payload =
   | None -> () (* unreachable destination: datagram vanishes *)
   | Some dst_stack ->
       let src_addr = local_addr sock in
-      Netstack.transit net ~src:sock.stack ~dst:dst_stack
+      Netstack.transit_msg net ~src:sock.stack ~dst:dst_stack
         ~bytes:(String.length payload + 28 (* IP + UDP headers *))
-        (fun () ->
+        payload
+        (fun payload ->
           match Netstack.udp_handler dst_stack ~port:dst.Address.port with
           | Some h -> h ~src:src_addr payload
           | None -> () (* port not bound on arrival *))
@@ -38,9 +39,10 @@ let broadcast sock ~port payload =
   let src_addr = local_addr sock in
   List.iter
     (fun dst_stack ->
-      Netstack.transit net ~src:sock.stack ~dst:dst_stack
+      Netstack.transit_msg net ~src:sock.stack ~dst:dst_stack
         ~bytes:(String.length payload + 28)
-        (fun () ->
+        payload
+        (fun payload ->
           match Netstack.udp_handler dst_stack ~port with
           | Some h -> h ~src:src_addr payload
           | None -> ()))

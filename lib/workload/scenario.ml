@@ -55,11 +55,11 @@ let timed f =
   let v = f () in
   (v, Sim.Engine.time () -. t0)
 
-let new_cache_mode mode () =
+let new_cache_mode ?staleness_budget_ms mode () =
   Hns.Cache.create ~mode ~generated_cost:Calib.generated_cost
     ~hit_overhead_ms:Calib.cache_hit_overhead_ms
     ~hit_per_node_ms:Calib.cache_hit_per_node_ms
-    ~insert_overhead_ms:Calib.cache_insert_ms ()
+    ~insert_overhead_ms:Calib.cache_insert_ms ?staleness_budget_ms ()
 
 let new_nsm_cache_mode mode () =
   Hns.Cache.create ~mode ~generated_cost:Calib.generated_cost
@@ -74,13 +74,14 @@ let meta_addr t = Dns.Server.addr t.meta_bind
 let bind_addr t = Dns.Server.addr t.public_bind
 let ch_addr t = Clearinghouse.Ch_server.addr t.ch
 
-let new_hns_raw ~cache_mode ~meta_server ~bind_server ~ch_server ~credentials
-    ~ch_domain ~ch_org ~nsm_hostaddr_bind ~nsm_hostaddr_ch ~on =
-  let cache = new_cache_mode cache_mode () in
+let new_hns_raw ?staleness_budget_ms ?rpc_policy ~cache_mode ~meta_server
+    ~bind_server ~ch_server ~credentials ~ch_domain ~ch_org ~nsm_hostaddr_bind
+    ~nsm_hostaddr_ch ~on () =
+  let cache = new_cache_mode ?staleness_budget_ms cache_mode () in
   let hns =
     Hns.Client.create on ~meta_server ~cache ~generated_cost:Calib.generated_cost
       ~preload_record_ms:Calib.preload_record_ms
-      ~mapping_overhead_ms:Calib.hns_mapping_overhead_ms ()
+      ~mapping_overhead_ms:Calib.hns_mapping_overhead_ms ?rpc_policy ()
   in
   let ha_bind =
     Nsm.Hostaddr_nsm_bind.create on ~bind_server
@@ -99,11 +100,12 @@ let new_hns_raw ~cache_mode ~meta_server ~bind_server ~ch_server ~credentials
     (Nsm.Hostaddr_nsm_ch.impl ha_ch);
   hns
 
-let new_hns t ~on =
-  new_hns_raw ~cache_mode:t.cache_mode ~meta_server:(meta_addr t)
-    ~bind_server:(bind_addr t) ~ch_server:(ch_addr t) ~credentials:t.credentials
-    ~ch_domain:t.ch_domain ~ch_org:t.ch_org ~nsm_hostaddr_bind:t.nsm_hostaddr_bind
-    ~nsm_hostaddr_ch:t.nsm_hostaddr_ch ~on
+let new_hns ?staleness_budget_ms ?rpc_policy t ~on =
+  new_hns_raw ?staleness_budget_ms ?rpc_policy ~cache_mode:t.cache_mode
+    ~meta_server:(meta_addr t) ~bind_server:(bind_addr t) ~ch_server:(ch_addr t)
+    ~credentials:t.credentials ~ch_domain:t.ch_domain ~ch_org:t.ch_org
+    ~nsm_hostaddr_bind:t.nsm_hostaddr_bind ~nsm_hostaddr_ch:t.nsm_hostaddr_ch ~on
+    ()
 
 let new_binding_nsm_bind t ~on =
   Nsm.Binding_nsm_bind.create on ~bind_server:(bind_addr t)

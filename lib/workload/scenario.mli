@@ -71,8 +71,15 @@ val timed : (unit -> 'a) -> 'a * float
 val new_cache : t -> unit -> Hns.Cache.t
 val new_nsm_cache : t -> unit -> Hns.Cache.t
 
-(** An HNS instance on a stack, with fresh linked host-address NSMs. *)
-val new_hns : t -> on:Transport.Netstack.stack -> Hns.Client.t
+(** An HNS instance on a stack, with fresh linked host-address NSMs.
+    [staleness_budget_ms] enables serve-stale on its cache;
+    [rpc_policy] sets retry/backoff behavior for its HRPC exchanges. *)
+val new_hns :
+  ?staleness_budget_ms:float ->
+  ?rpc_policy:Rpc.Control.retry_policy ->
+  t ->
+  on:Transport.Netstack.stack ->
+  Hns.Client.t
 
 val new_binding_nsm_bind :
   t -> on:Transport.Netstack.stack -> Nsm.Binding_nsm_bind.t

@@ -193,6 +193,48 @@ let hrpc_wrong_prog () =
   in
   check_bool "prog unavailable" true (r = Error Rpc.Control.Prog_unavailable)
 
+(* Regression: a call that exhausts every attempt must surface
+   [Timeout] carrying the *cumulative* elapsed time across all
+   attempts and pauses — not the last attempt's deadline. *)
+let hrpc_timeout_cumulative_elapsed () =
+  let w = make_world () in
+  let policy =
+    {
+      Rpc.Control.default_policy with
+      Rpc.Control.attempts = 3;
+      attempt_timeout_ms = 100.0;
+      timeout_multiplier = 2.0;
+      backoff_base_ms = 50.0;
+      backoff_multiplier = 1.0;
+      backoff_cap_ms = 50.0;
+      jitter_ratio = 0.0;
+    }
+  in
+  (* Nobody listens on the target port: every attempt must run its
+     full deadline. Expected elapsed: 100 + 50 + 200 + 50 + 400. *)
+  let dead =
+    Hrpc.Binding.make ~suite:Hrpc.Component.sunrpc_suite
+      ~server:(Transport.Address.make (Transport.Netstack.ip w.stacks.(0)) 19999)
+      ~prog:1 ~vers:1
+  in
+  let r, virtual_elapsed =
+    in_sim w (fun () ->
+        let t0 = Sim.Engine.time () in
+        let r =
+          Hrpc.Client.call w.stacks.(1) dead ~procnum:1 ~sign:echo_sign ~policy
+            (Wire.Value.Str "void")
+        in
+        (r, Sim.Engine.time () -. t0))
+  in
+  match r with
+  | Error (Rpc.Control.Timeout { elapsed_ms }) ->
+      check_float_near "elapsed is the whole call, not one deadline" 800.0
+        elapsed_ms;
+      check_float_near "elapsed matches the virtual clock" virtual_elapsed
+        elapsed_ms
+  | Error e -> Alcotest.failf "expected Timeout, got %a" Rpc.Control.pp_error e
+  | Ok _ -> Alcotest.fail "call to a dead port cannot succeed"
+
 (* --- binding protocols --- *)
 
 let bind_protocol_static () =
@@ -291,6 +333,8 @@ let suite =
     Alcotest.test_case "emulate courier (server)" `Quick hrpc_emulates_courier_server;
     Alcotest.test_case "raw call to BIND" `Quick hrpc_call_raw_to_bind;
     Alcotest.test_case "wrong prog" `Quick hrpc_wrong_prog;
+    Alcotest.test_case "timeout carries cumulative elapsed" `Quick
+      hrpc_timeout_cumulative_elapsed;
     Alcotest.test_case "static binding" `Quick bind_protocol_static;
     Alcotest.test_case "portmapper binding" `Quick bind_protocol_portmapper;
     Alcotest.test_case "clearinghouse binding" `Quick bind_protocol_clearinghouse;

@@ -13,6 +13,7 @@ let () =
       ("properties", Test_properties.suite);
       ("extensions", Test_extensions.suite);
       ("yp", Test_yp.suite);
+      ("chaos", Test_chaos.suite);
       ("soak", Test_soak.suite);
       ("hrpc", Test_hrpc.suite);
       ("hns", Test_hns.suite);

@@ -205,10 +205,18 @@ let bench_json_artifact () =
   List.iter
     (fun expected -> check_bool expected true (List.mem expected names))
     [ "resolve.cold"; "resolve.warm"; "find_nsm.cold"; "find_nsm.warm" ];
+  check_bool "chaos rows present" true
+    (List.mem "chaos.failover.resolve_ms" names
+    && List.mem "chaos.stale.resolve_ms" names);
   List.iter
     (fun e ->
+      let name = Obs.Json.to_str (Obs.Json.get "name" e) in
       let n = Obs.Json.to_int (Obs.Json.get "n" e) in
-      check_int "sample count" 2 n;
+      (* chaos rows carry one sample per timeline resolution, not the
+         requested repetition count *)
+      if String.length name >= 6 && String.sub name 0 6 = "chaos." then
+        check_bool "chaos sample count" true (n > 0)
+      else check_int "sample count" 2 n;
       let p50 = Obs.Json.to_float (Obs.Json.get "p50_ms" e) in
       let p95 = Obs.Json.to_float (Obs.Json.get "p95_ms" e) in
       let mean = Obs.Json.to_float (Obs.Json.get "mean_ms" e) in

@@ -284,3 +284,199 @@ let more_properties =
   ]
 
 let suite = suite @ more_properties
+
+(* --- chaos layer properties: backoff schedules and fault healing --- *)
+
+(* Arbitrary sane retry policies (multiplier >= 1 keeps the nominal
+   pause sequence non-decreasing, which is the regime the jitter
+   envelope below assumes). *)
+let gen_policy =
+  QCheck.Gen.(
+    map
+      (fun ((attempts, timeout), (base, mult), (cap, (ratio, seed))) ->
+        {
+          Rpc.Control.default_policy with
+          Rpc.Control.attempts = attempts;
+          attempt_timeout_ms = timeout;
+          backoff_base_ms = base;
+          backoff_multiplier = mult;
+          backoff_cap_ms = cap;
+          jitter_ratio = ratio;
+          jitter_seed = Int64.of_int seed;
+        })
+      (triple
+         (pair (int_range 1 8) (float_range 1.0 2000.0))
+         (pair (float_range 1.0 500.0) (float_range 1.0 3.0))
+         (pair (float_range 50.0 5000.0) (pair (float_range 0.0 0.9) int))))
+
+let arb_policy_and_seed =
+  QCheck.make
+    QCheck.Gen.(pair gen_policy (map Int64.of_int int))
+    ~print:(fun (p, seed) ->
+      Printf.sprintf "attempts=%d base=%.1f mult=%.2f cap=%.1f jitter=%.2f seed=%Ld"
+        p.Rpc.Control.attempts p.Rpc.Control.backoff_base_ms
+        p.Rpc.Control.backoff_multiplier p.Rpc.Control.backoff_cap_ms
+        p.Rpc.Control.jitter_ratio seed)
+
+let backoff_monotone =
+  QCheck.Test.make ~name:"backoff schedule is monotone non-decreasing" ~count:300
+    arb_policy_and_seed (fun (p, seed) ->
+      let s = Rpc.Control.backoff_schedule p ~seed in
+      let ok = ref true in
+      for i = 1 to Array.length s - 1 do
+        if s.(i) < s.(i - 1) then ok := false
+      done;
+      !ok)
+
+let backoff_capped =
+  QCheck.Test.make ~name:"backoff schedule never exceeds the cap" ~count:300
+    arb_policy_and_seed (fun (p, seed) ->
+      let s = Rpc.Control.backoff_schedule p ~seed in
+      Array.for_all (fun d -> d <= p.Rpc.Control.backoff_cap_ms +. 1e-9) s)
+
+let backoff_jitter_bounds =
+  QCheck.Test.make ~name:"backoff pauses stay inside the jitter envelope"
+    ~count:300 arb_policy_and_seed (fun (p, seed) ->
+      let s = Rpc.Control.backoff_schedule p ~seed in
+      let ok = ref true in
+      Array.iteri
+        (fun i d ->
+          let nominal =
+            p.Rpc.Control.backoff_base_ms
+            *. (p.Rpc.Control.backoff_multiplier ** float_of_int i)
+          in
+          let cap = p.Rpc.Control.backoff_cap_ms in
+          let lo = Float.min cap (nominal *. (1.0 -. p.Rpc.Control.jitter_ratio))
+          and hi = Float.min cap (nominal *. (1.0 +. p.Rpc.Control.jitter_ratio)) in
+          if d < lo -. 1e-9 || d > hi +. 1e-9 then ok := false)
+        s;
+      !ok)
+
+let backoff_deterministic =
+  QCheck.Test.make ~name:"backoff schedule is a function of policy and seed"
+    ~count:200 arb_policy_and_seed (fun (p, seed) ->
+      Rpc.Control.backoff_schedule p ~seed = Rpc.Control.backoff_schedule p ~seed)
+
+let backoff_within_budget =
+  QCheck.Test.make ~name:"attempt deadlines plus pauses fit the retry budget"
+    ~count:200 arb_policy_and_seed (fun (p, seed) ->
+      let s = Rpc.Control.backoff_schedule p ~seed in
+      let total = ref 0.0 in
+      Array.iter (fun d -> total := !total +. d) s;
+      for i = 1 to p.Rpc.Control.attempts do
+        total := !total +. Rpc.Control.attempt_timeout p i
+      done;
+      !total <= Rpc.Control.retry_budget_ms p +. 1e-6)
+
+(* A partition healed at T must not fail calls issued at or after T:
+   the half-open fault window [at, heal_at) frees the very instant of
+   the heal. *)
+let echo_sign = Wire.Idl.signature ~arg:Wire.Idl.T_string ~res:Wire.Idl.T_string
+
+let call_after_partition ~heal_at ~policy =
+  let w = Helpers.make_world ~hosts:2 () in
+  Helpers.in_sim w (fun () ->
+      let server =
+        Hrpc.Server.create w.stacks.(0) ~suite:Hrpc.Component.sunrpc_suite
+          ~prog:4100 ~vers:1 ()
+      in
+      Hrpc.Server.register server ~procnum:1 ~sign:echo_sign (fun v -> v);
+      Hrpc.Server.start server;
+      let inj =
+        Chaos.Injector.install
+          [
+            Chaos.Plan.partition ~group_a:[ "h0" ] ~group_b:[ "h1" ] ~at:0.0
+              ~heal_at;
+          ]
+          w.net
+      in
+      Sim.Engine.sleep heal_at;
+      let r =
+        Hrpc.Client.call w.stacks.(1) (Hrpc.Server.binding server) ~procnum:1
+          ~sign:echo_sign ~policy (Wire.Value.Str "after the heal")
+      in
+      Chaos.Injector.uninstall inj;
+      r)
+
+let partition_healed_never_errors =
+  QCheck.Test.make ~name:"partition healed at T never errors after T" ~count:20
+    (QCheck.make
+       QCheck.Gen.(
+         pair (float_range 100.0 3000.0)
+           (pair (int_range 1 3) (float_range 50.0 400.0)))
+       ~print:(fun (t, (a, ms)) -> Printf.sprintf "T=%.1f attempts=%d timeout=%.1f" t a ms))
+    (fun (heal_at, (attempts, attempt_timeout_ms)) ->
+      let policy =
+        {
+          Rpc.Control.default_policy with
+          Rpc.Control.attempts;
+          attempt_timeout_ms;
+          backoff_base_ms = 20.0;
+          backoff_cap_ms = 100.0;
+        }
+      in
+      call_after_partition ~heal_at ~policy = Ok (Wire.Value.Str "after the heal"))
+
+(* A call *issued during* the partition whose retry budget stretches
+   past the heal succeeds: retries keep probing until an attempt lands
+   in the healed window. *)
+let retries_straddle_the_heal () =
+  let w = Helpers.make_world ~hosts:2 () in
+  let policy =
+    {
+      Rpc.Control.default_policy with
+      Rpc.Control.attempts = 5;
+      attempt_timeout_ms = 500.0;
+      timeout_multiplier = 1.0;
+      backoff_base_ms = 100.0;
+      backoff_multiplier = 1.0;
+      backoff_cap_ms = 100.0;
+      jitter_ratio = 0.0;
+    }
+  in
+  let heal_at = 1_500.0 in
+  (* budget 500*5 + 100*4 = 2900 ms: attempts at ~0/600/1200/1800 —
+     the fourth lands after the heal and must succeed. *)
+  let r =
+    Helpers.in_sim w (fun () ->
+        let server =
+          Hrpc.Server.create w.stacks.(0) ~suite:Hrpc.Component.sunrpc_suite
+            ~prog:4200 ~vers:1 ()
+        in
+        Hrpc.Server.register server ~procnum:1 ~sign:echo_sign (fun v -> v);
+        Hrpc.Server.start server;
+        let inj =
+          Chaos.Injector.install
+            [
+              Chaos.Plan.partition ~group_a:[ "h0" ] ~group_b:[ "h1" ] ~at:0.0
+                ~heal_at;
+            ]
+            w.net
+        in
+        let r =
+          Hrpc.Client.call w.stacks.(1) (Hrpc.Server.binding server) ~procnum:1
+            ~sign:echo_sign ~policy (Wire.Value.Str "straddle")
+        in
+        Chaos.Injector.uninstall inj;
+        (r, Sim.Engine.time ()))
+  in
+  (match r with
+  | Ok (Wire.Value.Str "straddle"), t ->
+      Helpers.check_bool "succeeded after the heal, within the budget" true
+        (t >= heal_at && t <= Rpc.Control.retry_budget_ms policy)
+  | Ok _, _ -> Alcotest.fail "wrong echo payload"
+  | Error e, _ ->
+      Alcotest.failf "call across the heal failed: %a" Rpc.Control.pp_error e)
+
+let chaos_properties =
+  [
+    qtest backoff_monotone;
+    qtest backoff_capped;
+    qtest backoff_jitter_bounds;
+    qtest backoff_deterministic;
+    qtest backoff_within_budget;
+    qtest partition_healed_never_errors;
+    Alcotest.test_case "retries straddle the heal" `Quick retries_straddle_the_heal;
+  ]
+
+let suite = suite @ chaos_properties

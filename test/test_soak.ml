@@ -67,8 +67,64 @@ let soak_reproducible () =
   check_bool "same end time" true (t1 = t2);
   check_int "same bytes on the wire" b1 b2
 
+(* --- chaos soak: resolutions under rolling partitions ------------- *)
+
+(* 10k warm resolutions while the client is repeatedly partitioned
+   from the designated NSM host. An alternate NSM rides on rarotonga,
+   so every outage is survivable by failover; the run must stay above
+   the success threshold, and the netstack's conservation invariant
+   (sent = received + dropped) must hold with the oracle dropping
+   packets mid-flight. *)
+let chaos_soak () =
+  let resolutions = 10_000 in
+  let scn = Workload.Scenario.build () in
+  let hns =
+    Workload.Scenario.new_hns ~rpc_policy:Test_chaos.chaos_policy scn
+      ~on:scn.client_stack
+  in
+  let ok = ref 0 and failures = ref 0 in
+  let faults =
+    Workload.Scenario.in_sim scn (fun () ->
+        Test_chaos.register_alternate scn;
+        (* One-second outages every four seconds, covering the whole
+           run however far the slow (faulted) resolutions stretch it. *)
+        let plan =
+          List.init 400 (fun k ->
+              Chaos.Plan.partition ~group_a:[ "tonga" ] ~group_b:[ "niue" ]
+                ~at:(float_of_int k *. 4_000.0)
+                ~heal_at:((float_of_int k *. 4_000.0) +. 1_000.0))
+        in
+        let inj = Chaos.Injector.install plan scn.net in
+        for _ = 1 to resolutions do
+          Sim.Engine.sleep 5.0;
+          match
+            Hns.Client.resolve hns ~query_class:Hns.Query_class.hrpc_binding
+              ~payload_ty:Hns.Nsm_intf.binding_payload_ty
+              ~service:scn.service_name
+              (Hns.Hns_name.make ~context:scn.bind_context
+                 ~name:scn.service_host)
+          with
+          | Ok (Some _) -> incr ok
+          | _ -> incr failures
+        done;
+        Chaos.Injector.uninstall inj;
+        Chaos.Injector.faults_injected inj)
+  in
+  check_int "every resolution accounted for" resolutions (!ok + !failures);
+  check_bool "the partitions actually bit" true (faults > 0);
+  let success = float_of_int !ok /. float_of_int resolutions in
+  if success < 0.95 then
+    Alcotest.failf "success ratio %.4f below threshold (%d/%d ok)" success !ok
+      resolutions;
+  check_int "packet conservation: sent = received + dropped"
+    (Transport.Netstack.packets_sent scn.net)
+    (Transport.Netstack.packets_received scn.net
+    + Transport.Netstack.packets_dropped scn.net)
+
 let suite =
   [
     Alcotest.test_case "soak: no failures" `Slow soak_no_failures;
     Alcotest.test_case "soak: reproducible" `Slow soak_reproducible;
+    Alcotest.test_case "soak: chaos resolutions under rolling partitions" `Slow
+      chaos_soak;
   ]

@@ -1,6 +1,6 @@
 # Convenience wrappers around dune; `make check` is the pre-commit gate.
 
-.PHONY: all build test bench chaos check fmt clean
+.PHONY: all build test bench chaos coldpath check fmt clean
 
 all: build
 
@@ -18,6 +18,11 @@ bench:
 chaos:
 	dune exec bench/main.exe -- chaos
 
+# Cold-path collapse: batched meta queries vs the per-mapping walk,
+# AXFR preloading, and stampede coalescing (also in BENCH_hns.json).
+coldpath:
+	dune exec bench/main.exe -- coldpath
+
 # ocamlformat is optional in the container: format when present, skip
 # (with a note) when not, so check works everywhere.
 fmt:
@@ -31,6 +36,7 @@ check: fmt
 	dune build
 	dune runtest
 	$(MAKE) chaos
+	$(MAKE) coldpath
 
 clean:
 	dune clean

@@ -32,6 +32,8 @@ let experiments =
      Experiments.scale_types);
     ("chaos", "Chaos availability: failover and serve-stale under faults",
      Experiments.chaos);
+    ("coldpath", "Cold-path collapse: bundled meta queries, preloading, coalescing",
+     Experiments.coldpath);
   ]
 
 (* --- Bechamel: wall-clock cost of each experiment's workload -------- *)

@@ -13,6 +13,7 @@ type t = {
   mutable running : bool;
   mutable queries : int;
   mutable updates : int;
+  mutable synthesizer : (Msg.question -> Rr.t list option) option;
 }
 
 let create stack ?(port = Address.Well_known.dns) ?(service_overhead_ms = 0.0)
@@ -30,6 +31,7 @@ let create stack ?(port = Address.Well_known.dns) ?(service_overhead_ms = 0.0)
     running = false;
     queries = 0;
     updates = 0;
+    synthesizer = None;
   }
 
 let addr t = Address.make (Netstack.ip t.stack) t.port
@@ -85,9 +87,12 @@ let find_delegation zone db qname =
   in
   walk qname
 
+let set_synthesizer t f = t.synthesizer <- Some f
+let clear_synthesizer t = t.synthesizer <- None
+
 (* Answer one question, following CNAME chains inside our own data and
    emitting referrals at zone cuts. *)
-let answer_question t (q : Msg.question) =
+let answer_question_db t (q : Msg.question) =
   match find_zone t q.qname with
   | None -> Negative Msg.Refused
   | Some zone -> (
@@ -118,6 +123,14 @@ let answer_question t (q : Msg.question) =
           else if Db.has_name db q.qname || Name.equal q.qname (Zone.origin zone) then
             Answers [] (* name exists, no data of this type *)
           else Negative Msg.Nx_domain)
+
+(* Synthesized answers (registered views over the zone data, e.g. the
+   HNS meta bundle) take precedence; a [None] from the synthesizer
+   falls through to the ordinary database walk. *)
+let answer_question t q =
+  match (match t.synthesizer with Some f -> f q | None -> None) with
+  | Some rrs -> Answers rrs
+  | None -> answer_question_db t q
 
 let update_permitted t src =
   match t.update_acl with

@@ -35,6 +35,18 @@ val stack : t -> Transport.Netstack.stack
 val add_zone : t -> Zone.t -> unit
 val zones : t -> Zone.t list
 
+(** Install a query synthesizer: a hook consulted before the zone
+    database on every question. Returning [Some rrs] answers the
+    question with [rrs] (charged the usual per-answer marshalling);
+    [None] falls through to the normal lookup. Used for server-side
+    computed views over zone data — the HNS registers its
+    [find_nsm_bundle] answerer here ({!Hns.Meta_bundle}), keeping this
+    library independent of what is synthesized. One synthesizer per
+    server; installing replaces the previous hook. *)
+val set_synthesizer : t -> (Msg.question -> Rr.t list option) -> unit
+
+val clear_synthesizer : t -> unit
+
 (** Spawn the UDP query loop and the TCP transfer loop. *)
 val start : t -> unit
 

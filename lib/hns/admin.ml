@@ -50,6 +50,10 @@ let register_alternate_nsm meta ~name ~ns ~query_class info =
 let remove_context meta ~context =
   Meta_client.remove meta ~key:(Meta_schema.context_key context)
 
+(* Administrative cache warming: pull the whole meta zone into this
+   instance's cache via a BIND zone transfer. *)
+let preload meta = Meta_client.preload meta
+
 let remove_nsm meta ~name ~ns ~query_class =
   match Meta_client.remove meta ~key:(Meta_schema.nsm_name_key ~ns ~query_class) with
   | Error _ as e -> e

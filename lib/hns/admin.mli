@@ -38,6 +38,11 @@ val register_alternate_nsm :
 
 val remove_context : Meta_client.t -> context:string -> (unit, Errors.t) result
 
+(** Administrative cache warming: transfer the whole meta zone (AXFR)
+    into this instance's cache; returns the number of mappings seeded.
+    Alias for {!Meta_client.preload}. *)
+val preload : Meta_client.t -> (int, Errors.t) result
+
 val remove_nsm :
   Meta_client.t ->
   name:string ->

@@ -1,8 +1,11 @@
 type mode = Marshalled | Demarshalled
 
-type stored = Bytes_form of string | Value_form of Wire.Value.t
+type stored =
+  | Bytes_form of string
+  | Value_form of Wire.Value.t
+  | Negative_form  (* a cached "no such record" answer *)
 
-type entry = { stored : stored; expires_at : float }
+type entry = { stored : stored; expires_at : float; mutable last_used : int }
 
 type t = {
   mode : mode;
@@ -12,10 +15,15 @@ type t = {
   insert_overhead_ms : float;
   default_ttl_ms : float;
   staleness_budget_ms : float;
+  max_entries : int option;
   tbl : (string, entry) Hashtbl.t;
+  mutable tick : int; (* logical clock for LRU recency *)
   mutable hit_count : int;
   mutable miss_count : int;
   mutable stale_count : int;
+  mutable neg_hit_count : int;
+  mutable lru_eviction_count : int;
+  mutable preloaded_count : int;
 }
 
 (* The canonical storage representation for marshalled entries. *)
@@ -42,6 +50,9 @@ let marshalled_metrics = mode_metrics "hns.cache.marshalled"
 let demarshalled_metrics = mode_metrics "hns.cache.demarshalled"
 
 let m_stale_served = Obs.Metrics.counter "hns.cache.stale_served"
+let m_neg_hits = Obs.Metrics.counter "hns.cache.neg_hits"
+let m_lru_evictions = Obs.Metrics.counter "hns.cache.evictions"
+let m_preloaded = Obs.Metrics.counter "hns.cache.preloaded"
 
 let metrics_of = function
   | Marshalled -> marshalled_metrics
@@ -50,7 +61,10 @@ let metrics_of = function
 let create ~mode
     ?(generated_cost = { Wire.Generic_marshal.per_call_ms = 0.0; per_node_ms = 0.0 })
     ?(hit_overhead_ms = 0.0) ?(hit_per_node_ms = 0.0) ?(insert_overhead_ms = 0.0)
-    ?(default_ttl_ms = 3_600_000.0) ?(staleness_budget_ms = 0.0) () =
+    ?(default_ttl_ms = 3_600_000.0) ?(staleness_budget_ms = 0.0) ?max_entries () =
+  (match max_entries with
+  | Some n when n <= 0 -> invalid_arg "Cache.create: max_entries must be positive"
+  | _ -> ());
   {
     mode;
     generated_cost;
@@ -59,14 +73,20 @@ let create ~mode
     insert_overhead_ms;
     default_ttl_ms;
     staleness_budget_ms;
+    max_entries;
     tbl = Hashtbl.create 64;
+    tick = 0;
     hit_count = 0;
     miss_count = 0;
     stale_count = 0;
+    neg_hit_count = 0;
+    lru_eviction_count = 0;
+    preloaded_count = 0;
   }
 
 let mode t = t.mode
 let staleness_budget_ms t = t.staleness_budget_ms
+let max_entries t = t.max_entries
 
 (* Charge virtual time if we are inside a simulated process; cache use
    from plain test code costs nothing. *)
@@ -77,10 +97,15 @@ let charge ms =
 let now () =
   try Sim.Engine.time () with Effect.Unhandled _ -> 0.0
 
+let touch t entry =
+  t.tick <- t.tick + 1;
+  entry.last_used <- t.tick
+
 (* Decode an entry's stored form, charging the mode-dependent hit cost.
    [None] means the entry was undecodable and has been evicted. *)
 let decode_stored t ~key ~ty stored =
   match stored with
+  | Negative_form -> None
   | Value_form v ->
       charge
         (t.hit_overhead_ms
@@ -99,12 +124,14 @@ let decode_stored t ~key ~ty stored =
           charge (Wire.Generic_marshal.cost t.generated_cost v);
           Some v)
 
-let find t ~key ~ty =
+type outcome = Hit of Wire.Value.t | Negative_hit | Miss
+
+let find_outcome t ~key ~ty =
   let m = metrics_of t.mode in
   let miss () =
     t.miss_count <- t.miss_count + 1;
     Obs.Metrics.incr m.m_misses;
-    None
+    Miss
   in
   let hit_t0 = Obs.Metrics.now_ms () in
   match Hashtbl.find_opt t.tbl key with
@@ -112,24 +139,56 @@ let find t ~key ~ty =
   | Some entry when entry.expires_at <= now () ->
       (* Expired entries linger for the staleness budget — find still
          misses (the caller should refresh), but find_stale can serve
-         them if that refresh fails. *)
-      if now () > entry.expires_at +. t.staleness_budget_ms then begin
+         them if that refresh fails. Negative entries never outlive
+         their TTL: a stale "no" is worth nothing. *)
+      if entry.stored = Negative_form
+         || now () > entry.expires_at +. t.staleness_budget_ms
+      then begin
         Hashtbl.remove t.tbl key;
         Obs.Metrics.incr m.m_evictions
       end;
       miss ()
+  | Some ({ stored = Negative_form; _ } as entry) ->
+      charge t.hit_overhead_ms;
+      touch t entry;
+      t.neg_hit_count <- t.neg_hit_count + 1;
+      Obs.Metrics.incr m_neg_hits;
+      Negative_hit
   | Some entry -> (
       match decode_stored t ~key ~ty entry.stored with
       | None -> miss ()
       | Some v ->
+          touch t entry;
           t.hit_count <- t.hit_count + 1;
           Obs.Metrics.incr m.m_hits;
           Obs.Metrics.observe m.m_hit_ms (Obs.Metrics.now_ms () -. hit_t0);
-          Some v)
+          Hit v)
+
+let find t ~key ~ty =
+  match find_outcome t ~key ~ty with Hit v -> Some v | Negative_hit | Miss -> None
+
+(* Instrumentation-free probe: is a fresh (positive) value cached?
+   Charges nothing and moves no counter — used to decide whether a
+   bundle prefetch is worth a round trip without perturbing the
+   hit/miss accounting of the walk that follows. *)
+let peek t ~key =
+  match Hashtbl.find_opt t.tbl key with
+  | Some { stored = (Bytes_form _ | Value_form _); expires_at; _ }
+    when expires_at > now () ->
+      true
+  | _ -> false
+
+(* As [peek], but for fresh negative entries. *)
+let peek_negative t ~key =
+  match Hashtbl.find_opt t.tbl key with
+  | Some { stored = Negative_form; expires_at; _ } when expires_at > now () ->
+      true
+  | _ -> false
 
 let find_stale t ~key ~ty =
   match Hashtbl.find_opt t.tbl key with
   | None -> None
+  | Some { stored = Negative_form; _ } -> None
   | Some entry ->
       let n = now () in
       if
@@ -139,36 +198,89 @@ let find_stale t ~key ~ty =
         match decode_stored t ~key ~ty entry.stored with
         | None -> None
         | Some v ->
+            touch t entry;
             t.stale_count <- t.stale_count + 1;
             Obs.Metrics.incr m_stale_served;
             Some v
       else None
 
-let insert t ~key ~ty ?ttl_ms v =
+(* Capacity bound: before adding a NEW key to a full cache, evict the
+   least-recently-used entry (an O(n) scan; the bound exists to cap
+   memory under large preloads, not to be a hot path). *)
+let evict_lru_if_full t ~key =
+  match t.max_entries with
+  | Some max
+    when Hashtbl.length t.tbl >= max && not (Hashtbl.mem t.tbl key) -> (
+      let victim =
+        Hashtbl.fold
+          (fun k e acc ->
+            match acc with
+            | Some (_, best) when best.last_used <= e.last_used -> acc
+            | _ -> Some (k, e))
+          t.tbl None
+      in
+      match victim with
+      | None -> ()
+      | Some (k, _) ->
+          Hashtbl.remove t.tbl k;
+          t.lru_eviction_count <- t.lru_eviction_count + 1;
+          Obs.Metrics.incr m_lru_evictions)
+  | _ -> ()
+
+let insert_stored t ~key ~ttl_ms stored =
   let ttl = match ttl_ms with Some ms -> ms | None -> t.default_ttl_ms in
+  evict_lru_if_full t ~key;
+  t.tick <- t.tick + 1;
+  Hashtbl.replace t.tbl key
+    { stored; expires_at = now () +. ttl; last_used = t.tick }
+
+let insert t ~key ~ty ?ttl_ms v =
   let stored =
     match t.mode with
     | Demarshalled -> Value_form v
     | Marshalled -> Bytes_form (Wire.Generic_marshal.marshal storage_rep ty v)
   in
   charge t.insert_overhead_ms;
-  Hashtbl.replace t.tbl key { stored; expires_at = now () +. ttl }
+  insert_stored t ~key ~ttl_ms stored
+
+(* A later successful [insert] at the same key overrides the negative
+   entry (Hashtbl.replace above), so negatives cannot poison. *)
+let insert_negative t ~key ~ttl_ms =
+  charge t.insert_overhead_ms;
+  insert_stored t ~key ~ttl_ms:(Some ttl_ms) Negative_form
+
+(* Bulk seeding (AXFR preload): ordinary inserts, counted separately so
+   the panel can tell preloaded entries from demand-filled ones. *)
+let preload t entries =
+  List.iter
+    (fun (key, ty, ttl_ms, v) -> insert t ~key ~ty ~ttl_ms v)
+    entries;
+  let n = List.length entries in
+  t.preloaded_count <- t.preloaded_count + n;
+  Obs.Metrics.add m_preloaded n;
+  n
 
 let flush t =
   Hashtbl.reset t.tbl;
   t.hit_count <- 0;
   t.miss_count <- 0;
-  t.stale_count <- 0
+  t.stale_count <- 0;
+  t.neg_hit_count <- 0
 
 let hits t = t.hit_count
 let misses t = t.miss_count
 let stale_served t = t.stale_count
+let negative_hits t = t.neg_hit_count
+let lru_evictions t = t.lru_eviction_count
+let preloaded t = t.preloaded_count
 let size t = Hashtbl.length t.tbl
 
 let stored_bytes t =
   Hashtbl.fold
     (fun _ e acc ->
-      match e.stored with Bytes_form b -> acc + String.length b | Value_form _ -> acc)
+      match e.stored with
+      | Bytes_form b -> acc + String.length b
+      | Value_form _ | Negative_form -> acc)
     t.tbl 0
 
 let hit_ratio t =

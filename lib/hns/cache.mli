@@ -30,7 +30,21 @@
     a miss fails (backend crashed or partitioned), {!find_stale}
     returns the expired value so resolution degrades to slightly-old
     data instead of an error. Each such answer is counted in the
-    [hns.cache.stale_served] metric. *)
+    [hns.cache.stale_served] metric.
+
+    {b Negative caching.} {!insert_negative} records that a lookup
+    found {e nothing}, with its own (short) TTL. A later {!find} on
+    that key is a {!Negative_hit}: the caller can fail fast without a
+    round trip. Negative entries never poison — a positive
+    {!insert} at the same key simply overwrites them, they are never
+    served stale, and they disappear at TTL expiry. Counted in
+    [hns.cache.neg_hits].
+
+    {b Capacity bound.} With [max_entries] set, inserting a new key
+    into a full cache first evicts the least-recently-used entry
+    (counted in [hns.cache.evictions]). The default is unbounded,
+    matching the prototype's "whole meta zone fits in ~2KB" regime;
+    the bound matters once AXFR preloading pulls in entire zones. *)
 
 type mode = Marshalled | Demarshalled
 
@@ -49,10 +63,14 @@ val create :
   ?insert_overhead_ms:float ->
   ?default_ttl_ms:float ->
   ?staleness_budget_ms:float ->
+  ?max_entries:int ->
   unit ->
   t
 
 val mode : t -> mode
+
+(** The LRU capacity bound, if any. *)
+val max_entries : t -> int option
 
 (** How long past expiry an entry remains servable by {!find_stale};
     0 (the default) disables serve-stale entirely. *)
@@ -63,6 +81,24 @@ val staleness_budget_ms : t -> float
     are the remote lookup the caller now performs). Expired entries
     are removed and count as misses. *)
 val find : t -> key:string -> ty:Wire.Idl.ty -> Wire.Value.t option
+
+(** Three-way lookup result distinguishing a cached absence from an
+    ordinary miss. *)
+type outcome = Hit of Wire.Value.t | Negative_hit | Miss
+
+(** Like {!find} but reporting negative entries explicitly. A
+    [Negative_hit] charges only [hit_overhead_ms] (nothing to decode)
+    and counts in [hns.cache.neg_hits], not in {!hits}. *)
+val find_outcome : t -> key:string -> ty:Wire.Idl.ty -> outcome
+
+(** [peek t ~key] is true when a fresh {e positive} entry is cached
+    under [key]. Charges no virtual time and moves no counter — an
+    instrumentation-free probe for "would the walk hit?", used to
+    decide whether a bundle round trip is worth issuing. *)
+val peek : t -> key:string -> bool
+
+(** As {!peek}, but true when a fresh {e negative} entry is cached. *)
+val peek_negative : t -> key:string -> bool
 
 (** [find_stale t ~key ~ty] returns an expired entry still within the
     staleness budget, charging the normal hit cost. For use only after
@@ -75,12 +111,31 @@ val find_stale : t -> key:string -> ty:Wire.Idl.ty -> Wire.Value.t option
     [Marshalled] mode) and charges the insert cost. *)
 val insert : t -> key:string -> ty:Wire.Idl.ty -> ?ttl_ms:float -> Wire.Value.t -> unit
 
+(** [insert_negative t ~key ~ttl_ms] records a cached absence. A later
+    positive {!insert} at the same key overwrites it (no poisoning). *)
+val insert_negative : t -> key:string -> ttl_ms:float -> unit
+
+(** [preload t entries] bulk-inserts [(key, ty, ttl_ms, value)] rows —
+    the AXFR seeding path — counting them in [hns.cache.preloaded].
+    Returns the number inserted. *)
+val preload :
+  t -> (string * Wire.Idl.ty * float * Wire.Value.t) list -> int
+
 val flush : t -> unit
 val hits : t -> int
 val misses : t -> int
 
 (** Stale answers served by {!find_stale} since creation/flush. *)
 val stale_served : t -> int
+
+(** Negative hits served since creation/flush. *)
+val negative_hits : t -> int
+
+(** Entries evicted by the [max_entries] LRU bound since creation. *)
+val lru_evictions : t -> int
+
+(** Entries seeded via {!preload} since creation. *)
+val preloaded : t -> int
 
 val size : t -> int
 

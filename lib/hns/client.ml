@@ -6,7 +6,8 @@ type t = {
 }
 
 let create stack ~meta_server ?fallback_servers ?cache ?generated_cost
-    ?preload_record_ms ?mapping_overhead_ms ?rpc_policy () =
+    ?preload_record_ms ?mapping_overhead_ms ?enable_bundle ?negative_ttl_ms
+    ?rpc_policy () =
   let cache =
     match cache with
     | Some c -> c
@@ -14,7 +15,8 @@ let create stack ~meta_server ?fallback_servers ?cache ?generated_cost
   in
   let meta =
     Meta_client.create stack ~meta_server ?fallback_servers ~cache ?generated_cost
-      ?preload_record_ms ?mapping_overhead_ms ?policy:rpc_policy ()
+      ?preload_record_ms ?mapping_overhead_ms ?enable_bundle ?negative_ttl_ms
+      ?policy:rpc_policy ()
   in
   { stack_ = stack; meta_ = meta; finder_ = Find_nsm.create ~meta (); rpc_policy }
 
@@ -79,4 +81,8 @@ let resolve t ~query_class ~payload_ty ?(service = "") hns_name =
       result)
 
 let preload t = Meta_client.preload t.meta_
+
+let start_preload_refresher ?interval_ms t =
+  Meta_client.start_preload_refresher ?interval_ms t.meta_
+
 let flush_cache t = Cache.flush (cache t)

@@ -8,7 +8,10 @@ type t
 
 (** [rpc_policy] governs retries (escalating timeouts, jittered
     backoff) for every HRPC exchange this instance makes — meta-BIND
-    queries and NSM calls alike. *)
+    queries and NSM calls alike. [enable_bundle] turns on the batched
+    FindNSM meta query (requires a bundle-aware meta server;
+    {!Meta_bundle}); [negative_ttl_ms] turns on negative caching of
+    "no such record" meta answers. Both default off. *)
 val create :
   Transport.Netstack.stack ->
   meta_server:Transport.Address.t ->
@@ -17,6 +20,8 @@ val create :
   ?generated_cost:Wire.Generic_marshal.cost_model ->
   ?preload_record_ms:float ->
   ?mapping_overhead_ms:float ->
+  ?enable_bundle:bool ->
+  ?negative_ttl_ms:float ->
   ?rpc_policy:Rpc.Control.retry_policy ->
   unit ->
   t
@@ -51,5 +56,13 @@ val resolve :
 (** Preload the cache with the meta zone (BIND zone transfer); returns
     the number of mappings seeded. *)
 val preload : t -> (int, Errors.t) result
+
+(** Keep a preloaded cache fresh: spawn a background process (call
+    from inside the simulation) that re-preloads whenever the meta
+    zone's SOA serial advances, checking on the zone's refresh
+    interval (or [interval_ms]). Returns a stop closure; invoke it
+    within the simulation. See
+    {!Meta_client.start_preload_refresher}. *)
+val start_preload_refresher : ?interval_ms:float -> t -> unit -> unit
 
 val flush_cache : t -> unit

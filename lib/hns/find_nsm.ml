@@ -3,16 +3,23 @@ type resolved = { ns_name : string; nsm_name : string; binding : Hrpc.Binding.t 
 type t = {
   meta_ : Meta_client.t;
   linked_hostaddr : (string, Nsm_intf.impl) Hashtbl.t;
+  (* Singleflight table: concurrent FindNSMs for the same (context,
+     query class) share one in-flight lookup instead of stampeding the
+     meta server. Keyed within this HNS instance only. *)
+  inflight : (string, (resolved, Errors.t) result Sim.Engine.Ivar.ivar) Hashtbl.t;
 }
 
 let m_calls = Obs.Metrics.counter "hns.find_nsm.calls"
 let m_errors = Obs.Metrics.counter "hns.find_nsm.errors"
 let m_ms = Obs.Metrics.histogram "hns.find_nsm.ms"
 let m_failovers = Obs.Metrics.counter "hns.find_nsm.failovers"
+let m_coalesced = Obs.Metrics.counter "hns.find_nsm.coalesced"
 
 let note_failover () = Obs.Metrics.incr m_failovers
 
-let create ~meta () = { meta_ = meta; linked_hostaddr = Hashtbl.create 8 }
+let create ~meta () =
+  { meta_ = meta; linked_hostaddr = Hashtbl.create 8; inflight = Hashtbl.create 4 }
+
 let meta t = t.meta_
 
 let link_hostaddr_nsm t ~name impl =
@@ -104,39 +111,88 @@ let resolve_host t ~context ~host =
                                    ("host-address NSM returned "
                                   ^ Wire.Value.to_string v)))))))
 
+(* Mapping 6 onward for a known binding record: resolve the host and
+   assemble the callable binding. *)
+let finish_resolution t ~ns_name ~nsm_name (info : Meta_schema.nsm_info) =
+  match
+    resolve_host t ~context:info.Meta_schema.nsm_host_context
+      ~host:info.Meta_schema.nsm_host
+  with
+  | Error _ as e -> e
+  | Ok ip ->
+      let binding =
+        Hrpc.Binding.make ~suite:info.Meta_schema.nsm_suite
+          ~server:(Transport.Address.make ip info.Meta_schema.nsm_port)
+          ~prog:info.Meta_schema.nsm_prog
+          ~vers:info.Meta_schema.nsm_vers
+      in
+      Ok { ns_name; nsm_name; binding }
+
 (* Mappings 3-6 for one named NSM: binding info, then its host's
    address, combined into a callable binding. *)
 let resolved_of_nsm t ~ns_name nsm_name =
   match nsm_to_info t nsm_name with
   | Error _ as e -> e
-  | Ok info -> (
-      match
-        resolve_host t ~context:info.Meta_schema.nsm_host_context
-          ~host:info.Meta_schema.nsm_host
-      with
-      | Error _ as e -> e
-      | Ok ip ->
-          let binding =
-            Hrpc.Binding.make ~suite:info.Meta_schema.nsm_suite
-              ~server:(Transport.Address.make ip info.Meta_schema.nsm_port)
-              ~prog:info.Meta_schema.nsm_prog
-              ~vers:info.Meta_schema.nsm_vers
-          in
-          Ok { ns_name; nsm_name; binding })
+  | Ok info -> finish_resolution t ~ns_name ~nsm_name info
+
+(* One full FindNSM. The batched meta query answers mappings 1-3 in a
+   single round trip when available; otherwise (bundle disabled, old
+   server, already warm) the per-mapping walk runs as before. Either
+   way mappings 4-6 resolve the NSM's host — on the bundle path those
+   run against the records the bundle just cached. *)
+let do_find t ~context ~query_class =
+  Obs.Span.with_span "find_nsm"
+    ~attrs:[ ("context", context); ("query_class", query_class) ]
+    (fun () ->
+      match Meta_client.find_nsm_bundle t.meta_ ~context ~query_class with
+      | Meta_client.Bundle_negative e -> Error e
+      | Meta_client.Bundle_resolved { ns; nsm; info } ->
+          Obs.Span.add_attr "bundle" "true";
+          finish_resolution t ~ns_name:ns ~nsm_name:nsm info
+      | Meta_client.Bundle_unavailable -> (
+          match context_to_ns t context with
+          | Error _ as e -> e
+          | Ok ns_name -> (
+              match ns_to_nsm t ~ns:ns_name ~query_class with
+              | Error _ as e -> e
+              | Ok nsm_name -> resolved_of_nsm t ~ns_name nsm_name)))
+
+(* [fill] schedules reader wake-ups, an engine operation; outside the
+   simulation there are no waiters to wake, so a failed fill is moot. *)
+let safe_fill iv v =
+  try ignore (Sim.Engine.Ivar.fill_if_empty iv v)
+  with Effect.Unhandled _ -> ()
+
+let coalesce_key ~context ~query_class = context ^ "\x00" ^ query_class
 
 let find t ~context ~query_class =
   Obs.Metrics.incr m_calls;
   Obs.Metrics.time m_ms (fun () ->
+      let key = coalesce_key ~context ~query_class in
       let result =
-        Obs.Span.with_span "find_nsm"
-          ~attrs:[ ("context", context); ("query_class", query_class) ]
-          (fun () ->
-            match context_to_ns t context with
-            | Error _ as e -> e
-            | Ok ns_name -> (
-                match ns_to_nsm t ~ns:ns_name ~query_class with
-                | Error _ as e -> e
-                | Ok nsm_name -> resolved_of_nsm t ~ns_name nsm_name))
+        match Hashtbl.find_opt t.inflight key with
+        | Some iv ->
+            (* An identical FindNSM is already in flight: wait for its
+               answer instead of repeating the lookups. *)
+            Obs.Metrics.incr m_coalesced;
+            Obs.Span.with_span "find_nsm_coalesced"
+              ~attrs:[ ("context", context); ("query_class", query_class) ]
+              (fun () -> Sim.Engine.Ivar.read iv)
+        | None ->
+            let iv = Sim.Engine.Ivar.create () in
+            Hashtbl.replace t.inflight key iv;
+            Fun.protect
+              ~finally:(fun () ->
+                (* Entry removed before we return: sequential callers
+                   never observe coalescing. The backstop fill only
+                   matters if do_find raised. *)
+                Hashtbl.remove t.inflight key;
+                safe_fill iv
+                  (Error (Errors.Meta_error "coalesced FindNSM leader failed")))
+              (fun () ->
+                let r = do_find t ~context ~query_class in
+                safe_fill iv r;
+                r)
       in
       (match result with Error _ -> Obs.Metrics.incr m_errors | Ok _ -> ());
       result)

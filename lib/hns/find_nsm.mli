@@ -15,7 +15,22 @@
       the HNS, so that their network addresses need not be found").
 
     Six data mappings; each is a remote call on a cache miss, which is
-    why caching dominates colocation in Table 3.1. *)
+    why caching dominates colocation in Table 3.1.
+
+    Two cold-path optimizations live here:
+
+    - {b Batched meta query.} When the meta client has bundles enabled
+      and the meta server supports them, mappings 1–3 collapse into a
+      single round trip ({!Meta_client.find_nsm_bundle}); the reply
+      also carries the records behind mappings 4–5, so a cold FindNSM
+      costs one meta exchange plus the host-address NSM call. Old
+      servers answer NXDOMAIN and the per-mapping walk runs unchanged.
+    - {b Request coalescing.} Concurrent {!find}s for the same
+      (context, query class) on one instance share a single in-flight
+      lookup (a singleflight table): followers block on the leader's
+      answer instead of stampeding the meta server, counted in
+      [hns.find_nsm.coalesced]. Sequential callers are unaffected —
+      the table entry is removed before the leader returns. *)
 
 type resolved = {
   ns_name : string;       (** which name service owns the context *)

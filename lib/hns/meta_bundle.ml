@@ -1,0 +1,107 @@
+let m_served = Obs.Metrics.counter "hns.meta.bundle_served"
+
+(* The marker record carried at the bundle name itself: an UNSPEC
+   record whose payload is the XDR-encoded bundle status. *)
+let marker_rr qname status =
+  Dns.Rr.make ~ttl:60l qname
+    (Dns.Rr.Unspec
+       (Wire.Xdr.to_string Meta_schema.bundle_status_ty
+          (Meta_schema.bundle_status_to_value status)))
+
+let meta_zone server =
+  List.find_opt
+    (fun z -> Dns.Name.equal (Dns.Zone.origin z) Meta_schema.zone_origin)
+    (Dns.Server.zones server)
+
+(* First UNSPEC rrset at [key], with its decoded payload. *)
+let record db ~key ~ty =
+  match Dns.Db.lookup db key Dns.Rr.T_unspec with
+  | [] -> None
+  | rr :: _ -> (
+      match (rr : Dns.Rr.t).rdata with
+      | Dns.Rr.Unspec bytes -> (
+          match Wire.Xdr.of_string ty bytes with
+          | exception _ -> None
+          | v -> Some (rr, v))
+      | _ -> None)
+
+(* Answer one bundle question from the zone database: the real records
+   behind mappings 1-3 (and, when resolvable, the context and NSM
+   designation behind mappings 4-5 of the binding's host), headed by a
+   status marker at the bundle name. *)
+let answer db ~qname ~context ~query_class =
+  let ctx_key = Meta_schema.context_key context in
+  match record db ~key:ctx_key ~ty:Meta_schema.string_ty with
+  | None -> [ marker_rr qname Meta_schema.B_no_context ]
+  | Some (ctx_rr, ctx_v) -> (
+      let ns = Wire.Value.get_str ctx_v in
+      match
+        record db
+          ~key:(Meta_schema.nsm_name_key ~ns ~query_class)
+          ~ty:Meta_schema.string_ty
+      with
+      | None -> [ marker_rr qname Meta_schema.B_no_nsm; ctx_rr ]
+      | Some (nsm_rr, nsm_v) -> (
+          let nsm = Wire.Value.get_str nsm_v in
+          match
+            record db
+              ~key:(Meta_schema.nsm_binding_key nsm)
+              ~ty:Meta_schema.nsm_info_ty
+          with
+          | None ->
+              [ marker_rr qname Meta_schema.B_no_binding; ctx_rr; nsm_rr ]
+          | Some (bind_rr, bind_v) ->
+              let info = Meta_schema.nsm_info_of_value bind_v in
+              (* Mappings 4-5 for the binding's host: best-effort —
+                 their absence only means the client walks them. *)
+              let host_rrs =
+                let hc = info.Meta_schema.nsm_host_context in
+                match
+                  record db ~key:(Meta_schema.context_key hc)
+                    ~ty:Meta_schema.string_ty
+                with
+                | None -> []
+                | Some (hc_rr, hc_v) -> (
+                    let host_ns = Wire.Value.get_str hc_v in
+                    let hc_rrs =
+                      if Dns.Name.equal hc_rr.Dns.Rr.name ctx_rr.Dns.Rr.name
+                      then []
+                      else [ hc_rr ]
+                    in
+                    match
+                      record db
+                        ~key:
+                          (Meta_schema.nsm_name_key ~ns:host_ns
+                             ~query_class:Query_class.host_address)
+                        ~ty:Meta_schema.string_ty
+                    with
+                    | None -> hc_rrs
+                    | Some (ha_rr, _)
+                      when Dns.Name.equal ha_rr.Dns.Rr.name
+                             nsm_rr.Dns.Rr.name ->
+                        hc_rrs
+                    | Some (ha_rr, _) -> hc_rrs @ [ ha_rr ])
+              in
+              marker_rr qname Meta_schema.B_ok :: ctx_rr :: nsm_rr :: bind_rr
+              :: host_rrs))
+
+let install server =
+  Dns.Server.set_synthesizer server (fun (q : Dns.Msg.question) ->
+      if q.qtype <> Dns.Rr.T_unspec then None
+      else
+        match Meta_schema.parse_bundle_key q.qname with
+        | None -> None
+        | Some (context, query_class) -> (
+            match meta_zone server with
+            | None -> None
+            | Some zone -> (
+                match
+                  answer (Dns.Zone.db zone) ~qname:q.qname ~context
+                    ~query_class
+                with
+                | exception _ -> None (* malformed key: ordinary NXDOMAIN *)
+                | rrs ->
+                    Obs.Metrics.incr m_served;
+                    Some rrs)))
+
+let uninstall server = Dns.Server.clear_synthesizer server

@@ -1,0 +1,25 @@
+(** Server-side answerer for the batched FindNSM meta query.
+
+    A stock meta-BIND answers one mapping per round trip, which is why
+    the paper's cold FindNSM costs six exchanges. [Meta_bundle] makes
+    the {e modified} BIND bundle-aware: installed as a query
+    synthesizer on the server ({!Dns.Server.set_synthesizer}), it
+    recognizes T_UNSPEC questions for
+    [<qclass>.<context>.bundle.hns-meta.] names and answers with the
+    real records behind mappings 1–3 of that (context, query class)
+    pair — plus, best-effort, the context and NSM-designation records
+    for the binding host's address resolution (mappings 4–5) — headed
+    by a status marker record at the bundle name itself
+    ({!Meta_schema.bundle_status}).
+
+    Unmodified servers have no synthesizer and answer bundle names
+    with NXDOMAIN; {!Meta_client.find_nsm_bundle} treats that as "no
+    bundle support" and falls back to per-mapping lookups, so old and
+    new servers interoperate. Bundles served are counted in
+    [hns.meta.bundle_served]. *)
+
+(** Install the bundle answerer on a server holding the [hns-meta]
+    zone. Replaces any previously-installed synthesizer. *)
+val install : Dns.Server.t -> unit
+
+val uninstall : Dns.Server.t -> unit

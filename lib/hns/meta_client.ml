@@ -1,3 +1,5 @@
+type bundle_support = B_unknown | B_supported | B_unsupported
+
 type t = {
   stack : Transport.Netstack.stack;
   meta_server : Transport.Address.t;
@@ -6,6 +8,11 @@ type t = {
   generated_cost : Wire.Generic_marshal.cost_model;
   preload_record_ms : float;
   mapping_overhead_ms : float;
+  enable_bundle : bool;
+  negative_ttl_ms : float;
+  mutable bundle_support : bundle_support;
+  mutable zone_serial : int32 option;
+  mutable zone_refresh_s : int32 option;
   mutable walk : (string * bool * float) list; (* newest first, max 64 *)
   raw_binding : Hrpc.Binding.t;
   policy : Rpc.Control.retry_policy option;
@@ -15,7 +22,8 @@ type t = {
 
 let create stack ~meta_server ?(fallback_servers = []) ~cache
     ?(generated_cost = { Wire.Generic_marshal.per_call_ms = 0.0; per_node_ms = 0.0 })
-    ?(preload_record_ms = 0.0) ?(mapping_overhead_ms = 0.0) ?policy () =
+    ?(preload_record_ms = 0.0) ?(mapping_overhead_ms = 0.0)
+    ?(enable_bundle = false) ?(negative_ttl_ms = 0.0) ?policy () =
   {
     stack;
     meta_server;
@@ -24,6 +32,11 @@ let create stack ~meta_server ?(fallback_servers = []) ~cache
     generated_cost;
     preload_record_ms;
     mapping_overhead_ms;
+    enable_bundle;
+    negative_ttl_ms;
+    bundle_support = B_unknown;
+    zone_serial = None;
+    zone_refresh_s = None;
     walk = [];
     raw_binding =
       Hrpc.Binding.make ~suite:Hrpc.Component.raw_udp_suite ~server:meta_server
@@ -35,10 +48,15 @@ let create stack ~meta_server ?(fallback_servers = []) ~cache
 
 let cache t = t.cache_
 let remote_lookups t = t.lookup_count
+let bundle_enabled t = t.enable_bundle
+let negative_ttl_ms t = t.negative_ttl_ms
 
 let m_lookups = Obs.Metrics.counter "hns.meta.lookups"
 let m_remote_lookups = Obs.Metrics.counter "hns.meta.remote_lookups"
 let m_lookup_ms = Obs.Metrics.histogram "hns.meta.lookup_ms"
+let m_bundle_queries = Obs.Metrics.counter "hns.meta.bundle_queries"
+let m_bundle_fallbacks = Obs.Metrics.counter "hns.meta.bundle_fallbacks"
+let m_preload_refreshes = Obs.Metrics.counter "hns.meta.preload_refreshes"
 
 let charge ms =
   if ms > 0.0 then
@@ -104,6 +122,14 @@ let clear_walk_log t = t.walk <- []
 
 let now_ms () = try Sim.Engine.time () with Effect.Unhandled _ -> 0.0
 
+(* Record a definitive "nothing there" so the next miss on this key
+   fails fast instead of repeating the round trip. Inert unless the
+   client was created with a positive negative TTL. *)
+let note_negative t key =
+  if t.negative_ttl_ms > 0.0 then
+    Cache.insert_negative t.cache_ ~key:(Meta_schema.cache_key key)
+      ~ttl_ms:t.negative_ttl_ms
+
 let lookup_remote t ~key ~ty =
   match () with
   | () -> (
@@ -111,10 +137,14 @@ let lookup_remote t ~key ~ty =
       | Error _ as e -> e
       | Ok reply -> (
           match reply.rcode with
-          | Dns.Msg.Nx_domain -> Ok None
+          | Dns.Msg.Nx_domain ->
+              note_negative t key;
+              Ok None
           | Dns.Msg.No_error -> (
               match first_unspec reply with
-              | None -> Ok None
+              | None ->
+                  note_negative t key;
+                  Ok None
               | Some (bytes, ttl_s) -> (
                   match Wire.Xdr.of_string ty bytes with
                   | exception _ ->
@@ -142,9 +172,13 @@ let lookup t ~key ~ty =
     log_mapping t (Meta_schema.cache_key key) hit elapsed;
     outcome
   in
-  match Cache.find t.cache_ ~key:(Meta_schema.cache_key key) ~ty with
-  | Some v -> finish true (Ok (Some v))
-  | None -> (
+  match Cache.find_outcome t.cache_ ~key:(Meta_schema.cache_key key) ~ty with
+  | Cache.Hit v -> finish true (Ok (Some v))
+  | Cache.Negative_hit ->
+      (* A cached absence: answer "no record" without a round trip. *)
+      Obs.Span.add_attr "negative" "true";
+      finish true (Ok None)
+  | Cache.Miss -> (
       match lookup_remote t ~key ~ty with
       | Error _ as e -> (
           (* Backend unreachable: serve the expired entry if it is
@@ -155,6 +189,169 @@ let lookup t ~key ~ty =
               finish false (Ok (Some v))
           | None -> finish false e)
       | ok -> finish false ok)
+
+(* {1 The batched FindNSM bundle} *)
+
+type bundle_result =
+  | Bundle_unavailable
+  | Bundle_resolved of {
+      ns : string;
+      nsm : string;
+      info : Meta_schema.nsm_info;
+    }
+  | Bundle_negative of Errors.t
+
+(* Decode and cache every real record carried in a bundle reply,
+   returning an assoc of cache key -> decoded value so the caller can
+   use them without re-consulting the cache. Pays the same
+   generated-stub decode price a per-mapping lookup would. *)
+let seed_bundle_answers t (reply : Dns.Msg.t) =
+  List.filter_map
+    (fun (rr : Dns.Rr.t) ->
+      match rr.rdata with
+      | Dns.Rr.Unspec bytes -> (
+          match Meta_schema.ty_of_key rr.name with
+          | None -> None (* the status marker, handled separately *)
+          | Some ty -> (
+              match Wire.Xdr.of_string ty bytes with
+              | exception _ -> None
+              | v ->
+                  charge (Wire.Generic_marshal.cost t.generated_cost v);
+                  Cache.insert t.cache_ ~key:(Meta_schema.cache_key rr.name)
+                    ~ty
+                    ~ttl_ms:(Int32.to_float rr.ttl *. 1000.0)
+                    v;
+                  Some (Meta_schema.cache_key rr.name, v)))
+      | _ -> None)
+    reply.answers
+
+let bundle_status_of_reply (reply : Dns.Msg.t) ~qname =
+  List.find_map
+    (fun (rr : Dns.Rr.t) ->
+      if not (Dns.Name.equal rr.name qname) then None
+      else
+        match rr.rdata with
+        | Dns.Rr.Unspec bytes -> (
+            match Wire.Xdr.of_string Meta_schema.bundle_status_ty bytes with
+            | exception _ -> None
+            | v -> Meta_schema.bundle_status_of_value v)
+        | _ -> None)
+    reply.answers
+
+let find_nsm_bundle t ~context ~query_class =
+  if (not t.enable_bundle) || t.bundle_support = B_unsupported then
+    Bundle_unavailable
+  else
+    let ctx_key = Meta_schema.context_key context in
+    let ctx_cache_key = Meta_schema.cache_key ctx_key in
+    (* When mapping 1 is already warm the per-mapping walk runs on
+       cache hits; a bundle round trip would cost more than it saves.
+       (Partially-warm states still take the bundle: one round trip
+       beats two.) *)
+    if Cache.peek t.cache_ ~key:ctx_cache_key then Bundle_unavailable
+    else if Cache.peek_negative t.cache_ ~key:ctx_cache_key then begin
+      (* A fresh "no such context" answers the whole FindNSM with no
+         traffic; go through find_outcome for the usual negative-hit
+         charge and accounting. *)
+      ignore
+        (Cache.find_outcome t.cache_ ~key:ctx_cache_key
+           ~ty:Meta_schema.string_ty);
+      Bundle_negative (Errors.Unknown_context context)
+    end
+    else
+      Obs.Span.with_span "find_nsm_bundle"
+        ~attrs:[ ("context", context); ("query_class", query_class) ]
+        (fun () ->
+          Obs.Metrics.incr m_bundle_queries;
+          (* One mapping's worth of HNS bookkeeping covers the whole
+             batched exchange. *)
+          charge_mapping_overhead t;
+          let t0 = now_ms () in
+          let qname = Meta_schema.bundle_key ~context ~query_class in
+          let finish outcome =
+            log_mapping t (Meta_schema.cache_key qname) false (now_ms () -. t0);
+            outcome
+          in
+          match raw_query t qname with
+          | Error _ ->
+              (* Unreachable server: let the per-mapping walk apply its
+                 own failover and serve-stale machinery. *)
+              Obs.Span.add_attr "outcome" "error";
+              finish Bundle_unavailable
+          | Ok reply -> (
+              match reply.rcode with
+              | Dns.Msg.Nx_domain | Dns.Msg.Refused ->
+                  (* An old meta server: remember and stop asking. *)
+                  t.bundle_support <- B_unsupported;
+                  Obs.Metrics.incr m_bundle_fallbacks;
+                  Obs.Span.add_attr "outcome" "unsupported";
+                  finish Bundle_unavailable
+              | Dns.Msg.No_error -> (
+                  t.bundle_support <- B_supported;
+                  let seeded = seed_bundle_answers t reply in
+                  let seeded_value key =
+                    List.assoc_opt (Meta_schema.cache_key key) seeded
+                  in
+                  let ns_of_ctx () =
+                    Option.map Wire.Value.get_str (seeded_value ctx_key)
+                  in
+                  match bundle_status_of_reply reply ~qname with
+                  | None ->
+                      (* No status marker (e.g. a truncated UDP reply):
+                         whatever records did arrive are cached; walk. *)
+                      Obs.Span.add_attr "outcome" "no-marker";
+                      finish Bundle_unavailable
+                  | Some Meta_schema.B_no_context ->
+                      note_negative t ctx_key;
+                      Obs.Span.add_attr "outcome" "no-context";
+                      finish (Bundle_negative (Errors.Unknown_context context))
+                  | Some Meta_schema.B_no_nsm -> (
+                      match ns_of_ctx () with
+                      | None -> finish Bundle_unavailable
+                      | Some ns ->
+                          note_negative t
+                            (Meta_schema.nsm_name_key ~ns ~query_class);
+                          Obs.Span.add_attr "outcome" "no-nsm";
+                          finish
+                            (Bundle_negative (Errors.No_nsm { ns; query_class }))
+                      )
+                  | Some Meta_schema.B_no_binding -> (
+                      let nsm =
+                        match ns_of_ctx () with
+                        | None -> None
+                        | Some ns ->
+                            Option.map Wire.Value.get_str
+                              (seeded_value
+                                 (Meta_schema.nsm_name_key ~ns ~query_class))
+                      in
+                      match nsm with
+                      | None -> finish Bundle_unavailable
+                      | Some nsm ->
+                          note_negative t (Meta_schema.nsm_binding_key nsm);
+                          Obs.Span.add_attr "outcome" "no-binding";
+                          finish (Bundle_negative (Errors.Unknown_nsm nsm)))
+                  | Some Meta_schema.B_ok -> (
+                      match ns_of_ctx () with
+                      | None -> finish Bundle_unavailable
+                      | Some ns -> (
+                          match
+                            Option.map Wire.Value.get_str
+                              (seeded_value
+                                 (Meta_schema.nsm_name_key ~ns ~query_class))
+                          with
+                          | None -> finish Bundle_unavailable
+                          | Some nsm -> (
+                              match
+                                seeded_value (Meta_schema.nsm_binding_key nsm)
+                              with
+                              | None -> finish Bundle_unavailable
+                              | Some v ->
+                                  let info = Meta_schema.nsm_info_of_value v in
+                                  Obs.Span.add_attr "outcome" "ok";
+                                  finish (Bundle_resolved { ns; nsm; info })))))
+              | _ ->
+                  Obs.Span.add_attr "outcome" "error";
+                  finish Bundle_unavailable))
 
 let transact t ops =
   let request = Dns.Msg.update_request ~id:(fresh_id t) ~zone:Meta_schema.zone_origin ops in
@@ -181,7 +378,8 @@ let store t ~key ~ty ?(ttl_s = 3600l) v =
   | Error _ as e -> e
   | Ok () ->
       (* Keep our own cache coherent immediately; other caches rely on
-         TTL expiry, as the paper accepts. *)
+         TTL expiry, as the paper accepts. A positive insert also
+         overwrites any negative entry at this key. *)
       Cache.insert t.cache_ ~key:(Meta_schema.cache_key key) ~ty
         ~ttl_ms:(Int32.to_float ttl_s *. 1000.0)
         v;
@@ -196,25 +394,90 @@ let preload t =
   | Error e ->
       Error (Errors.Meta_error (Format.asprintf "preload: %a" Dns.Axfr.pp_error e))
   | Ok records ->
-      let seeded = ref 0 in
+      (* The transfer leads with the zone's SOA; remember its serial
+         and refresh interval to drive re-preloading. *)
       List.iter
         (fun (rr : Dns.Rr.t) ->
           match rr.rdata with
-          | Dns.Rr.Unspec bytes -> (
-              match Meta_schema.ty_of_key rr.name with
-              | None -> ()
-              | Some ty -> (
-                  match Wire.Xdr.of_string ty bytes with
-                  | exception _ -> ()
-                  | v ->
-                      charge t.preload_record_ms;
-                      Cache.insert t.cache_ ~key:(Meta_schema.cache_key rr.name) ~ty
-                        ~ttl_ms:(Int32.to_float rr.ttl *. 1000.0)
-                        v;
-                      incr seeded))
+          | Dns.Rr.Soa soa ->
+              t.zone_serial <- Some soa.Dns.Rr.serial;
+              t.zone_refresh_s <- Some soa.Dns.Rr.refresh
           | _ -> ())
         records;
-      Ok !seeded
+      let entries =
+        List.filter_map
+          (fun (rr : Dns.Rr.t) ->
+            match rr.rdata with
+            | Dns.Rr.Unspec bytes -> (
+                match Meta_schema.ty_of_key rr.name with
+                | None -> None
+                | Some ty -> (
+                    match Wire.Xdr.of_string ty bytes with
+                    | exception _ -> None
+                    | v ->
+                        charge t.preload_record_ms;
+                        Some
+                          ( Meta_schema.cache_key rr.name,
+                            ty,
+                            Int32.to_float rr.ttl *. 1000.0,
+                            v )))
+            | _ -> None)
+          records
+      in
+      Ok (Cache.preload t.cache_ entries)
+
+let zone_serial t = t.zone_serial
+
+(* Probe the primary's serial with a plain SOA query — control-plane
+   traffic, not counted as a meta lookup. *)
+let primary_serial t =
+  let request =
+    Dns.Msg.encode
+      (Dns.Msg.query ~id:(fresh_id t) Meta_schema.zone_origin Dns.Rr.T_soa)
+  in
+  match Hrpc.Client.call_raw t.stack t.raw_binding ?policy:t.policy request with
+  | Error _ -> None
+  | Ok payload -> (
+      match Dns.Msg.decode payload with
+      | exception Dns.Msg.Bad_message _ -> None
+      | reply ->
+          List.find_map
+            (fun (rr : Dns.Rr.t) ->
+              match rr.rdata with
+              | Dns.Rr.Soa soa -> Some soa.Dns.Rr.serial
+              | _ -> None)
+            reply.answers)
+
+let start_preload_refresher ?interval_ms t =
+  let running = ref true in
+  let interval () =
+    match interval_ms with
+    | Some ms -> ms
+    | None -> (
+        (* The zone's own SOA refresh interval, as a BIND secondary
+           would use; 30 s when no preload has captured one yet. *)
+        match t.zone_refresh_s with
+        | Some r -> Int32.to_float r *. 1000.0
+        | None -> 30_000.0)
+  in
+  Sim.Engine.spawn_child ~name:"hns-preload-refresh" (fun () ->
+      while !running do
+        Sim.Engine.sleep (interval ());
+        if !running then
+          match primary_serial t with
+          | None -> () (* primary unreachable: keep the current cache *)
+          | Some serial ->
+              let changed =
+                match t.zone_serial with
+                | Some s -> not (Int32.equal s serial)
+                | None -> true
+              in
+              if changed then (
+                match preload t with
+                | Ok _ -> Obs.Metrics.incr m_preload_refreshes
+                | Error _ -> ())
+      done);
+  fun () -> running := false
 
 let cache_host_addr t ~context ~host ip =
   Cache.insert t.cache_

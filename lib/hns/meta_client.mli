@@ -23,7 +23,14 @@ type t
     only. [policy] governs the underlying HRPC retries (timeouts and
     jittered backoff); when the cache was created with a staleness
     budget, a failed refresh falls back to the expired entry
-    (serve-stale). *)
+    (serve-stale).
+
+    [enable_bundle] (default off) lets {!find_nsm_bundle} issue
+    batched meta queries against a bundle-aware server; off, it always
+    reports {!Bundle_unavailable} and callers take the per-mapping
+    path. [negative_ttl_ms] (default 0 = disabled) caches "no such
+    record" answers for that long, so repeated misses on absent names
+    fail fast instead of repeating the round trip. *)
 val create :
   Transport.Netstack.stack ->
   meta_server:Transport.Address.t ->
@@ -32,6 +39,8 @@ val create :
   ?generated_cost:Wire.Generic_marshal.cost_model ->
   ?preload_record_ms:float ->
   ?mapping_overhead_ms:float ->
+  ?enable_bundle:bool ->
+  ?negative_ttl_ms:float ->
   ?policy:Rpc.Control.retry_policy ->
   unit ->
   t
@@ -46,9 +55,40 @@ val cache : t -> Cache.t
 (** Remote lookups actually performed (cache misses). *)
 val remote_lookups : t -> int
 
-(** [Ok None] when the meta database has no record at the key. *)
+val bundle_enabled : t -> bool
+val negative_ttl_ms : t -> float
+
+(** [Ok None] when the meta database has no record at the key — either
+    from the server or from a cached negative entry. *)
 val lookup :
   t -> key:Dns.Name.t -> ty:Wire.Idl.ty -> (Wire.Value.t option, Errors.t) result
+
+(** {1 The batched FindNSM meta query}
+
+    One round trip answering mappings 1–3 of FindNSM at once, served
+    by a bundle-aware meta server ({!Meta_bundle}). All real records
+    in the reply are decoded (at the generated-stub price) and
+    inserted into the cache, so even a partially-useful bundle warms
+    the per-mapping path. *)
+
+type bundle_result =
+  | Bundle_unavailable
+      (** No batched answer — bundle disabled, server too old
+          (NXDOMAIN, remembered), already warm, unreachable, or a
+          malformed/truncated reply. Callers run the per-mapping
+          walk. *)
+  | Bundle_resolved of {
+      ns : string;
+      nsm : string;
+      info : Meta_schema.nsm_info;
+    }  (** Mappings 1–3 resolved in one exchange. *)
+  | Bundle_negative of Errors.t
+      (** The server answered definitively that the chain ends early
+          (unknown context, no NSM for the class, no binding); the
+          failing key is negatively cached. *)
+
+val find_nsm_bundle :
+  t -> context:string -> query_class:Query_class.t -> bundle_result
 
 (** Replace the record at [key]. [ttl_s] defaults to 3600. *)
 val store :
@@ -56,9 +96,28 @@ val store :
 
 val remove : t -> key:Dns.Name.t -> (unit, Errors.t) result
 
-(** Transfer the meta zone and seed the cache; returns the number of
-    records seeded. *)
+(** Transfer the meta zone (AXFR) and bulk-seed the cache via
+    {!Cache.preload}; returns the number of records seeded. Also
+    captures the zone's SOA serial and refresh interval, which drive
+    {!start_preload_refresher}. *)
 val preload : t -> (int, Errors.t) result
+
+(** The meta zone's serial as of the last {!preload}, if any. *)
+val zone_serial : t -> int32 option
+
+(** Probe the primary's current SOA serial (control-plane traffic,
+    not counted in {!remote_lookups}); [None] if unreachable. *)
+val primary_serial : t -> int32 option
+
+(** [start_preload_refresher ?interval_ms t] spawns a background
+    process (must be called inside the simulation) that periodically
+    probes the primary's SOA serial and re-preloads when it has
+    advanced — counted in [hns.meta.preload_refreshes]. The interval
+    defaults to the zone's SOA refresh value captured by the last
+    {!preload} (30 s before any preload). Returns a stop closure;
+    call it from within the simulation, and note the loop only exits
+    at its next wake-up. *)
+val start_preload_refresher : ?interval_ms:float -> t -> unit -> unit
 
 (** {1 Mapping walk log}
 

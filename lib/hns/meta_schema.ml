@@ -50,6 +50,52 @@ let ns_info_key ns =
   validate_simple_name ~what:"Meta_schema.ns_info_key" ns;
   Dns.Name.of_labels ([ ns; "ns" ] @ Dns.Name.labels zone_origin)
 
+(* The batched FindNSM query: one synthesized name standing for
+   mappings 1-3 of a (context, query class) pair. Not a stored record
+   — the meta server's bundle answerer ({!Meta_bundle}) recognizes the
+   [bundle] marker and replies with the underlying real records plus a
+   status marker at this name. *)
+let bundle_marker = "bundle"
+
+let bundle_key ~context ~query_class =
+  Query_class.validate query_class;
+  Dns.Name.of_labels
+    ((query_class :: Dns.Name.labels (Dns.Name.of_string context))
+    @ (bundle_marker :: Dns.Name.labels zone_origin))
+
+(* Inverse of [bundle_key]: split at the bundle marker sitting
+   immediately above the zone origin. *)
+let parse_bundle_key key =
+  let origin = Dns.Name.labels zone_origin in
+  let rec split acc = function
+    | m :: rest when m = bundle_marker && rest = origin -> Some (List.rev acc)
+    | x :: rest -> split (x :: acc) rest
+    | [] -> None
+  in
+  match split [] (Dns.Name.labels key) with
+  | Some (query_class :: (_ :: _ as context_labels)) ->
+      Some (String.concat "." context_labels, query_class)
+  | Some _ | None -> None
+
+type bundle_status = B_ok | B_no_context | B_no_nsm | B_no_binding
+
+let bundle_status_ty =
+  Wire.Idl.T_enum [ "ok"; "no-context"; "no-nsm"; "no-binding" ]
+
+let bundle_status_to_value = function
+  | B_ok -> Wire.Value.Enum 0
+  | B_no_context -> Wire.Value.Enum 1
+  | B_no_nsm -> Wire.Value.Enum 2
+  | B_no_binding -> Wire.Value.Enum 3
+
+let bundle_status_of_value v =
+  match Wire.Value.get_int v with
+  | 0 -> Some B_ok
+  | 1 -> Some B_no_context
+  | 2 -> Some B_no_nsm
+  | 3 -> Some B_no_binding
+  | _ -> None
+
 let string_ty = Wire.Idl.T_string
 let nsm_alternates_ty = Wire.Idl.T_array Wire.Idl.T_string
 

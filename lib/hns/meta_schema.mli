@@ -57,6 +57,31 @@ val nsm_alternates_key : ns:string -> query_class:Query_class.t -> Dns.Name.t
 val nsm_binding_key : string -> Dns.Name.t
 val ns_info_key : string -> Dns.Name.t
 
+(** {1 The batched FindNSM bundle}
+
+    [<qclass>.<context>.bundle.hns-meta.] is a {e synthesized} name:
+    nothing is stored under it. A bundle-aware meta server
+    ({!Meta_bundle}) answers a T_UNSPEC query for it with the real
+    records behind mappings 1–3 (context, NSM designation, NSM
+    binding — plus the host-designation records for mappings 4–5 when
+    available) and a status marker record at the bundle name itself.
+    Old servers answer NXDOMAIN, which clients treat as "no bundle
+    support" and fall back to per-mapping lookups. *)
+
+val bundle_marker : string
+val bundle_key : context:string -> query_class:Query_class.t -> Dns.Name.t
+
+(** [parse_bundle_key key] recovers [(context, query_class)] from a
+    bundle name; [None] if [key] is not one. *)
+val parse_bundle_key : Dns.Name.t -> (string * string) option
+
+(** Outcome marker carried in the bundle reply's status record. *)
+type bundle_status = B_ok | B_no_context | B_no_nsm | B_no_binding
+
+val bundle_status_ty : Wire.Idl.ty
+val bundle_status_to_value : bundle_status -> Wire.Value.t
+val bundle_status_of_value : Wire.Value.t -> bundle_status option
+
 (** {1 Wire shapes stored in UNSPEC records} *)
 
 val string_ty : Wire.Idl.ty

@@ -38,6 +38,8 @@ type t = {
   localfile : Baseline.Localfile.t;
   rereg : Baseline.Rereg_ch.t;
   cache_mode : Hns.Cache.mode;
+  bundle_enabled : bool;
+  alt_service_names : string list;
 }
 
 let in_sim_engine engine f =
@@ -74,14 +76,15 @@ let meta_addr t = Dns.Server.addr t.meta_bind
 let bind_addr t = Dns.Server.addr t.public_bind
 let ch_addr t = Clearinghouse.Ch_server.addr t.ch
 
-let new_hns_raw ?staleness_budget_ms ?rpc_policy ~cache_mode ~meta_server
-    ~bind_server ~ch_server ~credentials ~ch_domain ~ch_org ~nsm_hostaddr_bind
-    ~nsm_hostaddr_ch ~on () =
+let new_hns_raw ?staleness_budget_ms ?rpc_policy ?enable_bundle ?negative_ttl_ms
+    ~cache_mode ~meta_server ~bind_server ~ch_server ~credentials ~ch_domain
+    ~ch_org ~nsm_hostaddr_bind ~nsm_hostaddr_ch ~on () =
   let cache = new_cache_mode ?staleness_budget_ms cache_mode () in
   let hns =
     Hns.Client.create on ~meta_server ~cache ~generated_cost:Calib.generated_cost
       ~preload_record_ms:Calib.preload_record_ms
-      ~mapping_overhead_ms:Calib.hns_mapping_overhead_ms ?rpc_policy ()
+      ~mapping_overhead_ms:Calib.hns_mapping_overhead_ms ?enable_bundle
+      ?negative_ttl_ms ?rpc_policy ()
   in
   let ha_bind =
     Nsm.Hostaddr_nsm_bind.create on ~bind_server
@@ -100,16 +103,41 @@ let new_hns_raw ?staleness_budget_ms ?rpc_policy ~cache_mode ~meta_server
     (Nsm.Hostaddr_nsm_ch.impl ha_ch);
   hns
 
-let new_hns ?staleness_budget_ms ?rpc_policy t ~on =
-  new_hns_raw ?staleness_budget_ms ?rpc_policy ~cache_mode:t.cache_mode
-    ~meta_server:(meta_addr t) ~bind_server:(bind_addr t) ~ch_server:(ch_addr t)
+let new_hns ?staleness_budget_ms ?rpc_policy ?enable_bundle ?negative_ttl_ms t
+    ~on =
+  (* The scenario's bundle setting is the default: a bundle-enabled
+     testbed hands out bundle-enabled clients unless overridden. *)
+  let enable_bundle =
+    match enable_bundle with Some b -> b | None -> t.bundle_enabled
+  in
+  new_hns_raw ?staleness_budget_ms ?rpc_policy ~enable_bundle ?negative_ttl_ms
+    ~cache_mode:t.cache_mode ~meta_server:(meta_addr t)
+    ~bind_server:(bind_addr t) ~ch_server:(ch_addr t)
     ~credentials:t.credentials ~ch_domain:t.ch_domain ~ch_org:t.ch_org
     ~nsm_hostaddr_bind:t.nsm_hostaddr_bind ~nsm_hostaddr_ch:t.nsm_hostaddr_ch ~on
     ()
 
-let new_binding_nsm_bind t ~on =
-  Nsm.Binding_nsm_bind.create on ~bind_server:(bind_addr t)
-    ~services:[ (t.service_name, (t.target_prog, t.target_vers)) ]
+(* Every service name the binding NSM should answer for: the canonical
+   import target plus the varied-length alternates (used by the bench
+   harness to de-degenerate per-iteration samples). All map to the
+   same Sun RPC program. *)
+let service_directory ~service_name ~alt_service_names ~target_prog ~target_vers
+    =
+  (service_name, (target_prog, target_vers))
+  :: List.map (fun s -> (s, (target_prog, target_vers))) alt_service_names
+
+(* [alternates] (default off) also serves the varied-length alternate
+   service names — the import bench turns it on; the default keeps the
+   canonical single-service NSM (e.g. for preload warm counts). *)
+let new_binding_nsm_bind ?(alternates = false) t ~on =
+  let services =
+    if alternates then
+      service_directory ~service_name:t.service_name
+        ~alt_service_names:t.alt_service_names ~target_prog:t.target_prog
+        ~target_vers:t.target_vers
+    else [ (t.service_name, (t.target_prog, t.target_vers)) ]
+  in
+  Nsm.Binding_nsm_bind.create on ~bind_server:(bind_addr t) ~services
     ~cache:(new_nsm_cache t ()) ~per_query_ms:Calib.nsm_per_query_ms ()
 
 let new_binding_nsm_ch t ~on =
@@ -117,7 +145,8 @@ let new_binding_nsm_ch t ~on =
     ~domain:t.ch_domain ~org:t.ch_org ~cache:(new_nsm_cache t ())
     ~per_query_ms:Calib.nsm_per_query_ms ()
 
-let build ?(cache_mode = Hns.Cache.Marshalled) ?(extra_hosts = 16) () =
+let build ?(cache_mode = Hns.Cache.Marshalled) ?(extra_hosts = 16)
+    ?(bundle = false) () =
   let engine = Sim.Engine.create () in
   let topo =
     Sim.Topology.create ~default_latency_ms:Calib.ethernet_latency_ms
@@ -145,6 +174,13 @@ let build ?(cache_mode = Hns.Cache.Marshalled) ?(extra_hosts = 16) () =
       password = "hcs-secret" }
   in
   let service_name = "DesiredService" in
+  (* Alternate importable services with deliberately varied name
+     lengths ("s0", "ss1", ..., "ssssssss7"): same target program,
+     different request sizes, so repeated bench iterations produce
+     distinct (honest) latencies instead of eight identical samples. *)
+  let alt_service_names =
+    List.init 8 (fun i -> Printf.sprintf "%s%d" (String.make (i + 1) 's') i)
+  in
   let courier_service_name = "printsrv" in
   let target_prog = 200001 and target_vers = 1 in
   let target_port = 2049 in
@@ -209,6 +245,9 @@ let build ?(cache_mode = Hns.Cache.Marshalled) ?(extra_hosts = 16) () =
   in
   Dns.Server.add_zone meta_bind
     (Dns.Zone.simple ~origin:Hns.Meta_schema.zone_origin []);
+  (* A bundle-aware testbed: the modified BIND answers batched FindNSM
+     queries; stock scenarios leave it off and clients fall back. *)
+  if bundle then Hns.Meta_bundle.install meta_bind;
   let public_bind =
     Dns.Server.create bind_stack ~service_overhead_ms:Calib.bind_service_overhead_ms
       ~per_answer_ms:Calib.bind_per_answer_ms ()
@@ -242,7 +281,9 @@ let build ?(cache_mode = Hns.Cache.Marshalled) ?(extra_hosts = 16) () =
   let mk_remote_nsm_caches () = new_nsm_cache_mode cache_mode () in
   let remote_binding_nsm_bind =
     Nsm.Binding_nsm_bind.create nsm_stack ~bind_server:(Dns.Server.addr public_bind)
-      ~services:[ (service_name, (target_prog, target_vers)) ]
+      ~services:
+        (service_directory ~service_name ~alt_service_names ~target_prog
+           ~target_vers)
       ~cache:(mk_remote_nsm_caches ()) ~per_query_ms:Calib.nsm_per_query_ms ()
   in
   let remote_hostaddr_nsm_bind =
@@ -446,6 +487,8 @@ let build ?(cache_mode = Hns.Cache.Marshalled) ?(extra_hosts = 16) () =
     localfile;
     rereg;
     cache_mode;
+    bundle_enabled = bundle;
+    alt_service_names;
   }
 
 type parties = {
@@ -461,7 +504,7 @@ let arrange t arrangement =
   match (arrangement : Hns.Import.arrangement) with
   | Hns.Import.All_linked ->
       let hns = new_hns t ~on:t.client_stack in
-      let nsm = new_binding_nsm_bind t ~on:t.client_stack in
+      let nsm = new_binding_nsm_bind ~alternates:true t ~on:t.client_stack in
       {
         env =
           Hns.Import.env ~stack:t.client_stack ~local_hns:hns
@@ -475,7 +518,7 @@ let arrange t arrangement =
       }
   | Hns.Import.Combined_agent ->
       let hns = new_hns t ~on:t.agent_stack in
-      let nsm = new_binding_nsm_bind t ~on:t.agent_stack in
+      let nsm = new_binding_nsm_bind ~alternates:true t ~on:t.agent_stack in
       let agent =
         Hns.Agent.create hns
           ~linked_nsms:[ (t.nsm_binding_bind, Nsm.Binding_nsm_bind.impl nsm) ]
@@ -496,7 +539,7 @@ let arrange t arrangement =
         Hns.Agent.create hns ~service_overhead_ms:Calib.agent_service_overhead_ms ()
       in
       Hns.Agent.start agent;
-      let nsm = new_binding_nsm_bind t ~on:t.client_stack in
+      let nsm = new_binding_nsm_bind ~alternates:true t ~on:t.client_stack in
       {
         env =
           Hns.Import.env ~stack:t.client_stack ~agent:(Hns.Agent.binding agent)

@@ -52,12 +52,23 @@ type t = {
   localfile : Baseline.Localfile.t;
   rereg : Baseline.Rereg_ch.t;
   cache_mode : Hns.Cache.mode;
+  bundle_enabled : bool;
+      (** The meta-BIND answers batched FindNSM queries
+          ({!Hns.Meta_bundle}), and {!new_hns} defaults to issuing
+          them. *)
+  alt_service_names : string list;
+      (** Importable alternates for [service_name] with varied name
+          lengths (same target program) — bench iterations sample
+          across them so repeated runs yield distinct latencies. *)
 }
 
-(** [build ?cache_mode ?extra_hosts ()] — [cache_mode] (default
-    [Marshalled], as in the paper's Table 3.1 measurements) applies to
-    every HNS and NSM cache the scenario creates. *)
-val build : ?cache_mode:Hns.Cache.mode -> ?extra_hosts:int -> unit -> t
+(** [build ?cache_mode ?extra_hosts ?bundle ()] — [cache_mode]
+    (default [Marshalled], as in the paper's Table 3.1 measurements)
+    applies to every HNS and NSM cache the scenario creates. [bundle]
+    (default off) installs the batched-FindNSM answerer on the
+    meta-BIND and makes {!new_hns} clients use it. *)
+val build :
+  ?cache_mode:Hns.Cache.mode -> ?extra_hosts:int -> ?bundle:bool -> unit -> t
 
 (** Run a thunk as a simulated process and drive the engine to
     quiescence; returns the thunk's value. *)
@@ -73,16 +84,24 @@ val new_nsm_cache : t -> unit -> Hns.Cache.t
 
 (** An HNS instance on a stack, with fresh linked host-address NSMs.
     [staleness_budget_ms] enables serve-stale on its cache;
-    [rpc_policy] sets retry/backoff behavior for its HRPC exchanges. *)
+    [rpc_policy] sets retry/backoff behavior for its HRPC exchanges;
+    [enable_bundle] (default: the scenario's [bundle_enabled]) makes
+    it issue batched FindNSM meta queries; [negative_ttl_ms] enables
+    negative caching of absent meta records. *)
 val new_hns :
   ?staleness_budget_ms:float ->
   ?rpc_policy:Rpc.Control.retry_policy ->
+  ?enable_bundle:bool ->
+  ?negative_ttl_ms:float ->
   t ->
   on:Transport.Netstack.stack ->
   Hns.Client.t
 
+(** [alternates] (default off) makes the NSM also serve every
+    [alt_service_names] entry; {!arrange} turns it on so the import
+    bench can vary the requested service per iteration. *)
 val new_binding_nsm_bind :
-  t -> on:Transport.Netstack.stack -> Nsm.Binding_nsm_bind.t
+  ?alternates:bool -> t -> on:Transport.Netstack.stack -> Nsm.Binding_nsm_bind.t
 
 val new_binding_nsm_ch : t -> on:Transport.Netstack.stack -> Nsm.Binding_nsm_ch.t
 

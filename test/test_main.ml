@@ -17,6 +17,7 @@ let () =
       ("soak", Test_soak.suite);
       ("hrpc", Test_hrpc.suite);
       ("hns", Test_hns.suite);
+      ("coldpath", Test_coldpath.suite);
       ("nsm", Test_nsm.suite);
       ("baseline", Test_baseline.suite);
       ("workload", Test_workload.suite);

@@ -1,6 +1,6 @@
 # Convenience wrappers around dune; `make check` is the pre-commit gate.
 
-.PHONY: all build test bench chaos coldpath check fmt clean
+.PHONY: all build test bench chaos coldpath propagation check fmt clean
 
 all: build
 
@@ -23,6 +23,12 @@ chaos:
 coldpath:
 	dune exec bench/main.exe -- coldpath
 
+# Change propagation: one update pushed by NOTIFY, replayed as IXFR
+# deltas into a secondary and a preloaded client, vs full AXFR
+# (also in BENCH_hns.json as propagation.*).
+propagation:
+	dune exec bench/main.exe -- propagation
+
 # ocamlformat is optional in the container: format when present, skip
 # (with a note) when not, so check works everywhere.
 fmt:
@@ -37,6 +43,7 @@ check: fmt
 	dune runtest
 	$(MAKE) chaos
 	$(MAKE) coldpath
+	$(MAKE) propagation
 
 clean:
 	dune clean

@@ -1457,6 +1457,174 @@ let coldpath () =
       ];
     ]
 
+(* --- Change propagation: journal, NOTIFY push, IXFR ----------------- *)
+
+(* A miniature deployment dedicated to propagation measurements: a
+   primary meta-BIND over a synthetic [zone_size]-record meta zone, a
+   secondary replica, and a preloaded meta client subscribed to NOTIFY.
+   Built fresh per run so wire-byte counts are attributable to the one
+   update under measurement. The poll interval is set far out (60 s):
+   any convergence faster than that is push-driven by construction. *)
+
+let prop_ctx i = Printf.sprintf "pctx%03d" i
+
+let prop_record i =
+  let key = Hns.Meta_schema.context_key (prop_ctx i) in
+  let bytes =
+    Wire.Xdr.to_string Hns.Meta_schema.string_ty (Wire.Value.str "UW-BIND")
+  in
+  Dns.Rr.make ~ttl:3600l key (Dns.Rr.Unspec bytes)
+
+let prop_run ~zone_size ~mode ?client_max_entries f =
+  let engine = Sim.Engine.create () in
+  let topo = Sim.Topology.create () in
+  let net = Transport.Netstack.create engine topo in
+  let stack n = Transport.Netstack.attach net (Sim.Topology.add_host topo n) in
+  let s_primary = stack "meta-primary" in
+  let s_replica = stack "meta-replica" in
+  let s_client = stack "hns-client" in
+  let s_admin = stack "hns-admin" in
+  let result = ref None in
+  Sim.Engine.spawn engine ~name:"propagation" (fun () ->
+      let zone =
+        Dns.Zone.simple ~origin:Hns.Meta_schema.zone_origin
+          (List.init zone_size prop_record)
+      in
+      let primary = Dns.Server.create s_primary ~allow_update:true () in
+      Dns.Server.add_zone primary zone;
+      Dns.Server.start primary;
+      let replica_server = Dns.Server.create s_replica () in
+      Dns.Server.start replica_server;
+      let secondary =
+        Dns.Secondary.attach replica_server
+          ~primary:(Dns.Server.addr primary)
+          ~zone:Hns.Meta_schema.zone_origin ~refresh_ms:60_000.0 ~mode ()
+      in
+      Dns.Server.register_notify primary (Dns.Server.addr replica_server);
+      let cache =
+        Hns.Cache.create ~mode:Hns.Cache.Demarshalled
+          ?max_entries:client_max_entries ()
+      in
+      let client =
+        Hns.Meta_client.create s_client
+          ~meta_server:(Dns.Server.addr primary) ~cache ()
+      in
+      (match Hns.Meta_client.preload client with
+      | Ok _ -> ()
+      | Error e -> failwith ("propagation preload: " ^ Hns.Errors.to_string e));
+      let listener_addr, stop_listener =
+        Hns.Meta_client.start_notify_listener client
+      in
+      Dns.Server.register_notify primary listener_addr;
+      let admin =
+        Hns.Meta_client.create s_admin
+          ~meta_server:(Dns.Server.addr primary)
+          ~cache:(Hns.Cache.create ~mode:Hns.Cache.Demarshalled ())
+          ()
+      in
+      let r = f ~net ~zone ~secondary ~client ~admin in
+      stop_listener ();
+      Dns.Secondary.detach secondary;
+      Dns.Server.stop replica_server;
+      Dns.Server.stop primary;
+      result := Some r);
+  Sim.Engine.run engine;
+  Option.get !result
+
+(* One published update; returns (converge_ms, wire bytes spent on
+   propagation, journal changes the client replayed). Convergence =
+   the secondary's serial has caught up AND the preloaded client's
+   cache serves the new record. *)
+let prop_measure ~zone_size ~mode () =
+  prop_run ~zone_size ~mode (fun ~net ~zone ~secondary ~client ~admin ->
+      let key = Hns.Meta_schema.context_key "pctx-new" in
+      let t0 = Sim.Engine.time () in
+      let b0 = Transport.Netstack.bytes_sent net in
+      (match
+         Hns.Meta_client.store admin ~key ~ty:Hns.Meta_schema.string_ty
+           (Wire.Value.str "UW-BIND")
+       with
+      | Ok () -> ()
+      | Error e -> failwith ("propagation store: " ^ Hns.Errors.to_string e));
+      let cache_key = Hns.Meta_schema.cache_key key in
+      let converged () =
+        Int32.compare (Dns.Secondary.serial secondary) (Dns.Zone.serial zone)
+        >= 0
+        && Hns.Cache.peek (Hns.Meta_client.cache client) ~key:cache_key
+      in
+      let rec wait () =
+        if converged () then ()
+        else if Sim.Engine.time () -. t0 > 55_000.0 then
+          failwith "propagation did not converge before the poll backstop"
+        else begin
+          Sim.Engine.sleep 5.0;
+          wait ()
+        end
+      in
+      wait ();
+      ( Sim.Engine.time () -. t0,
+        Transport.Netstack.bytes_sent net - b0,
+        Hns.Meta_client.delta_records client ))
+
+(* Preload-aware admission at [max_entries] far below the zone size:
+   the quota caps what preload pins, overflow is skipped outright, and
+   demand churn afterwards evicts only unpinned entries. *)
+let prop_admission ~zone_size ~max_entries () =
+  prop_run ~zone_size ~mode:Dns.Secondary.Ixfr ~client_max_entries:max_entries
+    (fun ~net:_ ~zone:_ ~secondary:_ ~client ~admin:_ ->
+      let cache = Hns.Meta_client.cache client in
+      (* Demand churn: look up zone records the quota kept out, forcing
+         misses + inserts into the bounded cache. *)
+      for i = 0 to 49 do
+        ignore
+          (Hns.Meta_client.lookup client
+             ~key:(Hns.Meta_schema.context_key (prop_ctx (zone_size - 1 - i)))
+             ~ty:Hns.Meta_schema.string_ty)
+      done;
+      ( Hns.Cache.preloaded cache,
+        Hns.Cache.preload_skipped cache,
+        Hns.Cache.pinned cache,
+        Hns.Cache.lru_evictions cache ))
+
+let propagation () =
+  let sizes = [ 50; 200; 800 ] in
+  let rows =
+    List.map
+      (fun zone_size ->
+        let a_ms, a_bytes, _ =
+          prop_measure ~zone_size ~mode:Dns.Secondary.Axfr ()
+        in
+        let i_ms, i_bytes, i_changes =
+          prop_measure ~zone_size ~mode:Dns.Secondary.Ixfr ()
+        in
+        [
+          Printf.sprintf "%d-record zone" zone_size;
+          Printf.sprintf "%.0f ms / %d B" a_ms a_bytes;
+          Printf.sprintf "%.0f ms / %d B (%d changes)" i_ms i_bytes i_changes;
+          Printf.sprintf "%.0fx fewer bytes"
+            (float_of_int a_bytes /. float_of_int (max 1 i_bytes));
+        ])
+      sizes
+  in
+  E.print_table
+    ~title:
+      "Change propagation: one update, NOTIFY push, secondary + preloaded \
+       client\n\
+      \  (converged = replica serial current AND client cache serves the new \
+       record;\n\
+      \   poll backstop at 60 s — everything below is push-driven)"
+    ~header:[ "zone"; "AXFR secondary"; "IXFR secondary"; "delta advantage" ]
+    rows;
+  let seeded, skipped, pinned, evictions =
+    prop_admission ~zone_size:200 ~max_entries:32 ()
+  in
+  Printf.printf
+    "\n\
+    \  preload admission, 200-record zone into max_entries=32:\n\
+    \    seeded %d (quota 3/4 of capacity), skipped %d, pinned now %d,\n\
+    \    churn evictions %d — none touched a preloaded entry\n"
+    seeded skipped pinned evictions
+
 (* --- JSON artifacts ------------------------------------------------- *)
 
 (* Per-experiment latency distributions for BENCH_hns.json. Each row
@@ -1535,13 +1703,30 @@ let json_rows ?(n = 8) () =
       stats_of "chaos.stale.resolve_ms" r.stale_phase;
     ]
   in
+  (* Change propagation: convergence latency and wire bytes for one
+     update, AXFR-refreshing vs delta-refreshing consumers. Zone size
+     varies per iteration so the distributions carry real spread. *)
+  let propagation_rows =
+    let per_mode label mode =
+      let ms = Sim.Stats.create ~name:(label ^ ".converge_ms") () in
+      let bytes = Sim.Stats.create ~name:(label ^ ".bytes") () in
+      for i = 0 to n - 1 do
+        let m, b, _ = prop_measure ~zone_size:(150 + (50 * i)) ~mode () in
+        Sim.Stats.add ms m;
+        Sim.Stats.add bytes (float_of_int b)
+      done;
+      [ (label ^ ".converge_ms", ms); (label ^ ".bytes", bytes) ]
+    in
+    per_mode "propagation.axfr" Dns.Secondary.Axfr
+    @ per_mode "propagation.ixfr" Dns.Secondary.Ixfr
+  in
   [
     sampled "resolve.cold" resolve_cold;
     sampled "resolve.warm" resolve_warm;
     sampled "find_nsm.cold" find_nsm_cold;
     sampled "find_nsm.warm" find_nsm_warm;
   ]
-  @ import_rows @ coldpath_rows @ chaos_rows
+  @ import_rows @ coldpath_rows @ chaos_rows @ propagation_rows
 
 (* Write BENCH_hns.json (latency distributions) and BENCH_obs.json (the
    metrics registry as left by everything this process ran). Returns

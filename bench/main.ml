@@ -34,6 +34,8 @@ let experiments =
      Experiments.chaos);
     ("coldpath", "Cold-path collapse: bundled meta queries, preloading, coalescing",
      Experiments.coldpath);
+    ("propagation", "Change propagation: journal, NOTIFY push, IXFR vs AXFR",
+     Experiments.propagation);
   ]
 
 (* --- Bechamel: wall-clock cost of each experiment's workload -------- *)

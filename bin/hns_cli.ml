@@ -360,8 +360,20 @@ let stats_cmd =
       & info [ "out"; "o" ] ~docv:"PATH"
           ~doc:"Also write the registry as a BENCH_obs.json snapshot to $(docv).")
   in
-  let run json out =
-    with_scenario (fun scn hns ->
+  let neg_ttl_arg =
+    Arg.(
+      value
+      & opt float 5000.0
+      & info [ "negative-ttl" ] ~docv:"MS"
+          ~doc:
+            "Negative-TTL cap in virtual milliseconds (0 disables negative \
+             caching). The effective TTL actually applied is the meta zone's \
+             SOA minimum, never above this cap.")
+  in
+  let run json out negative_ttl_ms =
+    let scn = S.build () in
+    S.in_sim scn (fun () ->
+        let hns = S.new_hns ~negative_ttl_ms scn ~on:scn.client_stack in
         (* Scripted workload: a cold then warm resolve for each query
            class, so every instrumented layer registers activity. *)
         Obs.Metrics.reset ();
@@ -378,8 +390,20 @@ let stats_cmd =
         in
         twice Hns.Query_class.host_address;
         twice ~service:scn.service_name Hns.Query_class.hrpc_binding;
+        (* A miss on an absent name makes the server attach the zone
+           SOA to its negative reply (RFC 2308), which is where the
+           effective TTL below comes from. *)
+        let meta = Hns.Client.meta hns in
+        ignore
+          (Hns.Meta_client.lookup meta
+             ~key:(Hns.Meta_schema.context_key "no-such-context")
+             ~ty:Hns.Meta_schema.string_ty);
         if json then print_string (Obs.Export.metrics_json_lines ())
         else Format.printf "%a" Obs.Export.pp_metrics ();
+        Format.printf
+          "negative TTL: cap %.0f ms, effective %.0f ms (zone SOA minimum)@."
+          (Hns.Meta_client.negative_ttl_ms meta)
+          (Hns.Meta_client.effective_negative_ttl_ms meta);
         Option.iter (fun path -> Obs.Export.write_metrics_snapshot ~path ()) out;
         0)
   in
@@ -387,7 +411,7 @@ let stats_cmd =
     (Cmd.info "stats"
        ~doc:
          "Run a scripted resolve workload and dump the full metrics registry.")
-    Term.(const run $ json_arg $ out_arg)
+    Term.(const run $ json_arg $ out_arg $ neg_ttl_arg)
 
 (* --- chaos --- *)
 

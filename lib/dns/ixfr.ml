@@ -1,0 +1,126 @@
+open Transport
+
+type response =
+  | Unchanged of Rr.soa
+  | Deltas of Rr.soa * Journal.change list
+  | Full of Rr.t list
+
+let m_served = Obs.Metrics.counter "dns.ixfr.served"
+let m_unchanged = Obs.Metrics.counter "dns.ixfr.unchanged"
+let m_fallbacks = Obs.Metrics.counter "dns.ixfr.fallbacks"
+let m_changes_sent = Obs.Metrics.counter "dns.ixfr.changes_sent"
+
+(* --- server side --- *)
+
+let request_serial (request : Msg.t) =
+  List.find_map
+    (fun (rr : Rr.t) ->
+      match rr.rdata with Rr.Soa s -> Some s.Rr.serial | _ -> None)
+    request.Msg.authority
+
+(* A change as an answer record: additions keep C_in, deletions are
+   marked C_none — the same marker class the update encoding uses. *)
+let rr_of_change = function
+  | Journal.Put rr -> rr
+  | Journal.Del rr -> { rr with Rr.rclass = Rr.C_none }
+
+let answers_for_zone zone ~serial =
+  if Int32.equal serial (Zone.serial zone) then begin
+    Obs.Metrics.incr m_unchanged;
+    `Answers [ Zone.soa_rr zone ]
+  end
+  else
+    match Journal.since (Zone.journal zone) ~serial with
+    | None ->
+        Obs.Metrics.incr m_fallbacks;
+        `Fallback
+    | Some deltas ->
+        let changes =
+          List.concat_map (fun d -> d.Journal.changes) deltas
+        in
+        Obs.Metrics.incr m_served;
+        Obs.Metrics.add m_changes_sent (List.length changes);
+        let soa = Zone.soa_rr zone in
+        `Answers ((soa :: List.map rr_of_change changes) @ [ soa ])
+
+(* --- client side --- *)
+
+(* Normalize a deletion marker back to an ordinary record so replicas
+   re-journal and re-serve it cleanly. *)
+let change_of_rr (rr : Rr.t) =
+  match rr.rclass with
+  | Rr.C_none -> Journal.Del { rr with rclass = Rr.C_in }
+  | Rr.C_in | Rr.C_any -> Journal.Put rr
+
+let rec split_last = function
+  | [] -> invalid_arg "split_last"
+  | [ x ] -> ([], x)
+  | x :: rest ->
+      let init, last = split_last rest in
+      (x :: init, last)
+
+let parse_answers answers =
+  match answers with
+  | { Rr.rdata = Rr.Soa soa; _ } :: rest -> (
+      match rest with
+      | [] -> Ok (Unchanged soa)
+      | _ -> (
+          let init, last = split_last rest in
+          match last.Rr.rdata with
+          | Rr.Soa s when Int32.equal s.Rr.serial soa.Rr.serial ->
+              Ok (Deltas (soa, List.map change_of_rr init))
+          | _ -> Ok (Full answers)))
+  | _ -> Error "IXFR response does not start with an SOA"
+
+let id_counter = ref 0x6000
+
+let fetch stack ~server ~zone ~serial =
+  incr id_counter;
+  match Tcp.connect stack server with
+  | exception Tcp.Connection_refused _ ->
+      Error (Axfr.Transfer_failed "connection refused")
+  | conn -> (
+      let finish r =
+        Tcp.close conn;
+        r
+      in
+      (* The authority SOA carries the serial we hold; only the serial
+         field is meaningful to the server. *)
+      let have =
+        Rr.make zone
+          (Rr.Soa
+             {
+               Rr.mname = zone;
+               rname = zone;
+               serial;
+               refresh = 0l;
+               retry = 0l;
+               expire = 0l;
+               minimum = 0l;
+             })
+      in
+      let request =
+        {
+          (Msg.query ~id:!id_counter zone Rr.T_ixfr) with
+          Msg.recursion_desired = false;
+          authority = [ have ];
+        }
+      in
+      Tcp.send conn (Msg.encode request);
+      match Tcp.recv_timeout conn 10_000.0 with
+      | exception Tcp.Connection_closed ->
+          finish (Error (Axfr.Transfer_failed "connection closed"))
+      | None -> finish (Error (Axfr.Transfer_failed "timeout"))
+      | Some payload -> (
+          match Msg.decode payload with
+          | exception Msg.Bad_message m ->
+              finish (Error (Axfr.Transfer_failed m))
+          | reply -> (
+              match reply.Msg.rcode with
+              | Msg.No_error -> (
+                  match parse_answers reply.Msg.answers with
+                  | Ok r -> finish (Ok r)
+                  | Error m -> finish (Error (Axfr.Transfer_failed m)))
+              | Msg.Refused -> finish (Error Axfr.Refused)
+              | rc ->
+                  finish (Error (Axfr.Transfer_failed (Msg.rcode_to_string rc))))))

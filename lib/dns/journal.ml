@@ -1,0 +1,66 @@
+type change = Put of Rr.t | Del of Rr.t
+
+type delta = { from_serial : int32; to_serial : int32; changes : change list }
+
+(* Deltas are kept newest-first internally (cheap append); reads
+   reverse. The retention bound is on delta count, not record count:
+   dynamic updates are small, so the two track each other. *)
+type t = {
+  max_deltas : int;
+  mutable rev_deltas : delta list;
+  mutable truncations : int;
+}
+
+let m_appends = Obs.Metrics.counter "dns.journal.appends"
+let m_truncations = Obs.Metrics.counter "dns.journal.truncations"
+
+let create ?(max_deltas = 64) () =
+  if max_deltas < 1 then invalid_arg "Journal.create: max_deltas < 1";
+  { max_deltas; rev_deltas = []; truncations = 0 }
+
+let length t = List.length t.rev_deltas
+
+let record t ~from_serial ~to_serial changes =
+  t.rev_deltas <- { from_serial; to_serial; changes } :: t.rev_deltas;
+  Obs.Metrics.incr m_appends;
+  let n = length t in
+  if n > t.max_deltas then begin
+    let dropped = n - t.max_deltas in
+    t.rev_deltas <- List.filteri (fun i _ -> i < t.max_deltas) t.rev_deltas;
+    t.truncations <- t.truncations + dropped;
+    Obs.Metrics.add m_truncations dropped
+  end
+
+let deltas t = List.rev t.rev_deltas
+
+let since t ~serial =
+  match t.rev_deltas with
+  | { to_serial; _ } :: _ when Int32.equal to_serial serial -> Some []
+  | rev ->
+      (* Walk newest → oldest collecting deltas until one starts at
+         the requested serial; the collected list comes out oldest
+         first. A break in the serial chain (shouldn't happen — every
+         record starts where the previous ended) or running out of
+         journal means we cannot bridge the gap. *)
+      let rec collect acc expected_from = function
+        | [] -> None
+        | d :: rest ->
+            if not (Int32.equal d.to_serial expected_from) then None
+            else if Int32.equal d.from_serial serial then Some (d :: acc)
+            else collect (d :: acc) d.from_serial rest
+      in
+      (match rev with
+      | [] -> None
+      | newest :: _ -> collect [] newest.to_serial rev)
+
+let truncations t = t.truncations
+
+let change_count d = List.length d.changes
+
+let apply_changes db changes =
+  List.iter
+    (fun change ->
+      match change with
+      | Put rr -> Db.add db rr
+      | Del rr -> Db.remove_rr db rr.Rr.name rr.Rr.rdata)
+    changes

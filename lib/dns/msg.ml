@@ -1,4 +1,4 @@
-type opcode = Query | Update
+type opcode = Query | Notify | Update
 
 type rcode =
   | No_error
@@ -37,10 +37,11 @@ exception Bad_message of string
 
 let fail fmt = Format.kasprintf (fun s -> raise (Bad_message s)) fmt
 
-let opcode_code = function Query -> 0 | Update -> 5
+let opcode_code = function Query -> 0 | Notify -> 4 | Update -> 5
 
 let opcode_of_code = function
   | 0 -> Query
+  | 4 -> Notify
   | 5 -> Update
   | n -> fail "unsupported opcode %d" n
 
@@ -105,6 +106,28 @@ let response ?(rcode = No_error) ?(authoritative = true) ?(truncated = false) ~r
     rcode;
     questions = request.questions;
     answers;
+  }
+
+(* RFC 1996 NOTIFY: question names the zone, answer carries the new
+   SOA so the receiver can skip the serial probe. *)
+let notify ~id ~zone soa_rr =
+  {
+    empty with
+    id;
+    opcode = Notify;
+    authoritative = true;
+    questions = [ { qname = zone; qtype = Rr.T_soa } ];
+    answers = [ soa_rr ];
+  }
+
+let notify_ack ~request =
+  {
+    empty with
+    id = request.id;
+    is_response = true;
+    opcode = Notify;
+    authoritative = true;
+    questions = request.questions;
   }
 
 let update_request ~id ~zone updates =
@@ -236,7 +259,7 @@ let decode_rdata rtype rd : Rr.rdata =
       let rec go acc = if R.at_end rd then List.rev acc else go (decode_char_string rd :: acc) in
       Txt (go [])
   | T_unspec -> Unspec (R.bytes rd (R.remaining rd))
-  | T_axfr | T_any -> fail "query-only type in record"
+  | T_ixfr | T_axfr | T_any -> fail "query-only type in record"
 
 (* A record on the wire: name, type, class, ttl, rdlength, rdata.
    Rdata is built in a sub-buffer whose compression offsets are
@@ -325,7 +348,9 @@ let encode ?(compress = true) t =
   in
   W.u16 wr flags;
   let section3_count =
-    match t.opcode with Update -> List.length t.updates | Query -> List.length t.authority
+    match t.opcode with
+    | Update -> List.length t.updates
+    | Query | Notify -> List.length t.authority
   in
   W.u16 wr (List.length t.questions);
   W.u16 wr (List.length t.answers);
@@ -340,7 +365,7 @@ let encode ?(compress = true) t =
   List.iter (encode_rr ?ctx wr) t.answers;
   (match t.opcode with
   | Update -> List.iter (encode_update_op ?ctx wr) t.updates
-  | Query -> List.iter (encode_rr ?ctx wr) t.authority);
+  | Query | Notify -> List.iter (encode_rr ?ctx wr) t.authority);
   List.iter (encode_rr ?ctx wr) t.additional;
   W.contents wr
 
@@ -377,7 +402,7 @@ let decode s =
     let updates, authority =
       match opcode with
       | Update -> (times nscount (fun () -> decode_update_op rd), [])
-      | Query -> ([], times nscount (fun () -> decode_rr rd))
+      | Query | Notify -> ([], times nscount (fun () -> decode_rr rd))
     in
     let additional = times arcount (fun () -> decode_rr rd) in
     {
@@ -405,7 +430,7 @@ let truncate_for_udp t =
 
 let pp ppf t =
   Format.fprintf ppf "%s id=%d %s%s q=[%s] an=%d ns=%d ar=%d"
-    (match t.opcode with Query -> "QUERY" | Update -> "UPDATE")
+    (match t.opcode with Query -> "QUERY" | Notify -> "NOTIFY" | Update -> "UPDATE")
     t.id
     (if t.is_response then "resp " else "req ")
     (rcode_to_string t.rcode)
@@ -414,5 +439,7 @@ let pp ppf t =
           (fun q -> Printf.sprintf "%s:%s" (Name.to_string q.qname) (Rr.rtype_name q.qtype))
           t.questions))
     (List.length t.answers)
-    (match t.opcode with Update -> List.length t.updates | Query -> List.length t.authority)
+    (match t.opcode with
+    | Update -> List.length t.updates
+    | Query | Notify -> List.length t.authority)
     (List.length t.additional)

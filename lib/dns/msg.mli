@@ -6,7 +6,7 @@
     compression (suffix pointers), plus the RFC 2136-style
     dynamic-update sections of the modified BIND. *)
 
-type opcode = Query | Update
+type opcode = Query | Notify | Update
 
 type rcode =
   | No_error
@@ -50,6 +50,14 @@ val response :
   ?rcode:rcode -> ?authoritative:bool -> ?truncated:bool -> request:t -> Rr.t list -> t
 
 val update_request : id:int -> zone:Name.t -> update_op list -> t
+
+(** [notify ~id ~zone soa_rr] — an RFC 1996 NOTIFY request: the
+    question names the zone, the answer section carries the primary's
+    current SOA so receivers learn the new serial without a probe. *)
+val notify : id:int -> zone:Name.t -> Rr.t -> t
+
+(** The empty positive response acknowledging a NOTIFY. *)
+val notify_ack : request:t -> t
 
 (** An empty response suited to acknowledging an update. *)
 val update_ack : ?rcode:rcode -> request:t -> unit -> t

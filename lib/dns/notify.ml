@@ -1,0 +1,30 @@
+let m_sent = Obs.Metrics.counter "dns.notify.sent"
+let m_acked = Obs.Metrics.counter "dns.notify.acked"
+let m_failed = Obs.Metrics.counter "dns.notify.failed"
+let m_ack_ms = Obs.Metrics.histogram "dns.notify.ack_ms"
+
+let id_counter = ref 0x7000
+
+let push stack ~zone targets =
+  List.iter
+    (fun target ->
+      incr id_counter;
+      let id = !id_counter in
+      (* One fiber per target so a slow or dead receiver never blocks
+         the update path; receivers that miss the push catch up on
+         their next SOA poll. *)
+      try
+        Sim.Engine.spawn_child ~name:"bind-notify" (fun () ->
+            let msg = Msg.notify ~id ~zone:(Zone.origin zone) (Zone.soa_rr zone) in
+            Obs.Metrics.incr m_sent;
+            let started = Sim.Engine.time () in
+            match
+              Rpc.Rawrpc.call stack ~dst:target ~timeout:500.0 ~attempts:2
+                (Msg.encode msg)
+            with
+            | Ok _ ->
+                Obs.Metrics.incr m_acked;
+                Obs.Metrics.observe m_ack_ms (Sim.Engine.time () -. started)
+            | Error _ -> Obs.Metrics.incr m_failed)
+      with Effect.Unhandled _ -> ())
+    targets

@@ -1,0 +1,18 @@
+(** NOTIFY push (RFC 1996 discipline).
+
+    When the modified BIND's zone serial advances it pushes a NOTIFY
+    carrying the new SOA to every registered secondary / subscriber,
+    making propagation push-triggered instead of bounded by the
+    receivers' refresh intervals. Delivery is best-effort over UDP
+    with a couple of retransmissions; a lost NOTIFY costs only
+    latency — receivers keep their SOA-poll loops as the backstop, so
+    chaos-dropped notifies degrade to polling, never divergence. *)
+
+(** [push stack ~zone targets] — fire-and-forget: spawns one fiber
+    per target, each sending a NOTIFY with [zone]'s current SOA and
+    waiting briefly for the ack. Counts [dns.notify.sent] /
+    [dns.notify.acked] / [dns.notify.failed] and observes the
+    round-trip on [dns.notify.ack_ms]. Outside the simulation this is
+    a no-op (there is no network to push on). *)
+val push :
+  Transport.Netstack.stack -> zone:Zone.t -> Transport.Address.t list -> unit

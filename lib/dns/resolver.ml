@@ -167,7 +167,13 @@ let rec iterate t ~depth servers name rtype =
               match reply.Msg.rcode with
               | Msg.Nx_domain -> Error Nxdomain
               | Msg.No_error when reply.Msg.answers <> [] -> Ok reply.Msg.answers
-              | Msg.No_error when reply.Msg.authority <> [] ->
+              | Msg.No_error
+                when List.exists
+                       (fun (rr : Rr.t) ->
+                         match rr.rdata with Rr.Ns _ -> true | _ -> false)
+                       reply.Msg.authority ->
+                  (* NS records in authority: a referral. An SOA there
+                     is RFC 2308 negative-TTL info, not a referral. *)
                   follow_referral t ~depth reply name rtype
               | Msg.No_error -> Error No_data
               | rc -> try_servers (Server_error rc) rest))

@@ -29,6 +29,7 @@ type rtype =
   | T_mx
   | T_txt
   | T_unspec
+  | T_ixfr
   | T_axfr
   | T_any
 
@@ -46,6 +47,7 @@ let rtype_code = function
   | T_mx -> 15
   | T_txt -> 16
   | T_unspec -> 103
+  | T_ixfr -> 251
   | T_axfr -> 252
   | T_any -> 255
 
@@ -59,6 +61,7 @@ let rtype_of_code = function
   | 15 -> Some T_mx
   | 16 -> Some T_txt
   | 103 -> Some T_unspec
+  | 251 -> Some T_ixfr
   | 252 -> Some T_axfr
   | 255 -> Some T_any
   | _ -> None
@@ -73,6 +76,7 @@ let rtype_name = function
   | T_mx -> "MX"
   | T_txt -> "TXT"
   | T_unspec -> "UNSPEC"
+  | T_ixfr -> "IXFR"
   | T_axfr -> "AXFR"
   | T_any -> "ANY"
 
@@ -96,7 +100,10 @@ let rdata_type = function
   | Unspec _ -> T_unspec
 
 let matches ~qtype rtype =
-  match qtype with T_any -> true | T_axfr -> false | q -> q = rtype
+  match qtype with
+  | T_any -> true
+  | T_axfr | T_ixfr -> false
+  | q -> q = rtype
 
 let make ?(ttl = 3600l) ?(rclass = C_in) name rdata = { name; ttl; rclass; rdata }
 

@@ -37,6 +37,7 @@ type rtype =
   | T_mx
   | T_txt
   | T_unspec
+  | T_ixfr  (** query-only (RFC 1995 incremental transfer) *)
   | T_axfr  (** query-only *)
   | T_any   (** query-only *)
 

@@ -1,14 +1,26 @@
+type mode = Axfr | Ixfr
+
 type t = {
   server : Server.t;
   primary : Transport.Address.t;
   zone_name : Name.t;
+  mode : mode;
   refresh_ms : float;
   zone : Zone.t; (* our replica, registered with [server] *)
   mutable running : bool;
-  mutable transfer_count : int;
+  mutable transfer_count : int; (* refreshes that moved the replica, full or delta *)
+  mutable full_count : int;
+  mutable ixfr_count : int;
+  mutable delta_records : int;
+  mutable notify_kicks : int;
   mutable fresh_count : int;
   mutable next_id : int;
 }
+
+let m_ixfr_applied = Obs.Metrics.counter "dns.secondary.ixfr_applied"
+let m_full_transfers = Obs.Metrics.counter "dns.secondary.full_transfers"
+let m_delta_records = Obs.Metrics.counter "dns.secondary.delta_records"
+let m_notify_kicks = Obs.Metrics.counter "dns.secondary.notify_kicks"
 
 let split_transfer zone_name records =
   match records with
@@ -27,7 +39,26 @@ let adopt t (soa, data) =
   Db.clear db;
   List.iter (Db.add db) data;
   Zone.set_soa t.zone soa;
-  t.transfer_count <- t.transfer_count + 1
+  t.transfer_count <- t.transfer_count + 1;
+  t.full_count <- t.full_count + 1;
+  Obs.Metrics.incr m_full_transfers
+
+(* Advance the replica by journal deltas instead of re-transferring. *)
+let apply_deltas t (soa : Rr.soa) changes =
+  Zone.apply_delta t.zone
+    {
+      Journal.from_serial = Zone.serial t.zone;
+      to_serial = soa.Rr.serial;
+      changes;
+    };
+  (* The incremental payload carries only the serial transition; adopt
+     the rest of the pushed SOA (refresh/expire may have changed). *)
+  Zone.set_soa t.zone soa;
+  t.transfer_count <- t.transfer_count + 1;
+  t.ixfr_count <- t.ixfr_count + 1;
+  t.delta_records <- t.delta_records + List.length changes;
+  Obs.Metrics.incr m_ixfr_applied;
+  Obs.Metrics.add m_delta_records (List.length changes)
 
 (* Probe the primary's serial with a plain SOA query. *)
 let primary_serial t =
@@ -44,27 +75,47 @@ let primary_serial t =
               match rr.rdata with Rr.Soa soa -> Some soa.Rr.serial | _ -> None)
             reply.answers)
 
+let pull t =
+  match t.mode with
+  | Axfr -> (
+      match fetch t with
+      | Ok transfer -> adopt t transfer
+      | Error _ -> () (* transient failure; retry next cycle *))
+  | Ixfr -> (
+      match
+        Ixfr.fetch (Server.stack t.server) ~server:t.primary ~zone:t.zone_name
+          ~serial:(Zone.serial t.zone)
+      with
+      | Ok (Ixfr.Unchanged _) -> t.fresh_count <- t.fresh_count + 1
+      | Ok (Ixfr.Deltas (soa, changes)) -> apply_deltas t soa changes
+      | Ok (Ixfr.Full records) -> (
+          match split_transfer t.zone_name records with
+          | Ok transfer -> adopt t transfer
+          | Error _ -> ())
+      | Error _ -> () (* transient failure; retry next cycle *))
+
 let refresh_once t =
   match primary_serial t with
   | None -> () (* primary unreachable: keep serving the last copy *)
   | Some serial ->
-      if Int32.compare serial (Zone.serial t.zone) > 0 then begin
-        match fetch t with
-        | Ok transfer -> adopt t transfer
-        | Error _ -> () (* transient failure; retry next cycle *)
-      end
+      if Int32.compare serial (Zone.serial t.zone) > 0 then pull t
       else t.fresh_count <- t.fresh_count + 1
 
-let attach server ~primary ~zone ?refresh_ms () =
+let attach server ~primary ~zone ?refresh_ms ?(mode = Ixfr) () =
   let t =
     {
       server;
       primary;
       zone_name = zone;
+      mode;
       refresh_ms = 0.0;
       zone = Zone.simple ~origin:zone [];
       running = true;
       transfer_count = 0;
+      full_count = 0;
+      ixfr_count = 0;
+      delta_records = 0;
+      notify_kicks = 0;
       fresh_count = 0;
       next_id = 0x5A00;
     }
@@ -79,6 +130,26 @@ let attach server ~primary ~zone ?refresh_ms () =
   in
   let t = { t with refresh_ms } in
   Server.add_zone server t.zone;
+  (* Push-triggered refresh: a NOTIFY for our zone pulls immediately
+     instead of waiting out the poll interval. The poll loop below
+     stays as the backstop, so a lost NOTIFY only costs latency. *)
+  Server.add_notify_handler server (fun ~zone:zname ~serial ->
+      if t.running && Name.equal zname t.zone_name then begin
+        let stale =
+          match serial with
+          | Some s -> Int32.compare s (Zone.serial t.zone) > 0
+          | None -> true
+        in
+        if stale then begin
+          t.notify_kicks <- t.notify_kicks + 1;
+          Obs.Metrics.incr m_notify_kicks;
+          try
+            Sim.Engine.spawn_child
+              ~name:(Printf.sprintf "secondary-notify:%s" (Name.to_string zone))
+              (fun () -> if t.running then pull t)
+          with Effect.Unhandled _ -> ()
+        end
+      end);
   Sim.Engine.spawn_child
     ~name:(Printf.sprintf "secondary:%s" (Name.to_string zone))
     (fun () ->
@@ -90,5 +161,9 @@ let attach server ~primary ~zone ?refresh_ms () =
 
 let serial t = Zone.serial t.zone
 let transfers t = t.transfer_count
+let full_transfers t = t.full_count
+let ixfr_applied t = t.ixfr_count
+let delta_records t = t.delta_records
+let notify_kicks t = t.notify_kicks
 let fresh_checks t = t.fresh_count
 let detach t = t.running <- false

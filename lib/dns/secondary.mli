@@ -9,27 +9,53 @@
 
     [attach] adds a secondary copy of a zone to an existing (usually
     otherwise-empty) {!Server} and returns a handle; the refresh
-    process runs as a simulated process until {!detach}. *)
+    process runs as a simulated process until {!detach}.
+
+    With the change-propagation subsystem the poll is a backstop: the
+    secondary reacts to NOTIFY pushes from the primary (when the
+    deployment registered it with {!Server.register_notify}) and, in
+    the default [Ixfr] mode, catches up by replaying journal deltas
+    instead of re-transferring the zone — falling back to a full
+    transfer transparently when the primary's journal has been
+    truncated past our serial. *)
 
 type t
 
+(** How the secondary refreshes once the serial has advanced. *)
+type mode = Axfr  (** full re-transfer, 1987 stock behaviour *) | Ixfr
+
 (** [attach server ~primary ~zone ()] — fetches the initial copy
-    synchronously (must run inside a simulated process), then polls.
-    [refresh_ms] overrides the zone's own SOA refresh interval.
-    Raises [Failure] if the initial transfer fails. *)
+    synchronously (must run inside a simulated process), then polls
+    and listens for NOTIFY. [refresh_ms] overrides the zone's own SOA
+    refresh interval; [mode] defaults to [Ixfr]. Raises [Failure] if
+    the initial transfer fails. *)
 val attach :
   Server.t ->
   primary:Transport.Address.t ->
   zone:Name.t ->
   ?refresh_ms:float ->
+  ?mode:mode ->
   unit ->
   t
 
 (** The local replica's serial. *)
 val serial : t -> int32
 
-(** Completed transfers (1 after attach). *)
+(** Refreshes that moved the replica, full or incremental (1 after
+    attach). *)
 val transfers : t -> int
+
+(** Full zone transfers (AXFR payloads adopted). *)
+val full_transfers : t -> int
+
+(** Incremental refreshes applied from journal deltas. *)
+val ixfr_applied : t -> int
+
+(** Total record changes received over all incremental refreshes. *)
+val delta_records : t -> int
+
+(** NOTIFY pushes that triggered an immediate pull. *)
+val notify_kicks : t -> int
 
 (** Serial probes that found the replica current. *)
 val fresh_checks : t -> int

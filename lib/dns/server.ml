@@ -14,6 +14,8 @@ type t = {
   mutable queries : int;
   mutable updates : int;
   mutable synthesizer : (Msg.question -> Rr.t list option) option;
+  mutable notify_targets : Address.t list;
+  mutable on_notify : (zone:Name.t -> serial:int32 option -> unit) list;
 }
 
 let create stack ?(port = Address.Well_known.dns) ?(service_overhead_ms = 0.0)
@@ -32,6 +34,8 @@ let create stack ?(port = Address.Well_known.dns) ?(service_overhead_ms = 0.0)
     queries = 0;
     updates = 0;
     synthesizer = None;
+    notify_targets = [];
+    on_notify = [];
   }
 
 let addr t = Address.make (Netstack.ip t.stack) t.port
@@ -89,6 +93,19 @@ let find_delegation zone db qname =
 
 let set_synthesizer t f = t.synthesizer <- Some f
 let clear_synthesizer t = t.synthesizer <- None
+
+(* NOTIFY subscriptions: the primary is configured with its
+   secondaries / subscribers (BIND's also-notify), and pushes the new
+   SOA to each on every serial advance. *)
+let register_notify t addr =
+  if not (List.mem addr t.notify_targets) then
+    t.notify_targets <- addr :: t.notify_targets
+
+let unregister_notify t addr =
+  t.notify_targets <- List.filter (fun a -> a <> addr) t.notify_targets
+
+let notify_targets t = t.notify_targets
+let add_notify_handler t f = t.on_notify <- t.on_notify @ [ f ]
 
 (* Answer one question, following CNAME chains inside our own data and
    emitting referrals at zone cuts. *)
@@ -158,21 +175,51 @@ let apply_update t (request : Msg.t) =
             in
             if not ok then Msg.Not_zone
             else begin
+              (* Apply each op while recording the concrete records it
+                 put or deleted: deletions are resolved against the
+                 database state at that point in the sequence, so the
+                 journal entry replays to exactly this transition. *)
+              let rev_changes = ref [] in
+              let note c = rev_changes := c :: !rev_changes in
               List.iter
                 (fun op ->
                   match (op : Msg.update_op) with
-                  | Msg.Add rr -> Db.add db rr
-                  | Msg.Delete_rrset (n, ty) -> Db.remove_rrset db n ty
-                  | Msg.Delete_rr (n, rdata) -> Db.remove_rr db n rdata
-                  | Msg.Delete_name n -> Db.remove_name db n)
+                  | Msg.Add rr ->
+                      Db.add db rr;
+                      note (Journal.Put rr)
+                  | Msg.Delete_rrset (n, ty) ->
+                      List.iter (fun rr -> note (Journal.Del rr)) (Db.lookup db n ty);
+                      Db.remove_rrset db n ty
+                  | Msg.Delete_rr (n, rdata) ->
+                      List.iter
+                        (fun (rr : Rr.t) ->
+                          if Rr.equal_rdata rr.rdata rdata then note (Journal.Del rr))
+                        (Db.lookup db n (Rr.rdata_type rdata));
+                      Db.remove_rr db n rdata
+                  | Msg.Delete_name n ->
+                      List.iter (fun rr -> note (Journal.Del rr)) (Db.lookup db n Rr.T_any);
+                      Db.remove_name db n)
                 request.updates;
+              let from_serial = Zone.serial zone in
               Zone.bump_serial zone;
+              Journal.record (Zone.journal zone) ~from_serial
+                ~to_serial:(Zone.serial zone)
+                (List.rev !rev_changes);
               t.updates <- t.updates + 1;
+              (* Push-triggered propagation: tell every registered
+                 secondary / subscriber the serial moved. *)
+              Notify.push t.stack ~zone t.notify_targets;
               Msg.No_error
             end
           end
       | Some _ | None -> Msg.Not_zone)
   | _ -> Msg.Form_err
+
+(* RFC 2308: negative (and no-data) responses carry the zone's SOA in
+   the authority section so resolvers can derive the negative-cache
+   TTL from the SOA minimum instead of a local constant. *)
+let negative_authority t qname =
+  match find_zone t qname with Some zone -> [ Zone.soa_rr zone ] | None -> []
 
 let handle ?src t (request : Msg.t) : Msg.t =
   match request.opcode with
@@ -183,11 +230,28 @@ let handle ?src t (request : Msg.t) : Msg.t =
         | Some _ | None -> apply_update t request
       in
       Msg.update_ack ~rcode ~request ()
+  | Msg.Notify ->
+      (match request.questions with
+      | [ { qname; _ } ] ->
+          let serial =
+            List.find_map
+              (fun (rr : Rr.t) ->
+                match rr.rdata with Rr.Soa s -> Some s.Rr.serial | _ -> None)
+              request.answers
+          in
+          List.iter (fun f -> f ~zone:qname ~serial) t.on_notify
+      | _ -> ());
+      Msg.notify_ack ~request
   | Msg.Query -> (
       t.queries <- t.queries + 1;
       match request.questions with
       | [ q ] -> (
           match answer_question t q with
+          | Answers [] ->
+              {
+                (Msg.response ~request []) with
+                Msg.authority = negative_authority t q.qname;
+              }
           | Answers answers -> Msg.response ~request answers
           | Referral (ns_rrs, glue) ->
               {
@@ -195,7 +259,11 @@ let handle ?src t (request : Msg.t) : Msg.t =
                 Msg.authority = ns_rrs;
                 additional = glue;
               }
-          | Negative rcode -> Msg.response ~rcode ~request [])
+          | Negative rcode ->
+              {
+                (Msg.response ~rcode ~request []) with
+                Msg.authority = negative_authority t q.qname;
+              })
       | _ -> Msg.response ~rcode:Msg.Form_err ~request [])
 
 let marshal_cost t n_answers = t.per_answer_ms *. float_of_int n_answers
@@ -239,6 +307,28 @@ let start t =
                         match find_zone t qname with
                         | Some zone when Name.equal (Zone.origin zone) qname ->
                             let records = Zone.axfr_records zone in
+                            let cost = marshal_cost t (List.length records) in
+                            if cost > 0.0 then Sim.Engine.sleep cost;
+                            Tcp.send conn
+                              (Msg.encode (Msg.response ~request records))
+                        | Some _ | None ->
+                            Tcp.send conn
+                              (Msg.encode (Msg.response ~rcode:Msg.Refused ~request [])))
+                    | [ { qname; qtype = Rr.T_ixfr } ] -> (
+                        match find_zone t qname with
+                        | Some zone when Name.equal (Zone.origin zone) qname ->
+                            (* A request without a parseable serial can
+                               never match the journal chain and falls
+                               back to the full payload below. *)
+                            let serial =
+                              Option.value ~default:(-1l)
+                                (Ixfr.request_serial request)
+                            in
+                            let records =
+                              match Ixfr.answers_for_zone zone ~serial with
+                              | `Answers a -> a
+                              | `Fallback -> Zone.axfr_records zone
+                            in
                             let cost = marshal_cost t (List.length records) in
                             if cost > 0.0 then Sim.Engine.sleep cost;
                             Tcp.send conn

@@ -47,6 +47,27 @@ val set_synthesizer : t -> (Msg.question -> Rr.t list option) -> unit
 
 val clear_synthesizer : t -> unit
 
+(** {1 NOTIFY push}
+
+    The modified BIND pushes an RFC 1996-style NOTIFY to each
+    registered target whenever a dynamic update advances a zone
+    serial, so secondaries and subscribed caches refresh immediately
+    instead of waiting out their poll interval. Registration models
+    BIND's [also-notify] configuration: whoever wires the deployment
+    together registers the receivers. *)
+
+val register_notify : t -> Transport.Address.t -> unit
+val unregister_notify : t -> Transport.Address.t -> unit
+val notify_targets : t -> Transport.Address.t list
+
+(** Called when {e this} server receives a NOTIFY (it is a secondary
+    or subscriber). [serial] is the new serial from the pushed SOA
+    when present. Handlers accumulate (one per attached secondary)
+    and run on the server's service fiber — spawn if the reaction
+    does real work. *)
+val add_notify_handler :
+  t -> (zone:Name.t -> serial:int32 option -> unit) -> unit
+
 (** Spawn the UDP query loop and the TCP transfer loop. *)
 val start : t -> unit
 

@@ -1,8 +1,13 @@
-type t = { origin : Name.t; mutable soa : Rr.soa; db : Db.t }
+type t = {
+  origin : Name.t;
+  mutable soa : Rr.soa;
+  db : Db.t;
+  journal : Journal.t;
+}
 
 let in_zone_name origin name = Name.is_subdomain ~of_:origin name
 
-let create ~origin ~soa records =
+let create ?journal_deltas ~origin ~soa records =
   let db = Db.create () in
   List.iter
     (fun (rr : Rr.t) ->
@@ -12,9 +17,9 @@ let create ~origin ~soa records =
              (Name.to_string rr.name) (Name.to_string origin));
       Db.add db rr)
     records;
-  { origin; soa; db }
+  { origin; soa; db; journal = Journal.create ?max_deltas:journal_deltas () }
 
-let simple ~origin records =
+let simple ?journal_deltas ~origin records =
   let soa =
     {
       Rr.mname = Name.prepend "ns" origin;
@@ -26,11 +31,12 @@ let simple ~origin records =
       minimum = 3600l;
     }
   in
-  create ~origin ~soa records
+  create ?journal_deltas ~origin ~soa records
 
 let origin t = t.origin
 let soa t = t.soa
 let db t = t.db
+let journal t = t.journal
 let serial t = t.soa.Rr.serial
 let bump_serial t = t.soa <- { t.soa with Rr.serial = Int32.add t.soa.Rr.serial 1l }
 let set_soa t soa = t.soa <- soa
@@ -40,3 +46,14 @@ let soa_rr t = Rr.make ~ttl:t.soa.Rr.minimum t.origin (Rr.Soa t.soa)
 
 let axfr_records t = soa_rr t :: Db.all t.db
 let count t = 1 + Db.count t.db
+
+let apply_delta t (d : Journal.delta) =
+  if not (Int32.equal d.Journal.from_serial t.soa.Rr.serial) then
+    invalid_arg
+      (Printf.sprintf "Zone.apply_delta: delta starts at %ld, zone is at %ld"
+         d.Journal.from_serial t.soa.Rr.serial);
+  Journal.apply_changes t.db d.Journal.changes;
+  t.soa <- { t.soa with Rr.serial = d.Journal.to_serial };
+  (* Re-journal the delta so a replica can itself serve IXFR. *)
+  Journal.record t.journal ~from_serial:d.Journal.from_serial
+    ~to_serial:d.Journal.to_serial d.Journal.changes

@@ -7,15 +7,21 @@ type t
 
 (** [create ~origin ~soa records]. Every record must lie within the
     zone (raises [Invalid_argument] otherwise). An SOA record at the
-    origin is synthesized from [soa]. *)
-val create : origin:Name.t -> soa:Rr.soa -> Rr.t list -> t
+    origin is synthesized from [soa]. [journal_deltas] bounds the
+    zone's change journal (see {!Journal.create}). *)
+val create : ?journal_deltas:int -> origin:Name.t -> soa:Rr.soa -> Rr.t list -> t
 
 (** A zone with a boilerplate SOA, for tests and simple setups. *)
-val simple : origin:Name.t -> Rr.t list -> t
+val simple : ?journal_deltas:int -> origin:Name.t -> Rr.t list -> t
 
 val origin : t -> Name.t
 val soa : t -> Rr.soa
 val db : t -> Db.t
+
+(** The zone's change journal, appended to by the dynamic-update path
+    and read by the IXFR server. *)
+val journal : t -> Journal.t
+
 val serial : t -> int32
 
 (** Called after every dynamic update. *)
@@ -26,8 +32,18 @@ val set_soa : t -> Rr.soa -> unit
 
 val in_zone : t -> Name.t -> bool
 
+(** The zone's SOA as a resource record at the origin. *)
+val soa_rr : t -> Rr.t
+
 (** Records for a zone transfer: SOA first, then all data records. *)
 val axfr_records : t -> Rr.t list
 
 (** Total record count including the SOA. *)
 val count : t -> int
+
+(** Apply one journal delta to this zone (a replica catching up):
+    replays the changes in order, adopts the delta's [to_serial], and
+    re-journals the delta so the replica can serve IXFR onwards.
+    Raises [Invalid_argument] when the delta does not start at the
+    zone's current serial. *)
+val apply_delta : t -> Journal.delta -> unit

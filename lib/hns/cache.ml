@@ -5,7 +5,12 @@ type stored =
   | Value_form of Wire.Value.t
   | Negative_form  (* a cached "no such record" answer *)
 
-type entry = { stored : stored; expires_at : float; mutable last_used : int }
+type entry = {
+  stored : stored;
+  expires_at : float;
+  mutable last_used : int;
+  pinned : bool; (* preload-sourced: exempt from LRU eviction *)
+}
 
 type t = {
   mode : mode;
@@ -24,6 +29,9 @@ type t = {
   mutable neg_hit_count : int;
   mutable lru_eviction_count : int;
   mutable preloaded_count : int;
+  mutable pinned_count : int;
+  mutable preload_skipped_count : int;
+  mutable invalidation_count : int;
 }
 
 (* The canonical storage representation for marshalled entries. *)
@@ -53,6 +61,8 @@ let m_stale_served = Obs.Metrics.counter "hns.cache.stale_served"
 let m_neg_hits = Obs.Metrics.counter "hns.cache.neg_hits"
 let m_lru_evictions = Obs.Metrics.counter "hns.cache.evictions"
 let m_preloaded = Obs.Metrics.counter "hns.cache.preloaded"
+let m_preload_skipped = Obs.Metrics.counter "hns.cache.preload_skipped"
+let m_invalidations = Obs.Metrics.counter "hns.cache.invalidations"
 
 let metrics_of = function
   | Marshalled -> marshalled_metrics
@@ -82,6 +92,9 @@ let create ~mode
     neg_hit_count = 0;
     lru_eviction_count = 0;
     preloaded_count = 0;
+    pinned_count = 0;
+    preload_skipped_count = 0;
+    invalidation_count = 0;
   }
 
 let mode t = t.mode
@@ -101,6 +114,16 @@ let touch t entry =
   t.tick <- t.tick + 1;
   entry.last_used <- t.tick
 
+(* Every removal goes through here so the pinned-entry accounting
+   stays exact. *)
+let remove_key t key =
+  match Hashtbl.find_opt t.tbl key with
+  | None -> false
+  | Some e ->
+      Hashtbl.remove t.tbl key;
+      if e.pinned then t.pinned_count <- t.pinned_count - 1;
+      true
+
 (* Decode an entry's stored form, charging the mode-dependent hit cost.
    [None] means the entry was undecodable and has been evicted. *)
 let decode_stored t ~key ~ty stored =
@@ -117,7 +140,7 @@ let decode_stored t ~key ~ty stored =
       charge t.hit_overhead_ms;
       match Wire.Generic_marshal.unmarshal storage_rep ty bytes with
       | exception _ ->
-          Hashtbl.remove t.tbl key;
+          ignore (remove_key t key);
           Obs.Metrics.incr (metrics_of t.mode).m_evictions;
           None
       | v ->
@@ -144,7 +167,7 @@ let find_outcome t ~key ~ty =
       if entry.stored = Negative_form
          || now () > entry.expires_at +. t.staleness_budget_ms
       then begin
-        Hashtbl.remove t.tbl key;
+        ignore (remove_key t key);
         Obs.Metrics.incr m.m_evictions
       end;
       miss ()
@@ -206,42 +229,57 @@ let find_stale t ~key ~ty =
 
 (* Capacity bound: before adding a NEW key to a full cache, evict the
    least-recently-used entry (an O(n) scan; the bound exists to cap
-   memory under large preloads, not to be a hot path). *)
+   memory under large preloads, not to be a hot path). Preload-pinned
+   entries are skipped, so demand traffic churning through a bounded
+   cache cannot wash out the zone snapshot a preload just paid a
+   transfer for; only when every entry is pinned does the scan fall
+   back to evicting among them. *)
 let evict_lru_if_full t ~key =
   match t.max_entries with
   | Some max
     when Hashtbl.length t.tbl >= max && not (Hashtbl.mem t.tbl key) -> (
-      let victim =
+      let pick_lru ~respect_pin =
         Hashtbl.fold
           (fun k e acc ->
-            match acc with
-            | Some (_, best) when best.last_used <= e.last_used -> acc
-            | _ -> Some (k, e))
+            if respect_pin && e.pinned then acc
+            else
+              match acc with
+              | Some (_, best) when best.last_used <= e.last_used -> acc
+              | _ -> Some (k, e))
           t.tbl None
+      in
+      let victim =
+        match pick_lru ~respect_pin:true with
+        | Some _ as v -> v
+        | None -> pick_lru ~respect_pin:false
       in
       match victim with
       | None -> ()
       | Some (k, _) ->
-          Hashtbl.remove t.tbl k;
+          ignore (remove_key t k);
           t.lru_eviction_count <- t.lru_eviction_count + 1;
           Obs.Metrics.incr m_lru_evictions)
   | _ -> ()
 
-let insert_stored t ~key ~ttl_ms stored =
+let insert_stored t ~key ~ttl_ms ?(pinned = false) stored =
   let ttl = match ttl_ms with Some ms -> ms | None -> t.default_ttl_ms in
   evict_lru_if_full t ~key;
+  (match Hashtbl.find_opt t.tbl key with
+  | Some old when old.pinned -> t.pinned_count <- t.pinned_count - 1
+  | _ -> ());
+  if pinned then t.pinned_count <- t.pinned_count + 1;
   t.tick <- t.tick + 1;
   Hashtbl.replace t.tbl key
-    { stored; expires_at = now () +. ttl; last_used = t.tick }
+    { stored; expires_at = now () +. ttl; last_used = t.tick; pinned }
+
+let stored_of t ~ty v =
+  match t.mode with
+  | Demarshalled -> Value_form v
+  | Marshalled -> Bytes_form (Wire.Generic_marshal.marshal storage_rep ty v)
 
 let insert t ~key ~ty ?ttl_ms v =
-  let stored =
-    match t.mode with
-    | Demarshalled -> Value_form v
-    | Marshalled -> Bytes_form (Wire.Generic_marshal.marshal storage_rep ty v)
-  in
   charge t.insert_overhead_ms;
-  insert_stored t ~key ~ttl_ms stored
+  insert_stored t ~key ~ttl_ms (stored_of t ~ty v)
 
 (* A later successful [insert] at the same key overrides the negative
    entry (Hashtbl.replace above), so negatives cannot poison. *)
@@ -249,19 +287,58 @@ let insert_negative t ~key ~ttl_ms =
   charge t.insert_overhead_ms;
   insert_stored t ~key ~ttl_ms:(Some ttl_ms) Negative_form
 
-(* Bulk seeding (AXFR preload): ordinary inserts, counted separately so
-   the panel can tell preloaded entries from demand-filled ones. *)
+(* Drop one entry (change propagation: the record was deleted at the
+   source). Returns whether anything was cached under the key. *)
+let remove t ~key =
+  let removed = remove_key t key in
+  if removed then begin
+    t.invalidation_count <- t.invalidation_count + 1;
+    Obs.Metrics.incr m_invalidations
+  end;
+  removed
+
+(* Preload admission quota: in a bounded cache, pinned (preloaded)
+   entries may occupy at most 3/4 of the capacity, reserving the rest
+   for demand traffic. A preload larger than the quota keeps the
+   first [quota] entries and skips the overflow — it never evicts
+   what it just inserted. *)
+let preload_quota t =
+  match t.max_entries with
+  | None -> Stdlib.max_int
+  | Some max -> Stdlib.max 1 (max * 3 / 4)
+
+(* Bulk seeding (AXFR preload / IXFR delta refresh): pinned inserts,
+   counted separately so the panel can tell preloaded entries from
+   demand-filled ones. *)
 let preload t entries =
+  let quota = preload_quota t in
+  let inserted = ref 0 and skipped = ref 0 in
   List.iter
-    (fun (key, ty, ttl_ms, v) -> insert t ~key ~ty ~ttl_ms v)
+    (fun (key, ty, ttl_ms, v) ->
+      let already_pinned =
+        match Hashtbl.find_opt t.tbl key with
+        | Some e -> e.pinned
+        | None -> false
+      in
+      if already_pinned || t.pinned_count < quota then begin
+        charge t.insert_overhead_ms;
+        insert_stored t ~key ~ttl_ms:(Some ttl_ms) ~pinned:true
+          (stored_of t ~ty v);
+        incr inserted
+      end
+      else incr skipped)
     entries;
-  let n = List.length entries in
-  t.preloaded_count <- t.preloaded_count + n;
-  Obs.Metrics.add m_preloaded n;
-  n
+  t.preloaded_count <- t.preloaded_count + !inserted;
+  Obs.Metrics.add m_preloaded !inserted;
+  if !skipped > 0 then begin
+    t.preload_skipped_count <- t.preload_skipped_count + !skipped;
+    Obs.Metrics.add m_preload_skipped !skipped
+  end;
+  !inserted
 
 let flush t =
   Hashtbl.reset t.tbl;
+  t.pinned_count <- 0;
   t.hit_count <- 0;
   t.miss_count <- 0;
   t.stale_count <- 0;
@@ -273,6 +350,9 @@ let stale_served t = t.stale_count
 let negative_hits t = t.neg_hit_count
 let lru_evictions t = t.lru_eviction_count
 let preloaded t = t.preloaded_count
+let preload_skipped t = t.preload_skipped_count
+let pinned t = t.pinned_count
+let invalidations t = t.invalidation_count
 let size t = Hashtbl.length t.tbl
 
 let stored_bytes t =

@@ -44,7 +44,15 @@
     into a full cache first evicts the least-recently-used entry
     (counted in [hns.cache.evictions]). The default is unbounded,
     matching the prototype's "whole meta zone fits in ~2KB" regime;
-    the bound matters once AXFR preloading pulls in entire zones. *)
+    the bound matters once AXFR preloading pulls in entire zones.
+
+    {b Preload-aware admission.} Entries seeded by {!preload} are
+    {e pinned}: the LRU scan passes over them, so demand churn in a
+    bounded cache cannot wash out a zone snapshot that cost a
+    transfer. In exchange preloads respect a quota — pinned entries
+    may hold at most 3/4 of [max_entries]; overflow rows are skipped
+    (counted in [hns.cache.preload_skipped]) rather than inserted
+    only to evict each other. *)
 
 type mode = Marshalled | Demarshalled
 
@@ -115,9 +123,17 @@ val insert : t -> key:string -> ty:Wire.Idl.ty -> ?ttl_ms:float -> Wire.Value.t 
     positive {!insert} at the same key overwrites it (no poisoning). *)
 val insert_negative : t -> key:string -> ttl_ms:float -> unit
 
+(** [remove t ~key] drops the entry cached under [key] — the
+    invalidation path of delta-driven refresh (the record was deleted
+    at the source). Returns whether anything was cached. Counted in
+    [hns.cache.invalidations]. *)
+val remove : t -> key:string -> bool
+
 (** [preload t entries] bulk-inserts [(key, ty, ttl_ms, value)] rows —
-    the AXFR seeding path — counting them in [hns.cache.preloaded].
-    Returns the number inserted. *)
+    the AXFR seeding and IXFR delta-refresh path — counting them in
+    [hns.cache.preloaded]. The rows are {e pinned} (exempt from LRU
+    eviction) up to the admission quota; overflow is skipped. Returns
+    the number inserted. *)
 val preload :
   t -> (string * Wire.Idl.ty * float * Wire.Value.t) list -> int
 
@@ -136,6 +152,15 @@ val lru_evictions : t -> int
 
 (** Entries seeded via {!preload} since creation. *)
 val preloaded : t -> int
+
+(** Preload rows skipped by the admission quota since creation. *)
+val preload_skipped : t -> int
+
+(** Currently-pinned (preload-sourced) entries. *)
+val pinned : t -> int
+
+(** Entries dropped via {!remove} since creation. *)
+val invalidations : t -> int
 
 val size : t -> int
 

@@ -13,6 +13,12 @@ type t = {
   mutable bundle_support : bundle_support;
   mutable zone_serial : int32 option;
   mutable zone_refresh_s : int32 option;
+  mutable soa_neg_ttl_ms : float option; (* zone SOA minimum, observed *)
+  mutable delta_refresh_count : int;
+  mutable delta_record_count : int;
+  mutable delta_invalidation_count : int;
+  mutable full_refresh_count : int;
+  mutable notify_kick_count : int;
   mutable walk : (string * bool * float) list; (* newest first, max 64 *)
   raw_binding : Hrpc.Binding.t;
   policy : Rpc.Control.retry_policy option;
@@ -37,6 +43,12 @@ let create stack ~meta_server ?(fallback_servers = []) ~cache
     bundle_support = B_unknown;
     zone_serial = None;
     zone_refresh_s = None;
+    soa_neg_ttl_ms = None;
+    delta_refresh_count = 0;
+    delta_record_count = 0;
+    delta_invalidation_count = 0;
+    full_refresh_count = 0;
+    notify_kick_count = 0;
     walk = [];
     raw_binding =
       Hrpc.Binding.make ~suite:Hrpc.Component.raw_udp_suite ~server:meta_server
@@ -57,6 +69,11 @@ let m_lookup_ms = Obs.Metrics.histogram "hns.meta.lookup_ms"
 let m_bundle_queries = Obs.Metrics.counter "hns.meta.bundle_queries"
 let m_bundle_fallbacks = Obs.Metrics.counter "hns.meta.bundle_fallbacks"
 let m_preload_refreshes = Obs.Metrics.counter "hns.meta.preload_refreshes"
+let m_delta_refreshes = Obs.Metrics.counter "hns.meta.delta_refreshes"
+let m_delta_records = Obs.Metrics.counter "hns.meta.delta_records"
+let m_delta_invalidations = Obs.Metrics.counter "hns.meta.delta_invalidations"
+let m_full_refreshes = Obs.Metrics.counter "hns.meta.full_refreshes"
+let m_notify_kicks = Obs.Metrics.counter "hns.meta.notify_kicks"
 
 let charge ms =
   if ms > 0.0 then
@@ -122,13 +139,36 @@ let clear_walk_log t = t.walk <- []
 
 let now_ms () = try Sim.Engine.time () with Effect.Unhandled _ -> 0.0
 
+(* Remember the zone SOA's minimum field whenever a reply (or a
+   transfer) carries one: RFC 2308 makes it the zone's negative TTL,
+   which we adopt — capped by our own [negative_ttl_ms] — instead of
+   trusting the client-side constant alone. *)
+let observe_soa t (soa : Dns.Rr.soa) =
+  t.soa_neg_ttl_ms <- Some (Int32.to_float soa.Dns.Rr.minimum *. 1000.0)
+
+let observe_authority_soa t (reply : Dns.Msg.t) =
+  List.iter
+    (fun (rr : Dns.Rr.t) ->
+      match rr.rdata with Dns.Rr.Soa soa -> observe_soa t soa | _ -> ())
+    reply.authority
+
+(* The TTL a negative entry recorded now would get: the zone's SOA
+   minimum when one has been observed, never above the configured cap;
+   0 when negative caching is off. *)
+let effective_negative_ttl_ms t =
+  if t.negative_ttl_ms <= 0.0 then 0.0
+  else
+    match t.soa_neg_ttl_ms with
+    | Some soa_ms when soa_ms > 0.0 -> Float.min soa_ms t.negative_ttl_ms
+    | _ -> t.negative_ttl_ms
+
 (* Record a definitive "nothing there" so the next miss on this key
    fails fast instead of repeating the round trip. Inert unless the
    client was created with a positive negative TTL. *)
 let note_negative t key =
-  if t.negative_ttl_ms > 0.0 then
-    Cache.insert_negative t.cache_ ~key:(Meta_schema.cache_key key)
-      ~ttl_ms:t.negative_ttl_ms
+  let ttl_ms = effective_negative_ttl_ms t in
+  if ttl_ms > 0.0 then
+    Cache.insert_negative t.cache_ ~key:(Meta_schema.cache_key key) ~ttl_ms
 
 let lookup_remote t ~key ~ty =
   match () with
@@ -136,6 +176,10 @@ let lookup_remote t ~key ~ty =
       match raw_query t key with
       | Error _ as e -> e
       | Ok reply -> (
+          (* Negative and NODATA replies carry the zone SOA in their
+             authority section (RFC 2308); learn the zone's negative
+             TTL from it before recording the absence. *)
+          observe_authority_soa t reply;
           match reply.rcode with
           | Dns.Msg.Nx_domain ->
               note_negative t key;
@@ -387,44 +431,100 @@ let store t ~key ~ty ?(ttl_s = 3600l) v =
 
 let remove t ~key = transact t [ Dns.Msg.Delete_name key ]
 
+(* Adopt a zone SOA as our snapshot position: serial, refresh interval
+   (poll backstop cadence) and negative TTL all come from it. *)
+let adopt_soa t (soa : Dns.Rr.soa) =
+  t.zone_serial <- Some soa.Dns.Rr.serial;
+  t.zone_refresh_s <- Some soa.Dns.Rr.refresh;
+  observe_soa t soa
+
+(* Decode one transferred UNSPEC record into a preload row, paying the
+   per-record preload charge. *)
+let preload_row t (rr : Dns.Rr.t) =
+  match rr.rdata with
+  | Dns.Rr.Unspec bytes -> (
+      match Meta_schema.ty_of_key rr.name with
+      | None -> None
+      | Some ty -> (
+          match Wire.Xdr.of_string ty bytes with
+          | exception _ -> None
+          | v ->
+              charge t.preload_record_ms;
+              Some
+                ( Meta_schema.cache_key rr.name,
+                  ty,
+                  Int32.to_float rr.ttl *. 1000.0,
+                  v )))
+  | _ -> None
+
+(* Seed the cache from a full transfer payload (SOA first). *)
+let adopt_transfer t records =
+  List.iter
+    (fun (rr : Dns.Rr.t) ->
+      match rr.rdata with Dns.Rr.Soa soa -> adopt_soa t soa | _ -> ())
+    records;
+  let n = Cache.preload t.cache_ (List.filter_map (preload_row t) records) in
+  t.full_refresh_count <- t.full_refresh_count + 1;
+  Obs.Metrics.incr m_full_refreshes;
+  n
+
 let preload t =
   match
     Dns.Axfr.fetch t.stack ~server:t.meta_server ~zone:Meta_schema.zone_origin
   with
   | Error e ->
       Error (Errors.Meta_error (Format.asprintf "preload: %a" Dns.Axfr.pp_error e))
-  | Ok records ->
-      (* The transfer leads with the zone's SOA; remember its serial
-         and refresh interval to drive re-preloading. *)
-      List.iter
-        (fun (rr : Dns.Rr.t) ->
-          match rr.rdata with
-          | Dns.Rr.Soa soa ->
-              t.zone_serial <- Some soa.Dns.Rr.serial;
-              t.zone_refresh_s <- Some soa.Dns.Rr.refresh
-          | _ -> ())
-        records;
-      let entries =
-        List.filter_map
-          (fun (rr : Dns.Rr.t) ->
-            match rr.rdata with
-            | Dns.Rr.Unspec bytes -> (
-                match Meta_schema.ty_of_key rr.name with
-                | None -> None
-                | Some ty -> (
-                    match Wire.Xdr.of_string ty bytes with
-                    | exception _ -> None
-                    | v ->
-                        charge t.preload_record_ms;
-                        Some
-                          ( Meta_schema.cache_key rr.name,
-                            ty,
-                            Int32.to_float rr.ttl *. 1000.0,
-                            v )))
-            | _ -> None)
-          records
-      in
-      Ok (Cache.preload t.cache_ entries)
+  | Ok records -> Ok (adopt_transfer t records)
+
+(* {1 Delta-driven refresh} *)
+
+type refresh = Unchanged | Applied_deltas of int | Full_reload of int
+
+(* Replay one journal change into the cache: an added record is
+   (re)inserted pinned, exactly as a preload row; a deleted record
+   invalidates whatever we held under its key. *)
+let apply_change t (change : Dns.Journal.change) =
+  match change with
+  | Dns.Journal.Del rr ->
+      ignore (Cache.remove t.cache_ ~key:(Meta_schema.cache_key rr.Dns.Rr.name));
+      t.delta_invalidation_count <- t.delta_invalidation_count + 1;
+      Obs.Metrics.incr m_delta_invalidations
+  | Dns.Journal.Put rr -> (
+      match preload_row t rr with
+      | None -> () (* not a meta record (or undecodable): nothing cached *)
+      | Some row -> ignore (Cache.preload t.cache_ [ row ]))
+
+let refresh t =
+  match t.zone_serial with
+  | None -> (
+      (* No snapshot yet: delta refresh has no base, take the AXFR. *)
+      match preload t with
+      | Error _ as e -> e
+      | Ok n -> Ok (Full_reload n))
+  | Some serial -> (
+      match
+        Dns.Ixfr.fetch t.stack ~server:t.meta_server
+          ~zone:Meta_schema.zone_origin ~serial
+      with
+      | Error e ->
+          Error
+            (Errors.Meta_error
+               (Format.asprintf "refresh: %a" Dns.Axfr.pp_error e))
+      | Ok (Dns.Ixfr.Unchanged soa) ->
+          adopt_soa t soa;
+          Ok Unchanged
+      | Ok (Dns.Ixfr.Deltas (soa, changes)) ->
+          List.iter (apply_change t) changes;
+          adopt_soa t soa;
+          t.delta_refresh_count <- t.delta_refresh_count + 1;
+          t.delta_record_count <- t.delta_record_count + List.length changes;
+          Obs.Metrics.incr m_delta_refreshes;
+          Obs.Metrics.add m_delta_records (List.length changes);
+          Ok (Applied_deltas (List.length changes))
+      | Ok (Dns.Ixfr.Full records) ->
+          (* Journal truncated past our serial: the server sent the
+             whole zone in the same connection. *)
+          Ok (Full_reload (adopt_transfer t records)))
 
 let zone_serial t = t.zone_serial
 
@@ -473,11 +573,71 @@ let start_preload_refresher ?interval_ms t =
                 | None -> true
               in
               if changed then (
-                match preload t with
+                match refresh t with
                 | Ok _ -> Obs.Metrics.incr m_preload_refreshes
                 | Error _ -> ())
       done);
   fun () -> running := false
+
+(* {1 NOTIFY subscription} *)
+
+let notify_serial (request : Dns.Msg.t) =
+  List.find_map
+    (fun (rr : Dns.Rr.t) ->
+      match rr.rdata with
+      | Dns.Rr.Soa soa -> Some soa.Dns.Rr.serial
+      | _ -> None)
+    request.answers
+
+let start_notify_listener ?port t =
+  let port =
+    match port with
+    | Some p -> p
+    | None -> Transport.Netstack.alloc_udp_port t.stack
+  in
+  let stop =
+    Rpc.Rawrpc.serve t.stack ~port ~name:"hns-notify" (fun ~src:_ payload ->
+        match Dns.Msg.decode payload with
+        | exception Dns.Msg.Bad_message _ -> None
+        | request ->
+            if
+              request.opcode = Dns.Msg.Notify
+              && List.exists
+                   (fun (q : Dns.Msg.question) ->
+                     Dns.Name.equal q.Dns.Msg.qname Meta_schema.zone_origin)
+                   request.questions
+            then begin
+              (* Refresh only when the pushed serial is actually ahead
+                 of our snapshot (or carries no serial at all); NOTIFY
+                 is best-effort and may arrive duplicated or late. *)
+              let stale =
+                match (notify_serial request, t.zone_serial) with
+                | Some pushed, Some held -> Int32.compare pushed held > 0
+                | _ -> true
+              in
+              if stale then begin
+                t.notify_kick_count <- t.notify_kick_count + 1;
+                Obs.Metrics.incr m_notify_kicks;
+                try
+                  Sim.Engine.spawn_child ~name:"hns-notify-refresh" (fun () ->
+                      match refresh t with
+                      | Ok (Applied_deltas _ | Full_reload _) ->
+                          Obs.Metrics.incr m_preload_refreshes
+                      | Ok Unchanged | Error _ -> ())
+                with Effect.Unhandled _ -> ()
+              end;
+              Some (Dns.Msg.encode (Dns.Msg.notify_ack ~request))
+            end
+            else None)
+      ()
+  in
+  (Transport.Address.make (Transport.Netstack.ip t.stack) port, stop)
+
+let delta_refreshes t = t.delta_refresh_count
+let delta_records t = t.delta_record_count
+let delta_invalidations t = t.delta_invalidation_count
+let full_refreshes t = t.full_refresh_count
+let notify_kicks t = t.notify_kick_count
 
 let cache_host_addr t ~context ~host ip =
   Cache.insert t.cache_

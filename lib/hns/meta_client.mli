@@ -56,7 +56,16 @@ val cache : t -> Cache.t
 val remote_lookups : t -> int
 
 val bundle_enabled : t -> bool
+
+(** The configured negative-TTL {e cap} (0 = negative caching off). *)
 val negative_ttl_ms : t -> float
+
+(** The TTL a negative entry recorded now would actually get: the meta
+    zone's SOA minimum (RFC 2308), observed from transfer payloads and
+    from the SOA the server attaches to negative replies, capped by
+    {!negative_ttl_ms}. Equal to the cap until an SOA has been seen;
+    0 when negative caching is off. *)
+val effective_negative_ttl_ms : t -> float
 
 (** [Ok None] when the meta database has no record at the key — either
     from the server or from a cached negative entry. *)
@@ -102,8 +111,53 @@ val remove : t -> key:Dns.Name.t -> (unit, Errors.t) result
     {!start_preload_refresher}. *)
 val preload : t -> (int, Errors.t) result
 
-(** The meta zone's serial as of the last {!preload}, if any. *)
+(** The meta zone's serial as of the last {!preload} or {!refresh},
+    if any. *)
 val zone_serial : t -> int32 option
+
+(** {1 Delta-driven refresh}
+
+    Once a {!preload} has established a snapshot at some serial, the
+    cache is kept coherent {e incrementally}: an IXFR exchange against
+    the primary's change journal replays only what changed since our
+    serial — added records are (re)inserted pinned, deleted records
+    are invalidated on the spot, and the tracked serial advances. A
+    truncated journal degrades to a full reload inside the same
+    exchange; a client with no snapshot yet takes the AXFR path. *)
+
+type refresh =
+  | Unchanged  (** our serial is current; nothing moved *)
+  | Applied_deltas of int  (** n journal changes replayed into the cache *)
+  | Full_reload of int
+      (** AXFR (re)seed — no snapshot yet, or journal truncated *)
+
+val refresh : t -> (refresh, Errors.t) result
+
+(** [start_notify_listener ?port t] registers a NOTIFY endpoint on the
+    client's stack (an allocated UDP port by default) and returns its
+    address plus a stop closure. Register the address with the
+    primary ({!Dns.Server.register_notify}) and the client refreshes
+    the moment the meta zone's serial advances — the
+    {!start_preload_refresher} poll loop remains the backstop for
+    lost pushes. Stale or duplicate NOTIFYs are acknowledged without
+    refreshing. Must be called inside the simulation. *)
+val start_notify_listener :
+  ?port:int -> t -> Transport.Address.t * (unit -> unit)
+
+(** Incremental refreshes applied ([hns.meta.delta_refreshes]). *)
+val delta_refreshes : t -> int
+
+(** Journal changes replayed over all incremental refreshes. *)
+val delta_records : t -> int
+
+(** Cache entries invalidated by delta-carried deletions. *)
+val delta_invalidations : t -> int
+
+(** Full AXFR seeds: initial {!preload}s plus truncation fallbacks. *)
+val full_refreshes : t -> int
+
+(** NOTIFY pushes that triggered a refresh. *)
+val notify_kicks : t -> int
 
 (** Probe the primary's current SOA serial (control-plane traffic,
     not counted in {!remote_lookups}); [None] if unreachable. *)
@@ -111,8 +165,9 @@ val primary_serial : t -> int32 option
 
 (** [start_preload_refresher ?interval_ms t] spawns a background
     process (must be called inside the simulation) that periodically
-    probes the primary's SOA serial and re-preloads when it has
-    advanced — counted in [hns.meta.preload_refreshes]. The interval
+    probes the primary's SOA serial and {!refresh}es (delta-driven,
+    with AXFR fallback) when it has advanced — counted in
+    [hns.meta.preload_refreshes]. The interval
     defaults to the zone's SOA refresh value captured by the last
     {!preload} (30 s before any preload). Returns a stop closure;
     call it from within the simulation, and note the loop only exits

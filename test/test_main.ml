@@ -9,6 +9,7 @@ let () =
       ("dns", Test_dns.suite);
       ("clearinghouse", Test_clearinghouse.suite);
       ("replication", Test_replication.suite);
+      ("propagation", Test_propagation.suite);
       ("failure", Test_failure.suite);
       ("properties", Test_properties.suite);
       ("extensions", Test_extensions.suite);

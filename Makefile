@@ -1,6 +1,6 @@
 # Convenience wrappers around dune; `make check` is the pre-commit gate.
 
-.PHONY: all build test bench chaos coldpath propagation check fmt clean
+.PHONY: all build test bench chaos coldpath propagation agent colocation check fmt clean
 
 all: build
 
@@ -29,6 +29,17 @@ coldpath:
 propagation:
 	dune exec bench/main.exe -- propagation
 
+# The shared host agent: cross-process cache + coalescing and the
+# resolve-tail prefetch (also in BENCH_hns.json as agent.*).
+agent:
+	dune exec bench/main.exe -- agent
+
+# The colocation bench matrix: five Table 3.1 arrangements x
+# {marshalled, demarshalled} cache modes, cold and warm imports
+# (also in BENCH_hns.json as coldpath.<arrangement>.*).
+colocation:
+	dune exec bench/main.exe -- colocation
+
 # ocamlformat is optional in the container: format when present, skip
 # (with a note) when not, so check works everywhere.
 fmt:
@@ -44,6 +55,8 @@ check: fmt
 	$(MAKE) chaos
 	$(MAKE) coldpath
 	$(MAKE) propagation
+	$(MAKE) agent
+	$(MAKE) colocation
 
 clean:
 	dune clean

@@ -36,6 +36,10 @@ let experiments =
      Experiments.coldpath);
     ("propagation", "Change propagation: journal, NOTIFY push, IXFR vs AXFR",
      Experiments.propagation);
+    ("agent", "Shared host agent v2: cache, coalescing, resolve-tail prefetch",
+     Experiments.agent);
+    ("colocation", "Colocation matrix: arrangements x cache mode, cold/warm",
+     Experiments.colocation);
   ]
 
 (* --- Bechamel: wall-clock cost of each experiment's workload -------- *)

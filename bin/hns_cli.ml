@@ -372,40 +372,68 @@ let stats_cmd =
   in
   let run json out negative_ttl_ms =
     let scn = S.build () in
-    S.in_sim scn (fun () ->
-        let hns = S.new_hns ~negative_ttl_ms scn ~on:scn.client_stack in
-        (* Scripted workload: a cold then warm resolve for each query
-           class, so every instrumented layer registers activity. *)
-        Obs.Metrics.reset ();
-        let name = Hns.Hns_name.make ~context:scn.bind_context ~name:scn.service_host in
-        let resolve ?service query_class =
-          match Hns.Nsm_intf.payload_ty_of query_class with
-          | None -> ()
-          | Some payload_ty ->
-              ignore (Hns.Client.resolve hns ~query_class ~payload_ty ?service name)
-        in
-        let twice ?service qc =
-          resolve ?service qc;
-          resolve ?service qc
-        in
-        twice Hns.Query_class.host_address;
-        twice ~service:scn.service_name Hns.Query_class.hrpc_binding;
-        (* A miss on an absent name makes the server attach the zone
-           SOA to its negative reply (RFC 2308), which is where the
-           effective TTL below comes from. *)
-        let meta = Hns.Client.meta hns in
-        ignore
-          (Hns.Meta_client.lookup meta
-             ~key:(Hns.Meta_schema.context_key "no-such-context")
-             ~ty:Hns.Meta_schema.string_ty);
-        if json then print_string (Obs.Export.metrics_json_lines ())
-        else Format.printf "%a" Obs.Export.pp_metrics ();
-        Format.printf
-          "negative TTL: cap %.0f ms, effective %.0f ms (zone SOA minimum)@."
-          (Hns.Meta_client.negative_ttl_ms meta)
-          (Hns.Meta_client.effective_negative_ttl_ms meta);
-        Option.iter (fun path -> Obs.Export.write_metrics_snapshot ~path ()) out;
-        0)
+    (* A second testbed with the bundle answerer and resolve-tail
+       prefetch enabled, for the shared host agent's workload. The
+       prefetch source ranks hosts by recent demand, so warm the
+       public BIND's hot-name tracker before the measured run. *)
+    let agent_scn = S.build ~bundle:true ~prefetch:true () in
+    Experiments.warm_hot_tracker agent_scn;
+    (* Building the scenarios exercises the instrumented layers too;
+       only the scripted workloads below should register. *)
+    Obs.Metrics.reset ();
+    let neg_cap, neg_eff =
+      S.in_sim scn (fun () ->
+          let hns = S.new_hns ~negative_ttl_ms scn ~on:scn.client_stack in
+          (* Scripted workload: a cold then warm resolve for each query
+             class, so every instrumented layer registers activity. *)
+          let name =
+            Hns.Hns_name.make ~context:scn.bind_context ~name:scn.service_host
+          in
+          let resolve ?service query_class =
+            match Hns.Nsm_intf.payload_ty_of query_class with
+            | None -> ()
+            | Some payload_ty ->
+                ignore (Hns.Client.resolve hns ~query_class ~payload_ty ?service name)
+          in
+          let twice ?service qc =
+            resolve ?service qc;
+            resolve ?service qc
+          in
+          twice Hns.Query_class.host_address;
+          twice ~service:scn.service_name Hns.Query_class.hrpc_binding;
+          (* A miss on an absent name makes the server attach the zone
+             SOA to its negative reply (RFC 2308), which is where the
+             effective TTL below comes from. *)
+          let meta = Hns.Client.meta hns in
+          ignore
+            (Hns.Meta_client.lookup meta
+               ~key:(Hns.Meta_schema.context_key "no-such-context")
+               ~ty:Hns.Meta_schema.string_ty);
+          ( Hns.Meta_client.negative_ttl_ms meta,
+            Hns.Meta_client.effective_negative_ttl_ms meta ))
+    in
+    (* Shared host agent workload: an 8-resolve session through one
+       agent (shared demarshalled cache + prefetched tail), then a
+       6-way cold burst (cross-process coalescing). *)
+    let requests, hits, ratio, seeded, prefetch_hits =
+      Experiments.agent_session agent_scn ()
+    in
+    let upstream, coalesced, _ = Experiments.agent_burst agent_scn () in
+    if json then print_string (Obs.Export.metrics_json_lines ())
+    else Format.printf "%a" Obs.Export.pp_metrics ();
+    Format.printf
+      "negative TTL: cap %.0f ms, effective %.0f ms (zone SOA minimum)@."
+      neg_cap neg_eff;
+    Format.printf
+      "agent session: %d requests, %d shared-cache hits (ratio %.2f); \
+       prefetch yield: %d addrs seeded, %d tail round trips skipped@."
+      requests hits ratio seeded prefetch_hits;
+    Format.printf
+      "agent burst: 6 concurrent cold clients -> %d upstream meta query(ies), \
+       %d coalesced@."
+      upstream coalesced;
+    Option.iter (fun path -> Obs.Export.write_metrics_snapshot ~path ()) out;
+    0
   in
   Cmd.v
     (Cmd.info "stats"

@@ -1,5 +1,7 @@
 open Transport
 
+let m_notify_deregistered = Obs.Metrics.counter "dns.notify.deregistered"
+
 type t = {
   stack : Netstack.stack;
   port : int;
@@ -7,6 +9,7 @@ type t = {
   per_answer_ms : float;
   allow_update : bool;
   update_acl : Address.ip list option;
+  notify_strike_limit : int;
   mutable zone_list : Zone.t list;
   mutable stop_udp : (unit -> unit) option;
   mutable tcp_listener : Tcp.listener option;
@@ -16,10 +19,14 @@ type t = {
   mutable synthesizer : (Msg.question -> Rr.t list option) option;
   mutable notify_targets : Address.t list;
   mutable on_notify : (zone:Name.t -> serial:int32 option -> unit) list;
+  notify_strikes : (Address.t, int) Hashtbl.t;
+  hot : (Name.t, int ref * float ref) Hashtbl.t;
+  hot_window_ms : float;
 }
 
 let create stack ?(port = Address.Well_known.dns) ?(service_overhead_ms = 0.0)
-    ?(per_answer_ms = 0.0) ?(allow_update = false) ?update_acl () =
+    ?(per_answer_ms = 0.0) ?(allow_update = false) ?update_acl
+    ?(notify_strike_limit = 3) ?(hot_window_ms = 600_000.0) () =
   {
     stack;
     port;
@@ -27,6 +34,7 @@ let create stack ?(port = Address.Well_known.dns) ?(service_overhead_ms = 0.0)
     per_answer_ms;
     allow_update;
     update_acl;
+    notify_strike_limit;
     zone_list = [];
     stop_udp = None;
     tcp_listener = None;
@@ -36,6 +44,9 @@ let create stack ?(port = Address.Well_known.dns) ?(service_overhead_ms = 0.0)
     synthesizer = None;
     notify_targets = [];
     on_notify = [];
+    notify_strikes = Hashtbl.create 8;
+    hot = Hashtbl.create 64;
+    hot_window_ms;
   }
 
 let addr t = Address.make (Netstack.ip t.stack) t.port
@@ -98,14 +109,73 @@ let clear_synthesizer t = t.synthesizer <- None
    secondaries / subscribers (BIND's also-notify), and pushes the new
    SOA to each on every serial advance. *)
 let register_notify t addr =
+  Hashtbl.remove t.notify_strikes addr;
   if not (List.mem addr t.notify_targets) then
     t.notify_targets <- addr :: t.notify_targets
 
 let unregister_notify t addr =
+  Hashtbl.remove t.notify_strikes addr;
   t.notify_targets <- List.filter (fun a -> a <> addr) t.notify_targets
 
 let notify_targets t = t.notify_targets
 let add_notify_handler t f = t.on_notify <- t.on_notify @ [ f ]
+
+(* Subscriber liveness GC: a target that fails to ack
+   [notify_strike_limit] consecutive pushes is presumed gone and
+   deregistered (it can re-register any time). Any successful ack
+   clears the slate. *)
+let note_notify_result t target ok =
+  if ok then Hashtbl.remove t.notify_strikes target
+  else begin
+    let strikes =
+      1 + Option.value ~default:0 (Hashtbl.find_opt t.notify_strikes target)
+    in
+    if strikes >= t.notify_strike_limit then begin
+      unregister_notify t target;
+      Obs.Metrics.incr m_notify_deregistered
+    end
+    else Hashtbl.replace t.notify_strikes target strikes
+  end
+
+(* {2 Hot-name tracking}
+
+   Recent positive A-record answer counts per name, feeding the
+   bundle synthesizer's resolve-tail prefetch ({!Hns.Meta_bundle}):
+   the names this server has been answering addresses for lately are
+   the ones worth piggybacking. A name idle longer than the window
+   restarts its count. *)
+
+let note_hot t (q : Msg.question) answers =
+  if q.qtype = Rr.T_a && answers <> [] then begin
+    let now = try Sim.Engine.time () with Effect.Unhandled _ -> 0.0 in
+    match Hashtbl.find_opt t.hot q.qname with
+    | Some (count, last) ->
+        if now -. !last > t.hot_window_ms then count := 0;
+        incr count;
+        last := now
+    | None -> Hashtbl.replace t.hot q.qname (ref 1, ref now)
+  end
+
+let hot_names t ~k =
+  let now = try Sim.Engine.time () with Effect.Unhandled _ -> 0.0 in
+  let live =
+    Hashtbl.fold
+      (fun name (count, last) acc ->
+        if now -. !last <= t.hot_window_ms then (name, !count) :: acc else acc)
+      t.hot []
+  in
+  let sorted =
+    List.sort
+      (fun (n1, c1) (n2, c2) ->
+        if c1 <> c2 then compare c2 c1 else Name.compare n1 n2)
+      live
+  in
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: rest -> x :: take (n - 1) rest
+  in
+  take k sorted
 
 (* Answer one question, following CNAME chains inside our own data and
    emitting referrals at zone cuts. *)
@@ -207,8 +277,11 @@ let apply_update t (request : Msg.t) =
                 (List.rev !rev_changes);
               t.updates <- t.updates + 1;
               (* Push-triggered propagation: tell every registered
-                 secondary / subscriber the serial moved. *)
-              Notify.push t.stack ~zone t.notify_targets;
+                 secondary / subscriber the serial moved; ack outcomes
+                 feed the liveness GC. *)
+              Notify.push t.stack ~zone
+                ~on_result:(note_notify_result t)
+                t.notify_targets;
               Msg.No_error
             end
           end
@@ -247,12 +320,14 @@ let handle ?src t (request : Msg.t) : Msg.t =
       match request.questions with
       | [ q ] -> (
           match answer_question t q with
-          | Answers [] ->
+          | Answers answers when answers <> [] ->
+              note_hot t q answers;
+              Msg.response ~request answers
+          | Answers _ ->
               {
                 (Msg.response ~request []) with
                 Msg.authority = negative_authority t q.qname;
               }
-          | Answers answers -> Msg.response ~request answers
           | Referral (ns_rrs, glue) ->
               {
                 (Msg.response ~authoritative:false ~request []) with

@@ -18,6 +18,12 @@
 
 type t
 
+(** [notify_strike_limit] (default 3) is the number of {e consecutive}
+    unacknowledged NOTIFY pushes after which a subscriber is presumed
+    dead and deregistered (counted in [dns.notify.deregistered]); any
+    ack clears the count, and re-registering reinstates the target.
+    [hot_window_ms] (default 600 s) bounds the recency window of the
+    hot-name tracker behind {!hot_names}. *)
 val create :
   Transport.Netstack.stack ->
   ?port:int ->
@@ -25,6 +31,8 @@ val create :
   ?per_answer_ms:float ->
   ?allow_update:bool ->
   ?update_acl:Transport.Address.ip list ->
+  ?notify_strike_limit:int ->
+  ?hot_window_ms:float ->
   unit ->
   t
 
@@ -74,6 +82,13 @@ val start : t -> unit
 val stop : t -> unit
 val queries_served : t -> int
 val updates_applied : t -> int
+
+(** The [k] names this server has answered A-record queries for most
+    often within the recency window, ordered by recent query count
+    (ties broken by name, so the ranking is deterministic). This is
+    the server-selected candidate set for the bundle synthesizer's
+    resolve-tail prefetch ({!Hns.Meta_bundle}). *)
+val hot_names : t -> k:int -> (Name.t * int) list
 
 (** Handle a request message directly (used by tests and by
     colocated configurations that shortcut the network). Charges no

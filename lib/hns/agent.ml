@@ -2,6 +2,7 @@ let agent_prog = 390200
 let agent_vers = 1
 let proc_find_nsm = 1
 let proc_import = 2
+let proc_resolve_addr = 3
 
 let find_nsm_arg_ty =
   Wire.Idl.T_struct
@@ -21,55 +22,182 @@ let import_arg_ty =
 let import_sign =
   Wire.Idl.signature ~arg:import_arg_ty ~res:(result_union Hrpc.Binding.idl_ty)
 
-type t = { server : Hrpc.Server.t }
+let resolve_addr_sign =
+  Wire.Idl.signature ~arg:Hns_name.idl_ty ~res:(result_union Wire.Idl.T_uint)
+
+let m_requests = Obs.Metrics.counter "hns.agent.requests"
+let m_cache_hits = Obs.Metrics.counter "hns.agent.cache_hits"
+let m_coalesced = Obs.Metrics.counter "hns.agent.coalesced"
+
+type t = {
+  server : Hrpc.Server.t;
+  hns : Client.t;
+  (* Cross-process singleflight: the agent serves every client process
+     on its host, so one table here collapses duplicate in-flight work
+     across all of them — whole replies, NSM data call included, not
+     just the FindNSM prefix. *)
+  inflight : (string, Wire.Value.t Sim.Engine.Ivar.ivar) Hashtbl.t;
+  mutable request_count : int;
+  mutable cache_hit_count : int;
+  mutable coalesced_count : int;
+  mutable refresher_stop : (unit -> unit) option;
+  mutable notify_stop : (unit -> unit) option;
+}
 
 let ok payload = Wire.Value.Union (0, payload)
 let err e = Wire.Value.Union (1, Wire.Value.Str (Errors.to_string e))
 
+(* [fill] schedules reader wake-ups, an engine operation; outside the
+   simulation there are no waiters to wake, so a failed fill is moot. *)
+let safe_fill iv v =
+  try ignore (Sim.Engine.Ivar.fill_if_empty iv v)
+  with Effect.Unhandled _ -> ()
+
+(* Serve one request through the agent's singleflight table. The
+   leader computes the reply and also classifies it: an exchange that
+   performed zero upstream meta lookups was answered entirely from the
+   agent's shared cache. Followers joining an in-flight key are
+   counted coalesced and wait for the leader's reply. *)
+let singleflight t key compute =
+  t.request_count <- t.request_count + 1;
+  Obs.Metrics.incr m_requests;
+  match Hashtbl.find_opt t.inflight key with
+  | Some iv ->
+      t.coalesced_count <- t.coalesced_count + 1;
+      Obs.Metrics.incr m_coalesced;
+      Sim.Engine.Ivar.read iv
+  | None ->
+      let iv = Sim.Engine.Ivar.create () in
+      Hashtbl.replace t.inflight key iv;
+      Fun.protect
+        ~finally:(fun () ->
+          Hashtbl.remove t.inflight key;
+          safe_fill iv (err (Errors.Meta_error "coalesced agent leader failed")))
+        (fun () ->
+          let before = Meta_client.remote_lookups (Client.meta t.hns) in
+          let r = compute () in
+          if Meta_client.remote_lookups (Client.meta t.hns) = before then begin
+            t.cache_hit_count <- t.cache_hit_count + 1;
+            Obs.Metrics.incr m_cache_hits
+          end;
+          safe_fill iv r;
+          r)
+
 let create hns ?(linked_nsms = []) ?port ?(suite = Hrpc.Component.sunrpc_suite)
     ?service_overhead_ms () =
   let server =
+    (* Concurrent dispatch is what makes the agent an agent: requests
+       from different client processes must overlap to share the
+       in-flight table instead of queueing behind one another. *)
     Hrpc.Server.create (Client.stack hns) ~suite ?port ?service_overhead_ms
-      ~prog:agent_prog ~vers:agent_vers ()
+      ~concurrent:true ~prog:agent_prog ~vers:agent_vers ()
+  in
+  let t =
+    {
+      server;
+      hns;
+      inflight = Hashtbl.create 8;
+      request_count = 0;
+      cache_hit_count = 0;
+      coalesced_count = 0;
+      refresher_stop = None;
+      notify_stop = None;
+    }
   in
   Hrpc.Server.register server ~procnum:proc_find_nsm ~sign:find_nsm_sign (fun v ->
       let context = Wire.Value.get_str (Wire.Value.field v "context") in
       let query_class = Wire.Value.get_str (Wire.Value.field v "query_class") in
-      match Client.find_nsm hns ~context ~query_class with
-      | Error e -> err e
-      | Ok resolved ->
-          ok
-            (Wire.Value.Struct
-               [
-                 ("nsm_name", Wire.Value.Str resolved.Find_nsm.nsm_name);
-                 ("binding", Hrpc.Binding.to_value resolved.Find_nsm.binding);
-               ]));
+      singleflight t ("f:" ^ context ^ "\x00" ^ query_class) (fun () ->
+          match Client.find_nsm hns ~context ~query_class with
+          | Error e -> err e
+          | Ok resolved ->
+              ok
+                (Wire.Value.Struct
+                   [
+                     ("nsm_name", Wire.Value.Str resolved.Find_nsm.nsm_name);
+                     ("binding", Hrpc.Binding.to_value resolved.Find_nsm.binding);
+                   ])));
   Hrpc.Server.register server ~procnum:proc_import ~sign:import_sign (fun v ->
       let service = Wire.Value.get_str (Wire.Value.field v "service") in
       let hns_name = Hns_name.of_value (Wire.Value.field v "hns_name") in
-      match
-        Client.find_nsm hns ~context:hns_name.Hns_name.context
-          ~query_class:Query_class.hrpc_binding
-      with
-      | Error e -> err e
-      | Ok resolved -> (
-          let access =
-            match List.assoc_opt resolved.Find_nsm.nsm_name linked_nsms with
-            | Some impl -> Nsm_intf.Linked impl
-            | None -> Nsm_intf.Remote resolved.Find_nsm.binding
-          in
+      singleflight t ("i:" ^ service ^ "\x00" ^ Hns_name.to_string hns_name)
+        (fun () ->
           match
-            Nsm_intf.call (Client.stack hns) access
-              ~payload_ty:Nsm_intf.binding_payload_ty ~service ~hns_name
+            Client.find_nsm hns ~context:hns_name.Hns_name.context
+              ~query_class:Query_class.hrpc_binding
+          with
+          | Error e -> err e
+          | Ok resolved -> (
+              let access =
+                match List.assoc_opt resolved.Find_nsm.nsm_name linked_nsms with
+                | Some impl -> Nsm_intf.Linked impl
+                | None -> Nsm_intf.Remote resolved.Find_nsm.binding
+              in
+              match
+                Nsm_intf.call (Client.stack hns) access
+                  ~payload_ty:Nsm_intf.binding_payload_ty ~service ~hns_name
+              with
+              | Error e -> err e
+              | Ok None -> err (Errors.Name_not_found hns_name)
+              | Ok (Some payload) -> ok payload)));
+  Hrpc.Server.register server ~procnum:proc_resolve_addr ~sign:resolve_addr_sign
+    (fun v ->
+      let hns_name = Hns_name.of_value v in
+      singleflight t ("r:" ^ Hns_name.to_string hns_name) (fun () ->
+          match
+            Client.resolve hns ~query_class:Query_class.host_address
+              ~payload_ty:Nsm_intf.host_address_payload_ty hns_name
           with
           | Error e -> err e
           | Ok None -> err (Errors.Name_not_found hns_name)
-          | Ok (Some payload) -> ok payload));
-  { server }
+          | Ok (Some (Wire.Value.Uint _ as addr)) -> ok addr
+          | Ok (Some v) ->
+              err
+                (Errors.Nsm_error
+                   ("host-address NSM returned " ^ Wire.Value.to_string v))));
+  t
 
 let binding t = Hrpc.Server.binding t.server
 let start t = Hrpc.Server.start t.server
-let stop t = Hrpc.Server.stop t.server
+let hns t = t.hns
+
+let stop t =
+  (match t.refresher_stop with Some f -> f () | None -> ());
+  t.refresher_stop <- None;
+  (match t.notify_stop with Some f -> f () | None -> ());
+  t.notify_stop <- None;
+  Hrpc.Server.stop t.server
+
+(* {1 The shared preloader / refresher} *)
+
+let preload t = Client.preload t.hns
+
+let start_notify_listener ?port t =
+  let addr, stop = Meta_client.start_notify_listener ?port (Client.meta t.hns) in
+  (match t.notify_stop with Some f -> f () | None -> ());
+  t.notify_stop <- Some stop;
+  addr
+
+let start_preload_refresher ?interval_ms t =
+  match t.refresher_stop with
+  | Some _ -> () (* one refresher per agent, by construction *)
+  | None ->
+      t.refresher_stop <- Some (Client.start_preload_refresher ?interval_ms t.hns)
+
+(* {1 Stats} *)
+
+let requests t = t.request_count
+let cache_hits t = t.cache_hit_count
+let coalesced t = t.coalesced_count
+
+let cache_hit_ratio t =
+  let leaders = t.request_count - t.coalesced_count in
+  if leaders <= 0 then 0.0 else float_of_int t.cache_hit_count /. float_of_int leaders
+
+let prefetch_seeded t = Meta_client.prefetch_seeded (Client.meta t.hns)
+let prefetch_hits t = Meta_client.prefetch_hits (Client.meta t.hns)
+
+(* {1 Client-side wrappers} *)
 
 let interpret decode_payload = function
   | Wire.Value.Union (0, payload) -> (
@@ -101,3 +229,16 @@ let remote_import stack ~agent ~service hns_name =
   match Hrpc.Client.call stack agent ~procnum:proc_import ~sign:import_sign arg with
   | Error e -> Error (Errors.Rpc_error e)
   | Ok v -> interpret Hrpc.Binding.of_value v
+
+let remote_resolve_addr stack ~agent hns_name =
+  match
+    Hrpc.Client.call stack agent ~procnum:proc_resolve_addr
+      ~sign:resolve_addr_sign (Hns_name.to_value hns_name)
+  with
+  | Error e -> Error (Errors.Rpc_error e)
+  | Ok v ->
+      interpret
+        (function
+          | Wire.Value.Uint ip -> ip
+          | p -> invalid_arg ("agent: bad address payload " ^ Wire.Value.to_string p))
+        v

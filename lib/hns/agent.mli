@@ -1,5 +1,6 @@
-(** The HNS agent: a process that hosts an HNS instance (and
-    optionally NSM instances) and serves them remotely over HRPC.
+(** The HNS agent: a long-lived per-host process that hosts an HNS
+    instance (and optionally NSM instances) and serves every client
+    process on its host over HRPC.
 
     This realizes the remote-HNS colocation arrangements of Table 3.1:
     row 2's combined agent ("a single process remote from the client
@@ -7,7 +8,18 @@
     then to the NSM"), and rows 3/5's standalone remote HNS serving
     FindNSM. Caching is "more likely to be effective in long-lived
     remote servers than in locally linked copies" — the agent is that
-    long-lived server. *)
+    long-lived server, and v2 makes the sharing real:
+
+    - one demarshalled cache inside the agent serves all client
+      processes, with (at most) one NOTIFY-subscribed preloader and
+      delta-refresher per agent keeping it coherent;
+    - the agent runs its own singleflight table over whole replies, so
+      concurrent identical requests from {e different processes}
+      collapse into one upstream meta query (its HRPC server
+      dispatches concurrently to let them meet);
+    - {!proc_resolve_addr} serves complete host-address resolutions,
+      letting clients ride the agent's resolve-tail prefetch
+      ({!Meta_bundle}) and skip the trailing remote NSM round trip. *)
 
 val agent_prog : int
 val agent_vers : int
@@ -23,11 +35,20 @@ val proc_import : int
 
 val import_sign : Wire.Idl.signature
 
+(** proc 3: ResolveAddr(hns name) → host address. A full
+    FindNSM-plus-data resolution run inside the agent, where the
+    shared cache (including prefetched rows) can answer the data step
+    without the remote NSM. *)
+val proc_resolve_addr : int
+
+val resolve_addr_sign : Wire.Idl.signature
+
 type t
 
 (** [create hns ?linked_nsms ?port ~suite ()] — [linked_nsms] maps NSM
     names to instances the agent holds locally; unlisted NSMs are
-    called remotely through their bindings. *)
+    called remotely through their bindings. The agent's HRPC server is
+    created concurrent so duplicate in-flight requests coalesce. *)
 val create :
   Client.t ->
   ?linked_nsms:(string * Nsm_intf.impl) list ->
@@ -39,7 +60,60 @@ val create :
 
 val binding : t -> Hrpc.Binding.t
 val start : t -> unit
+
+(** Stops the HRPC server and any refresher/NOTIFY listener started
+    through this agent. *)
 val stop : t -> unit
+
+(** The agent's own HNS instance (whose cache is the shared cache). *)
+val hns : t -> Client.t
+
+(** {1 The shared preloader / refresher}
+
+    One per agent, serving every client process on the host. *)
+
+(** Seed the shared cache from a meta-zone transfer
+    ({!Client.preload}). *)
+val preload : t -> (int, Errors.t) result
+
+(** Subscribe the shared cache to meta-zone NOTIFY pushes; returns the
+    listener address to register with the primary
+    ({!Dns.Server.register_notify}). Stopped by {!stop}. Must be
+    called inside the simulation. *)
+val start_notify_listener : ?port:int -> t -> Transport.Address.t
+
+(** Start the polling delta-refresher backstop; idempotent — an agent
+    runs at most one. Stopped by {!stop}. Must be called inside the
+    simulation. *)
+val start_preload_refresher : ?interval_ms:float -> t -> unit
+
+(** {1 Stats}
+
+    Mirrored in the metrics registry as [hns.agent.requests],
+    [hns.agent.cache_hits] and [hns.agent.coalesced]. *)
+
+(** Requests served over all procedures (coalesced followers
+    included). *)
+val requests : t -> int
+
+(** Requests the agent answered without any upstream meta lookup. *)
+val cache_hits : t -> int
+
+(** Requests that joined another process's in-flight identical
+    request. *)
+val coalesced : t -> int
+
+(** {!cache_hits} over requests that actually computed (followers
+    excluded); 0 before any traffic. *)
+val cache_hit_ratio : t -> float
+
+(** Prefetched host-address rows admitted to the shared cache
+    ({!Meta_client.prefetch_seeded}). *)
+val prefetch_seeded : t -> int
+
+(** Resolutions whose NSM data round trip a prefetched row eliminated
+    ({!Meta_client.prefetch_hits}). *)
+val prefetch_hits : t -> int
 
 (** {1 Client-side wrappers} *)
 
@@ -56,3 +130,9 @@ val remote_import :
   service:string ->
   Hns_name.t ->
   (Hrpc.Binding.t, Errors.t) result
+
+val remote_resolve_addr :
+  Transport.Netstack.stack ->
+  agent:Hrpc.Binding.t ->
+  Hns_name.t ->
+  (Transport.Address.ip, Errors.t) result

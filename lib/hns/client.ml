@@ -59,6 +59,29 @@ let resolve t ~query_class ~payload_ty ?(service = "") hns_name =
             match find_nsm t ~context:hns_name.Hns_name.context ~query_class with
             | Error _ as e -> e
             | Ok resolved -> (
+                (* Resolve-tail short circuit: on the bundle path the
+                   FindNSM above may have just prefetched (or an
+                   earlier walk cached) this very host's address —
+                   answer from the shared cache and skip the trailing
+                   remote NSM data round trip. Gated on the bundle so
+                   legacy configurations keep the paper's two-phase
+                   resolve shape. *)
+                let cached_addr =
+                  if
+                    query_class = Query_class.host_address
+                    && service = ""
+                    && Meta_client.bundle_enabled t.meta_
+                  then
+                    Meta_client.cached_host_addr t.meta_
+                      ~context:hns_name.Hns_name.context
+                      ~host:hns_name.Hns_name.name
+                  else None
+                in
+                match cached_addr with
+                | Some ip ->
+                    Obs.Span.add_attr "addr_cache" "true";
+                    Ok (Some (Wire.Value.Uint ip))
+                | None -> (
                 match call_nsm resolved.Find_nsm.binding with
                 | Error primary_err when unreachable primary_err ->
                     (* Designated NSM is down or cut off: fail over
@@ -75,7 +98,7 @@ let resolve t ~query_class ~payload_ty ?(service = "") hns_name =
                     try_alternates
                       (Find_nsm.failover_candidates t.finder_ resolved
                          ~query_class)
-                | outcome -> outcome))
+                | outcome -> outcome)))
       in
       (match result with Error _ -> Obs.Metrics.incr m_resolve_errors | Ok _ -> ());
       result)

@@ -35,24 +35,41 @@ let need_agent env =
   | Some b -> Ok b
   | None -> Error (Errors.Meta_error "arrangement requires an HNS agent binding")
 
-(* FindNSM according to the arrangement: locally or via the agent. *)
+let m_agent_failovers = Obs.Metrics.counter "hns.import.agent_failovers"
+
+(* The agent process is down or cut off (as opposed to answering with
+   an application-level error): worth resolving directly if we can. *)
+let agent_unreachable = function
+  | Errors.Rpc_error (Rpc.Control.Timeout _ | Rpc.Control.Refused) -> true
+  | _ -> false
+
+(* FindNSM against a locally linked HNS instance. *)
+let locate_local env ~context =
+  match need_local_hns env with
+  | Error _ as e -> e
+  | Ok hns -> (
+      match Client.find_nsm hns ~context ~query_class:Query_class.hrpc_binding with
+      | Error _ as e -> e
+      | Ok r -> Ok (r.Find_nsm.nsm_name, r.Find_nsm.binding))
+
+(* FindNSM according to the arrangement: locally or via the agent. An
+   unreachable agent fails over to direct resolution when the client
+   also holds a local HNS instance. *)
 let locate env arrangement ~context =
   match arrangement with
-  | All_linked | Remote_nsms -> (
-      match need_local_hns env with
-      | Error _ as e -> e
-      | Ok hns -> (
-          match
-            Client.find_nsm hns ~context ~query_class:Query_class.hrpc_binding
-          with
-          | Error _ as e -> e
-          | Ok r -> Ok (r.Find_nsm.nsm_name, r.Find_nsm.binding)))
+  | All_linked | Remote_nsms -> locate_local env ~context
   | Remote_hns | All_remote -> (
       match need_agent env with
       | Error _ as e -> e
-      | Ok agent ->
-          Agent.remote_find_nsm env.stack ~agent ~context
-            ~query_class:Query_class.hrpc_binding)
+      | Ok agent -> (
+          match
+            Agent.remote_find_nsm env.stack ~agent ~context
+              ~query_class:Query_class.hrpc_binding
+          with
+          | Error e when agent_unreachable e && Option.is_some env.local_hns ->
+              Obs.Metrics.incr m_agent_failovers;
+              locate_local env ~context
+          | outcome -> outcome))
   | Combined_agent -> Error (Errors.Meta_error "combined agent does not locate")
 
 let nsm_access env arrangement ~nsm_name ~binding =
@@ -65,12 +82,19 @@ let nsm_access env arrangement ~nsm_name ~binding =
       | None -> Nsm_intf.Remote binding)
   | Remote_nsms | All_remote | Combined_agent -> Nsm_intf.Remote binding
 
-let import env arrangement ~service hns_name =
+let rec import env arrangement ~service hns_name =
   match arrangement with
   | Combined_agent -> (
       match need_agent env with
       | Error _ as e -> e
-      | Ok agent -> Agent.remote_import env.stack ~agent ~service hns_name)
+      | Ok agent -> (
+          match Agent.remote_import env.stack ~agent ~service hns_name with
+          | Error e when agent_unreachable e && Option.is_some env.local_hns ->
+              (* The combined agent crashed mid-flight: resolve
+                 directly, calling the NSM through its binding. *)
+              Obs.Metrics.incr m_agent_failovers;
+              import env Remote_nsms ~service hns_name
+          | outcome -> outcome))
   | All_linked | Remote_hns | Remote_nsms | All_remote -> (
       match locate env arrangement ~context:hns_name.Hns_name.context with
       | Error _ as e -> e

@@ -44,7 +44,13 @@ val env :
   env
 
 (** The paper's [Import] call: present a service name and an HNS name,
-    receive a system-independent binding to the service. *)
+    receive a system-independent binding to the service.
+
+    Agent-mediated arrangements degrade gracefully: when the agent is
+    unreachable (timeout/refused) and the env also holds a local HNS
+    instance, the import falls over to direct resolution — FindNSM
+    locally, then the NSM through its binding — counted in
+    [hns.import.agent_failovers]. *)
 val import :
   env ->
   arrangement ->

@@ -1,4 +1,5 @@
 let m_served = Obs.Metrics.counter "hns.meta.bundle_served"
+let m_prefetch_offered = Obs.Metrics.counter "hns.meta.bundle_prefetch_offered"
 
 (* The marker record carried at the bundle name itself: an UNSPEC
    record whose payload is the XDR-encoded bundle status. *)
@@ -85,7 +86,48 @@ let answer db ~qname ~context ~query_class =
               marker_rr qname Meta_schema.B_ok :: ctx_rr :: nsm_rr :: bind_rr
               :: host_rrs))
 
-let install server =
+type prefetch = {
+  k : int;
+  contexts : string list;
+  hot : unit -> (Dns.Name.t * int) list;
+  addr_of : Dns.Name.t -> Transport.Address.ip option;
+  ttl_s : int32;
+}
+
+(* The resolve-tail prefetch: append the requesting context's hottest
+   HostAddress answers to the bundle so an agent-side cold resolve
+   needs no trailing NSM data round trip. The candidate ranking comes
+   from the deployment ([hot], typically {!Dns.Server.hot_names} on
+   the confederation's public BIND); names whose address the source
+   cannot produce are skipped. *)
+let prefetch_rrs pf ~context =
+  if pf.contexts <> [] && not (List.mem context pf.contexts) then []
+  else begin
+    let rec take n = function
+      | [] -> []
+      | _ when n = 0 -> []
+      | x :: rest -> x :: take (n - 1) rest
+    in
+    let rrs =
+      pf.hot ()
+      |> List.filter_map (fun (name, _count) ->
+             match pf.addr_of name with
+             | None -> None
+             | Some ip ->
+                 Some
+                   (Dns.Rr.make ~ttl:pf.ttl_s
+                      (Meta_schema.host_addr_key ~context
+                         ~host:(Dns.Name.to_string name))
+                      (Dns.Rr.Unspec
+                         (Wire.Xdr.to_string Meta_schema.host_addr_ty
+                            (Wire.Value.Uint ip)))))
+      |> take pf.k
+    in
+    Obs.Metrics.add m_prefetch_offered (List.length rrs);
+    rrs
+  end
+
+let install ?prefetch server =
   Dns.Server.set_synthesizer server (fun (q : Dns.Msg.question) ->
       if q.qtype <> Dns.Rr.T_unspec then None
       else
@@ -102,6 +144,36 @@ let install server =
                 | exception _ -> None (* malformed key: ordinary NXDOMAIN *)
                 | rrs ->
                     Obs.Metrics.incr m_served;
-                    Some rrs)))
+                    let extra =
+                      match prefetch with
+                      | None -> []
+                      | Some pf -> (
+                          try prefetch_rrs pf ~context with _ -> [])
+                    in
+                    (* The reply must clear the 512-byte UDP ceiling
+                       whole: a TC'd bundle loses every answer and the
+                       client falls back to the mapping walk — worse
+                       than offering fewer hints. Shed prefetch rows
+                       (never bundle records) until the message fits. *)
+                    let fits answers =
+                      let probe = Dns.Msg.query ~id:0 q.qname q.qtype in
+                      String.length
+                        (Dns.Msg.encode (Dns.Msg.response ~request:probe answers))
+                      <= Dns.Msg.udp_payload_limit
+                    in
+                    let rec shed extra =
+                      if fits (rrs @ extra) then rrs @ extra
+                      else
+                        match extra with
+                        | [] -> rrs
+                        | _ :: _ ->
+                            (* drop the coldest hint: the list is
+                               hottest-first *)
+                            shed
+                              (List.filteri
+                                 (fun i _ -> i < List.length extra - 1)
+                                 extra)
+                    in
+                    Some (shed extra))))
 
 let uninstall server = Dns.Server.clear_synthesizer server

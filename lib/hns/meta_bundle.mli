@@ -18,8 +18,28 @@
     new servers interoperate. Bundles served are counted in
     [hns.meta.bundle_served]. *)
 
+(** Resolve-tail prefetch configuration: every bundle reply for a
+    context in [contexts] (or any context when empty) additionally
+    carries up to [k] piggybacked [HostAddress] rows — the
+    server-selected hottest names by recent query count ([hot],
+    typically {!Dns.Server.hot_names} on the confederation's public
+    BIND), each resolved to an address via [addr_of]. Clients seed
+    them under the pinned-preload quota
+    ({!Meta_client.find_nsm_bundle}), so an agent-mediated cold
+    resolve for a hot name skips the trailing remote NSM data round
+    trip entirely. Rows offered are counted in
+    [hns.meta.bundle_prefetch_offered]. *)
+type prefetch = {
+  k : int;
+  contexts : string list;
+  hot : unit -> (Dns.Name.t * int) list;
+  addr_of : Dns.Name.t -> Transport.Address.ip option;
+  ttl_s : int32;
+}
+
 (** Install the bundle answerer on a server holding the [hns-meta]
-    zone. Replaces any previously-installed synthesizer. *)
-val install : Dns.Server.t -> unit
+    zone. Replaces any previously-installed synthesizer. [prefetch]
+    (default none) enables the resolve-tail prefetch above. *)
+val install : ?prefetch:prefetch -> Dns.Server.t -> unit
 
 val uninstall : Dns.Server.t -> unit

@@ -20,6 +20,9 @@ type t = {
   mutable full_refresh_count : int;
   mutable notify_kick_count : int;
   mutable walk : (string * bool * float) list; (* newest first, max 64 *)
+  mutable prefetch_seeded_count : int;
+  mutable prefetch_hit_count : int;
+  prefetched : (string, unit) Hashtbl.t; (* addr cache keys seeded by prefetch *)
   raw_binding : Hrpc.Binding.t;
   policy : Rpc.Control.retry_policy option;
   mutable lookup_count : int;
@@ -50,6 +53,9 @@ let create stack ~meta_server ?(fallback_servers = []) ~cache
     full_refresh_count = 0;
     notify_kick_count = 0;
     walk = [];
+    prefetch_seeded_count = 0;
+    prefetch_hit_count = 0;
+    prefetched = Hashtbl.create 16;
     raw_binding =
       Hrpc.Binding.make ~suite:Hrpc.Component.raw_udp_suite ~server:meta_server
         ~prog:0 ~vers:0;
@@ -74,6 +80,8 @@ let m_delta_records = Obs.Metrics.counter "hns.meta.delta_records"
 let m_delta_invalidations = Obs.Metrics.counter "hns.meta.delta_invalidations"
 let m_full_refreshes = Obs.Metrics.counter "hns.meta.full_refreshes"
 let m_notify_kicks = Obs.Metrics.counter "hns.meta.notify_kicks"
+let m_prefetched = Obs.Metrics.counter "hns.meta.bundle_prefetched"
+let m_prefetch_hits = Obs.Metrics.counter "hns.meta.prefetch_hits"
 
 let charge ms =
   if ms > 0.0 then
@@ -249,11 +257,60 @@ type bundle_result =
    returning an assoc of cache key -> decoded value so the caller can
    use them without re-consulting the cache. Pays the same
    generated-stub decode price a per-mapping lookup would. *)
+(* A piggybacked HostAddress row: decode and seed it under the
+   host-address cache key as a {e pinned preload} ([Cache.preload]
+   enforces the pinned quota — an over-eager server cannot displace
+   the demand-filled entries). Remembered so {!cached_host_addr} can
+   attribute later hits to the prefetch. *)
+let seed_prefetch_row t (rr : Dns.Rr.t) ~context ~host v =
+  let key = Meta_schema.host_addr_cache_key ~context ~host in
+  let n =
+    Cache.preload t.cache_
+      [ (key, Meta_schema.host_addr_ty, Int32.to_float rr.ttl *. 1000.0, v) ]
+  in
+  if n > 0 then begin
+    Hashtbl.replace t.prefetched key ();
+    t.prefetch_seeded_count <- t.prefetch_seeded_count + 1;
+    Obs.Metrics.incr m_prefetched
+  end
+
 let seed_bundle_answers t (reply : Dns.Msg.t) =
+  (* The piggybacked HostAddress rows are uniform entries of one
+     reply, so they demarshal through a single generated-stub call —
+     the stub entry cost is paid once for the batch, then per-node,
+     not once per row. *)
+  let prefetch_rows =
+    List.filter_map
+      (fun (rr : Dns.Rr.t) ->
+        match rr.rdata with
+        | Dns.Rr.Unspec bytes -> (
+            match Meta_schema.parse_host_addr_key rr.name with
+            | Some (context, host) -> (
+                match Wire.Xdr.of_string Meta_schema.host_addr_ty bytes with
+                | exception _ -> None
+                | v -> Some (rr, context, host, v))
+            | None -> None)
+        | _ -> None)
+      reply.answers
+  in
+  if prefetch_rows <> [] then
+    charge
+      (Wire.Generic_marshal.cost t.generated_cost
+         (Wire.Value.Array
+            (List.map (fun (_, _, _, v) -> v) prefetch_rows)));
+  List.iter
+    (fun (rr, context, host, v) -> seed_prefetch_row t rr ~context ~host v)
+    prefetch_rows;
   List.filter_map
     (fun (rr : Dns.Rr.t) ->
       match rr.rdata with
       | Dns.Rr.Unspec bytes -> (
+          match Meta_schema.parse_host_addr_key rr.name with
+          | Some _ ->
+              (* Seeded above, outside the mapping chain the bundle
+                 status logic consults. *)
+              None
+          | None -> (
           match Meta_schema.ty_of_key rr.name with
           | None -> None (* the status marker, handled separately *)
           | Some ty -> (
@@ -265,7 +322,7 @@ let seed_bundle_answers t (reply : Dns.Msg.t) =
                     ~ty
                     ~ttl_ms:(Int32.to_float rr.ttl *. 1000.0)
                     v;
-                  Some (Meta_schema.cache_key rr.name, v)))
+                  Some (Meta_schema.cache_key rr.name, v))))
       | _ -> None)
     reply.answers
 
@@ -633,6 +690,8 @@ let start_notify_listener ?port t =
   in
   (Transport.Address.make (Transport.Netstack.ip t.stack) port, stop)
 
+let prefetch_seeded t = t.prefetch_seeded_count
+let prefetch_hits t = t.prefetch_hit_count
 let delta_refreshes t = t.delta_refresh_count
 let delta_records t = t.delta_record_count
 let delta_invalidations t = t.delta_invalidation_count
@@ -650,6 +709,10 @@ let cached_host_addr t ~context ~host =
   charge_mapping_overhead t;
   match Cache.find t.cache_ ~key ~ty:Meta_schema.host_addr_ty with
   | Some (Wire.Value.Uint ip) ->
+      if Hashtbl.mem t.prefetched key then begin
+        t.prefetch_hit_count <- t.prefetch_hit_count + 1;
+        Obs.Metrics.incr m_prefetch_hits
+      end;
       log_mapping t key true (now_ms () -. t0);
       Some ip
   | Some _ | None ->

@@ -99,6 +99,23 @@ type bundle_result =
 val find_nsm_bundle :
   t -> context:string -> query_class:Query_class.t -> bundle_result
 
+(** {1 Resolve-tail prefetch accounting}
+
+    A bundle-aware server may piggyback its hottest [HostAddress]
+    answers on the reply ({!Meta_bundle}'s [prefetch]); those rows are
+    seeded pinned under the preload quota and later host-address cache
+    hits on them are attributed back, so "how much did the prefetch
+    buy" is directly observable. *)
+
+(** Prefetch rows admitted into this cache
+    ([hns.meta.bundle_prefetched]). *)
+val prefetch_seeded : t -> int
+
+(** Host-address cache hits served from prefetched rows — resolves
+    whose trailing NSM data round trip the prefetch eliminated
+    ([hns.meta.prefetch_hits]). *)
+val prefetch_hits : t -> int
+
 (** Replace the record at [key]. [ttl_s] defaults to 3600. *)
 val store :
   t -> key:Dns.Name.t -> ty:Wire.Idl.ty -> ?ttl_s:int32 -> Wire.Value.t -> (unit, Errors.t) result

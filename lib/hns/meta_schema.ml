@@ -189,6 +189,29 @@ let nsm_info_of_value v =
 
 let host_addr_ty = Wire.Idl.T_uint
 
+(* Host-address prefetch rows piggybacked on bundle replies: one
+   combined label [<context>!<host>] above the [addr] marker. '!' is
+   forbidden in simple names, and a single combined label keeps
+   dotted contexts and dotted host names unambiguous. *)
+let host_addr_marker = "addr"
+
+let host_addr_key ~context ~host =
+  Dns.Name.of_labels
+    ((context ^ "!" ^ String.lowercase_ascii host)
+    :: host_addr_marker :: Dns.Name.labels zone_origin)
+
+let parse_host_addr_key key =
+  let origin = Dns.Name.labels zone_origin in
+  match Dns.Name.labels key with
+  | combined :: m :: rest when m = host_addr_marker && rest = origin -> (
+      match String.index_opt combined '!' with
+      | Some i when i > 0 && i < String.length combined - 1 ->
+          Some
+            ( String.sub combined 0 i,
+              String.sub combined (i + 1) (String.length combined - i - 1) )
+      | _ -> None)
+  | _ -> None
+
 (* The marker label sits immediately above the zone origin. *)
 let ty_of_key key =
   let rec marker = function
@@ -202,6 +225,7 @@ let ty_of_key key =
   | Some "nsmalt" -> Some nsm_alternates_ty
   | Some "nsmbind" -> Some nsm_info_ty
   | Some "ns" -> Some ns_info_ty
+  | Some "addr" -> Some host_addr_ty
   | Some _ | None -> None
 
 let cache_key key = "meta:" ^ Dns.Name.to_string key

@@ -99,6 +99,22 @@ val nsm_info_of_value : Wire.Value.t -> nsm_info
 (** Shape of a cached host-address mapping (mapping six). *)
 val host_addr_ty : Wire.Idl.ty
 
+(** {1 Host-address prefetch rows}
+
+    [<context>!<host>.addr.hns-meta.] names a piggybacked
+    [HostAddress] answer carried in a bundle reply ({!Meta_bundle}'s
+    resolve-tail prefetch): nothing is stored under it in the zone.
+    The context and host share one combined label split at ['!'],
+    which {!validate_simple_name} reserves, so dotted contexts and
+    dotted host names stay unambiguous. *)
+
+val host_addr_marker : string
+val host_addr_key : context:string -> host:string -> Dns.Name.t
+
+(** [parse_host_addr_key key] recovers [(context, host)]; [None] if
+    [key] is not a prefetch name. *)
+val parse_host_addr_key : Dns.Name.t -> (string * string) option
+
 (** [ty_of_key key] infers the stored shape from the key's marker
     label — used when seeding the cache from a zone transfer. *)
 val ty_of_key : Dns.Name.t -> Wire.Idl.ty option

@@ -9,6 +9,7 @@ type t = {
   service_overhead_ms : float;
   prog : int;
   vers : int;
+  concurrent : bool;
   procs : (int, proc) Hashtbl.t;
   mutable udp_sock : Udp.socket option;
   mutable listener : Tcp.listener option;
@@ -16,7 +17,8 @@ type t = {
   mutable served : int;
 }
 
-let create stack ~suite ?port ?(service_overhead_ms = 0.0) ~prog ~vers () =
+let create stack ~suite ?port ?(service_overhead_ms = 0.0) ?(concurrent = false)
+    ~prog ~vers () =
   if suite.Component.control = Component.C_raw then
     invalid_arg "Hrpc.Server.create: raw control is for native message servers";
   let port =
@@ -34,6 +36,7 @@ let create stack ~suite ?port ?(service_overhead_ms = 0.0) ~prog ~vers () =
     service_overhead_ms;
     prog;
     vers;
+    concurrent;
     procs = Hashtbl.create 16;
     udp_sock = None;
     listener = None;
@@ -142,10 +145,20 @@ let start t =
       Sim.Engine.spawn_child ~name (fun () ->
           while t.running do
             let src, payload = Udp.recv sock in
-            if t.service_overhead_ms > 0.0 then Sim.Engine.sleep t.service_overhead_ms;
-            match dispatch t payload with
-            | Some reply -> Udp.sendto sock ~dst:src reply
-            | None -> ()
+            let serve () =
+              if t.service_overhead_ms > 0.0 then
+                Sim.Engine.sleep t.service_overhead_ms;
+              match dispatch t payload with
+              | Some reply -> Udp.sendto sock ~dst:src reply
+              | None -> ()
+            in
+            (* A concurrent server hands each datagram to its own
+               fiber so slow procedures (e.g. an agent's upstream
+               FindNSM) never serialize unrelated requests — and so
+               duplicate in-flight requests can actually meet in the
+               procedure's coalescing table. *)
+            if t.concurrent then Sim.Engine.spawn_child ~name:(name ^ ":req") serve
+            else serve ()
           done)
   | Component.T_tcp ->
       let listener = Tcp.listen t.stack ~port:t.port in

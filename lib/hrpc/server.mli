@@ -11,12 +11,22 @@
 
 type t
 
-(** Raises [Invalid_argument] for a raw-control suite. *)
+(** Raises [Invalid_argument] for a raw-control suite.
+
+    [concurrent] (default false) makes the UDP service loop dispatch
+    each request on its own fiber instead of serially, so procedures
+    that block on downstream calls don't convoy unrelated requests.
+    Keep the default for cost-model servers whose single service
+    fiber {e is} the modelled CPU; turn it on for proxies like the
+    HNS agent, where concurrent identical requests must be able to
+    meet in a coalescing table. (TCP service already runs one fiber
+    per connection.) *)
 val create :
   Transport.Netstack.stack ->
   suite:Component.protocol_suite ->
   ?port:int ->
   ?service_overhead_ms:float ->
+  ?concurrent:bool ->
   prog:int ->
   vers:int ->
   unit ->

@@ -103,15 +103,16 @@ let new_hns_raw ?staleness_budget_ms ?rpc_policy ?enable_bundle ?negative_ttl_ms
     (Nsm.Hostaddr_nsm_ch.impl ha_ch);
   hns
 
-let new_hns ?staleness_budget_ms ?rpc_policy ?enable_bundle ?negative_ttl_ms t
-    ~on =
+let new_hns ?staleness_budget_ms ?rpc_policy ?enable_bundle ?negative_ttl_ms
+    ?cache_mode t ~on =
   (* The scenario's bundle setting is the default: a bundle-enabled
      testbed hands out bundle-enabled clients unless overridden. *)
   let enable_bundle =
     match enable_bundle with Some b -> b | None -> t.bundle_enabled
   in
+  let cache_mode = Option.value ~default:t.cache_mode cache_mode in
   new_hns_raw ?staleness_budget_ms ?rpc_policy ~enable_bundle ?negative_ttl_ms
-    ~cache_mode:t.cache_mode ~meta_server:(meta_addr t)
+    ~cache_mode ~meta_server:(meta_addr t)
     ~bind_server:(bind_addr t) ~ch_server:(ch_addr t)
     ~credentials:t.credentials ~ch_domain:t.ch_domain ~ch_org:t.ch_org
     ~nsm_hostaddr_bind:t.nsm_hostaddr_bind ~nsm_hostaddr_ch:t.nsm_hostaddr_ch ~on
@@ -146,7 +147,7 @@ let new_binding_nsm_ch t ~on =
     ~per_query_ms:Calib.nsm_per_query_ms ()
 
 let build ?(cache_mode = Hns.Cache.Marshalled) ?(extra_hosts = 16)
-    ?(bundle = false) () =
+    ?(bundle = false) ?(prefetch = false) () =
   let engine = Sim.Engine.create () in
   let topo =
     Sim.Topology.create ~default_latency_ms:Calib.ethernet_latency_ms
@@ -245,14 +246,34 @@ let build ?(cache_mode = Hns.Cache.Marshalled) ?(extra_hosts = 16)
   in
   Dns.Server.add_zone meta_bind
     (Dns.Zone.simple ~origin:Hns.Meta_schema.zone_origin []);
-  (* A bundle-aware testbed: the modified BIND answers batched FindNSM
-     queries; stock scenarios leave it off and clients fall back. *)
-  if bundle then Hns.Meta_bundle.install meta_bind;
   let public_bind =
     Dns.Server.create bind_stack ~service_overhead_ms:Calib.bind_service_overhead_ms
       ~per_answer_ms:Calib.bind_per_answer_ms ()
   in
   Dns.Server.add_zone public_bind public_zone;
+  (* A bundle-aware testbed: the modified BIND answers batched FindNSM
+     queries; stock scenarios leave it off and clients fall back.
+     [prefetch] additionally piggybacks the hottest host addresses on
+     each bundle — the hot set is whatever the public BIND has been
+     answering A queries for (every hostaddr NSM in the confederation
+     funnels through it), and addresses come from the public zone. *)
+  let prefetch_cfg =
+    if not (bundle && prefetch) then None
+    else
+      Some
+        {
+          Hns.Meta_bundle.k = 8;
+          contexts = [ bind_context ];
+          hot = (fun () -> Dns.Server.hot_names public_bind ~k:12);
+          addr_of =
+            (fun name ->
+              match Dns.Db.lookup (Dns.Zone.db public_zone) name Dns.Rr.T_a with
+              | { Dns.Rr.rdata = Dns.Rr.A ip; _ } :: _ -> Some ip
+              | _ -> None);
+          ttl_s = 120l;
+        }
+  in
+  if bundle then Hns.Meta_bundle.install ?prefetch:prefetch_cfg meta_bind;
   let ch =
     Clearinghouse.Ch_server.create ch_stack ~auth_ms:Calib.ch_auth_ms
       ~disk_ms:Calib.ch_disk_ms ()

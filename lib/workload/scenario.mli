@@ -62,13 +62,22 @@ type t = {
           across them so repeated runs yield distinct latencies. *)
 }
 
-(** [build ?cache_mode ?extra_hosts ?bundle ()] — [cache_mode]
-    (default [Marshalled], as in the paper's Table 3.1 measurements)
-    applies to every HNS and NSM cache the scenario creates. [bundle]
-    (default off) installs the batched-FindNSM answerer on the
-    meta-BIND and makes {!new_hns} clients use it. *)
+(** [build ?cache_mode ?extra_hosts ?bundle ?prefetch ()] —
+    [cache_mode] (default [Marshalled], as in the paper's Table 3.1
+    measurements) applies to every HNS and NSM cache the scenario
+    creates. [bundle] (default off) installs the batched-FindNSM
+    answerer on the meta-BIND and makes {!new_hns} clients use it.
+    [prefetch] (default off, requires [bundle]) makes the bundle
+    answerer piggyback the public BIND's hottest host addresses
+    (resolve-tail prefetch) — kept separate from [bundle] so existing
+    bundle benchmarks measure the unprefetched path. *)
 val build :
-  ?cache_mode:Hns.Cache.mode -> ?extra_hosts:int -> ?bundle:bool -> unit -> t
+  ?cache_mode:Hns.Cache.mode ->
+  ?extra_hosts:int ->
+  ?bundle:bool ->
+  ?prefetch:bool ->
+  unit ->
+  t
 
 (** Run a thunk as a simulated process and drive the engine to
     quiescence; returns the thunk's value. *)
@@ -87,12 +96,16 @@ val new_nsm_cache : t -> unit -> Hns.Cache.t
     [rpc_policy] sets retry/backoff behavior for its HRPC exchanges;
     [enable_bundle] (default: the scenario's [bundle_enabled]) makes
     it issue batched FindNSM meta queries; [negative_ttl_ms] enables
-    negative caching of absent meta records. *)
+    negative caching of absent meta records; [cache_mode] (default:
+    the scenario's) overrides the cache representation — the v2 shared
+    agent runs demarshalled regardless of what the measured 1987
+    clients use. *)
 val new_hns :
   ?staleness_budget_ms:float ->
   ?rpc_policy:Rpc.Control.retry_policy ->
   ?enable_bundle:bool ->
   ?negative_ttl_ms:float ->
+  ?cache_mode:Hns.Cache.mode ->
   t ->
   on:Transport.Netstack.stack ->
   Hns.Client.t

@@ -19,6 +19,7 @@ let () =
       ("hrpc", Test_hrpc.suite);
       ("hns", Test_hns.suite);
       ("coldpath", Test_coldpath.suite);
+      ("agent", Test_agent.suite);
       ("nsm", Test_nsm.suite);
       ("baseline", Test_baseline.suite);
       ("workload", Test_workload.suite);

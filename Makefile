@@ -1,6 +1,6 @@
 # Convenience wrappers around dune; `make check` is the pre-commit gate.
 
-.PHONY: all build test bench chaos coldpath propagation agent colocation check fmt clean
+.PHONY: all build test bench chaos coldpath propagation agent colocation obs check fmt clean
 
 all: build
 
@@ -40,6 +40,15 @@ agent:
 colocation:
 	dune exec bench/main.exe -- colocation
 
+# The observability suite: cross-hop trace propagation, the query
+# flight recorder and the SLO tracker, plus the metric-name lint
+# (every registered name must be layer.component.metric; duplicate-kind
+# registration fails fast at the registration site).
+obs:
+	dune exec test/test_main.exe -- test obs
+	dune exec test/test_main.exe -- test trace
+	dune exec bin/hns_cli.exe -- lint
+
 # ocamlformat is optional in the container: format when present, skip
 # (with a note) when not, so check works everywhere.
 fmt:
@@ -57,6 +66,7 @@ check: fmt
 	$(MAKE) propagation
 	$(MAKE) agent
 	$(MAKE) colocation
+	$(MAKE) obs
 
 clean:
 	dune clean

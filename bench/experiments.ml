@@ -1211,7 +1211,7 @@ let chaos_run ?(reset_metrics = true) () =
     stale_phase;
     failovers = count "hns.find_nsm.failovers";
     stale_served = count "hns.cache.stale_served";
-    faults_injected = count "chaos.faults_injected";
+    faults_injected = count "chaos.injector.faults_injected";
     errors = count_errors failover_phase + count_errors stale_phase;
     metrics_text = Obs.Export.metrics_json_lines ();
   }

@@ -370,7 +370,16 @@ let stats_cmd =
              caching). The effective TTL actually applied is the meta zone's \
              SOA minimum, never above this cap.")
   in
-  let run json out negative_ttl_ms =
+  let slo_arg =
+    Arg.(
+      value & flag
+      & info [ "slo" ]
+          ~doc:
+            "Also print the SLO panel: per-objective compliance, error-budget \
+             remaining, burn rate and windowed latency percentiles for the \
+             scripted workload.")
+  in
+  let run json out negative_ttl_ms slo =
     let scn = S.build () in
     (* A second testbed with the bundle answerer and resolve-tail
        prefetch enabled, for the shared host agent's workload. The
@@ -381,6 +390,7 @@ let stats_cmd =
     (* Building the scenarios exercises the instrumented layers too;
        only the scripted workloads below should register. *)
     Obs.Metrics.reset ();
+    if slo then Obs.Slo.clear ();
     let neg_cap, neg_eff =
       S.in_sim scn (fun () ->
           let hns = S.new_hns ~negative_ttl_ms scn ~on:scn.client_stack in
@@ -432,6 +442,24 @@ let stats_cmd =
       "agent burst: 6 concurrent cold clients -> %d upstream meta query(ies), \
        %d coalesced@."
       upstream coalesced;
+    if slo then begin
+      Obs.Slo.publish ();
+      Format.printf "@.slo:@.";
+      List.iter
+        (fun s ->
+          let w = Obs.Slo.window_summary s in
+          Format.printf
+            "  %-10s target %5.1f ms, objective %.3f: %d/%d breached, \
+             compliance %.4f, budget %+.2f, burn %.2f@.  %10s window: n=%d \
+             rate=%.2f/s p50=%.1f p99=%.1f p999=%.1f ms@."
+            (Obs.Slo.name s) (Obs.Slo.target_ms s) (Obs.Slo.objective s)
+            (Obs.Slo.breaches s) (Obs.Slo.total s) (Obs.Slo.compliance s)
+            (Obs.Slo.budget_remaining s)
+            (Obs.Slo.burn_rate s) "" w.Obs.Timeseries.n
+            w.Obs.Timeseries.rate_per_s w.Obs.Timeseries.p50
+            w.Obs.Timeseries.p99 w.Obs.Timeseries.p999)
+        (Obs.Slo.all ())
+    end;
     Option.iter (fun path -> Obs.Export.write_metrics_snapshot ~path ()) out;
     0
   in
@@ -439,7 +467,202 @@ let stats_cmd =
     (Cmd.info "stats"
        ~doc:
          "Run a scripted resolve workload and dump the full metrics registry.")
-    Term.(const run $ json_arg $ out_arg $ neg_ttl_arg)
+    Term.(const run $ json_arg $ out_arg $ neg_ttl_arg $ slo_arg)
+
+(* --- qlog --- *)
+
+let qlog_cmd =
+  let slowest_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "slowest"; "n" ] ~docv:"N"
+          ~doc:"Show the $(docv) slowest flight records (longest first).")
+  in
+  let outcome_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "outcome" ] ~docv:"OUTCOME"
+          ~doc:
+            "Only records with this outcome (hit, miss, coalesced, negative, \
+             stale, failover, failed).")
+  in
+  let context_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "context" ] ~docv:"CONTEXT"
+          ~doc:"Only records whose queried name lives in $(docv).")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit one compact JSON object per record instead of the table.")
+  in
+  let run slowest outcome context json =
+    let outcome_filter =
+      match outcome with
+      | None -> Ok None
+      | Some s -> (
+          match Obs.Qlog.outcome_of_string s with
+          | Some o -> Ok (Some o)
+          | None -> Error s)
+    in
+    match outcome_filter with
+    | Error s ->
+        Printf.eprintf "unknown outcome %S\n" s;
+        1
+    | Ok outcome_filter ->
+        let scn = S.build () in
+        let agent_scn = S.build ~bundle:true ~prefetch:true () in
+        (* Scenario set-up is not part of the recorded workload. *)
+        Obs.Span.clear ();
+        Obs.Qlog.clear ();
+        Obs.Slo.clear ();
+        Obs.Span.enable ();
+        Obs.Qlog.enable ();
+        ignore (Obs.Slo.get_or_create "resolve");
+        (* The scripted workload: a cold and a warm resolve per query
+           class, one negative answer, and a 6-way cold burst through
+           the shared agent for coalesced records. *)
+        S.in_sim scn (fun () ->
+            let hns = S.new_hns scn ~on:scn.client_stack in
+            let name =
+              Hns.Hns_name.make ~context:scn.bind_context ~name:scn.service_host
+            in
+            let resolve ?service query_class =
+              match Hns.Nsm_intf.payload_ty_of query_class with
+              | None -> ()
+              | Some payload_ty ->
+                  ignore
+                    (Hns.Client.resolve hns ~query_class ~payload_ty ?service name)
+            in
+            resolve Hns.Query_class.host_address;
+            resolve Hns.Query_class.host_address;
+            resolve ~service:scn.service_name Hns.Query_class.hrpc_binding;
+            ignore
+              (Hns.Meta_client.lookup (Hns.Client.meta hns)
+                 ~key:(Hns.Meta_schema.context_key "no-such-context")
+                 ~ty:Hns.Meta_schema.string_ty));
+        ignore (Experiments.agent_burst agent_scn ());
+        Obs.Span.disable ();
+        Obs.Qlog.disable ();
+        let all = Obs.Qlog.records () in
+        let records =
+          match outcome_filter with
+          | Some o -> Obs.Qlog.by_outcome o all
+          | None -> all
+        in
+        let records =
+          match context with
+          | Some c -> Obs.Qlog.by_context c records
+          | None -> records
+        in
+        let records = Obs.Qlog.slowest slowest records in
+        if json then
+          List.iter
+            (fun r -> print_endline (Obs.Json.to_string (Obs.Qlog.record_json r)))
+            records
+        else begin
+          Printf.printf "%d flight record(s) of %d retired:\n"
+            (List.length records) (List.length all);
+          Printf.printf "  %9s  %-9s  %7s  %-9s  %s\n" "dur" "outcome" "bytes"
+            "trace" "name (class)";
+          List.iter
+            (fun r ->
+              Printf.printf "  %7.1fms  %-9s  %6dB  %-9s  %s (%s)%s\n"
+                (Obs.Qlog.duration_ms r)
+                (Obs.Qlog.outcome_to_string r.Obs.Qlog.outcome)
+                r.Obs.Qlog.bytes
+                (if r.Obs.Qlog.trace = 0 then "-"
+                 else Printf.sprintf "%08x" r.Obs.Qlog.trace)
+                r.Obs.Qlog.name r.Obs.Qlog.query_class
+                (if r.Obs.Qlog.linked_trace = 0 then ""
+                 else Printf.sprintf " ~> leader %08x" r.Obs.Qlog.linked_trace))
+            records;
+          (* Tail exemplars: traces the SLO tracker retained because a
+             query breached the objective or landed beyond the window
+             p99; each resolves to its full span tree and records. *)
+          match Obs.Slo.exemplar_traces () with
+          | [] -> ()
+          | traces ->
+              Printf.printf "tail exemplars (%d retained):\n" (List.length traces);
+              List.iter
+                (fun tr ->
+                  let spans =
+                    List.length
+                      (List.filter
+                         (fun s -> s.Obs.Span.trace = tr)
+                         (Obs.Span.finished ()))
+                  in
+                  let recs =
+                    List.length
+                      (List.filter
+                         (fun r ->
+                           r.Obs.Qlog.trace = tr || r.Obs.Qlog.linked_trace = tr)
+                         all)
+                  in
+                  Printf.printf "  trace %08x: %d span(s), %d record(s)\n" tr
+                    spans recs)
+                traces
+        end;
+        0
+  in
+  Cmd.v
+    (Cmd.info "qlog"
+       ~doc:
+         "Run a scripted workload with the query flight recorder on and dump \
+          its records: per-query outcome, hop timings, wire bytes, servers \
+          touched and trace ids, plus any retained tail exemplars.")
+    Term.(const run $ slowest_arg $ outcome_arg $ context_arg $ json_arg)
+
+(* --- lint --- *)
+
+let lint_cmd =
+  let run () =
+    (* Every module-level metric registers at program start; a short
+       workload flushes out the lazily registered ones too (per-NSM
+       and per-query-class names), then the whole registry is checked
+       against the layer.component.metric structure. Duplicate-kind
+       registration fails fast at the registration site itself. *)
+    ignore
+      (with_scenario (fun scn hns ->
+           let name =
+             Hns.Hns_name.make ~context:scn.bind_context ~name:scn.service_host
+           in
+           List.iter
+             (fun query_class ->
+               match Hns.Nsm_intf.payload_ty_of query_class with
+               | None -> ()
+               | Some payload_ty ->
+                   ignore
+                     (Hns.Client.resolve hns ~query_class ~payload_ty
+                        ~service:scn.service_name name))
+             [
+               Hns.Query_class.host_address;
+               Hns.Query_class.hrpc_binding;
+               Hns.Query_class.file_location;
+               Hns.Query_class.mailbox_location;
+             ];
+           0));
+    Obs.Slo.publish ();
+    match Obs.Metrics.lint () with
+    | [] ->
+        Printf.printf "metric-name lint: %d names, all layer.component.metric\n"
+          (List.length (Obs.Metrics.snapshot ()));
+        0
+    | problems ->
+        List.iter (fun p -> Printf.eprintf "metric-name lint: %s\n" p) problems;
+        1
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Check every registered metric name (including SLO gauges and lazily \
+          registered per-NSM names) against the layer.component.metric \
+          structure.")
+    Term.(const run $ const ())
 
 (* --- chaos --- *)
 
@@ -575,6 +798,8 @@ let () =
             preload_cmd;
             trace_cmd;
             stats_cmd;
+            qlog_cmd;
+            lint_cmd;
             chaos_cmd;
             fetch_cmd;
             send_mail_cmd;

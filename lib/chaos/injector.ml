@@ -7,10 +7,10 @@ type t = {
   mutable installed : bool;
 }
 
-let m_faults = Obs.Metrics.counter "chaos.faults_injected"
-let m_drops = Obs.Metrics.counter "chaos.packet_drops"
-let m_delays = Obs.Metrics.counter "chaos.packet_delays"
-let m_corruptions = Obs.Metrics.counter "chaos.packet_corruptions"
+let m_faults = Obs.Metrics.counter "chaos.injector.faults_injected"
+let m_drops = Obs.Metrics.counter "chaos.injector.packet_drops"
+let m_delays = Obs.Metrics.counter "chaos.injector.packet_delays"
+let m_corruptions = Obs.Metrics.counter "chaos.injector.packet_corruptions"
 
 let active ~now ~from_ms ~until_ms = now >= from_ms && now < until_ms
 

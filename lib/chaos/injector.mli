@@ -3,11 +3,11 @@
 
     Every injected fault — each packet dropped, delayed, or corrupted —
     is appended to a deterministic event trace (formatted with its
-    virtual timestamp) and counted in the [chaos.*] metrics:
+    virtual timestamp) and counted in the [chaos.injector.*] metrics:
 
-    - [chaos.faults_injected] — every fault decision
-    - [chaos.packet_drops] / [chaos.packet_delays] /
-      [chaos.packet_corruptions] — by kind
+    - [chaos.injector.faults_injected] — every fault decision
+    - [chaos.injector.packet_drops] / [chaos.injector.packet_delays] /
+      [chaos.injector.packet_corruptions] — by kind
 
     Corruption randomness comes from the injector's own seeded stream,
     so the same plan, seed, and workload reproduce the same trace
@@ -26,7 +26,7 @@ val uninstall : t -> unit
 val trace : t -> string list
 
 (** Faults injected by this injector (the process-wide counter is
-    [chaos.faults_injected]). *)
+    [chaos.injector.faults_injected]). *)
 val faults_injected : t -> int
 
 val plan : t -> Plan.t

@@ -36,7 +36,10 @@ type t = {
      on its host, so one table here collapses duplicate in-flight work
      across all of them — whole replies, NSM data call included, not
      just the FindNSM prefix. *)
-  inflight : (string, Wire.Value.t Sim.Engine.Ivar.ivar) Hashtbl.t;
+  inflight : (string, Wire.Value.t Sim.Engine.Ivar.ivar * Obs.Span.id) Hashtbl.t;
+      (* ivar plus the leader's trace id: a coalesced follower's reply
+         was really produced under the leader's trace, and its flight
+         record says so *)
   mutable request_count : int;
   mutable cache_hit_count : int;
   mutable coalesced_count : int;
@@ -58,30 +61,43 @@ let safe_fill iv v =
    performed zero upstream meta lookups was answered entirely from the
    agent's shared cache. Followers joining an in-flight key are
    counted coalesced and wait for the leader's reply. *)
-let singleflight t key compute =
-  t.request_count <- t.request_count + 1;
-  Obs.Metrics.incr m_requests;
-  match Hashtbl.find_opt t.inflight key with
-  | Some iv ->
-      t.coalesced_count <- t.coalesced_count + 1;
-      Obs.Metrics.incr m_coalesced;
-      Sim.Engine.Ivar.read iv
-  | None ->
-      let iv = Sim.Engine.Ivar.create () in
-      Hashtbl.replace t.inflight key iv;
-      Fun.protect
-        ~finally:(fun () ->
-          Hashtbl.remove t.inflight key;
-          safe_fill iv (err (Errors.Meta_error "coalesced agent leader failed")))
-        (fun () ->
-          let before = Meta_client.remote_lookups (Client.meta t.hns) in
-          let r = compute () in
-          if Meta_client.remote_lookups (Client.meta t.hns) = before then begin
-            t.cache_hit_count <- t.cache_hit_count + 1;
-            Obs.Metrics.incr m_cache_hits
+let singleflight t ~qname ~query_class key compute =
+  Obs.Qlog.with_query ~name:qname ~query_class (fun () ->
+      (* Inside the server's [hrpc_serve] span, so this is the trace
+         the calling client propagated over the wire. *)
+      Obs.Qlog.note_trace (Obs.Span.current_trace ());
+      t.request_count <- t.request_count + 1;
+      Obs.Metrics.incr m_requests;
+      match Hashtbl.find_opt t.inflight key with
+      | Some (iv, leader_trace) ->
+          t.coalesced_count <- t.coalesced_count + 1;
+          Obs.Metrics.incr m_coalesced;
+          (* This request rides the leader's in-flight work: its record
+             links the trace that actually went upstream, and the
+             serving span (the agent's hrpc_serve) says so too. *)
+          Obs.Qlog.note_link leader_trace;
+          if Obs.Span.enabled () then begin
+            Obs.Span.add_attr "coalesced" "true";
+            Obs.Span.add_attr "leader_trace" (Printf.sprintf "%08x" leader_trace)
           end;
-          safe_fill iv r;
-          r)
+          Sim.Engine.Ivar.read iv
+      | None ->
+          let iv = Sim.Engine.Ivar.create () in
+          Hashtbl.replace t.inflight key (iv, Obs.Span.current_trace ());
+          Fun.protect
+            ~finally:(fun () ->
+              Hashtbl.remove t.inflight key;
+              safe_fill iv (err (Errors.Meta_error "coalesced agent leader failed")))
+            (fun () ->
+              let before = Meta_client.remote_lookups (Client.meta t.hns) in
+              let r = compute () in
+              if Meta_client.remote_lookups (Client.meta t.hns) = before then begin
+                t.cache_hit_count <- t.cache_hit_count + 1;
+                Obs.Metrics.incr m_cache_hits
+              end
+              else Obs.Qlog.note_outcome Obs.Qlog.Miss;
+              safe_fill iv r;
+              r))
 
 let create hns ?(linked_nsms = []) ?port ?(suite = Hrpc.Component.sunrpc_suite)
     ?service_overhead_ms () =
@@ -107,7 +123,8 @@ let create hns ?(linked_nsms = []) ?port ?(suite = Hrpc.Component.sunrpc_suite)
   Hrpc.Server.register server ~procnum:proc_find_nsm ~sign:find_nsm_sign (fun v ->
       let context = Wire.Value.get_str (Wire.Value.field v "context") in
       let query_class = Wire.Value.get_str (Wire.Value.field v "query_class") in
-      singleflight t ("f:" ^ context ^ "\x00" ^ query_class) (fun () ->
+      singleflight t ~qname:("agent-find:" ^ context) ~query_class
+        ("f:" ^ context ^ "\x00" ^ query_class) (fun () ->
           match Client.find_nsm hns ~context ~query_class with
           | Error e -> err e
           | Ok resolved ->
@@ -120,7 +137,10 @@ let create hns ?(linked_nsms = []) ?port ?(suite = Hrpc.Component.sunrpc_suite)
   Hrpc.Server.register server ~procnum:proc_import ~sign:import_sign (fun v ->
       let service = Wire.Value.get_str (Wire.Value.field v "service") in
       let hns_name = Hns_name.of_value (Wire.Value.field v "hns_name") in
-      singleflight t ("i:" ^ service ^ "\x00" ^ Hns_name.to_string hns_name)
+      singleflight t
+        ~qname:("agent-import:" ^ Hns_name.to_string hns_name)
+        ~query_class:Query_class.hrpc_binding
+        ("i:" ^ service ^ "\x00" ^ Hns_name.to_string hns_name)
         (fun () ->
           match
             Client.find_nsm hns ~context:hns_name.Hns_name.context
@@ -143,7 +163,10 @@ let create hns ?(linked_nsms = []) ?port ?(suite = Hrpc.Component.sunrpc_suite)
   Hrpc.Server.register server ~procnum:proc_resolve_addr ~sign:resolve_addr_sign
     (fun v ->
       let hns_name = Hns_name.of_value v in
-      singleflight t ("r:" ^ Hns_name.to_string hns_name) (fun () ->
+      singleflight t
+        ~qname:("agent-resolve:" ^ Hns_name.to_string hns_name)
+        ~query_class:Query_class.host_address
+        ("r:" ^ Hns_name.to_string hns_name) (fun () ->
           match
             Client.resolve hns ~query_class:Query_class.host_address
               ~payload_ty:Nsm_intf.host_address_payload_ty hns_name

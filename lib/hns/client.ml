@@ -46,16 +46,22 @@ let unreachable = function
 
 let resolve t ~query_class ~payload_ty ?(service = "") hns_name =
   Obs.Metrics.incr m_resolves;
+  Obs.Qlog.with_query ~name:(Hns_name.to_string hns_name) ~query_class (fun () ->
   Obs.Metrics.time (resolve_ms_hist query_class) (fun () ->
+      let t0 = Obs.Metrics.now_ms () in
       let call_nsm binding =
         Nsm_intf.call ?policy:t.rpc_policy t.stack_ (Nsm_intf.Remote binding)
           ~payload_ty ~service ~hns_name
       in
       let result =
         Obs.Span.with_span "resolve"
-          ~attrs:
-            [ ("name", Hns_name.to_string hns_name); ("query_class", query_class) ]
+          ~attrs:(fun () ->
+            [ ("name", Hns_name.to_string hns_name); ("query_class", query_class) ])
           (fun () ->
+            (* The resolve span roots this query's trace; patch it onto
+               the flight record (which opened before the span did). *)
+            Obs.Qlog.note_trace (Obs.Span.current_trace ());
+            let answer =
             match find_nsm t ~context:hns_name.Hns_name.context ~query_class with
             | Error _ as e -> e
             | Ok resolved -> (
@@ -90,6 +96,7 @@ let resolve t ~query_class ~payload_ty ?(service = "") hns_name =
                       | [] -> Error primary_err
                       | (alt : Find_nsm.resolved) :: rest -> (
                           Find_nsm.note_failover ();
+                          Obs.Qlog.note_outcome Obs.Qlog.Failover;
                           Obs.Span.add_attr "failover" alt.Find_nsm.nsm_name;
                           match call_nsm alt.Find_nsm.binding with
                           | Error e when unreachable e -> try_alternates rest
@@ -98,10 +105,22 @@ let resolve t ~query_class ~payload_ty ?(service = "") hns_name =
                     try_alternates
                       (Find_nsm.failover_candidates t.finder_ resolved
                          ~query_class)
-                | outcome -> outcome)))
+                | outcome -> outcome))
+            in
+            (* Observed inside the span so a breach's exemplar can
+               capture this query's trace id. *)
+            Obs.Slo.observe
+              (Obs.Slo.get_or_create "resolve")
+              ~ok:(Result.is_ok answer)
+              (Obs.Metrics.now_ms () -. t0);
+            answer)
       in
-      (match result with Error _ -> Obs.Metrics.incr m_resolve_errors | Ok _ -> ());
-      result)
+      (match result with
+      | Error e ->
+          Obs.Metrics.incr m_resolve_errors;
+          Obs.Qlog.note_error (Errors.to_string e)
+      | Ok _ -> ());
+      result))
 
 let preload t = Meta_client.preload t.meta_
 

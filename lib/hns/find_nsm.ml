@@ -6,7 +6,11 @@ type t = {
   (* Singleflight table: concurrent FindNSMs for the same (context,
      query class) share one in-flight lookup instead of stampeding the
      meta server. Keyed within this HNS instance only. *)
-  inflight : (string, (resolved, Errors.t) result Sim.Engine.Ivar.ivar) Hashtbl.t;
+  inflight :
+    (string, (resolved, Errors.t) result Sim.Engine.Ivar.ivar * Obs.Span.id)
+    Hashtbl.t;
+      (* ivar plus the leader's trace id, so coalesced followers can
+         cross-reference the trace that did the real work *)
 }
 
 let m_calls = Obs.Metrics.counter "hns.find_nsm.calls"
@@ -28,7 +32,7 @@ let link_hostaddr_nsm t ~name impl =
 
 (* Mapping 1 (and 4): context -> name-service name. *)
 let context_to_ns t context =
-  Obs.Span.with_span "ctx_to_ns" ~attrs:[ ("context", context) ] (fun () ->
+  Obs.Span.with_span "ctx_to_ns" ~attrs:(fun () -> [ ("context", context) ]) (fun () ->
       match
         Meta_client.lookup t.meta_ ~key:(Meta_schema.context_key context)
           ~ty:Meta_schema.string_ty
@@ -43,7 +47,7 @@ let context_to_ns t context =
 (* Mapping 2 (and 5): (ns, query class) -> NSM name. *)
 let ns_to_nsm t ~ns ~query_class =
   Obs.Span.with_span "ns_to_nsm"
-    ~attrs:[ ("ns", ns); ("query_class", query_class) ]
+    ~attrs:(fun () -> [ ("ns", ns); ("query_class", query_class) ])
     (fun () ->
       match
         Meta_client.lookup t.meta_
@@ -59,7 +63,7 @@ let ns_to_nsm t ~ns ~query_class =
 
 (* Mapping 3: NSM name -> binding information (with a host name). *)
 let nsm_to_info t nsm_name =
-  Obs.Span.with_span "nsm_to_binding" ~attrs:[ ("nsm", nsm_name) ] (fun () ->
+  Obs.Span.with_span "nsm_to_binding" ~attrs:(fun () -> [ ("nsm", nsm_name) ]) (fun () ->
       match
         Meta_client.lookup t.meta_
           ~key:(Meta_schema.nsm_binding_key nsm_name)
@@ -75,7 +79,7 @@ let nsm_to_info t nsm_name =
    cache state. *)
 let resolve_host t ~context ~host =
   Obs.Span.with_span "resolve_host"
-    ~attrs:[ ("context", context); ("host", host) ]
+    ~attrs:(fun () -> [ ("context", context); ("host", host) ])
     (fun () ->
       match context_to_ns t context with
       | Error _ as e -> e
@@ -83,7 +87,7 @@ let resolve_host t ~context ~host =
           match ns_to_nsm t ~ns ~query_class:Query_class.host_address with
           | Error _ as e -> e
           | Ok hostaddr_nsm ->
-              Obs.Span.with_span "host_to_addr" ~attrs:[ ("host", host) ] (fun () ->
+              Obs.Span.with_span "host_to_addr" ~attrs:(fun () -> [ ("host", host) ]) (fun () ->
                   (* mapping six's HNS overhead is charged inside
                      [cached_host_addr] so the walk log accounts it *)
                   match Meta_client.cached_host_addr t.meta_ ~context ~host with
@@ -142,7 +146,7 @@ let resolved_of_nsm t ~ns_name nsm_name =
    run against the records the bundle just cached. *)
 let do_find t ~context ~query_class =
   Obs.Span.with_span "find_nsm"
-    ~attrs:[ ("context", context); ("query_class", query_class) ]
+    ~attrs:(fun () -> [ ("context", context); ("query_class", query_class) ])
     (fun () ->
       match Meta_client.find_nsm_bundle t.meta_ ~context ~query_class with
       | Meta_client.Bundle_negative e -> Error e
@@ -171,16 +175,24 @@ let find t ~context ~query_class =
       let key = coalesce_key ~context ~query_class in
       let result =
         match Hashtbl.find_opt t.inflight key with
-        | Some iv ->
+        | Some (iv, leader_trace) ->
             (* An identical FindNSM is already in flight: wait for its
-               answer instead of repeating the lookups. *)
+               answer instead of repeating the lookups. The follower's
+               flight record links the leader's trace — the tree that
+               shows where the shared wait actually went. *)
             Obs.Metrics.incr m_coalesced;
+            Obs.Qlog.note_link leader_trace;
             Obs.Span.with_span "find_nsm_coalesced"
-              ~attrs:[ ("context", context); ("query_class", query_class) ]
+              ~attrs:(fun () ->
+                [
+                  ("context", context);
+                  ("query_class", query_class);
+                  ("leader_trace", Printf.sprintf "%08x" leader_trace);
+                ])
               (fun () -> Sim.Engine.Ivar.read iv)
         | None ->
             let iv = Sim.Engine.Ivar.create () in
-            Hashtbl.replace t.inflight key iv;
+            Hashtbl.replace t.inflight key (iv, Obs.Span.current_trace ());
             Fun.protect
               ~finally:(fun () ->
                 (* Entry removed before we return: sequential callers

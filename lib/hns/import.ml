@@ -68,6 +68,7 @@ let locate env arrangement ~context =
           with
           | Error e when agent_unreachable e && Option.is_some env.local_hns ->
               Obs.Metrics.incr m_agent_failovers;
+              Obs.Qlog.note_outcome Obs.Qlog.Failover;
               locate_local env ~context
           | outcome -> outcome))
   | Combined_agent -> Error (Errors.Meta_error "combined agent does not locate")
@@ -82,7 +83,7 @@ let nsm_access env arrangement ~nsm_name ~binding =
       | None -> Nsm_intf.Remote binding)
   | Remote_nsms | All_remote | Combined_agent -> Nsm_intf.Remote binding
 
-let rec import env arrangement ~service hns_name =
+let rec import_inner env arrangement ~service hns_name =
   match arrangement with
   | Combined_agent -> (
       match need_agent env with
@@ -93,7 +94,8 @@ let rec import env arrangement ~service hns_name =
               (* The combined agent crashed mid-flight: resolve
                  directly, calling the NSM through its binding. *)
               Obs.Metrics.incr m_agent_failovers;
-              import env Remote_nsms ~service hns_name
+              Obs.Qlog.note_outcome Obs.Qlog.Failover;
+              import_inner env Remote_nsms ~service hns_name
           | outcome -> outcome))
   | All_linked | Remote_hns | Remote_nsms | All_remote -> (
       match locate env arrangement ~context:hns_name.Hns_name.context with
@@ -110,3 +112,26 @@ let rec import env arrangement ~service hns_name =
               match Hrpc.Binding.of_value payload with
               | exception Invalid_argument m -> Error (Errors.Nsm_error m)
               | b -> Ok b)))
+
+let import env arrangement ~service hns_name =
+  let t0 = Obs.Metrics.now_ms () in
+  Obs.Qlog.with_query ~name:(Hns_name.to_string hns_name)
+    ~query_class:Query_class.hrpc_binding (fun () ->
+      Obs.Span.with_span "import"
+        ~attrs:(fun () ->
+          [
+            ("name", Hns_name.to_string hns_name);
+            ("arrangement", arrangement_name arrangement);
+          ])
+        (fun () ->
+          Obs.Qlog.note_trace (Obs.Span.current_trace ());
+          let r = import_inner env arrangement ~service hns_name in
+          (* Inside the span, so a breach's exemplar sees this trace. *)
+          Obs.Slo.observe
+            (Obs.Slo.get_or_create "import")
+            ~ok:(Result.is_ok r)
+            (Obs.Metrics.now_ms () -. t0);
+          (match r with
+          | Error e -> Obs.Qlog.note_error (Errors.to_string e)
+          | Ok _ -> ());
+          r))

@@ -97,17 +97,19 @@ let fresh_id t =
 let raw_query t key =
   t.lookup_count <- t.lookup_count + 1;
   Obs.Metrics.incr m_remote_lookups;
+  (* A remote round trip makes the enclosing query at least a miss. *)
+  Obs.Qlog.note_outcome Obs.Qlog.Miss;
   let request = Dns.Msg.query ~id:(fresh_id t) key Dns.Rr.T_unspec in
   (* Request encode through the generated path: fixed entry cost. *)
   charge t.generated_cost.Wire.Generic_marshal.per_call_ms;
   let exchange server =
     let binding = { t.raw_binding with Hrpc.Binding.server } in
-    match
-      Hrpc.Client.call_raw t.stack binding ?policy:t.policy
-        (Dns.Msg.encode request)
-    with
+    let req_bytes = Dns.Msg.encode request in
+    Obs.Qlog.note_server (Transport.Address.to_string server);
+    match Hrpc.Client.call_raw t.stack binding ?policy:t.policy req_bytes with
     | Error e -> Error (Errors.Rpc_error e)
     | Ok payload -> (
+        Obs.Qlog.add_bytes (String.length req_bytes + String.length payload);
         match Dns.Msg.decode payload with
         | exception Dns.Msg.Bad_message m -> Error (Errors.Meta_error m)
         | reply -> Ok reply)
@@ -221,6 +223,7 @@ let lookup t ~key ~ty =
     let elapsed = now_ms () -. t0 in
     Obs.Metrics.observe m_lookup_ms elapsed;
     Obs.Span.add_attr "hit" (if hit then "true" else "false");
+    Obs.Qlog.note_hop (Meta_schema.cache_key key) elapsed;
     log_mapping t (Meta_schema.cache_key key) hit elapsed;
     outcome
   in
@@ -229,6 +232,7 @@ let lookup t ~key ~ty =
   | Cache.Negative_hit ->
       (* A cached absence: answer "no record" without a round trip. *)
       Obs.Span.add_attr "negative" "true";
+      Obs.Qlog.note_outcome Obs.Qlog.Negative;
       finish true (Ok None)
   | Cache.Miss -> (
       match lookup_remote t ~key ~ty with
@@ -238,6 +242,7 @@ let lookup t ~key ~ty =
           match Cache.find_stale t.cache_ ~key:(Meta_schema.cache_key key) ~ty with
           | Some v ->
               Obs.Span.add_attr "stale" "true";
+              Obs.Qlog.note_outcome Obs.Qlog.Stale;
               finish false (Ok (Some v))
           | None -> finish false e)
       | ok -> finish false ok)
@@ -361,7 +366,7 @@ let find_nsm_bundle t ~context ~query_class =
     end
     else
       Obs.Span.with_span "find_nsm_bundle"
-        ~attrs:[ ("context", context); ("query_class", query_class) ]
+        ~attrs:(fun () -> [ ("context", context); ("query_class", query_class) ])
         (fun () ->
           Obs.Metrics.incr m_bundle_queries;
           (* One mapping's worth of HNS bookkeeping covers the whole
@@ -370,7 +375,9 @@ let find_nsm_bundle t ~context ~query_class =
           let t0 = now_ms () in
           let qname = Meta_schema.bundle_key ~context ~query_class in
           let finish outcome =
-            log_mapping t (Meta_schema.cache_key qname) false (now_ms () -. t0);
+            let elapsed = now_ms () -. t0 in
+            Obs.Qlog.note_hop (Meta_schema.cache_key qname) elapsed;
+            log_mapping t (Meta_schema.cache_key qname) false elapsed;
             outcome
           in
           match raw_query t qname with

@@ -5,7 +5,7 @@ let m_raw_calls = Obs.Metrics.counter "hrpc.client.raw_calls"
 let m_errors = Obs.Metrics.counter "hrpc.client.errors"
 let m_retries = Obs.Metrics.counter "hrpc.client.retries"
 let m_call_ms = Obs.Metrics.histogram "hrpc.client.call_ms"
-let m_backoff_ms = Obs.Metrics.histogram "hrpc.backoff_ms"
+let m_backoff_ms = Obs.Metrics.histogram "hrpc.client.backoff_ms"
 
 (* Merge the legacy [?timeout]/[?attempts] knobs into a retry policy:
    an explicit policy is the base, the scalar knobs override it. *)
@@ -115,6 +115,7 @@ let call_inner stack (b : Binding.t) ~procnum ~sign ~policy v =
       | Ok resp -> decode_res resp)
   | Component.C_sunrpc -> (
       let xid = Rpc.Control.next_xid () in
+      let body = Trace_header.stamp_current body in
       let payload =
         Rpc.Sunrpc_wire.(
           encode
@@ -144,6 +145,7 @@ let call_inner stack (b : Binding.t) ~procnum ~sign ~policy v =
               Error (Rpc.Control.Protocol_error "call in reply position")))
   | Component.C_courier -> (
       let transaction = Int32.to_int (Rpc.Control.next_xid ()) land 0xFFFF in
+      let body = Trace_header.stamp_current body in
       let payload =
         Rpc.Courier_wire.(
           encode
@@ -170,7 +172,17 @@ let call_inner stack (b : Binding.t) ~procnum ~sign ~policy v =
 let call stack (b : Binding.t) ~procnum ~sign ?timeout ?attempts ?policy v =
   Obs.Metrics.incr m_calls;
   let policy = resolve_policy ?timeout ?attempts ?policy () in
-  Obs.Metrics.time m_call_ms (fun () ->
-      let result = call_inner stack b ~procnum ~sign ~policy v in
-      (match result with Error _ -> Obs.Metrics.incr m_errors | Ok _ -> ());
-      result)
+  (* The hrpc_call span is the client half of cross-hop propagation:
+     call_inner stamps its (trace, id) into the call body, and the
+     server's hrpc_serve span adopts it as a remote parent. *)
+  Obs.Span.with_span "hrpc_call"
+    ~attrs:(fun () ->
+      [
+        ("proc", string_of_int procnum);
+        ("suite", Component.suite_name b.suite);
+      ])
+    (fun () ->
+      Obs.Metrics.time m_call_ms (fun () ->
+          let result = call_inner stack b ~procnum ~sign ~policy v in
+          (match result with Error _ -> Obs.Metrics.incr m_errors | Ok _ -> ());
+          result))

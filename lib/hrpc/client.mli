@@ -11,7 +11,7 @@
     Retries are governed by a {!Rpc.Control.retry_policy}: UDP
     transports retransmit with escalating per-attempt deadlines and a
     jittered exponential backoff pause between attempts (recorded in
-    the [hrpc.backoff_ms] histogram); TCP transports make a single
+    the [hrpc.client.backoff_ms] histogram); TCP transports make a single
     attempt bounded by the attempt timeout, including connection
     establishment. Exhausting the budget yields
     [Error (Timeout { elapsed_ms })] carrying the cumulative virtual

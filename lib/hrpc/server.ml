@@ -59,17 +59,30 @@ let calls_served t = t.served
 (* Process one control message; [None] means drop silently. *)
 let dispatch t payload : string option =
   let rep = t.suite.Component.data_rep in
-  let run (proc : proc) body =
+  let run (proc : proc) procnum body =
+    (* The server half of cross-hop propagation: adopt the caller's
+       stamped span as a remote parent, so the whole exchange renders
+       as one tree even though client and server are different
+       simulated processes. *)
+    let trace, parent, body = Trace_header.strip body in
     match Wire.Data_rep.of_string rep proc.sign.Wire.Idl.arg body with
     | exception _ -> Error `Garbage
-    | arg -> (
+    | arg ->
         t.served <- t.served + 1;
-        (* A crashing procedure must not take the server process (and
-           the whole simulation) down with it. *)
-        match proc.impl arg with
-        | res -> Ok (Wire.Data_rep.to_string rep proc.sign.Wire.Idl.res res)
-        | exception Failure m -> Error (`Crash m)
-        | exception Invalid_argument m -> Error (`Crash m))
+        let span = Obs.Span.open_remote_span ~trace ~parent "hrpc_serve" in
+        if span <> 0 then begin
+          Obs.Span.add_attr "proc" (string_of_int procnum);
+          Obs.Span.add_attr "port" (string_of_int t.port)
+        end;
+        Fun.protect
+          ~finally:(fun () -> Obs.Span.close_span span)
+          (fun () ->
+            (* A crashing procedure must not take the server process
+               (and the whole simulation) down with it. *)
+            match proc.impl arg with
+            | res -> Ok (Wire.Data_rep.to_string rep proc.sign.Wire.Idl.res res)
+            | exception Failure m -> Error (`Crash m)
+            | exception Invalid_argument m -> Error (`Crash m))
   in
   match t.suite.Component.control with
   | Component.C_raw -> None
@@ -87,7 +100,7 @@ let dispatch t payload : string option =
                   if c.procnum = 0l then Rpc.Sunrpc_wire.Success ""
                   else Rpc.Sunrpc_wire.Proc_unavail
               | Some proc -> (
-                  match run proc c.body with
+                  match run proc (Int32.to_int c.procnum) c.body with
                   | Ok body -> Rpc.Sunrpc_wire.Success body
                   | Error `Garbage -> Rpc.Sunrpc_wire.Garbage_args
                   | Error (`Crash _) -> Rpc.Sunrpc_wire.System_err)
@@ -116,7 +129,7 @@ let dispatch t payload : string option =
                       code = Rpc.Courier_wire.No_such_procedure;
                     }
               | Some proc -> (
-                  match run proc c.body with
+                  match run proc c.procnum c.body with
                   | Ok body -> Rpc.Courier_wire.Return { transaction = c.transaction; body }
                   | Error `Garbage ->
                       Rpc.Courier_wire.Reject

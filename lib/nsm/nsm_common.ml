@@ -17,6 +17,9 @@ let instrument ~name (impl : Hns.Nsm_intf.impl) : Hns.Nsm_intf.impl =
   let ms = Obs.Metrics.histogram (Printf.sprintf "nsm.%s.ms" name) in
   fun arg ->
     Obs.Metrics.incr calls;
+    (* Tag the serving span (the server's hrpc_serve, or the caller's
+       own span on the linked path) with which NSM backend answered. *)
+    Obs.Span.add_attr "nsm" name;
     Obs.Metrics.time ms (fun () ->
         match impl arg with
         | v -> v

@@ -2,11 +2,12 @@ let pp_sample ppf (s : Metrics.sample) =
   match s with
   | Metrics.Count n -> Format.fprintf ppf "%d" n
   | Metrics.Level x -> Format.fprintf ppf "%g" x
-  | Metrics.Summary { n; mean; p50; p95; min; max; _ } ->
+  | Metrics.Summary { n; mean; p50; p95; p99; p999; min; max; _ } ->
       if n = 0 then Format.fprintf ppf "(no samples)"
       else
         Format.fprintf ppf
-          "n=%d mean=%.2f p50=%.2f p95=%.2f min=%.2f max=%.2f" n mean p50 p95 min max
+          "n=%d mean=%.2f p50=%.2f p95=%.2f p99=%.2f p999=%.2f min=%.2f max=%.2f" n
+          mean p50 p95 p99 p999 min max
 
 let pp_metrics ppf () =
   let rows = Metrics.snapshot () in
@@ -26,7 +27,7 @@ let sample_json (s : Metrics.sample) =
   | Metrics.Count n ->
       Json.Obj [ ("type", Json.Str "counter"); ("value", Json.Num (float_of_int n)) ]
   | Metrics.Level x -> Json.Obj [ ("type", Json.Str "gauge"); ("value", Json.Num x) ]
-  | Metrics.Summary { n; total; mean; p50; p95; min; max } ->
+  | Metrics.Summary { n; total; mean; p50; p95; p99; p999; min; max } ->
       Json.Obj
         [
           ("type", Json.Str "histogram");
@@ -35,6 +36,8 @@ let sample_json (s : Metrics.sample) =
           ("mean_ms", Json.Num mean);
           ("p50_ms", Json.Num p50);
           ("p95_ms", Json.Num p95);
+          ("p99_ms", Json.Num p99);
+          ("p999_ms", Json.Num p999);
           ("min_ms", Json.Num min);
           ("max_ms", Json.Num max);
         ]
@@ -97,7 +100,10 @@ let write_file path contents =
       output_string oc contents;
       output_char oc '\n')
 
+(* Publishing SLOs first means every snapshot automatically carries
+   the current slo.<name>.* gauges alongside the raw instruments. *)
 let write_metrics_snapshot ~path () =
+  Slo.publish ();
   write_file path
     (Json.to_string_pretty
        (Json.Obj [ ("schema", Json.Str "hns-obs/1"); ("metrics", metrics_json ()) ]))
@@ -106,20 +112,23 @@ let bench_json rows =
   let experiment (name, stats) =
     let n = Sim.Stats.count stats in
     let num f = if n = 0 then Json.Null else Json.Num f in
+    let pct p = if n = 0 then 0.0 else Sim.Stats.percentile stats p in
     Json.Obj
       [
         ("name", Json.Str name);
         ("n", Json.Num (float_of_int n));
         ("mean_ms", num (Sim.Stats.mean stats));
         ("p50_ms", num (if n = 0 then 0.0 else Sim.Stats.median stats));
-        ("p95_ms", num (if n = 0 then 0.0 else Sim.Stats.percentile stats 95.0));
+        ("p95_ms", num (pct 95.0));
+        ("p99_ms", num (pct 99.0));
+        ("p999_ms", num (pct 99.9));
         ("min_ms", num (Sim.Stats.min_value stats));
         ("max_ms", num (Sim.Stats.max_value stats));
       ]
   in
   Json.Obj
     [
-      ("schema", Json.Str "hns-bench/1");
+      ("schema", Json.Str "hns-bench/2");
       ("experiments", Json.List (List.map experiment rows));
     ]
 
@@ -128,3 +137,6 @@ let write_bench_json ~path rows =
 
 let spans_json () =
   Json.Obj [ ("schema", Json.Str "hns-spans/1"); ("spans", Span.to_json ()) ]
+
+let qlog_json () =
+  Json.Obj [ ("schema", Json.Str "hns-qlog/1"); ("records", Qlog.to_json ()) ]

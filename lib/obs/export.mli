@@ -25,14 +25,16 @@ val pp_delta :
   after:(string * Metrics.sample) list ->
   unit
 
-(** [write_metrics_snapshot ~path ()] writes the registry as a
-    [BENCH_obs.json] document: [{"schema":"hns-obs/1","metrics":{...}}]. *)
+(** [write_metrics_snapshot ~path ()] publishes every SLO into the
+    registry ({!Slo.publish}) and writes it as a [BENCH_obs.json]
+    document: [{"schema":"hns-obs/1","metrics":{...}}]. *)
 val write_metrics_snapshot : path:string -> unit -> unit
 
 (** [bench_json rows] builds the [BENCH_hns.json] document from named
-    sample sets: [{"schema":"hns-bench/1","experiments":[{"name","n",
-    "mean_ms","p50_ms","p95_ms","min_ms","max_ms"},...]}]. Rows with no
-    samples are emitted with [n = 0] and null statistics. *)
+    sample sets: [{"schema":"hns-bench/2","experiments":[{"name","n",
+    "mean_ms","p50_ms","p95_ms","p99_ms","p999_ms","min_ms","max_ms"},
+    ...]}]. Rows with no samples are emitted with [n = 0] and null
+    statistics. *)
 val bench_json : (string * Sim.Stats.t) list -> Json.t
 
 val write_bench_json : path:string -> (string * Sim.Stats.t) list -> unit
@@ -40,3 +42,7 @@ val write_bench_json : path:string -> (string * Sim.Stats.t) list -> unit
 (** Spans of the global tracer as a [{"schema":"hns-spans/1",
     "spans":[...]}] document. *)
 val spans_json : unit -> Json.t
+
+(** Flight-recorder ring as a [{"schema":"hns-qlog/1",
+    "records":[...]}] document. *)
+val qlog_json : unit -> Json.t

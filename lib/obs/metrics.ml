@@ -89,6 +89,8 @@ type sample =
       mean : float;
       p50 : float;
       p95 : float;
+      p99 : float;
+      p999 : float;
       min : float;
       max : float;
     }
@@ -100,7 +102,18 @@ let sample_of = function
       let s = h.stats_ in
       let n = Sim.Stats.count s in
       if n = 0 then
-        Summary { n = 0; total = 0.0; mean = 0.0; p50 = 0.0; p95 = 0.0; min = 0.0; max = 0.0 }
+        Summary
+          {
+            n = 0;
+            total = 0.0;
+            mean = 0.0;
+            p50 = 0.0;
+            p95 = 0.0;
+            p99 = 0.0;
+            p999 = 0.0;
+            min = 0.0;
+            max = 0.0;
+          }
       else
         Summary
           {
@@ -109,6 +122,8 @@ let sample_of = function
             mean = Sim.Stats.mean s;
             p50 = Sim.Stats.median s;
             p95 = Sim.Stats.percentile s 95.0;
+            p99 = Sim.Stats.percentile s 99.0;
+            p999 = Sim.Stats.percentile s 99.9;
             min = Sim.Stats.min_value s;
             max = Sim.Stats.max_value s;
           }
@@ -118,6 +133,23 @@ let snapshot () =
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let find name = Option.map sample_of (Hashtbl.find_opt registry name)
+
+(* The charset is enforced at registration; structure is linted after
+   the fact so a run can register freely and `make obs` still catches a
+   two-segment name like "hrpc.backoff_ms" sneaking in. *)
+let lint () =
+  let structure name =
+    let segments = String.split_on_char '.' name in
+    if List.length segments < 3 then
+      Some
+        (Printf.sprintf "%S has %d dot-separated segments, want layer.component.metric"
+           name (List.length segments))
+    else if List.exists (fun s -> s = "") segments then
+      Some (Printf.sprintf "%S has an empty segment" name)
+    else None
+  in
+  Hashtbl.fold (fun name _ acc -> acc @ Option.to_list (structure name)) registry []
+  |> List.sort String.compare
 
 let reset () =
   Hashtbl.iter

@@ -60,6 +60,8 @@ type sample =
       mean : float;
       p50 : float;
       p95 : float;
+      p99 : float;
+      p999 : float;
       min : float;
       max : float;
     }
@@ -69,6 +71,13 @@ type sample =
 val snapshot : unit -> (string * sample) list
 
 val find : string -> sample option
+
+(** Structural lint over every registered name: each must have at
+    least three dot-separated, non-empty segments
+    ([layer.component.metric]). Returns one message per violation,
+    sorted; empty means clean. (Kind clashes — the same name as two
+    instrument kinds — already fail fast at registration.) *)
+val lint : unit -> string list
 
 (** Zero every instrument {e without} invalidating handles held by
     instrumented modules: counters and gauges go to zero, histograms

@@ -1,0 +1,117 @@
+(** The query flight recorder: a bounded ring of structured per-query
+    records explaining where each resolution's time went.
+
+    One record per top-level query (a [Hns.Client.resolve], an agent
+    request, a bare FindNSM), annotated by the inner layers as the
+    query descends: per-hop timings from the meta client and the NSM
+    interface, bytes on the wire, servers touched, and an outcome
+    classification. Records carry the trace id of the query's span
+    tree, so a slow record cross-references its full trace.
+
+    Like {!Span}, recording is per-fiber (keyed by
+    {!Sim.Engine.self_pid}): records opened by interleaved simulated
+    processes do not contaminate each other's annotations. Disabled by
+    default; every entry point is one branch when off. *)
+
+type outcome =
+  | Hit  (** answered entirely from cache *)
+  | Miss  (** at least one remote meta round trip *)
+  | Coalesced  (** rode another query's in-flight work *)
+  | Negative  (** answered from the negative cache *)
+  | Stale  (** served an expired entry under backend failure *)
+  | Failover  (** an alternate server answered *)
+  | Failed  (** returned an error *)
+
+val outcome_to_string : outcome -> string
+val outcome_of_string : string -> outcome option
+
+type record = {
+  qid : int;
+  name : string;
+  query_class : string;
+  pid : int;
+  mutable trace : int;  (** trace id of the query's span tree, 0 when untraced *)
+  start_ms : float;
+  mutable end_ms : float;
+  mutable outcome : outcome;
+  mutable hops : (string * float) list;
+  mutable bytes : int;
+  mutable servers : string list;
+  mutable linked_trace : int;  (** leader's trace id for coalesced followers *)
+  mutable error : string option;
+}
+
+val enable : unit -> unit
+val disable : unit -> unit
+val enabled : unit -> bool
+
+(** Forget all records and rewind the id counter. *)
+val clear : unit -> unit
+
+(** [with_query ~name ~query_class f] runs [f] under a fresh in-flight
+    record for the calling fiber (retired into the ring even if [f]
+    raises). Just [f ()] when disabled. Queries nest; annotations
+    apply to the innermost. *)
+val with_query : name:string -> query_class:string -> (unit -> 'a) -> 'a
+
+(** {1 Annotations}
+
+    Each applies to the calling fiber's innermost in-flight record;
+    no-ops when the recorder is off or no query is open. *)
+
+(** Reclassify the record's outcome; only upgrades stick (a [Stale]
+    never downgrades back to [Miss]). *)
+val note_outcome : outcome -> unit
+
+(** Append a per-hop timing ([label], virtual ms). *)
+val note_hop : string -> float -> unit
+
+(** Add wire bytes (request + reply) to the record's total. *)
+val add_bytes : int -> unit
+
+(** Record a server touched (deduplicated, insertion order kept). *)
+val note_server : string -> unit
+
+(** Set the record's trace id if it has none yet (the record may open
+    before its root span does). *)
+val note_trace : int -> unit
+
+(** Coalesced-follower link: remember the leader's trace id and
+    upgrade the outcome to [Coalesced]. *)
+val note_link : int -> unit
+
+(** Record an error message and classify the record [Failed]. *)
+val note_error : string -> unit
+
+(** {1 Reading the ring} *)
+
+(** Retired records, oldest first. At most [2048] are retained. *)
+val records : unit -> record list
+
+val dropped : unit -> int
+val duration_ms : record -> float
+
+(** Hops / servers in insertion order. *)
+val hops : record -> (string * float) list
+
+val servers : record -> string list
+
+val record_json : record -> Json.t
+
+(** All records as a JSON array. *)
+val to_json : unit -> Json.t
+
+(** One compact JSON object per line per record. *)
+val json_lines : unit -> string
+
+(** {1 Filters} *)
+
+(** [slowest n rs] — the [n] longest records, longest first (stable
+    for ties). *)
+val slowest : int -> record list -> record list
+
+val by_outcome : outcome -> record list -> record list
+
+(** Records whose queried name lives in [context] (the part before
+    ['!'], or the whole name when there is none). *)
+val by_context : string -> record list -> record list

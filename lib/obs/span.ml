@@ -2,7 +2,10 @@ type id = int
 
 type span = {
   id : id;
+  trace : id;
   parent : id option;
+  remote : bool;
+  pid : int;
   name : string;
   mutable attrs : (string * string) list;
   start_ms : float;
@@ -14,14 +17,21 @@ let max_retained = 8192
 type state = {
   mutable on : bool;
   mutable next_id : int;
-  mutable stack : span list; (* innermost first *)
+  stacks : (int, span list) Hashtbl.t; (* per-fiber, innermost first *)
   mutable closed : span list; (* newest first *)
   mutable closed_count : int;
   mutable dropped_count : int;
 }
 
 let st =
-  { on = false; next_id = 1; stack = []; closed = []; closed_count = 0; dropped_count = 0 }
+  {
+    on = false;
+    next_id = 1;
+    stacks = Hashtbl.create 16;
+    closed = [];
+    closed_count = 0;
+    dropped_count = 0;
+  }
 
 let enable () = st.on <- true
 let disable () = st.on <- false
@@ -29,16 +39,61 @@ let enabled () = st.on
 
 let now_ms () = try Sim.Engine.time () with Effect.Unhandled _ -> 0.0
 
-let open_span ?(attrs = []) name =
+(* Spans are stacked per fiber: the cooperative scheduler interleaves
+   processes at await points, so one global stack would nest a server's
+   spans under whatever client happens to be blocked. Pid 0 is
+   everything outside the simulation (tests, the CLI prologue). *)
+let self_pid () = try Sim.Engine.self_pid () with Effect.Unhandled _ -> 0
+
+let stack_of pid = Option.value (Hashtbl.find_opt st.stacks pid) ~default:[]
+
+let set_stack pid = function
+  | [] -> Hashtbl.remove st.stacks pid
+  | stack -> Hashtbl.replace st.stacks pid stack
+
+let fresh_id () =
+  let id = st.next_id in
+  st.next_id <- st.next_id + 1;
+  id
+
+let push_span ~trace ~parent ~remote name =
+  let pid = self_pid () in
+  let stack = stack_of pid in
+  let id = fresh_id () in
+  let trace = if trace = 0 then id else trace in
+  let s =
+    {
+      id;
+      trace;
+      parent;
+      remote;
+      pid;
+      name;
+      attrs = [];
+      start_ms = now_ms ();
+      end_ms = nan;
+    }
+  in
+  set_stack pid (s :: stack);
+  id
+
+let open_span name =
   if not st.on then 0
   else begin
-    let id = st.next_id in
-    st.next_id <- st.next_id + 1;
-    let parent = match st.stack with [] -> None | s :: _ -> Some s.id in
-    let s = { id; parent; name; attrs; start_ms = now_ms (); end_ms = nan } in
-    st.stack <- s :: st.stack;
-    id
+    let pid = self_pid () in
+    match stack_of pid with
+    | [] -> push_span ~trace:0 ~parent:None ~remote:false name
+    | parent :: _ ->
+        push_span ~trace:parent.trace ~parent:(Some parent.id) ~remote:false name
   end
+
+(* A span adopting a parent from another process (arrived in an RPC
+   header): same trace, remote parent link. With no wire context the
+   span roots a fresh trace in this fiber. *)
+let open_remote_span ~trace ~parent name =
+  if not st.on then 0
+  else if trace = 0 || parent = 0 then open_span name
+  else push_span ~trace ~parent:(Some parent) ~remote:true name
 
 let retire s =
   st.closed <- s :: st.closed;
@@ -54,42 +109,68 @@ let retire s =
   end
 
 (* Deliberately ignores the enabled flag: a span opened while tracing
-   was on must still be closed if tracing gets disabled mid-scope. *)
+   was on must still be closed if tracing gets disabled mid-scope.
+   Closing a non-innermost span also closes everything opened inside
+   it — within the same fiber only. *)
 let close_span id =
-  if id <> 0 && List.exists (fun s -> s.id = id) st.stack then begin
-    let t = now_ms () in
-    let rec pop () =
-      match st.stack with
-      | [] -> ()
-      | s :: rest ->
-          st.stack <- rest;
-          s.end_ms <- t;
-          retire s;
-          if s.id <> id then pop ()
-    in
-    pop ()
+  if id <> 0 then begin
+    let pid = self_pid () in
+    let stack = stack_of pid in
+    if List.exists (fun s -> s.id = id) stack then begin
+      let t = now_ms () in
+      let rec pop = function
+        | [] -> []
+        | s :: rest ->
+            s.end_ms <- t;
+            retire s;
+            if s.id = id then rest else pop rest
+      in
+      set_stack pid (pop stack)
+    end
   end
 
+(* [attrs] is a thunk so the disabled path never builds the attribute
+   list: one branch, then straight into [f]. *)
 let with_span ?attrs name f =
   if not st.on then f ()
   else begin
-    let id = open_span ?attrs name in
+    let id = open_span name in
+    (match attrs with
+    | None -> ()
+    | Some mk -> (
+        match stack_of (self_pid ()) with
+        | s :: _ when s.id = id -> s.attrs <- mk ()
+        | _ -> ()));
     Fun.protect ~finally:(fun () -> close_span id) f
   end
 
 let add_attr key value =
   if st.on then
-    match st.stack with
+    match stack_of (self_pid ()) with
     | [] -> ()
     | s :: _ -> s.attrs <- s.attrs @ [ (key, value) ]
 
+(* The innermost open span of the calling fiber, as wire-able context.
+   This is what an RPC client stamps into its call header. *)
+let context () =
+  if not st.on then None
+  else
+    match stack_of (self_pid ()) with
+    | [] -> None
+    | s :: _ -> Some (s.trace, s.id)
+
+let current_trace () = match context () with None -> 0 | Some (t, _) -> t
+
 let finished () = List.rev st.closed
-let open_stack () = List.rev_map (fun s -> (s.id, s.name)) st.stack
+let open_stack () = List.rev_map (fun s -> (s.id, s.name)) (stack_of (self_pid ()))
 let dropped () = st.dropped_count
 let duration_ms s = s.end_ms -. s.start_ms
 
+(* Also rewinds the id counter: a cleared tracer replays identically,
+   which the same-seed determinism regressions rely on. *)
 let clear () =
-  st.stack <- [];
+  Hashtbl.reset st.stacks;
+  st.next_id <- 1;
   st.closed <- [];
   st.closed_count <- 0;
   st.dropped_count <- 0
@@ -110,8 +191,10 @@ let pp_tree ppf () =
       spans
   in
   let rec render depth s =
-    Format.fprintf ppf "%s%s (%.1f ms)%a@." (String.make (2 * depth) ' ') s.name
-      (duration_ms s) pp_attrs s.attrs;
+    Format.fprintf ppf "%s%s%s (%.1f ms, pid %d)%a@."
+      (String.make (2 * depth) ' ')
+      (if s.remote then "~> " else "")
+      s.name (duration_ms s) s.pid pp_attrs s.attrs;
     List.iter (render (depth + 1)) (children s.id)
   in
   List.iter (render 0) roots;
@@ -125,10 +208,13 @@ let to_json () =
          Json.Obj
            [
              ("id", Json.Num (float_of_int s.id));
+             ("trace", Json.Num (float_of_int s.trace));
              ( "parent",
                match s.parent with
                | None -> Json.Null
                | Some p -> Json.Num (float_of_int p) );
+             ("remote", Json.Bool s.remote);
+             ("pid", Json.Num (float_of_int s.pid));
              ("name", Json.Str s.name);
              ("start_ms", Json.Num s.start_ms);
              ("end_ms", Json.Num s.end_ms);

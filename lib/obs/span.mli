@@ -17,20 +17,30 @@
       nsm_call
     v}
 
-    Tracing is disabled by default and costs one branch per
-    {!with_span} when off. The structured replacement for the
-    [Sim.Trace] string ring: exporters render the tree for humans
-    ({!pp_tree}) and machines ({!to_json}).
+    Spans carry a {e trace id} (the id of the trace's root span) and
+    may link to a parent on another simulated process via a {e remote}
+    parent link, carried in HRPC call headers — one cold resolve
+    through a shared agent renders as a single tree spanning every
+    host it touched.
 
-    The tracer is global, like the metrics registry, and assumes the
-    single-threaded cooperative execution of the simulator: spans
-    opened by an instrumented call nest by dynamic extent. *)
+    Tracing is disabled by default and costs one branch per
+    {!with_span} when off: attributes are passed as a thunk that is
+    never invoked on the disabled path, and {!add_attr} is a single
+    flag test.
+
+    The tracer is global, like the metrics registry, but spans nest
+    {e per simulated process} (keyed by {!Sim.Engine.self_pid}), so
+    interleaved fibers do not corrupt each other's stacks. Outside the
+    simulation everything shares pseudo-process 0. *)
 
 type id = int
 
 type span = {
   id : id;
+  trace : id;  (** id of the root span of this span's trace *)
   parent : id option;
+  remote : bool;  (** parent span lives on another process (wire link) *)
+  pid : int;  (** {!Sim.Engine.self_pid} of the opening fiber *)
   name : string;
   mutable attrs : (string * string) list;  (** insertion order *)
   start_ms : float;
@@ -42,41 +52,62 @@ val disable : unit -> unit
 val enabled : unit -> bool
 
 (** [with_span ?attrs name f] runs [f] inside a fresh span (closed even
-    if [f] raises). When tracing is disabled this is just [f ()]. *)
-val with_span : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+    if [f] raises). When tracing is disabled this is just [f ()]; the
+    [attrs] thunk is only invoked when tracing is on. *)
+val with_span : ?attrs:(unit -> (string * string) list) -> string -> (unit -> 'a) -> 'a
 
-(** Attach an attribute to the innermost open span. No-op when
-    disabled or when no span is open. *)
+(** Attach an attribute to the calling fiber's innermost open span.
+    No-op when disabled or when no span is open. Guard expensive value
+    construction with {!enabled}. *)
 val add_attr : string -> string -> unit
+
+(** [(trace_id, span_id)] of the calling fiber's innermost open span;
+    [None] when disabled or no span is open. This is the context an
+    RPC client stamps into its call header. *)
+val context : unit -> (id * id) option
+
+(** Trace id of the calling fiber's innermost open span, [0] when
+    none. *)
+val current_trace : unit -> id
 
 (** {1 Explicit open/close}
 
     For instrumentation that cannot be expressed as a [with_span]
     scope. Closing a span that is not the innermost one also closes
-    every span opened inside it (they end at the same instant);
-    closing an unknown or already-closed id is a no-op. *)
+    every span opened inside it in the same fiber (they end at the
+    same instant); closing an unknown or already-closed id is a
+    no-op. *)
 
-val open_span : ?attrs:(string * string) list -> string -> id
+val open_span : string -> id
+
+(** [open_remote_span ~trace ~parent name] opens a span that joins
+    trace [trace] with a {e remote} parent link to span [parent] on
+    another process — the server half of cross-hop propagation. With
+    [trace = 0] or [parent = 0] it degrades to {!open_span}. *)
+val open_remote_span : trace:id -> parent:id -> string -> id
+
 val close_span : id -> unit
 
 (** Completed spans, oldest first. At most [8192] are retained;
     older ones are dropped (see {!dropped}). *)
 val finished : unit -> span list
 
-(** Ids and names of still-open spans, outermost first. *)
+(** Ids and names of the calling fiber's still-open spans, outermost
+    first. *)
 val open_stack : unit -> (id * string) list
 
 val dropped : unit -> int
 val duration_ms : span -> float
 
-(** Forget all recorded and open spans (the enabled flag is
-    unchanged). *)
+(** Forget all recorded and open spans and rewind the id counter (the
+    enabled flag is unchanged) — a cleared tracer replays
+    byte-identically on the same seed. *)
 val clear : unit -> unit
 
-(** Render completed spans as an indented tree with durations and
-    attributes. *)
+(** Render completed spans as an indented tree with durations, pids
+    and attributes; remote-parented spans are marked [~>]. *)
 val pp_tree : Format.formatter -> unit -> unit
 
-(** All completed spans as a JSON array (id, parent, name, start_ms,
-    end_ms, attrs). *)
+(** All completed spans as a JSON array (id, trace, parent, remote,
+    pid, name, start_ms, end_ms, attrs). *)
 val to_json : unit -> Json.t

@@ -1,0 +1,85 @@
+type t = {
+  window_ms : float;
+  max_samples : int;
+  q : (float * float) Queue.t; (* (observed_at_ms, value), oldest first *)
+}
+
+let now_ms () = try Sim.Engine.time () with Effect.Unhandled _ -> 0.0
+
+let create ?(max_samples = 8192) ~window_ms () =
+  if window_ms <= 0.0 then invalid_arg "Timeseries.create: window must be positive";
+  if max_samples <= 0 then invalid_arg "Timeseries.create: max_samples must be positive";
+  { window_ms; max_samples; q = Queue.create () }
+
+let window_ms t = t.window_ms
+
+(* Drop samples that have slid out of the window ending now. *)
+let prune t =
+  let horizon = now_ms () -. t.window_ms in
+  let rec go () =
+    match Queue.peek_opt t.q with
+    | Some (at, _) when at < horizon ->
+        ignore (Queue.pop t.q);
+        go ()
+    | _ -> ()
+  in
+  go ()
+
+let observe t v =
+  prune t;
+  Queue.push (now_ms (), v) t.q;
+  if Queue.length t.q > t.max_samples then ignore (Queue.pop t.q)
+
+let count t =
+  prune t;
+  Queue.length t.q
+
+let values t =
+  prune t;
+  List.map snd (List.of_seq (Queue.to_seq t.q))
+
+(* Events per (virtual) second over the window. *)
+let rate_per_s t = float_of_int (count t) /. (t.window_ms /. 1000.0)
+
+let percentile t p =
+  if p < 0.0 || p > 100.0 then invalid_arg "Timeseries.percentile: p out of range";
+  match values t with
+  | [] -> invalid_arg "Timeseries.percentile: no samples in window"
+  | vs ->
+      let sorted = Array.of_list (List.sort compare vs) in
+      let n = Array.length sorted in
+      let index = p /. 100.0 *. float_of_int (n - 1) in
+      let lo_i = int_of_float (floor index) and hi_i = int_of_float (ceil index) in
+      if lo_i = hi_i then sorted.(lo_i)
+      else begin
+        let frac = index -. float_of_int lo_i in
+        sorted.(lo_i) +. (frac *. (sorted.(hi_i) -. sorted.(lo_i)))
+      end
+
+type summary = {
+  n : int;
+  rate_per_s : float;
+  mean : float;
+  p50 : float;
+  p99 : float;
+  p999 : float;
+  max : float;
+}
+
+let summary t =
+  match values t with
+  | [] ->
+      { n = 0; rate_per_s = 0.0; mean = 0.0; p50 = 0.0; p99 = 0.0; p999 = 0.0; max = 0.0 }
+  | vs ->
+      let n = List.length vs in
+      {
+        n;
+        rate_per_s = float_of_int n /. (t.window_ms /. 1000.0);
+        mean = List.fold_left ( +. ) 0.0 vs /. float_of_int n;
+        p50 = percentile t 50.0;
+        p99 = percentile t 99.0;
+        p999 = percentile t 99.9;
+        max = List.fold_left Float.max neg_infinity vs;
+      }
+
+let clear t = Queue.clear t.q

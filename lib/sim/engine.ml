@@ -12,10 +12,18 @@ type t = {
   queue : event Heap.t;
   mutable executed : int;
   mutable failure : (string * exn) option;
+  mutable next_pid : int;
 }
 
 let create () =
-  { now = 0.0; seq = 0; queue = Heap.create ~leq; executed = 0; failure = None }
+  {
+    now = 0.0;
+    seq = 0;
+    queue = Heap.create ~leq;
+    executed = 0;
+    failure = None;
+    next_pid = 0;
+  }
 
 let now t = t.now
 let events_executed t = t.executed
@@ -41,6 +49,7 @@ type _ Effect.t +=
   | Now : time Effect.t
   | Self_engine : t Effect.t
   | Self_name : string Effect.t
+  | Self_pid : int Effect.t
   | Spawn_eff : string option * (unit -> unit) -> unit Effect.t
   | Await : 'a ivar -> 'a Effect.t
   | Await_timeout : 'a ivar * time -> 'a option Effect.t
@@ -52,10 +61,16 @@ let rec pop_reader readers =
   | None -> None
   | Some r -> if r.cancelled then pop_reader readers else Some r
 
-let rec spawn t ?(name = "anon") f = schedule t 0.0 (fun () -> exec_process t name f)
+(* Pids are allocated in spawn order — a deterministic function of the
+   program, so anything keyed by pid (per-fiber span stacks, query
+   records) replays identically across runs. *)
+let rec spawn t ?(name = "anon") f =
+  t.next_pid <- t.next_pid + 1;
+  let pid = t.next_pid in
+  schedule t 0.0 (fun () -> exec_process t name pid f)
 
-and exec_process : t -> string -> (unit -> unit) -> unit =
- fun t name f ->
+and exec_process : t -> string -> int -> (unit -> unit) -> unit =
+ fun t name pid f ->
   let open Effect.Deep in
   match_with f ()
     {
@@ -72,6 +87,7 @@ and exec_process : t -> string -> (unit -> unit) -> unit =
           | Now -> Some (fun k -> continue k t.now)
           | Self_engine -> Some (fun k -> continue k t)
           | Self_name -> Some (fun k -> continue k name)
+          | Self_pid -> Some (fun k -> continue k pid)
           | Spawn_eff (n, g) ->
               Some
                 (fun k ->
@@ -176,6 +192,7 @@ let time () = Effect.perform Now
 let spawn_child ?name f = Effect.perform (Spawn_eff (name, f))
 let self_engine () = Effect.perform Self_engine
 let self_name () = Effect.perform Self_name
+let self_pid () = Effect.perform Self_pid
 
 module Ivar = struct
   type 'a t_ = 'a ivar

@@ -66,6 +66,11 @@ val self_engine : unit -> t
 (** Name of the calling process (["anon"] when unnamed). *)
 val self_name : unit -> string
 
+(** Process id of the calling process: a deterministic counter
+    assigned at spawn (in spawn order, starting at 1), so identities
+    keyed by it replay identically across same-seed runs. *)
+val self_pid : unit -> int
+
 (** {1 Write-once synchronization variables} *)
 
 module Ivar : sig

@@ -5,6 +5,7 @@ let () =
       ("wire", Test_wire.suite);
       ("transport", Test_transport.suite);
       ("obs", Test_obs.suite);
+      ("trace", Test_trace.suite);
       ("rpc", Test_rpc.suite);
       ("dns", Test_dns.suite);
       ("clearinghouse", Test_clearinghouse.suite);

@@ -91,7 +91,7 @@ let span_nesting () =
   Obs.Span.clear ();
   Obs.Span.enable ();
   Fun.protect ~finally:Obs.Span.disable (fun () ->
-      Obs.Span.with_span "outer" ~attrs:[ ("k", "v") ] (fun () ->
+      Obs.Span.with_span "outer" ~attrs:(fun () -> [ ("k", "v") ]) (fun () ->
           Obs.Span.with_span "inner" (fun () -> Obs.Span.add_attr "hit" "true"));
       match Obs.Span.finished () with
       | [ inner; outer ] ->
@@ -196,7 +196,7 @@ let bench_json_artifact () =
   Sys.mkdir dir 0o755;
   let bench_path, obs_path = Experiments.write_json_artifacts ~dir ~n:2 () in
   let doc = Obs.Json.of_string (In_channel.with_open_text bench_path In_channel.input_all) in
-  check_string "schema" "hns-bench/1" (Obs.Json.to_str (Obs.Json.get "schema" doc));
+  check_string "schema" "hns-bench/2" (Obs.Json.to_str (Obs.Json.get "schema" doc));
   let experiments = Obs.Json.to_list (Obs.Json.get "experiments" doc) in
   check_bool "has experiments" true (List.length experiments >= 4);
   let names =

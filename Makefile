@@ -1,6 +1,6 @@
 # Convenience wrappers around dune; `make check` is the pre-commit gate.
 
-.PHONY: all build test bench chaos coldpath propagation agent colocation obs check fmt clean
+.PHONY: all build test bench chaos coldpath propagation agent colocation load obs check fmt clean
 
 all: build
 
@@ -40,6 +40,13 @@ agent:
 colocation:
 	dune exec bench/main.exe -- colocation
 
+# The open-loop load harness smoke pair (decayed vs sliding hot
+# ranking) on the CI config, guarded by a fixed sim-event budget so a
+# retry storm or runaway fiber fails the gate instead of tripling the
+# run quietly. `--full` runs the million-client bench suite.
+load:
+	dune exec bin/hns_cli.exe -- load --max-events 60000
+
 # The observability suite: cross-hop trace propagation, the query
 # flight recorder and the SLO tracker, plus the metric-name lint
 # (every registered name must be layer.component.metric; duplicate-kind
@@ -66,6 +73,7 @@ check: fmt
 	$(MAKE) propagation
 	$(MAKE) agent
 	$(MAKE) colocation
+	$(MAKE) load
 	$(MAKE) obs
 
 clean:

@@ -1881,6 +1881,45 @@ let colocation () =
     "  the demarshalled cache pays off most where caches are long-lived --\n\
     \  exactly the agent arrangements the paper expected to benefit.\n"
 
+(* --- Open-loop load harness ----------------------------------------- *)
+
+module O = Workload.Openloop
+
+(* Run each config, optionally narrating the reports, and return the
+   bench rows. The flash pair is the PR's proof obligation: decayed
+   ranking must keep the steady p99 inside the SLO where the naive
+   sliding count breaches it. *)
+let loadharness_rows ?(verbose = false) ?(configs = O.bench_configs ()) () =
+  List.concat_map
+    (fun cfg ->
+      let r = O.run cfg in
+      if verbose then Format.printf "%a@." O.pp_report r;
+      O.report_rows r)
+    configs
+
+let loadharness () =
+  print_endline
+    "Open-loop load harness: a million-client confederation (virtual time)";
+  print_endline
+    "  open-loop arrivals (latency includes queueing delay), Zipf names,";
+  print_endline
+    "  agent fleets with cache churn, flash crowd A/B on the hot ranking";
+  print_newline ();
+  let rows = loadharness_rows ~verbose:true () in
+  let steady label =
+    List.assoc_opt (Printf.sprintf "loadharness.%s.steady_ms" label) rows
+  in
+  match (steady "flash.decayed", steady "flash.sliding") with
+  | Some d, Some s ->
+      Printf.printf
+        "  flash-crowd A/B, steady-set p99: decayed %.1f ms vs sliding %.1f \
+         ms\n\
+        \  (the sliding window forgets the steady heads during the flash;\n\
+        \  decayed mass rides it out, so churned agents reseed good hints)\n"
+        (Sim.Stats.percentile d 99.0)
+        (Sim.Stats.percentile s 99.0)
+  | _ -> ()
+
 (* --- JSON artifacts ------------------------------------------------- *)
 
 (* Per-experiment latency distributions for BENCH_hns.json. Each row
@@ -2008,8 +2047,15 @@ let json_rows ?(n = 8) () =
     sampled "find_nsm.cold" find_nsm_cold;
     sampled "find_nsm.warm" find_nsm_warm;
   ]
+  (* Small [n] (the artifact regression test) gets the CI smoke pair;
+     the full artifact carries the million-client bench suite. *)
   @ import_rows @ coldpath_rows @ chaos_rows @ propagation_rows @ agent_rows
   @ colocation_rows
+  @ loadharness_rows
+      ~configs:
+        (if n <= 4 then [ O.smoke (); O.smoke ~ranking:O.Sliding () ]
+         else O.bench_configs ())
+      ()
 
 (* Write BENCH_hns.json (latency distributions) and BENCH_obs.json (the
    metrics registry as left by everything this process ran). Returns

@@ -40,6 +40,8 @@ let experiments =
      Experiments.agent);
     ("colocation", "Colocation matrix: arrangements x cache mode, cold/warm",
      Experiments.colocation);
+    ("load", "Open-loop load harness: million clients, flash-crowd ranking A/B",
+     Experiments.loadharness);
   ]
 
 (* --- Bechamel: wall-clock cost of each experiment's workload -------- *)

@@ -782,6 +782,93 @@ let rexec_cmd =
     (Cmd.info "rexec" ~doc:"Run a command on a remote host via the HCS rexec service.")
     Term.(const run $ host_arg $ command_arg $ args_arg)
 
+(* --- load: the open-loop harness --- *)
+
+let load_cmd =
+  let full_arg =
+    Arg.(
+      value & flag
+      & info [ "full" ]
+          ~doc:
+            "Run the full bench suite (million-client configurations, \
+             including the flash-crowd ranking A/B). Slower; the default is \
+             the CI smoke pair.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 11
+      & info [ "seed" ] ~docv:"SEED" ~doc:"Harness RNG seed (smoke runs).")
+  in
+  let events_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "max-events" ] ~docv:"N"
+          ~doc:
+            "Fail if a run executes more than $(docv) simulation events \
+             (regression guard for make check; 0 disables).")
+  in
+  let rate_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "rate" ] ~docv:"PER-S" ~doc:"Override the Poisson arrival rate.")
+  in
+  let duration_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "duration-s" ] ~docv:"S" ~doc:"Override the measured window.")
+  in
+  let no_flash_arg =
+    Arg.(value & flag & info [ "no-flash" ] ~doc:"Disable the flash crowd.")
+  in
+  let no_churn_arg =
+    Arg.(
+      value & flag
+      & info [ "no-churn" ] ~doc:"Disable the periodic agent cache churn.")
+  in
+  let run full seed max_events rate duration_s no_flash no_churn =
+    let module O = Workload.Openloop in
+    let tweak (cfg : O.config) =
+      let cfg = { cfg with seed } in
+      let cfg =
+        match rate with
+        | Some r -> { cfg with arrival = O.Poisson { rate_per_s = r } }
+        | None -> cfg
+      in
+      let cfg =
+        match duration_s with
+        | Some d -> { cfg with duration_ms = d *. 1000.0 }
+        | None -> cfg
+      in
+      let cfg = if no_flash then { cfg with flash = None } else cfg in
+      if no_churn then { cfg with churn_every_ms = cfg.duration_ms *. 10.0 }
+      else cfg
+    in
+    let configs =
+      if full then O.bench_configs ()
+      else [ tweak (O.smoke ()); tweak (O.smoke ~ranking:O.Sliding ()) ]
+    in
+    List.fold_left
+      (fun worst cfg ->
+        let r = O.run cfg in
+        Format.printf "%a@." O.pp_report r;
+        if max_events > 0 && r.O.sim_events > max_events then begin
+          Printf.eprintf "FAIL: %s executed %d sim events (budget %d)\n"
+            cfg.O.label r.O.sim_events max_events;
+          1
+        end
+        else worst)
+      0 configs
+  in
+  Cmd.v
+    (Cmd.info "load"
+       ~doc:
+         "Drive the open-loop load harness: Poisson/diurnal arrivals over \
+          agent fleets with cache churn, optional flash crowd and partition \
+          storms, all on the virtual clock.")
+    Term.(
+      const run $ full_arg $ seed_arg $ events_arg $ rate_arg $ duration_arg
+      $ no_flash_arg $ no_churn_arg)
+
 let () =
   let info =
     Cmd.info "hns_cli" ~version:"1.0.0"
@@ -804,4 +891,5 @@ let () =
             fetch_cmd;
             send_mail_cmd;
             rexec_cmd;
+            load_cmd;
           ]))

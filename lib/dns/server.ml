@@ -20,13 +20,17 @@ type t = {
   mutable notify_targets : Address.t list;
   mutable on_notify : (zone:Name.t -> serial:int32 option -> unit) list;
   notify_strikes : (Address.t, int) Hashtbl.t;
-  hot : (Name.t, int ref * float ref) Hashtbl.t;
-  hot_window_ms : float;
+  hot : Hotrank.t;
 }
 
 let create stack ?(port = Address.Well_known.dns) ?(service_overhead_ms = 0.0)
     ?(per_answer_ms = 0.0) ?(allow_update = false) ?update_acl
-    ?(notify_strike_limit = 3) ?(hot_window_ms = 600_000.0) () =
+    ?(notify_strike_limit = 3) ?(hot_window_ms = 600_000.0) ?hot_ranking () =
+  let hot_strategy =
+    match hot_ranking with
+    | Some s -> s
+    | None -> Hotrank.Decayed { half_life_ms = hot_window_ms /. 2.0 }
+  in
   {
     stack;
     port;
@@ -45,8 +49,7 @@ let create stack ?(port = Address.Well_known.dns) ?(service_overhead_ms = 0.0)
     notify_targets = [];
     on_notify = [];
     notify_strikes = Hashtbl.create 8;
-    hot = Hashtbl.create 64;
-    hot_window_ms;
+    hot = Hotrank.create ~strategy:hot_strategy ();
   }
 
 let addr t = Address.make (Netstack.ip t.stack) t.port
@@ -139,43 +142,57 @@ let note_notify_result t target ok =
 
 (* {2 Hot-name tracking}
 
-   Recent positive A-record answer counts per name, feeding the
-   bundle synthesizer's resolve-tail prefetch ({!Hns.Meta_bundle}):
-   the names this server has been answering addresses for lately are
-   the ones worth piggybacking. A name idle longer than the window
-   restarts its count. *)
+   Recent positive A-record answers per name, feeding the bundle
+   synthesizer's resolve-tail prefetch ({!Hns.Meta_bundle}): the
+   names this server has been answering addresses for lately are the
+   ones worth piggybacking. Scoring is delegated to {!Hotrank}
+   (exponentially-decayed by default; the naive sliding count stays
+   selectable for comparison). Entries are kept per answering zone —
+   the server-side stand-in for the requesting context, since every
+   context funnels its A queries through its own zone — and carry the
+   answered rrset's TTL so stale hints age out of the ranking. *)
+
+let hot_group t qname =
+  match find_zone t qname with
+  | Some zone -> Name.to_string (Zone.origin zone)
+  | None -> ""
 
 let note_hot t (q : Msg.question) answers =
   if q.qtype = Rr.T_a && answers <> [] then begin
     let now = try Sim.Engine.time () with Effect.Unhandled _ -> 0.0 in
-    match Hashtbl.find_opt t.hot q.qname with
-    | Some (count, last) ->
-        if now -. !last > t.hot_window_ms then count := 0;
-        incr count;
-        last := now
-    | None -> Hashtbl.replace t.hot q.qname (ref 1, ref now)
+    let ttl_ms =
+      List.fold_left
+        (fun acc (rr : Rr.t) -> Float.min acc (Int32.to_float rr.ttl *. 1000.0))
+        Float.infinity answers
+    in
+    let ttl_ms = if Float.is_finite ttl_ms then Some ttl_ms else None in
+    Hotrank.note t.hot ~group:(hot_group t q.qname) ~now_ms:now ?ttl_ms q.qname
   end
 
+let now_or_zero () = try Sim.Engine.time () with Effect.Unhandled _ -> 0.0
+
+(* Hint keep-alive: once a name ships as a prefetch hint, agents
+   answer it from cache and this server stops seeing its demand —
+   while every un-hinted name keeps scoring a cache-refill sighting
+   per agent per refresh cycle. Re-noting a hint as it is served
+   cancels that handicap, so the residual ordering reflects real
+   client demand rather than which names happen to be cached. *)
+let note_hot_name t ?ttl_ms name =
+  Hotrank.note t.hot ~group:(hot_group t name) ~now_ms:(now_or_zero ()) ?ttl_ms
+    name
+
+let hot_ranked t ?group ~k () =
+  let now_ms = now_or_zero () in
+  match group with
+  | Some group -> Hotrank.top t.hot ~group ~now_ms ~k
+  | None -> Hotrank.top_merged t.hot ~now_ms ~k
+
 let hot_names t ~k =
-  let now = try Sim.Engine.time () with Effect.Unhandled _ -> 0.0 in
-  let live =
-    Hashtbl.fold
-      (fun name (count, last) acc ->
-        if now -. !last <= t.hot_window_ms then (name, !count) :: acc else acc)
-      t.hot []
-  in
-  let sorted =
-    List.sort
-      (fun (n1, c1) (n2, c2) ->
-        if c1 <> c2 then compare c2 c1 else Name.compare n1 n2)
-      live
-  in
-  let rec take n = function
-    | [] -> []
-    | _ when n = 0 -> []
-    | x :: rest -> x :: take (n - 1) rest
-  in
-  take k sorted
+  List.map
+    (fun (name, score) -> (name, max 1 (int_of_float (Float.round score))))
+    (hot_ranked t ~k ())
+
+let hot_ranking t = Hotrank.strategy t.hot
 
 (* Answer one question, following CNAME chains inside our own data and
    emitting referrals at zone cuts. *)

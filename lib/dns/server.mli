@@ -22,8 +22,13 @@ type t
     unacknowledged NOTIFY pushes after which a subscriber is presumed
     dead and deregistered (counted in [dns.notify.deregistered]); any
     ack clears the count, and re-registering reinstates the target.
-    [hot_window_ms] (default 600 s) bounds the recency window of the
-    hot-name tracker behind {!hot_names}. *)
+    [hot_ranking] selects the hot-name scoring behind {!hot_names} /
+    {!hot_ranked}; the default is [Hotrank.Decayed] with a half-life
+    of [hot_window_ms /. 2] (300 s with the default window), so a
+    flash crowd cannot flush the steady working set out of the
+    prefetch hints. Pass [Hotrank.Sliding_count] explicitly to get the
+    naive windowed counter back (the A/B baseline the load harness
+    measures against). *)
 val create :
   Transport.Netstack.stack ->
   ?port:int ->
@@ -33,6 +38,7 @@ val create :
   ?update_acl:Transport.Address.ip list ->
   ?notify_strike_limit:int ->
   ?hot_window_ms:float ->
+  ?hot_ranking:Hotrank.strategy ->
   unit ->
   t
 
@@ -83,12 +89,35 @@ val stop : t -> unit
 val queries_served : t -> int
 val updates_applied : t -> int
 
-(** The [k] names this server has answered A-record queries for most
-    often within the recency window, ordered by recent query count
-    (ties broken by name, so the ranking is deterministic). This is
-    the server-selected candidate set for the bundle synthesizer's
-    resolve-tail prefetch ({!Hns.Meta_bundle}). *)
+(** The [k] hottest names this server has answered A-record queries
+    for, hottest first, with TTL-expired entries dropped and ties
+    broken by {!Name.compare} — the ranking is fully deterministic.
+    [group] restricts the ranking to one answering zone (the
+    per-context view the bundle synthesizer's resolve-tail prefetch
+    wants); omitted, groups are merged. Scores are {!Hotrank} scores:
+    decayed hit mass under the default strategy, window counts under
+    [Sliding_count]. *)
+val hot_ranked :
+  t -> ?group:string -> k:int -> unit -> (Name.t * float) list
+
+(** {!hot_ranked} over all groups with scores rounded to counts —
+    the backward-compatible candidate set for the bundle
+    synthesizer's resolve-tail prefetch ({!Hns.Meta_bundle}). *)
 val hot_names : t -> k:int -> (Name.t * int) list
+
+(** The scoring strategy this server was created with. *)
+val hot_ranking : t -> Hotrank.strategy
+
+(** Record a sighting for [name] in the hot ranking as if the server
+    had just answered an A query for it, grouped under the zone that
+    owns the name. This is the hint keep-alive: a name shipped as a
+    prefetch hint answers from agent caches and stops generating
+    query sightings here, while un-hinted names keep earning a
+    cache-refill sighting per agent per refresh cycle — so the bundle
+    server re-notes each hint as it serves it, cancelling that
+    handicap. [ttl_ms] bounds how long the sighting stays rankable
+    without renewal (typically the hint row's TTL). *)
+val note_hot_name : t -> ?ttl_ms:float -> Name.t -> unit
 
 (** Handle a request message directly (used by tests and by
     colocated configurations that shortcut the network). Charges no

@@ -87,25 +87,42 @@ let resolve t ~query_class ~payload_ty ?(service = "") hns_name =
                 | Some ip ->
                     Obs.Span.add_attr "addr_cache" "true";
                     Ok (Some (Wire.Value.Uint ip))
-                | None -> (
-                match call_nsm resolved.Find_nsm.binding with
-                | Error primary_err when unreachable primary_err ->
-                    (* Designated NSM is down or cut off: fail over
-                       across the registered alternates. *)
-                    let rec try_alternates = function
-                      | [] -> Error primary_err
-                      | (alt : Find_nsm.resolved) :: rest -> (
-                          Find_nsm.note_failover ();
-                          Obs.Qlog.note_outcome Obs.Qlog.Failover;
-                          Obs.Span.add_attr "failover" alt.Find_nsm.nsm_name;
-                          match call_nsm alt.Find_nsm.binding with
-                          | Error e when unreachable e -> try_alternates rest
-                          | outcome -> outcome)
+                | None ->
+                    let outcome =
+                      match call_nsm resolved.Find_nsm.binding with
+                      | Error primary_err when unreachable primary_err ->
+                          (* Designated NSM is down or cut off: fail over
+                             across the registered alternates. *)
+                          let rec try_alternates = function
+                            | [] -> Error primary_err
+                            | (alt : Find_nsm.resolved) :: rest -> (
+                                Find_nsm.note_failover ();
+                                Obs.Qlog.note_outcome Obs.Qlog.Failover;
+                                Obs.Span.add_attr "failover" alt.Find_nsm.nsm_name;
+                                match call_nsm alt.Find_nsm.binding with
+                                | Error e when unreachable e -> try_alternates rest
+                                | outcome -> outcome)
+                          in
+                          try_alternates
+                            (Find_nsm.failover_candidates t.finder_ resolved
+                               ~query_class)
+                      | outcome -> outcome
                     in
-                    try_alternates
-                      (Find_nsm.failover_candidates t.finder_ resolved
-                         ~query_class)
-                | outcome -> outcome))
+                    (* Demand-fill the shared address cache on the
+                       bundle path, exactly as a prefetched hint would
+                       have: repeat resolves of the same host answer
+                       from the cache until TTL expiry or a flush,
+                       instead of re-paying the NSM round trip. *)
+                    (match outcome with
+                    | Ok (Some (Wire.Value.Uint ip))
+                      when query_class = Query_class.host_address
+                           && service = ""
+                           && Meta_client.bundle_enabled t.meta_ ->
+                        Meta_client.cache_host_addr t.meta_
+                          ~context:hns_name.Hns_name.context
+                          ~host:hns_name.Hns_name.name ip
+                    | _ -> ());
+                    outcome)
             in
             (* Observed inside the span so a breach's exemplar can
                capture this query's trace id. *)

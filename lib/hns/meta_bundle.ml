@@ -89,17 +89,19 @@ let answer db ~qname ~context ~query_class =
 type prefetch = {
   k : int;
   contexts : string list;
-  hot : unit -> (Dns.Name.t * int) list;
+  hot : context:string -> (Dns.Name.t * float) list;
   addr_of : Dns.Name.t -> Transport.Address.ip option;
   ttl_s : int32;
+  note : (context:string -> Dns.Name.t -> unit) option;
 }
 
 (* The resolve-tail prefetch: append the requesting context's hottest
    HostAddress answers to the bundle so an agent-side cold resolve
    needs no trailing NSM data round trip. The candidate ranking comes
-   from the deployment ([hot], typically {!Dns.Server.hot_names} on
-   the confederation's public BIND); names whose address the source
-   cannot produce are skipped. *)
+   from the deployment ([hot], typically {!Dns.Server.hot_ranked} on
+   the confederation's public BIND keyed by the context's zone, so one
+   context's flash crowd cannot pollute another context's hints);
+   names whose address the source cannot produce are skipped. *)
 let prefetch_rrs pf ~context =
   if pf.contexts <> [] && not (List.mem context pf.contexts) then []
   else begin
@@ -108,23 +110,24 @@ let prefetch_rrs pf ~context =
       | _ when n = 0 -> []
       | x :: rest -> x :: take (n - 1) rest
     in
-    let rrs =
-      pf.hot ()
-      |> List.filter_map (fun (name, _count) ->
+    let rows =
+      pf.hot ~context
+      |> List.filter_map (fun (name, _score) ->
              match pf.addr_of name with
              | None -> None
              | Some ip ->
                  Some
-                   (Dns.Rr.make ~ttl:pf.ttl_s
-                      (Meta_schema.host_addr_key ~context
-                         ~host:(Dns.Name.to_string name))
-                      (Dns.Rr.Unspec
-                         (Wire.Xdr.to_string Meta_schema.host_addr_ty
-                            (Wire.Value.Uint ip)))))
+                   ( name,
+                     Dns.Rr.make ~ttl:pf.ttl_s
+                       (Meta_schema.host_addr_key ~context
+                          ~host:(Dns.Name.to_string name))
+                       (Dns.Rr.Unspec
+                          (Wire.Xdr.to_string Meta_schema.host_addr_ty
+                             (Wire.Value.Uint ip))) ))
       |> take pf.k
     in
-    Obs.Metrics.add m_prefetch_offered (List.length rrs);
-    rrs
+    Obs.Metrics.add m_prefetch_offered (List.length rows);
+    rows
   end
 
 let install ?prefetch server =
@@ -162,10 +165,10 @@ let install ?prefetch server =
                       <= Dns.Msg.udp_payload_limit
                     in
                     let rec shed extra =
-                      if fits (rrs @ extra) then rrs @ extra
+                      if fits (rrs @ List.map snd extra) then extra
                       else
                         match extra with
-                        | [] -> rrs
+                        | [] -> []
                         | _ :: _ ->
                             (* drop the coldest hint: the list is
                                hottest-first *)
@@ -174,6 +177,14 @@ let install ?prefetch server =
                                  (fun i _ -> i < List.length extra - 1)
                                  extra)
                     in
-                    Some (shed extra))))
+                    let kept = shed extra in
+                    (* Hint keep-alive: re-note each hint actually
+                       served (never shed ones) so cached names keep
+                       their place in the ranking they earned. *)
+                    (match prefetch with
+                    | Some { note = Some note; _ } ->
+                        List.iter (fun (name, _) -> note ~context name) kept
+                    | _ -> ());
+                    Some (rrs @ List.map snd kept))))
 
 let uninstall server = Dns.Server.clear_synthesizer server

@@ -21,20 +21,28 @@
 (** Resolve-tail prefetch configuration: every bundle reply for a
     context in [contexts] (or any context when empty) additionally
     carries up to [k] piggybacked [HostAddress] rows — the
-    server-selected hottest names by recent query count ([hot],
-    typically {!Dns.Server.hot_names} on the confederation's public
-    BIND), each resolved to an address via [addr_of]. Clients seed
-    them under the pinned-preload quota
-    ({!Meta_client.find_nsm_bundle}), so an agent-mediated cold
-    resolve for a hot name skips the trailing remote NSM data round
-    trip entirely. Rows offered are counted in
+    server-selected hottest names for the {e requesting} context
+    ([hot], typically {!Dns.Server.hot_ranked} on the confederation's
+    public BIND keyed by the context's zone group), each resolved to
+    an address via [addr_of]. Clients seed them under the
+    pinned-preload quota ({!Meta_client.find_nsm_bundle}), so an
+    agent-mediated cold resolve for a hot name skips the trailing
+    remote NSM data round trip entirely. Rows offered are counted in
     [hns.meta.bundle_prefetch_offered]. *)
 type prefetch = {
   k : int;
   contexts : string list;
-  hot : unit -> (Dns.Name.t * int) list;
+  hot : context:string -> (Dns.Name.t * float) list;
   addr_of : Dns.Name.t -> Transport.Address.ip option;
   ttl_s : int32;
+  note : (context:string -> Dns.Name.t -> unit) option;
+      (** Hint keep-alive, called once per hint row actually served
+          (shed rows excluded). A hinted name answers from agent
+          caches and stops generating query sightings at the ranking
+          server, while un-hinted names keep earning a cache-refill
+          sighting per agent per refresh cycle; deployments wire this
+          to {!Dns.Server.note_hot_name} so serving a hint renews the
+          standing that earned it. [None] disables the feedback. *)
 }
 
 (** Install the bundle answerer on a server holding the [hns-meta]

@@ -77,8 +77,8 @@ let bind_addr t = Dns.Server.addr t.public_bind
 let ch_addr t = Clearinghouse.Ch_server.addr t.ch
 
 let new_hns_raw ?staleness_budget_ms ?rpc_policy ?enable_bundle ?negative_ttl_ms
-    ~cache_mode ~meta_server ~bind_server ~ch_server ~credentials ~ch_domain
-    ~ch_org ~nsm_hostaddr_bind ~nsm_hostaddr_ch ~on () =
+    ?nsm_cache_ttl_ms ~cache_mode ~meta_server ~bind_server ~ch_server
+    ~credentials ~ch_domain ~ch_org ~nsm_hostaddr_bind ~nsm_hostaddr_ch ~on () =
   let cache = new_cache_mode ?staleness_budget_ms cache_mode () in
   let hns =
     Hns.Client.create on ~meta_server ~cache ~generated_cost:Calib.generated_cost
@@ -89,13 +89,13 @@ let new_hns_raw ?staleness_budget_ms ?rpc_policy ?enable_bundle ?negative_ttl_ms
   let ha_bind =
     Nsm.Hostaddr_nsm_bind.create on ~bind_server
       ~cache:(new_nsm_cache_mode cache_mode ())
-      ~per_query_ms:Calib.nsm_per_query_ms ()
+      ?cache_ttl_ms:nsm_cache_ttl_ms ~per_query_ms:Calib.nsm_per_query_ms ()
   in
   let ha_ch =
     Nsm.Hostaddr_nsm_ch.create on ~ch_server ~credentials ~domain:ch_domain
       ~org:ch_org
       ~cache:(new_nsm_cache_mode cache_mode ())
-      ~per_query_ms:Calib.nsm_per_query_ms ()
+      ?cache_ttl_ms:nsm_cache_ttl_ms ~per_query_ms:Calib.nsm_per_query_ms ()
   in
   Hns.Client.link_hostaddr_nsm hns ~name:nsm_hostaddr_bind
     (Nsm.Hostaddr_nsm_bind.impl ha_bind);
@@ -104,7 +104,7 @@ let new_hns_raw ?staleness_budget_ms ?rpc_policy ?enable_bundle ?negative_ttl_ms
   hns
 
 let new_hns ?staleness_budget_ms ?rpc_policy ?enable_bundle ?negative_ttl_ms
-    ?cache_mode t ~on =
+    ?nsm_cache_ttl_ms ?cache_mode t ~on =
   (* The scenario's bundle setting is the default: a bundle-enabled
      testbed hands out bundle-enabled clients unless overridden. *)
   let enable_bundle =
@@ -112,7 +112,7 @@ let new_hns ?staleness_budget_ms ?rpc_policy ?enable_bundle ?negative_ttl_ms
   in
   let cache_mode = Option.value ~default:t.cache_mode cache_mode in
   new_hns_raw ?staleness_budget_ms ?rpc_policy ~enable_bundle ?negative_ttl_ms
-    ~cache_mode ~meta_server:(meta_addr t)
+    ?nsm_cache_ttl_ms ~cache_mode ~meta_server:(meta_addr t)
     ~bind_server:(bind_addr t) ~ch_server:(ch_addr t)
     ~credentials:t.credentials ~ch_domain:t.ch_domain ~ch_org:t.ch_org
     ~nsm_hostaddr_bind:t.nsm_hostaddr_bind ~nsm_hostaddr_ch:t.nsm_hostaddr_ch ~on
@@ -147,7 +147,8 @@ let new_binding_nsm_ch t ~on =
     ~per_query_ms:Calib.nsm_per_query_ms ()
 
 let build ?(cache_mode = Hns.Cache.Marshalled) ?(extra_hosts = 16)
-    ?(bundle = false) ?(prefetch = false) () =
+    ?(bundle = false) ?(prefetch = false) ?hot_ranking ?(prefetch_k = 8)
+    ?nsm_cache_ttl_ms () =
   let engine = Sim.Engine.create () in
   let topo =
     Sim.Topology.create ~default_latency_ms:Calib.ethernet_latency_ms
@@ -248,7 +249,7 @@ let build ?(cache_mode = Hns.Cache.Marshalled) ?(extra_hosts = 16)
     (Dns.Zone.simple ~origin:Hns.Meta_schema.zone_origin []);
   let public_bind =
     Dns.Server.create bind_stack ~service_overhead_ms:Calib.bind_service_overhead_ms
-      ~per_answer_ms:Calib.bind_per_answer_ms ()
+      ~per_answer_ms:Calib.bind_per_answer_ms ?hot_ranking ()
   in
   Dns.Server.add_zone public_bind public_zone;
   (* A bundle-aware testbed: the modified BIND answers batched FindNSM
@@ -262,15 +263,37 @@ let build ?(cache_mode = Hns.Cache.Marshalled) ?(extra_hosts = 16)
     else
       Some
         {
-          Hns.Meta_bundle.k = 8;
+          Hns.Meta_bundle.k = prefetch_k;
           contexts = [ bind_context ];
-          hot = (fun () -> Dns.Server.hot_names public_bind ~k:12);
+          (* Per-context ranking: the requesting context's group is its
+             zone — everything the uw-cs confederation asks the public
+             BIND for lands in the [cs.washington.edu.] group, so a
+             crowd in another context's zone cannot pollute these
+             hints. *)
+          hot =
+            (fun ~context ->
+              let group =
+                if String.equal context bind_context then
+                  Dns.Name.to_string (Dns.Zone.origin public_zone)
+                else ""
+              in
+              Dns.Server.hot_ranked public_bind ~group ~k:(prefetch_k + 4) ());
           addr_of =
             (fun name ->
               match Dns.Db.lookup (Dns.Zone.db public_zone) name Dns.Rr.T_a with
               | { Dns.Rr.rdata = Dns.Rr.A ip; _ } :: _ -> Some ip
               | _ -> None);
           ttl_s = 120l;
+          (* Hint keep-alive: serving a hint suppresses the very
+             sightings that earned it (agents answer from cache), so
+             re-note it with the hint row's TTL — otherwise un-hinted
+             names, which still fault through the servers once per
+             agent per refresh cycle, would always outrank the hinted
+             steady set. *)
+          note =
+            Some
+              (fun ~context:_ name ->
+                Dns.Server.note_hot_name public_bind ~ttl_ms:120_000.0 name);
         }
   in
   if bundle then Hns.Meta_bundle.install ?prefetch:prefetch_cfg meta_bind;
@@ -309,7 +332,8 @@ let build ?(cache_mode = Hns.Cache.Marshalled) ?(extra_hosts = 16)
   in
   let remote_hostaddr_nsm_bind =
     Nsm.Hostaddr_nsm_bind.create nsm_stack ~bind_server:(Dns.Server.addr public_bind)
-      ~cache:(mk_remote_nsm_caches ()) ~per_query_ms:Calib.nsm_per_query_ms ()
+      ~cache:(mk_remote_nsm_caches ()) ?cache_ttl_ms:nsm_cache_ttl_ms
+      ~per_query_ms:Calib.nsm_per_query_ms ()
   in
   let remote_binding_nsm_ch =
     Nsm.Binding_nsm_ch.create nsm_stack ~ch_server:(Clearinghouse.Ch_server.addr ch)

@@ -70,12 +70,21 @@ type t = {
     [prefetch] (default off, requires [bundle]) makes the bundle
     answerer piggyback the public BIND's hottest host addresses
     (resolve-tail prefetch) — kept separate from [bundle] so existing
-    bundle benchmarks measure the unprefetched path. *)
+    bundle benchmarks measure the unprefetched path. [hot_ranking]
+    overrides the public BIND's hot-name scoring (default: decayed —
+    the load harness passes [Sliding_count] to measure the naive
+    baseline); [prefetch_k] (default 8) is the piggyback budget;
+    [nsm_cache_ttl_ms] shortens the shared remote host-address NSM's
+    cache so its BIND A queries (the hot tracker's signal) recur at a
+    realistic rate under sustained load. *)
 val build :
   ?cache_mode:Hns.Cache.mode ->
   ?extra_hosts:int ->
   ?bundle:bool ->
   ?prefetch:bool ->
+  ?hot_ranking:Dns.Hotrank.strategy ->
+  ?prefetch_k:int ->
+  ?nsm_cache_ttl_ms:float ->
   unit ->
   t
 
@@ -96,15 +105,19 @@ val new_nsm_cache : t -> unit -> Hns.Cache.t
     [rpc_policy] sets retry/backoff behavior for its HRPC exchanges;
     [enable_bundle] (default: the scenario's [bundle_enabled]) makes
     it issue batched FindNSM meta queries; [negative_ttl_ms] enables
-    negative caching of absent meta records; [cache_mode] (default:
-    the scenario's) overrides the cache representation — the v2 shared
-    agent runs demarshalled regardless of what the measured 1987
-    clients use. *)
+    negative caching of absent meta records; [nsm_cache_ttl_ms]
+    shortens this instance's {e linked} host-address NSM caches
+    (default 600 s) so sustained traffic re-queries the public BIND —
+    the load harness uses it to give the hot tracker a live sighting
+    stream; [cache_mode] (default: the scenario's) overrides the cache
+    representation — the v2 shared agent runs demarshalled regardless
+    of what the measured 1987 clients use. *)
 val new_hns :
   ?staleness_budget_ms:float ->
   ?rpc_policy:Rpc.Control.retry_policy ->
   ?enable_bundle:bool ->
   ?negative_ttl_ms:float ->
+  ?nsm_cache_ttl_ms:float ->
   ?cache_mode:Hns.Cache.mode ->
   t ->
   on:Transport.Netstack.stack ->

@@ -24,6 +24,7 @@ let () =
       ("nsm", Test_nsm.suite);
       ("baseline", Test_baseline.suite);
       ("workload", Test_workload.suite);
+      ("loadharness", Test_loadharness.suite);
       ("services", Test_services.suite);
       ("paper", Test_paper.suite);
     ]

@@ -1,6 +1,6 @@
 # Convenience wrappers around dune; `make check` is the pre-commit gate.
 
-.PHONY: all build test bench chaos coldpath propagation agent colocation load obs check fmt clean
+.PHONY: all build test bench chaos coldpath propagation agent colocation load marshal obs check fmt clean
 
 all: build
 
@@ -47,6 +47,12 @@ colocation:
 load:
 	dune exec bin/hns_cli.exe -- load --max-events 60000
 
+# The marshalling A/B: hand codec vs generated stubs over the hot
+# record shapes — wall-clock per-shape table plus the calibrated
+# per-record cost models (also in BENCH_hns.json as marshal.*).
+marshal:
+	dune exec bench/main.exe -- marshal
+
 # The observability suite: cross-hop trace propagation, the query
 # flight recorder and the SLO tracker, plus the metric-name lint
 # (every registered name must be layer.component.metric; duplicate-kind
@@ -74,6 +80,7 @@ check: fmt
 	$(MAKE) agent
 	$(MAKE) colocation
 	$(MAKE) load
+	$(MAKE) marshal
 	$(MAKE) obs
 
 clean:

@@ -42,6 +42,8 @@ let experiments =
      Experiments.colocation);
     ("load", "Open-loop load harness: million clients, flash-crowd ranking A/B",
      Experiments.loadharness);
+    ("marshal", "Hand codec vs generated stubs: wall-clock A/B on the hot shapes",
+     Experiments.marshal);
   ]
 
 (* --- Bechamel: wall-clock cost of each experiment's workload -------- *)
@@ -80,6 +82,21 @@ let bechamel_tests () =
     Wire.Idl.T_array
       (Wire.Idl.T_struct [ ("name", Wire.Idl.T_string); ("a", Wire.Idl.T_uint) ])
   in
+  let nsm_specimen =
+    {
+      Hns.Meta_schema.nsm_host = "nsm.cs.washington.edu";
+      nsm_host_context = "uw-cs";
+      nsm_port = 2049;
+      nsm_prog = 200_000;
+      nsm_vers = 2;
+      nsm_suite =
+        {
+          Hrpc.Component.data_rep = Wire.Data_rep.Xdr;
+          transport = Hrpc.Component.T_udp;
+          control = Hrpc.Component.C_sunrpc;
+        };
+    }
+  in
   [
     Test.make ~name:"table-3.1 row (all-linked, 3 cache states)"
       (Staged.stage table31);
@@ -90,6 +107,10 @@ let bechamel_tests () =
     Test.make ~name:"generic marshal 6-RR answer"
       (Staged.stage (fun () ->
            ignore (Wire.Generic_marshal.marshal Wire.Data_rep.Xdr marshal_ty marshal_value)));
+    Test.make ~name:"hand codec nsm_info round-trip"
+      (Staged.stage (fun () ->
+           let wire = Hns.Hot_codec.encode_nsm_info nsm_specimen in
+           ignore (Hns.Hot_codec.decode_nsm_info wire)));
   ]
 
 let run_bechamel () =

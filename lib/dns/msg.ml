@@ -263,7 +263,16 @@ let decode_rdata rtype rd : Rr.rdata =
 
 (* A record on the wire: name, type, class, ttl, rdlength, rdata.
    Rdata is built in a sub-buffer whose compression offsets are
-   shifted by the two rdlength bytes about to precede it. *)
+   shifted by the two rdlength bytes about to precede it.
+
+   The sub-buffer is one process-wide scratch reused across every
+   record of every message: rdata encoding never nests another record,
+   and no effect is performed mid-encode so a fiber cannot be
+   preempted with the scratch in use. After warm-up a whole batch of
+   records (an AXFR, an IXFR delta train, a bundle reply) encodes with
+   zero per-record buffer allocation. *)
+let rdata_scratch = W.create ~initial:128 ()
+
 let encode_rr_raw ?ctx wr ~name ~type_code ~class_code ~ttl rdata_opt =
   encode_name ?ctx wr name;
   W.u16 wr type_code;
@@ -272,10 +281,10 @@ let encode_rr_raw ?ctx wr ~name ~type_code ~class_code ~ttl rdata_opt =
   match rdata_opt with
   | None -> W.u16 wr 0
   | Some rdata ->
-      let body = W.create () in
-      encode_rdata ?ctx ~base:(W.length wr + 2) body rdata;
-      W.u16 wr (W.length body);
-      W.bytes wr (W.contents body)
+      W.clear rdata_scratch;
+      encode_rdata ?ctx ~base:(W.length wr + 2) rdata_scratch rdata;
+      W.u16 wr (W.length rdata_scratch);
+      W.append wr rdata_scratch
 
 let encode_rr ?ctx wr (rr : Rr.t) =
   encode_rr_raw ?ctx wr ~name:rr.name

@@ -3,6 +3,9 @@ type mode = Marshalled | Demarshalled
 type stored =
   | Bytes_form of string
   | Value_form of Wire.Value.t
+  | Addr_form of int32
+    (* a prefetch-tail HostAddress row decoded by the hand codec:
+       native, no Value tree *)
   | Negative_form  (* a cached "no such record" answer *)
 
 type entry = {
@@ -15,6 +18,9 @@ type entry = {
 type t = {
   mode : mode;
   generated_cost : Wire.Generic_marshal.cost_model;
+  hand_cost : Wire.Hotcodec.cost_model option;
+      (* when set, marshalled-mode hits on hot record shapes demarshal
+         through the hand codec and charge its (much smaller) cost *)
   hit_overhead_ms : float;
   hit_per_node_ms : float;
   insert_overhead_ms : float;
@@ -70,14 +76,16 @@ let metrics_of = function
 
 let create ~mode
     ?(generated_cost = { Wire.Generic_marshal.per_call_ms = 0.0; per_node_ms = 0.0 })
-    ?(hit_overhead_ms = 0.0) ?(hit_per_node_ms = 0.0) ?(insert_overhead_ms = 0.0)
-    ?(default_ttl_ms = 3_600_000.0) ?(staleness_budget_ms = 0.0) ?max_entries () =
+    ?hand_cost ?(hit_overhead_ms = 0.0) ?(hit_per_node_ms = 0.0)
+    ?(insert_overhead_ms = 0.0) ?(default_ttl_ms = 3_600_000.0)
+    ?(staleness_budget_ms = 0.0) ?max_entries () =
   (match max_entries with
   | Some n when n <= 0 -> invalid_arg "Cache.create: max_entries must be positive"
   | _ -> ());
   {
     mode;
     generated_cost;
+    hand_cost;
     hit_overhead_ms;
     hit_per_node_ms;
     insert_overhead_ms;
@@ -134,18 +142,45 @@ let decode_stored t ~key ~ty stored =
         (t.hit_overhead_ms
         +. (t.hit_per_node_ms *. float_of_int (Wire.Value.node_count v)));
       Some v
+  | Addr_form ip ->
+      (* Compat access to a native address entry through the Value
+         interface: the tree is materialised here (and counted — the
+         zero-copy resolve path uses find_addr and never reaches
+         this). *)
+      charge (t.hit_overhead_ms +. t.hit_per_node_ms);
+      Wire.Hotcodec.count_value_materialization ();
+      Some (Wire.Value.Uint ip)
   | Bytes_form bytes -> (
       (* The marshalled cache really demarshals on every access,
-         and pays the generated-stub price for it. *)
+         and pays the codec's price for it: the hand codec's when one
+         is configured and the shape is hot, the generated stubs'
+         otherwise. *)
       charge t.hit_overhead_ms;
-      match Wire.Generic_marshal.unmarshal storage_rep ty bytes with
-      | exception _ ->
-          ignore (remove_key t key);
-          Obs.Metrics.incr (metrics_of t.mode).m_evictions;
-          None
-      | v ->
-          charge (Wire.Generic_marshal.cost t.generated_cost v);
-          Some v)
+      match t.hand_cost with
+      | Some hc when Hot_codec.is_hot_ty ty -> (
+          match Hot_codec.decode_value ty bytes with
+          | Some v ->
+              charge (Wire.Hotcodec.cost hc ~records:1);
+              Some v
+          | None -> (
+              Wire.Hotcodec.count_fallback ();
+              match Wire.Generic_marshal.unmarshal storage_rep ty bytes with
+              | exception _ ->
+                  ignore (remove_key t key);
+                  Obs.Metrics.incr (metrics_of t.mode).m_evictions;
+                  None
+              | v ->
+                  charge (Wire.Generic_marshal.cost t.generated_cost v);
+                  Some v))
+      | _ -> (
+          match Wire.Generic_marshal.unmarshal storage_rep ty bytes with
+          | exception _ ->
+              ignore (remove_key t key);
+              Obs.Metrics.incr (metrics_of t.mode).m_evictions;
+              None
+          | v ->
+              charge (Wire.Generic_marshal.cost t.generated_cost v);
+              Some v))
 
 type outcome = Hit of Wire.Value.t | Negative_hit | Miss
 
@@ -196,7 +231,7 @@ let find t ~key ~ty =
    hit/miss accounting of the walk that follows. *)
 let peek t ~key =
   match Hashtbl.find_opt t.tbl key with
-  | Some { stored = (Bytes_form _ | Value_form _); expires_at; _ }
+  | Some { stored = Bytes_form _ | Value_form _ | Addr_form _; expires_at; _ }
     when expires_at > now () ->
       true
   | _ -> false
@@ -281,6 +316,41 @@ let insert t ~key ~ty ?ttl_ms v =
   charge t.insert_overhead_ms;
   insert_stored t ~key ~ttl_ms (stored_of t ~ty v)
 
+(* --- Native host-address entries (zero-copy prefetch tail). ---------
+   The hand codec decodes a HostAddress row to a bare int32;
+   [insert_addr]/[find_addr] store and serve it with no Value tree on
+   either side.  [find] still works on such entries (decode_stored
+   materialises the Uint, counted), so legacy readers see no
+   difference. *)
+
+let insert_addr t ~key ?ttl_ms ip =
+  charge t.insert_overhead_ms;
+  insert_stored t ~key ~ttl_ms (Addr_form ip)
+
+let find_addr t ~key =
+  let m = metrics_of t.mode in
+  let serve entry ip =
+    charge (t.hit_overhead_ms +. t.hit_per_node_ms);
+    touch t entry;
+    t.hit_count <- t.hit_count + 1;
+    Obs.Metrics.incr m.m_hits;
+    Some ip
+  in
+  match Hashtbl.find_opt t.tbl key with
+  | Some ({ stored = Addr_form ip; expires_at; _ } as entry)
+    when expires_at > now () ->
+      serve entry ip
+  | Some ({ stored = Value_form (Wire.Value.Uint ip); expires_at; _ } as entry)
+    when expires_at > now () ->
+      (* Demand-filled by a legacy writer: already demarshalled, the
+         int is read straight out of the stored value. *)
+      serve entry ip
+  | _ ->
+      (* Not a fresh native/address entry: no miss counted — the
+         caller falls through to the full [find] path, which does the
+         accounting. *)
+      None
+
 (* A later successful [insert] at the same key overrides the negative
    entry (Hashtbl.replace above), so negatives cannot poison. *)
 let insert_negative t ~key ~ttl_ms =
@@ -336,6 +406,33 @@ let preload t entries =
   end;
   !inserted
 
+(* Bulk native seeding: the prefetch-tail rows of a bundle reply,
+   pinned under the same admission quota as [preload]. *)
+let preload_addrs t rows =
+  let quota = preload_quota t in
+  let inserted = ref 0 and skipped = ref 0 in
+  List.iter
+    (fun (key, ttl_ms, ip) ->
+      let already_pinned =
+        match Hashtbl.find_opt t.tbl key with
+        | Some e -> e.pinned
+        | None -> false
+      in
+      if already_pinned || t.pinned_count < quota then begin
+        charge t.insert_overhead_ms;
+        insert_stored t ~key ~ttl_ms:(Some ttl_ms) ~pinned:true (Addr_form ip);
+        incr inserted
+      end
+      else incr skipped)
+    rows;
+  t.preloaded_count <- t.preloaded_count + !inserted;
+  Obs.Metrics.add m_preloaded !inserted;
+  if !skipped > 0 then begin
+    t.preload_skipped_count <- t.preload_skipped_count + !skipped;
+    Obs.Metrics.add m_preload_skipped !skipped
+  end;
+  !inserted
+
 let flush t =
   Hashtbl.reset t.tbl;
   t.pinned_count <- 0;
@@ -360,7 +457,7 @@ let stored_bytes t =
     (fun _ e acc ->
       match e.stored with
       | Bytes_form b -> acc + String.length b
-      | Value_form _ | Negative_form -> acc)
+      | Value_form _ | Addr_form _ | Negative_form -> acc)
     t.tbl 0
 
 let hit_ratio t =

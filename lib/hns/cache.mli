@@ -62,10 +62,14 @@ type t
     additionally charge [hit_per_node_ms] per node of the stored value
     (cache management scales slightly with entry size), while
     marshalled-mode hits charge the [generated_cost] of really
-    re-demarshalling the entry. *)
+    re-demarshalling the entry. With [hand_cost] set, marshalled-mode
+    hits on hot record shapes demarshal through the hand codec
+    ({!Hot_codec}) and charge its much smaller cost instead; unknown
+    shapes still fall back to the generated path. *)
 val create :
   mode:mode ->
   ?generated_cost:Wire.Generic_marshal.cost_model ->
+  ?hand_cost:Wire.Hotcodec.cost_model ->
   ?hit_overhead_ms:float ->
   ?hit_per_node_ms:float ->
   ?insert_overhead_ms:float ->
@@ -122,6 +126,28 @@ val insert : t -> key:string -> ty:Wire.Idl.ty -> ?ttl_ms:float -> Wire.Value.t 
 (** [insert_negative t ~key ~ttl_ms] records a cached absence. A later
     positive {!insert} at the same key overwrites it (no poisoning). *)
 val insert_negative : t -> key:string -> ttl_ms:float -> unit
+
+(** {2 Native host-address entries (zero-copy prefetch tail)}
+
+    A prefetch-tail HostAddress row hand-decoded straight off the wire
+    is stored as a bare [int32] — no [Value] tree on insert, none on
+    hit. {!find} still serves such entries to legacy readers by
+    materialising the [Uint] on access (counted in
+    [wire.codec.value_materializations]). *)
+
+(** [insert_addr t ~key ?ttl_ms ip] stores a native address entry. *)
+val insert_addr : t -> key:string -> ?ttl_ms:float -> int32 -> unit
+
+(** [find_addr t ~key] serves a fresh address entry natively, charging
+    the demarshalled hit cost. Also reads demand-filled
+    [Value.Uint] entries without new allocation. [None] means "fall
+    through to {!find}" and counts no miss. *)
+val find_addr : t -> key:string -> int32 option
+
+(** [preload_addrs t rows] bulk-seeds [(key, ttl_ms, ip)] native
+    address rows, pinned under the same admission quota as
+    {!preload}. Returns the number inserted. *)
+val preload_addrs : t -> (string * float * int32) list -> int
 
 (** [remove t ~key] drops the entry cached under [key] — the
     invalidation path of delta-driven refresh (the record was deleted

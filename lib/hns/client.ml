@@ -6,8 +6,8 @@ type t = {
 }
 
 let create stack ~meta_server ?fallback_servers ?cache ?generated_cost
-    ?preload_record_ms ?mapping_overhead_ms ?enable_bundle ?negative_ttl_ms
-    ?rpc_policy () =
+    ?hand_codec ?hand_preload_record_ms ?preload_record_ms
+    ?mapping_overhead_ms ?enable_bundle ?negative_ttl_ms ?rpc_policy () =
   let cache =
     match cache with
     | Some c -> c
@@ -15,8 +15,8 @@ let create stack ~meta_server ?fallback_servers ?cache ?generated_cost
   in
   let meta =
     Meta_client.create stack ~meta_server ?fallback_servers ~cache ?generated_cost
-      ?preload_record_ms ?mapping_overhead_ms ?enable_bundle ?negative_ttl_ms
-      ?policy:rpc_policy ()
+      ?hand_codec ?hand_preload_record_ms ?preload_record_ms
+      ?mapping_overhead_ms ?enable_bundle ?negative_ttl_ms ?policy:rpc_policy ()
   in
   { stack_ = stack; meta_ = meta; finder_ = Find_nsm.create ~meta (); rpc_policy }
 

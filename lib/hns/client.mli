@@ -11,13 +11,19 @@ type t
     queries and NSM calls alike. [enable_bundle] turns on the batched
     FindNSM meta query (requires a bundle-aware meta server;
     {!Meta_bundle}); [negative_ttl_ms] turns on negative caching of
-    "no such record" meta answers. Both default off. *)
+    "no such record" meta answers. Both default off. [hand_codec]
+    switches the hot record shapes (bundle markers, prefetch-tail
+    addresses, journal deltas) onto the hand-marshalled codec at the
+    given cost model, with [hand_preload_record_ms] as the matching
+    zone-transfer per-record cost; see {!Meta_client.create}. *)
 val create :
   Transport.Netstack.stack ->
   meta_server:Transport.Address.t ->
   ?fallback_servers:Transport.Address.t list ->
   ?cache:Cache.t ->
   ?generated_cost:Wire.Generic_marshal.cost_model ->
+  ?hand_codec:Wire.Hotcodec.cost_model ->
+  ?hand_preload_record_ms:float ->
   ?preload_record_ms:float ->
   ?mapping_overhead_ms:float ->
   ?enable_bundle:bool ->

@@ -2,12 +2,13 @@ let m_served = Obs.Metrics.counter "hns.meta.bundle_served"
 let m_prefetch_offered = Obs.Metrics.counter "hns.meta.bundle_prefetch_offered"
 
 (* The marker record carried at the bundle name itself: an UNSPEC
-   record whose payload is the XDR-encoded bundle status. *)
+   record whose payload is the encoded bundle status.  Hand-encoded
+   (byte-identical to the XDR form, pooled buffer): the synthesizer
+   runs once per bundle query, making this the server's hottest
+   encode. *)
 let marker_rr qname status =
   Dns.Rr.make ~ttl:60l qname
-    (Dns.Rr.Unspec
-       (Wire.Xdr.to_string Meta_schema.bundle_status_ty
-          (Meta_schema.bundle_status_to_value status)))
+    (Dns.Rr.Unspec (Hot_codec.encode_bundle_status status))
 
 let meta_zone server =
   List.find_opt
@@ -121,9 +122,9 @@ let prefetch_rrs pf ~context =
                      Dns.Rr.make ~ttl:pf.ttl_s
                        (Meta_schema.host_addr_key ~context
                           ~host:(Dns.Name.to_string name))
-                       (Dns.Rr.Unspec
-                          (Wire.Xdr.to_string Meta_schema.host_addr_ty
-                             (Wire.Value.Uint ip))) ))
+                       (* Hand-encoded per row, reusing one pooled
+                          buffer across the whole tail. *)
+                       (Dns.Rr.Unspec (Hot_codec.encode_host_addr ip)) ))
       |> take pf.k
     in
     Obs.Metrics.add m_prefetch_offered (List.length rows);

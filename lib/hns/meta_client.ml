@@ -6,6 +6,12 @@ type t = {
   fallback_servers : Transport.Address.t list;
   cache_ : Cache.t;
   generated_cost : Wire.Generic_marshal.cost_model;
+  hand_codec : Wire.Hotcodec.cost_model option;
+      (* when set, hot record shapes marshal through the hand codec
+         and charge this model; cold/unknown shapes still fall back to
+         the generated path *)
+  hand_preload_record_ms : float option;
+      (* per-record transfer/delta absorption under the hand codec *)
   preload_record_ms : float;
   mapping_overhead_ms : float;
   enable_bundle : bool;
@@ -31,14 +37,17 @@ type t = {
 
 let create stack ~meta_server ?(fallback_servers = []) ~cache
     ?(generated_cost = { Wire.Generic_marshal.per_call_ms = 0.0; per_node_ms = 0.0 })
-    ?(preload_record_ms = 0.0) ?(mapping_overhead_ms = 0.0)
-    ?(enable_bundle = false) ?(negative_ttl_ms = 0.0) ?policy () =
+    ?hand_codec ?hand_preload_record_ms ?(preload_record_ms = 0.0)
+    ?(mapping_overhead_ms = 0.0) ?(enable_bundle = false)
+    ?(negative_ttl_ms = 0.0) ?policy () =
   {
     stack;
     meta_server;
     fallback_servers;
     cache_ = cache;
     generated_cost;
+    hand_codec;
+    hand_preload_record_ms;
     preload_record_ms;
     mapping_overhead_ms;
     enable_bundle;
@@ -100,8 +109,11 @@ let raw_query t key =
   (* A remote round trip makes the enclosing query at least a miss. *)
   Obs.Qlog.note_outcome Obs.Qlog.Miss;
   let request = Dns.Msg.query ~id:(fresh_id t) key Dns.Rr.T_unspec in
-  (* Request encode through the generated path: fixed entry cost. *)
-  charge t.generated_cost.Wire.Generic_marshal.per_call_ms;
+  (* Request encode: the generated path's fixed entry cost, or the
+     hand codec's when one is configured. *)
+  (match t.hand_codec with
+  | Some hc -> charge hc.Wire.Hotcodec.per_call_ms
+  | None -> charge t.generated_cost.Wire.Generic_marshal.per_call_ms);
   let exchange server =
     let binding = { t.raw_binding with Hrpc.Binding.server } in
     let req_bytes = Dns.Msg.encode request in
@@ -180,6 +192,30 @@ let note_negative t key =
   if ttl_ms > 0.0 then
     Cache.insert_negative t.cache_ ~key:(Meta_schema.cache_key key) ~ttl_ms
 
+(* Decode one UNSPEC record body, charging the cost of whichever codec
+   handled it: the hand codec when one is configured and the shape is
+   hot, the generated stubs otherwise (and as the fallback when the
+   hand codec rejects the bytes — counted, so heterogeneous peers keep
+   working). [None] means malformed under both codecs. *)
+let decode_record t ~ty bytes =
+  let generic () =
+    match Wire.Xdr.of_string ty bytes with
+    | exception _ -> None
+    | v ->
+        charge (Wire.Generic_marshal.cost t.generated_cost v);
+        Some v
+  in
+  match t.hand_codec with
+  | Some hc when Hot_codec.is_hot_ty ty -> (
+      match Hot_codec.decode_value ty bytes with
+      | Some v ->
+          charge (Wire.Hotcodec.cost hc ~records:1);
+          Some v
+      | None ->
+          Wire.Hotcodec.count_fallback ();
+          generic ())
+  | _ -> generic ()
+
 let lookup_remote t ~key ~ty =
   match () with
   | () -> (
@@ -200,15 +236,13 @@ let lookup_remote t ~key ~ty =
                   note_negative t key;
                   Ok None
               | Some (bytes, ttl_s) -> (
-                  match Wire.Xdr.of_string ty bytes with
-                  | exception _ ->
+                  match decode_record t ~ty bytes with
+                  | None ->
                       Error
                         (Errors.Meta_error
                            (Printf.sprintf "malformed record at %s"
                               (Dns.Name.to_string key)))
-                  | v ->
-                      (* Response decode through the generated path. *)
-                      charge (Wire.Generic_marshal.cost t.generated_cost v);
+                  | Some v ->
                       Cache.insert t.cache_ ~key:(Meta_schema.cache_key key) ~ty
                         ~ttl_ms:(Int32.to_float ttl_s *. 1000.0)
                         v;
@@ -267,45 +301,85 @@ type bundle_result =
    enforces the pinned quota — an over-eager server cannot displace
    the demand-filled entries). Remembered so {!cached_host_addr} can
    attribute later hits to the prefetch. *)
-let seed_prefetch_row t (rr : Dns.Rr.t) ~context ~host v =
-  let key = Meta_schema.host_addr_cache_key ~context ~host in
-  let n =
-    Cache.preload t.cache_
-      [ (key, Meta_schema.host_addr_ty, Int32.to_float rr.ttl *. 1000.0, v) ]
-  in
+let note_prefetch_seeded t key n =
   if n > 0 then begin
     Hashtbl.replace t.prefetched key ();
     t.prefetch_seeded_count <- t.prefetch_seeded_count + 1;
     Obs.Metrics.incr m_prefetched
   end
 
+let seed_prefetch_row t (rr : Dns.Rr.t) ~context ~host v =
+  let key = Meta_schema.host_addr_cache_key ~context ~host in
+  (* Demarshalled through the generated path: a Value tree was built
+     for a prefetch row — exactly what the zero-copy path avoids. *)
+  Wire.Hotcodec.count_value_materialization ();
+  let n =
+    Cache.preload t.cache_
+      [ (key, Meta_schema.host_addr_ty, Int32.to_float rr.ttl *. 1000.0, v) ]
+  in
+  note_prefetch_seeded t key n
+
+(* The zero-copy tail: four wire bytes to an int32 to a native pinned
+   cache entry, no Value tree at any point. *)
+let seed_prefetch_addr t (rr : Dns.Rr.t) ~context ~host ip =
+  let key = Meta_schema.host_addr_cache_key ~context ~host in
+  let n =
+    Cache.preload_addrs t.cache_
+      [ (key, Int32.to_float rr.ttl *. 1000.0, ip) ]
+  in
+  note_prefetch_seeded t key n
+
 let seed_bundle_answers t (reply : Dns.Msg.t) =
-  (* The piggybacked HostAddress rows are uniform entries of one
-     reply, so they demarshal through a single generated-stub call —
-     the stub entry cost is paid once for the batch, then per-node,
-     not once per row. *)
-  let prefetch_rows =
+  let addr_rows =
     List.filter_map
       (fun (rr : Dns.Rr.t) ->
         match rr.rdata with
         | Dns.Rr.Unspec bytes -> (
             match Meta_schema.parse_host_addr_key rr.name with
-            | Some (context, host) -> (
-                match Wire.Xdr.of_string Meta_schema.host_addr_ty bytes with
-                | exception _ -> None
-                | v -> Some (rr, context, host, v))
+            | Some (context, host) -> Some (rr, context, host, bytes)
             | None -> None)
         | _ -> None)
       reply.answers
   in
-  if prefetch_rows <> [] then
-    charge
-      (Wire.Generic_marshal.cost t.generated_cost
-         (Wire.Value.Array
-            (List.map (fun (_, _, _, v) -> v) prefetch_rows)));
-  List.iter
-    (fun (rr, context, host, v) -> seed_prefetch_row t rr ~context ~host v)
-    prefetch_rows;
+  (* The piggybacked HostAddress rows are uniform entries of one
+     reply, so they demarshal through a single codec call — the entry
+     cost is paid once for the batch, then per row (generated: per
+     node), not once per row. *)
+  (match t.hand_codec with
+  | Some hc ->
+      let native =
+        List.filter_map
+          (fun (rr, context, host, bytes) ->
+            match Hot_codec.decode_host_addr bytes with
+            | Some ip -> Some (rr, context, host, ip)
+            | None ->
+                Wire.Hotcodec.count_fallback ();
+                None)
+          addr_rows
+      in
+      if native <> [] then
+        charge (Wire.Hotcodec.cost hc ~records:(List.length native));
+      List.iter
+        (fun (rr, context, host, ip) ->
+          seed_prefetch_addr t rr ~context ~host ip)
+        native
+  | None ->
+      let prefetch_rows =
+        List.filter_map
+          (fun (rr, context, host, bytes) ->
+            match Wire.Xdr.of_string Meta_schema.host_addr_ty bytes with
+            | exception _ -> None
+            | v -> Some (rr, context, host, v))
+          addr_rows
+      in
+      if prefetch_rows <> [] then
+        charge
+          (Wire.Generic_marshal.cost t.generated_cost
+             (Wire.Value.Array
+                (List.map (fun (_, _, _, v) -> v) prefetch_rows)));
+      List.iter
+        (fun (rr, context, host, v) -> seed_prefetch_row t rr ~context ~host v)
+        prefetch_rows);
   List.filter_map
     (fun (rr : Dns.Rr.t) ->
       match rr.rdata with
@@ -319,10 +393,9 @@ let seed_bundle_answers t (reply : Dns.Msg.t) =
           match Meta_schema.ty_of_key rr.name with
           | None -> None (* the status marker, handled separately *)
           | Some ty -> (
-              match Wire.Xdr.of_string ty bytes with
-              | exception _ -> None
-              | v ->
-                  charge (Wire.Generic_marshal.cost t.generated_cost v);
+              match decode_record t ~ty bytes with
+              | None -> None
+              | Some v ->
                   Cache.insert t.cache_ ~key:(Meta_schema.cache_key rr.name)
                     ~ty
                     ~ttl_ms:(Int32.to_float rr.ttl *. 1000.0)
@@ -331,16 +404,21 @@ let seed_bundle_answers t (reply : Dns.Msg.t) =
       | _ -> None)
     reply.answers
 
-let bundle_status_of_reply (reply : Dns.Msg.t) ~qname =
+let bundle_status_of_reply t (reply : Dns.Msg.t) ~qname =
   List.find_map
     (fun (rr : Dns.Rr.t) ->
       if not (Dns.Name.equal rr.name qname) then None
       else
         match rr.rdata with
         | Dns.Rr.Unspec bytes -> (
-            match Wire.Xdr.of_string Meta_schema.bundle_status_ty bytes with
-            | exception _ -> None
-            | v -> Meta_schema.bundle_status_of_value v)
+            match t.hand_codec with
+            | Some _ -> Hot_codec.decode_bundle_status bytes
+            | None -> (
+                match
+                  Wire.Xdr.of_string Meta_schema.bundle_status_ty bytes
+                with
+                | exception _ -> None
+                | v -> Meta_schema.bundle_status_of_value v))
         | _ -> None)
     reply.answers
 
@@ -403,7 +481,7 @@ let find_nsm_bundle t ~context ~query_class =
                   let ns_of_ctx () =
                     Option.map Wire.Value.get_str (seeded_value ctx_key)
                   in
-                  match bundle_status_of_reply reply ~qname with
+                  match bundle_status_of_reply t reply ~qname with
                   | None ->
                       (* No status marker (e.g. a truncated UDP reply):
                          whatever records did arrive are cached; walk. *)
@@ -478,7 +556,19 @@ let transact t ops =
 
 let store t ~key ~ty ?(ttl_s = 3600l) v =
   Wire.Idl.check ~what:"Meta_client.store" ty v;
-  let bytes = Wire.Xdr.to_string ty v in
+  (* Journal Put/Del deltas carry these bytes; the hand encoder emits
+     the identical wire form, so either codec's output replicates to
+     peers running the other. *)
+  let bytes =
+    match t.hand_codec with
+    | Some _ -> (
+        match Hot_codec.encode_value ty v with
+        | Some b -> b
+        | None ->
+            Wire.Hotcodec.count_fallback ();
+            Wire.Xdr.to_string ty v)
+    | None -> Wire.Xdr.to_string ty v
+  in
   let rr =
     Dns.Rr.make ~ttl:ttl_s key (Dns.Rr.Unspec bytes)
   in
@@ -503,22 +593,48 @@ let adopt_soa t (soa : Dns.Rr.soa) =
   observe_soa t soa
 
 (* Decode one transferred UNSPEC record into a preload row, paying the
-   per-record preload charge. *)
+   per-record absorption charge of whichever codec demarshals it: most
+   of the 19.8 ms generated-path cost is stub demarshal plus checks,
+   so a record the hand codec handles absorbs at the (much smaller)
+   hand rate.  This is the AXFR preload path and, via [apply_change],
+   the IXFR delta path. *)
 let preload_row t (rr : Dns.Rr.t) =
   match rr.rdata with
   | Dns.Rr.Unspec bytes -> (
       match Meta_schema.ty_of_key rr.name with
       | None -> None
       | Some ty -> (
-          match Wire.Xdr.of_string ty bytes with
-          | exception _ -> None
-          | v ->
-              charge t.preload_record_ms;
+          let hand_decoded =
+            match t.hand_codec with
+            | Some _ when Hot_codec.is_hot_ty ty -> (
+                match Hot_codec.decode_value ty bytes with
+                | Some v -> Some v
+                | None ->
+                    Wire.Hotcodec.count_fallback ();
+                    None)
+            | _ -> None
+          in
+          match hand_decoded with
+          | Some v ->
+              charge
+                (match t.hand_preload_record_ms with
+                | Some ms -> ms
+                | None -> t.preload_record_ms);
               Some
                 ( Meta_schema.cache_key rr.name,
                   ty,
                   Int32.to_float rr.ttl *. 1000.0,
-                  v )))
+                  v )
+          | None -> (
+              match Wire.Xdr.of_string ty bytes with
+              | exception _ -> None
+              | v ->
+                  charge t.preload_record_ms;
+                  Some
+                    ( Meta_schema.cache_key rr.name,
+                      ty,
+                      Int32.to_float rr.ttl *. 1000.0,
+                      v ))))
   | _ -> None
 
 (* Seed the cache from a full transfer payload (SOA first). *)
@@ -706,22 +822,34 @@ let full_refreshes t = t.full_refresh_count
 let notify_kicks t = t.notify_kick_count
 
 let cache_host_addr t ~context ~host ip =
-  Cache.insert t.cache_
-    ~key:(Meta_schema.host_addr_cache_key ~context ~host)
-    ~ty:Meta_schema.host_addr_ty (Wire.Value.Uint ip)
+  let key = Meta_schema.host_addr_cache_key ~context ~host in
+  match t.hand_codec with
+  | Some _ ->
+      (* Demand fill stays native too: no Value on the way in. *)
+      Cache.insert_addr t.cache_ ~key ip
+  | None ->
+      Cache.insert t.cache_ ~key ~ty:Meta_schema.host_addr_ty
+        (Wire.Value.Uint ip)
 
 let cached_host_addr t ~context ~host =
   let key = Meta_schema.host_addr_cache_key ~context ~host in
   let t0 = now_ms () in
   charge_mapping_overhead t;
-  match Cache.find t.cache_ ~key ~ty:Meta_schema.host_addr_ty with
-  | Some (Wire.Value.Uint ip) ->
-      if Hashtbl.mem t.prefetched key then begin
-        t.prefetch_hit_count <- t.prefetch_hit_count + 1;
-        Obs.Metrics.incr m_prefetch_hits
-      end;
-      log_mapping t key true (now_ms () -. t0);
-      Some ip
-  | Some _ | None ->
-      log_mapping t key false (now_ms () -. t0);
-      None
+  let hit ip =
+    if Hashtbl.mem t.prefetched key then begin
+      t.prefetch_hit_count <- t.prefetch_hit_count + 1;
+      Obs.Metrics.incr m_prefetch_hits
+    end;
+    log_mapping t key true (now_ms () -. t0);
+    Some ip
+  in
+  (* Native entries (and demand-filled Uint values) serve without
+     materialising a tree; anything else takes the compat path. *)
+  match Cache.find_addr t.cache_ ~key with
+  | Some ip -> hit ip
+  | None -> (
+      match Cache.find t.cache_ ~key ~ty:Meta_schema.host_addr_ty with
+      | Some (Wire.Value.Uint ip) -> hit ip
+      | Some _ | None ->
+          log_mapping t key false (now_ms () -. t0);
+          None)

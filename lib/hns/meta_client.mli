@@ -30,13 +30,23 @@ type t
     reports {!Bundle_unavailable} and callers take the per-mapping
     path. [negative_ttl_ms] (default 0 = disabled) caches "no such
     record" answers for that long, so repeated misses on absent names
-    fail fast instead of repeating the round trip. *)
+    fail fast instead of repeating the round trip.
+
+    With [hand_codec] set, hot record shapes marshal through the
+    hand-coded codec ({!Hot_codec}) and charge that model instead of
+    [generated_cost]; prefetch-tail HostAddress rows decode zero-copy
+    into native cache entries; transfer/delta records absorb at
+    [hand_preload_record_ms] (falling back to [preload_record_ms] when
+    unset). Cold/unknown shapes always fall back to the generated
+    path, preserving interop with heterogeneous peers. *)
 val create :
   Transport.Netstack.stack ->
   meta_server:Transport.Address.t ->
   ?fallback_servers:Transport.Address.t list ->
   cache:Cache.t ->
   ?generated_cost:Wire.Generic_marshal.cost_model ->
+  ?hand_codec:Wire.Hotcodec.cost_model ->
+  ?hand_preload_record_ms:float ->
   ?preload_record_ms:float ->
   ?mapping_overhead_ms:float ->
   ?enable_bundle:bool ->

@@ -1,36 +1,84 @@
 exception Truncated
 
 module Wr = struct
-  type t = Buffer.t
+  (* A growable byte sink over a [Bytes.t] backing store.  Unlike the
+     original [Buffer.t]-backed writer, capacity survives [clear]: a
+     pooled writer that has grown to fit one record batch serves the
+     next batch with zero further allocation, which is what the hot
+     codec's buffer pool relies on. *)
+  type t = { mutable buf : Bytes.t; mutable len : int }
 
-  let create ?(initial = 64) () = Buffer.create initial
-  let length = Buffer.length
-  let contents = Buffer.contents
-  let u8 b v = Buffer.add_char b (Char.chr (v land 0xff))
+  let create ?(initial = 64) () =
+    { buf = Bytes.create (max 1 initial); len = 0 }
+
+  let length b = b.len
+  let capacity b = Bytes.length b.buf
+
+  (* Amortised doubling: grow to at least [need] by repeatedly doubling
+     the current capacity, so n appends cost O(n) total. *)
+  let ensure_capacity b need =
+    let cap = Bytes.length b.buf in
+    if need > cap then begin
+      let cap' = ref (max cap 1) in
+      while !cap' < need do
+        cap' := !cap' * 2
+      done;
+      let nb = Bytes.create !cap' in
+      Bytes.blit b.buf 0 nb 0 b.len;
+      b.buf <- nb
+    end
+
+  let contents b = Bytes.sub_string b.buf 0 b.len
+
+  let u8 b v =
+    ensure_capacity b (b.len + 1);
+    Bytes.unsafe_set b.buf b.len (Char.unsafe_chr (v land 0xff));
+    b.len <- b.len + 1
 
   let u16 b v =
-    u8 b (v lsr 8);
-    u8 b v
+    ensure_capacity b (b.len + 2);
+    Bytes.unsafe_set b.buf b.len (Char.unsafe_chr ((v lsr 8) land 0xff));
+    Bytes.unsafe_set b.buf (b.len + 1) (Char.unsafe_chr (v land 0xff));
+    b.len <- b.len + 2
 
   let u32 b v =
     let v = Int32.to_int v in
-    u8 b (v lsr 24);
-    u8 b (v lsr 16);
-    u8 b (v lsr 8);
-    u8 b v
+    ensure_capacity b (b.len + 4);
+    Bytes.unsafe_set b.buf b.len (Char.unsafe_chr ((v lsr 24) land 0xff));
+    Bytes.unsafe_set b.buf (b.len + 1) (Char.unsafe_chr ((v lsr 16) land 0xff));
+    Bytes.unsafe_set b.buf (b.len + 2) (Char.unsafe_chr ((v lsr 8) land 0xff));
+    Bytes.unsafe_set b.buf (b.len + 3) (Char.unsafe_chr (v land 0xff));
+    b.len <- b.len + 4
 
   let u64 b v =
     u32 b (Int64.to_int32 (Int64.shift_right_logical v 32));
     u32 b (Int64.to_int32 v)
 
-  let bytes = Buffer.add_string
+  let bytes b s =
+    let n = String.length s in
+    ensure_capacity b (b.len + n);
+    Bytes.blit_string s 0 b.buf b.len n;
+    b.len <- b.len + n
+
+  (* Blit another writer's contents in directly — no intermediate
+     string, unlike [bytes b (contents src)]. *)
+  let append b src =
+    ensure_capacity b (b.len + src.len);
+    Bytes.blit src.buf 0 b.buf b.len src.len;
+    b.len <- b.len + src.len
 
   let pad_to b align =
-    while Buffer.length b mod align <> 0 do
-      Buffer.add_char b '\000'
-    done
+    let rem = b.len mod align in
+    if rem <> 0 then begin
+      let pad = align - rem in
+      ensure_capacity b (b.len + pad);
+      Bytes.fill b.buf b.len pad '\000';
+      b.len <- b.len + pad
+    end
 
-  let clear = Buffer.clear
+  (* Capacity is retained: clearing a grown writer keeps its backing
+     store so reuse across a batch allocates nothing. *)
+  let clear b = b.len <- 0
 end
 
 module Rd = struct

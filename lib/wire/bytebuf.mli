@@ -12,6 +12,14 @@ module Wr : sig
 
   val create : ?initial:int -> unit -> t
   val length : t -> int
+
+  (** Current backing-store size in bytes ([>= length]). *)
+  val capacity : t -> int
+
+  (** Grow the backing store (by amortised doubling) until it holds at
+      least [n] bytes.  Appends never grow more than once per call. *)
+  val ensure_capacity : t -> int -> unit
+
   val contents : t -> string
   val u8 : t -> int -> unit
   val u16 : t -> int -> unit
@@ -21,9 +29,15 @@ module Wr : sig
   (** Raw bytes, no length prefix. *)
   val bytes : t -> string -> unit
 
+  (** [append t src] blits [src]'s contents onto [t] directly, with no
+      intermediate string allocation. *)
+  val append : t -> t -> unit
+
   (** Pad with zero bytes until [length] is a multiple of [align]. *)
   val pad_to : t -> int -> unit
 
+  (** Reset [length] to zero.  Capacity is retained, so a cleared
+      writer reuses its backing store — the basis of buffer pooling. *)
   val clear : t -> unit
 end
 

@@ -66,8 +66,17 @@ val ch_disk_ms : float
     fit to demarshal costs of 10.28 ms (1 RR) / 24.95 ms (6 RRs). *)
 val generated_cost : Wire.Generic_marshal.cost_model
 
+(** Hand-coded BIND routines as a cost model: linear through 0.65 ms
+    (1 RR) and 2.6 ms (6 RRs). What the hot codec charges when it
+    handles a record shape. *)
+val hand_cost : Wire.Hotcodec.cost_model
+
 (** Hand-coded BIND routines: 0.65 ms (1 RR) / 2.6 ms (6 RRs). *)
 val hand_marshal_ms : rr_count:int -> float
+
+(** Per-record zone-transfer/delta absorption when the record decodes
+    through the hand codec instead of the generated stubs. *)
+val hand_preload_record_ms : float
 
 (** {1 Caches} *)
 

@@ -132,6 +132,7 @@ type config = {
   duration_ms : float;
   churn_every_ms : float;
   ranking : ranking;
+  hand_codec : bool;
   flash : flash option;
   storm : storm option;
   slo_target_ms : float;
@@ -212,8 +213,8 @@ let run cfg =
   let nsm_cache_ttl_ms = 2_000.0 in
   let scn =
     S.build ~cache_mode:Hns.Cache.Demarshalled ~extra_hosts:cfg.names
-      ~bundle:true ~prefetch:true ~hot_ranking ~prefetch_k:(cfg.steady_k + 1)
-      ~nsm_cache_ttl_ms ()
+      ~bundle:true ~hand_codec:cfg.hand_codec ~prefetch:true ~hot_ranking
+      ~prefetch_k:(cfg.steady_k + 1) ~nsm_cache_ttl_ms ()
   in
   (* Zipf rank -> zone name, through a seeded permutation so the
      popular heads are not alphabetically first (Name.compare
@@ -249,7 +250,13 @@ let run cfg =
   let legacy =
     Array.init cfg.legacy_hosts (fun i ->
         let stack = attach (Printf.sprintf "lharn-l%02d" i) in
-        (stack, S.new_hns ~enable_bundle:false ~nsm_cache_ttl_ms scn ~on:stack))
+        (* The legacy pool keeps the generated stubs regardless of
+           [hand_codec]: it models the unconverted 1987 clients, and
+           mixed codecs on one wire is exactly the heterogeneity the
+           byte-identical hand encoding has to survive. *)
+        ( stack,
+          S.new_hns ~enable_bundle:false ~hand_codec:false ~nsm_cache_ttl_ms scn
+            ~on:stack ))
   in
   (* The schedule, then the full arrival plan. *)
   let times = schedule cfg.arrival ~rng:rng_sched ~duration_ms:cfg.duration_ms in
@@ -508,6 +515,7 @@ let smoke ?(ranking = Decayed) ?label () =
        mass) by the time the next bundle is ranked. *)
     churn_every_ms = 45_000.0;
     ranking;
+    hand_codec = true;
     flash = Some { at_ms = 36_000.0; len_ms = 18_000.0; fraction = 0.9; rank = 17 };
     storm = None;
     slo_target_ms = 150.0;
@@ -530,6 +538,7 @@ let bench_base ~label ~ranking ~arrival ~flash ~storm =
     duration_ms = 360_000.0;
     churn_every_ms = 90_000.0;
     ranking;
+    hand_codec = true;
     flash;
     storm;
     slo_target_ms = 150.0;

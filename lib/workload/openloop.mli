@@ -105,6 +105,10 @@ type config = {
       (** each agent flushes its shared cache and refetches the bundle
           (reseeding prefetch hints) on this period, staggered *)
   ranking : ranking;
+  hand_codec : bool;
+      (** agent-fleet clients use the hand-marshalled hot codec
+          ({!Calib.hand_cost}); the legacy pool always keeps the
+          generated stubs — heterogeneity is the point *)
   flash : flash option;
   storm : storm option;
   slo_target_ms : float;  (** steady-resolve SLO target *)

@@ -39,6 +39,7 @@ type t = {
   rereg : Baseline.Rereg_ch.t;
   cache_mode : Hns.Cache.mode;
   bundle_enabled : bool;
+  hand_codec_enabled : bool;
   alt_service_names : string list;
 }
 
@@ -57,8 +58,8 @@ let timed f =
   let v = f () in
   (v, Sim.Engine.time () -. t0)
 
-let new_cache_mode ?staleness_budget_ms mode () =
-  Hns.Cache.create ~mode ~generated_cost:Calib.generated_cost
+let new_cache_mode ?staleness_budget_ms ?hand_cost mode () =
+  Hns.Cache.create ~mode ~generated_cost:Calib.generated_cost ?hand_cost
     ~hit_overhead_ms:Calib.cache_hit_overhead_ms
     ~hit_per_node_ms:Calib.cache_hit_per_node_ms
     ~insert_overhead_ms:Calib.cache_insert_ms ?staleness_budget_ms ()
@@ -77,11 +78,19 @@ let bind_addr t = Dns.Server.addr t.public_bind
 let ch_addr t = Clearinghouse.Ch_server.addr t.ch
 
 let new_hns_raw ?staleness_budget_ms ?rpc_policy ?enable_bundle ?negative_ttl_ms
-    ?nsm_cache_ttl_ms ~cache_mode ~meta_server ~bind_server ~ch_server
-    ~credentials ~ch_domain ~ch_org ~nsm_hostaddr_bind ~nsm_hostaddr_ch ~on () =
-  let cache = new_cache_mode ?staleness_budget_ms cache_mode () in
+    ?nsm_cache_ttl_ms ?(hand_codec = false) ~cache_mode ~meta_server ~bind_server
+    ~ch_server ~credentials ~ch_domain ~ch_org ~nsm_hostaddr_bind
+    ~nsm_hostaddr_ch ~on () =
+  (* When the hand codec is on, both the client (request/record codecs)
+     and its cache (stored-form demarshalling) get the calibrated hand
+     cost model; Generic_marshal stays the fallback for cold shapes. *)
+  let hand_cost = if hand_codec then Some Calib.hand_cost else None in
+  let cache = new_cache_mode ?staleness_budget_ms ?hand_cost cache_mode () in
   let hns =
     Hns.Client.create on ~meta_server ~cache ~generated_cost:Calib.generated_cost
+      ?hand_codec:hand_cost
+      ?hand_preload_record_ms:
+        (if hand_codec then Some Calib.hand_preload_record_ms else None)
       ~preload_record_ms:Calib.preload_record_ms
       ~mapping_overhead_ms:Calib.hns_mapping_overhead_ms ?enable_bundle
       ?negative_ttl_ms ?rpc_policy ()
@@ -104,15 +113,19 @@ let new_hns_raw ?staleness_budget_ms ?rpc_policy ?enable_bundle ?negative_ttl_ms
   hns
 
 let new_hns ?staleness_budget_ms ?rpc_policy ?enable_bundle ?negative_ttl_ms
-    ?nsm_cache_ttl_ms ?cache_mode t ~on =
+    ?nsm_cache_ttl_ms ?cache_mode ?hand_codec t ~on =
   (* The scenario's bundle setting is the default: a bundle-enabled
-     testbed hands out bundle-enabled clients unless overridden. *)
+     testbed hands out bundle-enabled clients unless overridden.
+     Same deal for the hand codec. *)
   let enable_bundle =
     match enable_bundle with Some b -> b | None -> t.bundle_enabled
   in
+  let hand_codec =
+    match hand_codec with Some h -> h | None -> t.hand_codec_enabled
+  in
   let cache_mode = Option.value ~default:t.cache_mode cache_mode in
   new_hns_raw ?staleness_budget_ms ?rpc_policy ~enable_bundle ?negative_ttl_ms
-    ?nsm_cache_ttl_ms ~cache_mode ~meta_server:(meta_addr t)
+    ?nsm_cache_ttl_ms ~hand_codec ~cache_mode ~meta_server:(meta_addr t)
     ~bind_server:(bind_addr t) ~ch_server:(ch_addr t)
     ~credentials:t.credentials ~ch_domain:t.ch_domain ~ch_org:t.ch_org
     ~nsm_hostaddr_bind:t.nsm_hostaddr_bind ~nsm_hostaddr_ch:t.nsm_hostaddr_ch ~on
@@ -147,8 +160,8 @@ let new_binding_nsm_ch t ~on =
     ~per_query_ms:Calib.nsm_per_query_ms ()
 
 let build ?(cache_mode = Hns.Cache.Marshalled) ?(extra_hosts = 16)
-    ?(bundle = false) ?(prefetch = false) ?hot_ranking ?(prefetch_k = 8)
-    ?nsm_cache_ttl_ms () =
+    ?(bundle = false) ?(hand_codec = false) ?(prefetch = false) ?hot_ranking
+    ?(prefetch_k = 8) ?nsm_cache_ttl_ms () =
   let engine = Sim.Engine.create () in
   let topo =
     Sim.Topology.create ~default_latency_ms:Calib.ethernet_latency_ms
@@ -533,6 +546,7 @@ let build ?(cache_mode = Hns.Cache.Marshalled) ?(extra_hosts = 16)
     rereg;
     cache_mode;
     bundle_enabled = bundle;
+    hand_codec_enabled = hand_codec;
     alt_service_names;
   }
 

@@ -56,6 +56,10 @@ type t = {
       (** The meta-BIND answers batched FindNSM queries
           ({!Hns.Meta_bundle}), and {!new_hns} defaults to issuing
           them. *)
+  hand_codec_enabled : bool;
+      (** {!new_hns} clients default to the hand-marshalled hot codec
+          ({!Wire.Hotcodec} / {!Hns.Hot_codec}) at {!Calib.hand_cost},
+          with Generic_marshal as the cold-shape fallback. *)
   alt_service_names : string list;
       (** Importable alternates for [service_name] with varied name
           lengths (same target program) — bench iterations sample
@@ -76,11 +80,14 @@ type t = {
     baseline); [prefetch_k] (default 8) is the piggyback budget;
     [nsm_cache_ttl_ms] shortens the shared remote host-address NSM's
     cache so its BIND A queries (the hot tracker's signal) recur at a
-    realistic rate under sustained load. *)
+    realistic rate under sustained load. [hand_codec] (default off, to
+    preserve the paper's measured generated-stub costs) makes
+    {!new_hns} clients use the hand-marshalled hot-path codec. *)
 val build :
   ?cache_mode:Hns.Cache.mode ->
   ?extra_hosts:int ->
   ?bundle:bool ->
+  ?hand_codec:bool ->
   ?prefetch:bool ->
   ?hot_ranking:Dns.Hotrank.strategy ->
   ?prefetch_k:int ->
@@ -111,7 +118,9 @@ val new_nsm_cache : t -> unit -> Hns.Cache.t
     the load harness uses it to give the hot tracker a live sighting
     stream; [cache_mode] (default: the scenario's) overrides the cache
     representation — the v2 shared agent runs demarshalled regardless
-    of what the measured 1987 clients use. *)
+    of what the measured 1987 clients use; [hand_codec] (default: the
+    scenario's [hand_codec_enabled]) switches this instance's hot
+    record shapes onto the hand-marshalled codec. *)
 val new_hns :
   ?staleness_budget_ms:float ->
   ?rpc_policy:Rpc.Control.retry_policy ->
@@ -119,6 +128,7 @@ val new_hns :
   ?negative_ttl_ms:float ->
   ?nsm_cache_ttl_ms:float ->
   ?cache_mode:Hns.Cache.mode ->
+  ?hand_codec:bool ->
   t ->
   on:Transport.Netstack.stack ->
   Hns.Client.t

@@ -259,6 +259,7 @@ let tiny ?(ranking = O.Decayed) ?(seed = 7) () =
     duration_ms = 20_000.0;
     churn_every_ms = 8_000.0;
     ranking;
+    hand_codec = false;
     flash = Some { O.at_ms = 8_000.0; len_ms = 5_000.0; fraction = 0.9; rank = 9 };
     storm = None;
     slo_target_ms = 150.0;

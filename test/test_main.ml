@@ -3,6 +3,7 @@ let () =
     [
       ("sim", Test_sim.suite);
       ("wire", Test_wire.suite);
+      ("marshal", Test_marshal.suite);
       ("transport", Test_transport.suite);
       ("obs", Test_obs.suite);
       ("trace", Test_trace.suite);

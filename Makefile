@@ -1,6 +1,6 @@
 # Convenience wrappers around dune; `make check` is the pre-commit gate.
 
-.PHONY: all build test bench chaos coldpath propagation agent colocation load marshal obs check fmt clean
+.PHONY: all build test bench chaos coldpath propagation durability agent colocation load marshal obs check fmt clean
 
 all: build
 
@@ -28,6 +28,14 @@ coldpath:
 # (also in BENCH_hns.json as propagation.*).
 propagation:
 	dune exec bench/main.exe -- propagation
+
+# The durable meta-store: WAL group commit on the calibrated 1987
+# disk, key-coalescing compaction, and the crash/restart A/B — a
+# recovered primary resumes IXFR from its last durable serial while
+# the journal-less baseline forces full transfers (also in
+# BENCH_hns.json as durability.* and propagation.restart.*).
+durability:
+	dune exec bench/main.exe -- durability
 
 # The shared host agent: cross-process cache + coalescing and the
 # resolve-tail prefetch (also in BENCH_hns.json as agent.*).
@@ -77,6 +85,7 @@ check: fmt
 	$(MAKE) chaos
 	$(MAKE) coldpath
 	$(MAKE) propagation
+	$(MAKE) durability
 	$(MAKE) agent
 	$(MAKE) colocation
 	$(MAKE) load

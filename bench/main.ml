@@ -36,6 +36,8 @@ let experiments =
      Experiments.coldpath);
     ("propagation", "Change propagation: journal, NOTIFY push, IXFR vs AXFR",
      Experiments.propagation);
+    ("durability", "Durable meta-store: WAL group commit, crash recovery, restart A/B",
+     Experiments.durability);
     ("agent", "Shared host agent v2: cache, coalescing, resolve-tail prefetch",
      Experiments.agent);
     ("colocation", "Colocation matrix: arrangements x cache mode, cold/warm",

@@ -680,6 +680,42 @@ let chaos_cmd =
           failover across alternate NSMs and serve-stale degradation.")
     Term.(const run $ const ())
 
+(* --- store --- *)
+
+let store_cmd =
+  let run () =
+    (* The durability experiment is the canonical workload: the WAL
+       spill path under concurrent updates, compaction, crash
+       recovery, and the restart A/B. Then dump what the store layers
+       recorded about themselves. *)
+    Experiments.durability ();
+    let interesting name =
+      List.exists
+        (fun prefix -> String.length name >= String.length prefix
+                       && String.sub name 0 (String.length prefix) = prefix)
+        [ "store."; "dns.durable."; "dns.journal." ]
+    in
+    Printf.printf "\n  meta-store instruments:\n";
+    List.iter
+      (fun (name, sample) ->
+        if interesting name then
+          match (sample : Obs.Metrics.sample) with
+          | Obs.Metrics.Count n -> Printf.printf "    %-32s %d\n" name n
+          | Obs.Metrics.Level v -> Printf.printf "    %-32s %.1f\n" name v
+          | Obs.Metrics.Summary { n; mean; p95; max; _ } ->
+              Printf.printf "    %-32s n=%d mean=%.2f p95=%.2f max=%.2f\n"
+                name n mean p95 max)
+      (Obs.Metrics.snapshot ());
+    0
+  in
+  Cmd.v
+    (Cmd.info "store"
+       ~doc:
+         "Run the durable meta-store workload (WAL group commit, compaction, \
+          crash recovery, restart A/B) and print the store.* / dns.durable.* \
+          / dns.journal.* instruments it left behind.")
+    Term.(const run $ const ())
+
 (* --- network services --- *)
 
 let with_services f =
@@ -888,6 +924,7 @@ let () =
             qlog_cmd;
             lint_cmd;
             chaos_cmd;
+            store_cmd;
             fetch_cmd;
             send_mail_cmd;
             rexec_cmd;

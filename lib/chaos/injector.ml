@@ -75,7 +75,8 @@ let judge t ~now ~src ~dst ~payload =
                    && !corrupted = None
                    && Sim.Rng.float t.rng 1.0 < probability ->
                 corrupted := Some (flip_byte t.rng p)
-            | _ -> ()))
+            | _ -> ())
+        | Plan.Torn_write _ -> (* judged by the disk injector *) ())
     t.plan;
   match !drop with
   | Some reason ->
@@ -122,3 +123,63 @@ let uninstall t =
 let trace t = List.rev t.trace
 let faults_injected t = t.injected
 let plan t = t.plan
+
+(* --- disk faults ---------------------------------------------------- *)
+
+let m_torn = Obs.Metrics.counter "chaos.injector.torn_writes"
+
+type disk_injector = {
+  disk : Store.Disk.t;
+  disk_plan : Plan.t;
+  disk_rng : Sim.Rng.t;
+  mutable disk_trace : string list; (* newest first *)
+  mutable disk_installed : bool;
+}
+
+(* Consulted once per unsynced file at crash time, in sorted file
+   order, so a given plan, seed, and workload tear the same bytes
+   every run. *)
+let judge_crash d ~now ~file ~pending =
+  let fate = ref Store.Disk.Keep_none in
+  List.iter
+    (fun fault ->
+      match (fault : Plan.fault) with
+      | Plan.Torn_write { host; from_ms; until_ms; probability }
+        when !fate = Store.Disk.Keep_none
+             && active ~now ~from_ms ~until_ms
+             && host = Store.Disk.name d.disk
+             && pending > 0
+             && Sim.Rng.float d.disk_rng 1.0 < probability ->
+          let keep = 1 + Sim.Rng.int d.disk_rng pending in
+          Obs.Metrics.incr m_faults;
+          Obs.Metrics.incr m_torn;
+          d.disk_trace <-
+            Printf.sprintf "%10.3f torn %s:%s keep=%d/%d" now
+              (Store.Disk.name d.disk) file keep pending
+            :: d.disk_trace;
+          fate := Store.Disk.Keep keep
+      | _ -> ())
+    d.disk_plan;
+  !fate
+
+let install_disk ?(seed = 0xC4A05L) plan disk =
+  let d =
+    {
+      disk;
+      disk_plan = plan;
+      disk_rng = Sim.Rng.create ~seed;
+      disk_trace = [];
+      disk_installed = true;
+    }
+  in
+  Store.Disk.set_fault_oracle disk (fun ~now ~file ~pending ->
+      judge_crash d ~now ~file ~pending);
+  d
+
+let uninstall_disk d =
+  if d.disk_installed then begin
+    d.disk_installed <- false;
+    Store.Disk.clear_fault_oracle d.disk
+  end
+
+let disk_trace d = List.rev d.disk_trace

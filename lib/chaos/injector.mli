@@ -30,3 +30,25 @@ val trace : t -> string list
 val faults_injected : t -> int
 
 val plan : t -> Plan.t
+
+(** {1 Disk faults}
+
+    {!Plan.Torn_write} faults target a {!Store.Disk.t} rather than the
+    netstack: [install_disk] compiles them into the disk's crash-time
+    fault oracle. When the disk crashes inside an active window, each
+    file with unsynced bytes keeps a random non-empty prefix with the
+    plan's probability (seeded, so traces are byte-identical across
+    runs); torn decisions land in [chaos.injector.torn_writes] and the
+    disk trace. *)
+
+type disk_injector
+
+(** [install_disk ?seed plan disk] replaces any oracle on [disk].
+    Non-[Torn_write] faults in [plan] are ignored here. *)
+val install_disk : ?seed:int64 -> Plan.t -> Store.Disk.t -> disk_injector
+
+val uninstall_disk : disk_injector -> unit
+
+(** Chronological torn-write log, e.g.
+    ["  5200.000 torn disk0:wal.000001.wal keep=17/44"]. *)
+val disk_trace : disk_injector -> string list

@@ -19,6 +19,12 @@ type fault =
       until_ms : float;
       probability : float;
     }
+  | Torn_write of {
+      host : string;
+      from_ms : float;
+      until_ms : float;
+      probability : float;
+    }
 
 type t = fault list
 
@@ -47,6 +53,14 @@ let corrupt ?(dst_hosts = []) ~at ~heal_at ~probability () =
     invalid_arg "Chaos.Plan.corrupt: probability out of [0,1]";
   Corrupt { dst_hosts; from_ms = at; until_ms = heal_at; probability }
 
+let torn_write ~host ~at ?(heal_at = infinity) ~probability () =
+  if host = "" then invalid_arg "Chaos.Plan.torn_write: empty host";
+  if heal_at <= at then
+    invalid_arg "Chaos.Plan.torn_write: heal time not after start";
+  if probability < 0.0 || probability > 1.0 then
+    invalid_arg "Chaos.Plan.torn_write: probability out of [0,1]";
+  Torn_write { host; from_ms = at; until_ms = heal_at; probability }
+
 let pp_hosts ppf = function
   | [] -> Format.pp_print_string ppf "*"
   | hosts -> Format.pp_print_string ppf (String.concat "," hosts)
@@ -68,6 +82,9 @@ let pp_fault ppf = function
   | Corrupt { dst_hosts; from_ms; until_ms; probability } ->
       Format.fprintf ppf "corrupt ->%a p=%.2f %a" pp_hosts dst_hosts
         probability pp_window (from_ms, until_ms)
+  | Torn_write { host; from_ms; until_ms; probability } ->
+      Format.fprintf ppf "torn-write %s p=%.2f %a" host probability pp_window
+        (from_ms, until_ms)
 
 let pp ppf t =
   Format.pp_print_list

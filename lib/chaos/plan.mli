@@ -38,6 +38,17 @@ type fault =
       (** each datagram headed to [dst_hosts] is corrupted (one byte
           flipped) with the given probability; reliable (TCP) segments
           are never corrupted — checksums would have discarded them *)
+  | Torn_write of {
+      host : string;
+      from_ms : float;
+      until_ms : float;
+      probability : float;
+    }
+      (** when the disk named [host] crashes in the window, each file
+          with unsynced bytes independently keeps a random prefix of
+          them with the given probability — the half-written sector of
+          a power loss mid-commit. Judged by
+          {!Injector.install_disk}, not by the netstack. *)
 
 type t = fault list
 
@@ -60,6 +71,10 @@ val latency_spike :
 
 val corrupt :
   ?dst_hosts:string list -> at:float -> heal_at:float -> probability:float -> unit -> fault
+
+(** [torn_write ~host ~at ~probability ()] never heals by default. *)
+val torn_write :
+  host:string -> at:float -> ?heal_at:float -> probability:float -> unit -> fault
 
 val pp_fault : Format.formatter -> fault -> unit
 val pp : Format.formatter -> t -> unit

@@ -22,6 +22,18 @@ type response =
       (** new SOA + ordered changes to replay *)
   | Full of Rr.t list  (** AXFR fallback: SOA first, then the zone *)
 
+(** {1 Wire encoding of a change}
+
+    Shared with the durable store's on-disk delta format. *)
+
+(** A change as an answer record: additions keep [C_in], deletions are
+    marked [C_none]. *)
+val rr_of_change : Journal.change -> Rr.t
+
+(** Inverse of {!rr_of_change} (normalises the deletion marker back to
+    [C_in]). *)
+val change_of_rr : Rr.t -> Journal.change
+
 (** {1 Server side} *)
 
 (** The serial the requester claims to hold: the first SOA in the

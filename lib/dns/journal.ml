@@ -3,39 +3,74 @@ type change = Put of Rr.t | Del of Rr.t
 type delta = { from_serial : int32; to_serial : int32; changes : change list }
 
 (* Deltas are kept newest-first internally (cheap append); reads
-   reverse. The retention bound is on delta count, not record count:
-   dynamic updates are small, so the two track each other. *)
+   reverse. Retention is bounded two ways: by delta count and by an
+   estimate of the bytes held, so a burst of fat updates cannot pin
+   unbounded memory just because it fits the count bound. Each entry
+   carries its size so truncation never re-measures. *)
 type t = {
   max_deltas : int;
-  mutable rev_deltas : delta list;
+  max_bytes : int;
+  mutable rev_deltas : (delta * int) list;
+  mutable total_bytes : int;
   mutable truncations : int;
 }
 
 let m_appends = Obs.Metrics.counter "dns.journal.appends"
 let m_truncations = Obs.Metrics.counter "dns.journal.truncations"
+let m_bytes = Obs.Metrics.gauge "dns.journal.bytes"
 
-let create ?(max_deltas = 64) () =
+let create ?(max_deltas = 64) ?(max_bytes = max_int) () =
   if max_deltas < 1 then invalid_arg "Journal.create: max_deltas < 1";
-  { max_deltas; rev_deltas = []; truncations = 0 }
+  if max_bytes < 1 then invalid_arg "Journal.create: max_bytes < 1";
+  { max_deltas; max_bytes; rev_deltas = []; total_bytes = 0; truncations = 0 }
 
 let length t = List.length t.rev_deltas
 
+(* Rough wire-ish size of a change: fixed record overhead plus the
+   rendered name and rdata. An estimate is enough — the bound exists
+   to cap memory, not to account bytes exactly. *)
+let change_bytes = function
+  | Put rr | Del rr ->
+      12
+      + String.length (Name.to_string rr.Rr.name)
+      + String.length (Format.asprintf "%a" Rr.pp_rdata rr.Rr.rdata)
+
+let delta_bytes d = 24 + List.fold_left (fun a c -> a + change_bytes c) 0 d.changes
+
 let record t ~from_serial ~to_serial changes =
-  t.rev_deltas <- { from_serial; to_serial; changes } :: t.rev_deltas;
+  let d = { from_serial; to_serial; changes } in
+  let b = delta_bytes d in
+  t.rev_deltas <- (d, b) :: t.rev_deltas;
+  t.total_bytes <- t.total_bytes + b;
   Obs.Metrics.incr m_appends;
   let n = length t in
-  if n > t.max_deltas then begin
-    let dropped = n - t.max_deltas in
-    t.rev_deltas <- List.filteri (fun i _ -> i < t.max_deltas) t.rev_deltas;
-    t.truncations <- t.truncations + dropped;
-    Obs.Metrics.add m_truncations dropped
-  end
+  if n > t.max_deltas || t.total_bytes > t.max_bytes then begin
+    (* Shed oldest-first until under both bounds; the newest delta
+       always survives even if it alone exceeds the byte bound. *)
+    let rec shed count bytes = function
+      | (_, b) :: (_ :: _ as rest)
+        when count > t.max_deltas || bytes > t.max_bytes ->
+          shed (count - 1) (bytes - b) rest
+      | l -> (l, bytes, count)
+    in
+    let kept, bytes, kept_n = shed n t.total_bytes (List.rev t.rev_deltas) in
+    let dropped = n - kept_n in
+    if dropped > 0 then begin
+      t.rev_deltas <- List.rev kept;
+      t.total_bytes <- bytes;
+      t.truncations <- t.truncations + dropped;
+      Obs.Metrics.add m_truncations dropped
+    end
+  end;
+  Obs.Metrics.set m_bytes (float_of_int t.total_bytes)
 
-let deltas t = List.rev t.rev_deltas
+let deltas t = List.rev_map fst t.rev_deltas
+
+let bytes t = t.total_bytes
 
 let since t ~serial =
   match t.rev_deltas with
-  | { to_serial; _ } :: _ when Int32.equal to_serial serial -> Some []
+  | ({ to_serial; _ }, _) :: _ when Int32.equal to_serial serial -> Some []
   | rev ->
       (* Walk newest → oldest collecting deltas until one starts at
          the requested serial; the collected list comes out oldest
@@ -44,14 +79,14 @@ let since t ~serial =
          journal means we cannot bridge the gap. *)
       let rec collect acc expected_from = function
         | [] -> None
-        | d :: rest ->
+        | (d, _) :: rest ->
             if not (Int32.equal d.to_serial expected_from) then None
             else if Int32.equal d.from_serial serial then Some (d :: acc)
             else collect (d :: acc) d.from_serial rest
       in
       (match rev with
       | [] -> None
-      | newest :: _ -> collect [] newest.to_serial rev)
+      | (newest, _) :: _ -> collect [] newest.to_serial rev)
 
 let truncations t = t.truncations
 

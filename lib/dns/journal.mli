@@ -26,8 +26,11 @@ type delta = {
 
 type t
 
-(** [create ?max_deltas ()] — retention bound, default 64 deltas. *)
-val create : ?max_deltas:int -> unit -> t
+(** [create ?max_deltas ?max_bytes ()] — retention bounds: delta
+    count (default 64) and estimated bytes held (default unbounded).
+    Whichever bound trips first sheds the oldest deltas; the byte
+    total is exported as the [dns.journal.bytes] gauge. *)
+val create : ?max_deltas:int -> ?max_bytes:int -> unit -> t
 
 (** Append one delta; drops the oldest entries (counting truncations)
     when over the retention bound. *)
@@ -43,10 +46,13 @@ val since : t -> serial:int32 -> delta list option
 (** All retained deltas, oldest first. *)
 val deltas : t -> delta list
 
-(** Deltas dropped to the retention bound over the journal's life. *)
+(** Deltas dropped to the retention bounds over the journal's life. *)
 val truncations : t -> int
 
 val length : t -> int
+
+(** Estimated bytes currently held (the [dns.journal.bytes] gauge). *)
+val bytes : t -> int
 
 (** Number of record changes in a delta. *)
 val change_count : delta -> int

@@ -101,7 +101,11 @@ let refresh_once t =
       if Int32.compare serial (Zone.serial t.zone) > 0 then pull t
       else t.fresh_count <- t.fresh_count + 1
 
-let attach server ~primary ~zone ?refresh_ms ?(mode = Ixfr) () =
+let attach server ~primary ~zone ?refresh_ms ?(mode = Ixfr) ?recovered () =
+  (match recovered with
+  | Some z when not (Name.equal (Zone.origin z) zone) ->
+      invalid_arg "Secondary.attach: recovered zone origin mismatch"
+  | _ -> ());
   let t =
     {
       server;
@@ -109,7 +113,10 @@ let attach server ~primary ~zone ?refresh_ms ?(mode = Ixfr) () =
       zone_name = zone;
       mode;
       refresh_ms = 0.0;
-      zone = Zone.simple ~origin:zone [];
+      zone =
+        (match recovered with
+        | Some z -> z
+        | None -> Zone.simple ~origin:zone []);
       running = true;
       transfer_count = 0;
       full_count = 0;
@@ -120,9 +127,17 @@ let attach server ~primary ~zone ?refresh_ms ?(mode = Ixfr) () =
       next_id = 0x5A00;
     }
   in
-  (match fetch t with
-  | Error m -> failwith ("Secondary.attach: initial transfer failed: " ^ m)
-  | Ok transfer -> adopt t transfer);
+  (match recovered with
+  | Some _ ->
+      (* Durable bootstrap: the replica already holds its last durable
+         image, so catch up by deltas from that serial instead of
+         re-transferring the zone. A transient failure is fine — the
+         refresh loop below retries. *)
+      pull t
+  | None -> (
+      match fetch t with
+      | Error m -> failwith ("Secondary.attach: initial transfer failed: " ^ m)
+      | Ok transfer -> adopt t transfer));
   let refresh_ms =
     match refresh_ms with
     | Some ms -> ms

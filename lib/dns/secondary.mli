@@ -28,13 +28,19 @@ type mode = Axfr  (** full re-transfer, 1987 stock behaviour *) | Ixfr
     synchronously (must run inside a simulated process), then polls
     and listens for NOTIFY. [refresh_ms] overrides the zone's own SOA
     refresh interval; [mode] defaults to [Ixfr]. Raises [Failure] if
-    the initial transfer fails. *)
+    the initial transfer fails.
+
+    [recovered] — a zone rebuilt by {!Durable.recover}: the secondary
+    adopts it and skips the initial full transfer, catching up from
+    its durable serial by IXFR (in [Ixfr] mode) instead. Raises
+    [Invalid_argument] when its origin differs from [zone]. *)
 val attach :
   Server.t ->
   primary:Transport.Address.t ->
   zone:Name.t ->
   ?refresh_ms:float ->
   ?mode:mode ->
+  ?recovered:Zone.t ->
   unit ->
   t
 

@@ -289,7 +289,7 @@ let apply_update t (request : Msg.t) =
                 request.updates;
               let from_serial = Zone.serial zone in
               Zone.bump_serial zone;
-              Journal.record (Zone.journal zone) ~from_serial
+              Zone.record_delta zone ~from_serial
                 ~to_serial:(Zone.serial zone)
                 (List.rev !rev_changes);
               t.updates <- t.updates + 1;

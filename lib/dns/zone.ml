@@ -3,11 +3,12 @@ type t = {
   mutable soa : Rr.soa;
   db : Db.t;
   journal : Journal.t;
+  mutable on_delta : (Journal.delta -> unit) list;
 }
 
 let in_zone_name origin name = Name.is_subdomain ~of_:origin name
 
-let create ?journal_deltas ~origin ~soa records =
+let create ?journal_deltas ?journal_bytes ~origin ~soa records =
   let db = Db.create () in
   List.iter
     (fun (rr : Rr.t) ->
@@ -17,9 +18,16 @@ let create ?journal_deltas ~origin ~soa records =
              (Name.to_string rr.name) (Name.to_string origin));
       Db.add db rr)
     records;
-  { origin; soa; db; journal = Journal.create ?max_deltas:journal_deltas () }
+  {
+    origin;
+    soa;
+    db;
+    journal =
+      Journal.create ?max_deltas:journal_deltas ?max_bytes:journal_bytes ();
+    on_delta = [];
+  }
 
-let simple ?journal_deltas ~origin records =
+let simple ?journal_deltas ?journal_bytes ~origin records =
   let soa =
     {
       Rr.mname = Name.prepend "ns" origin;
@@ -31,7 +39,7 @@ let simple ?journal_deltas ~origin records =
       minimum = 3600l;
     }
   in
-  create ?journal_deltas ~origin ~soa records
+  create ?journal_deltas ?journal_bytes ~origin ~soa records
 
 let origin t = t.origin
 let soa t = t.soa
@@ -47,6 +55,18 @@ let soa_rr t = Rr.make ~ttl:t.soa.Rr.minimum t.origin (Rr.Soa t.soa)
 let axfr_records t = soa_rr t :: Db.all t.db
 let count t = 1 + Db.count t.db
 
+let on_delta t f = t.on_delta <- t.on_delta @ [ f ]
+
+(* The single choke point every serial transition passes through: the
+   journal entry lands, then the delta hooks fire — so a durability
+   layer sees primary updates and replica catch-ups alike, and its
+   hook returning is what lets the caller acknowledge the change
+   (write-ahead discipline). *)
+let record_delta t ~from_serial ~to_serial changes =
+  Journal.record t.journal ~from_serial ~to_serial changes;
+  let d = { Journal.from_serial; to_serial; changes } in
+  List.iter (fun f -> f d) t.on_delta
+
 let apply_delta t (d : Journal.delta) =
   if not (Int32.equal d.Journal.from_serial t.soa.Rr.serial) then
     invalid_arg
@@ -55,5 +75,5 @@ let apply_delta t (d : Journal.delta) =
   Journal.apply_changes t.db d.Journal.changes;
   t.soa <- { t.soa with Rr.serial = d.Journal.to_serial };
   (* Re-journal the delta so a replica can itself serve IXFR. *)
-  Journal.record t.journal ~from_serial:d.Journal.from_serial
+  record_delta t ~from_serial:d.Journal.from_serial
     ~to_serial:d.Journal.to_serial d.Journal.changes

@@ -7,12 +7,19 @@ type t
 
 (** [create ~origin ~soa records]. Every record must lie within the
     zone (raises [Invalid_argument] otherwise). An SOA record at the
-    origin is synthesized from [soa]. [journal_deltas] bounds the
-    zone's change journal (see {!Journal.create}). *)
-val create : ?journal_deltas:int -> origin:Name.t -> soa:Rr.soa -> Rr.t list -> t
+    origin is synthesized from [soa]. [journal_deltas] /
+    [journal_bytes] bound the zone's change journal (see
+    {!Journal.create}). *)
+val create :
+  ?journal_deltas:int ->
+  ?journal_bytes:int ->
+  origin:Name.t ->
+  soa:Rr.soa ->
+  Rr.t list ->
+  t
 
 (** A zone with a boilerplate SOA, for tests and simple setups. *)
-val simple : ?journal_deltas:int -> origin:Name.t -> Rr.t list -> t
+val simple : ?journal_deltas:int -> ?journal_bytes:int -> origin:Name.t -> Rr.t list -> t
 
 val origin : t -> Name.t
 val soa : t -> Rr.soa
@@ -31,6 +38,19 @@ val bump_serial : t -> unit
 val set_soa : t -> Rr.soa -> unit
 
 val in_zone : t -> Name.t -> bool
+
+(** Register a delta hook, run (in registration order) after every
+    serial transition is journalled — by the dynamic-update path and
+    by {!apply_delta} alike. A durability layer ({!Durable}) uses this
+    to spill each delta to its write-ahead log before the update is
+    acknowledged; the hook blocking is what gates the ack. *)
+val on_delta : t -> (Journal.delta -> unit) -> unit
+
+(** Journal one serial transition and fire the delta hooks. The
+    update path must use this (not {!Journal.record} directly) so
+    durability hooks observe every change. *)
+val record_delta :
+  t -> from_serial:int32 -> to_serial:int32 -> Journal.change list -> unit
 
 (** The zone's SOA as a resource record at the origin. *)
 val soa_rr : t -> Rr.t

@@ -89,6 +89,7 @@ let m_delta_records = Obs.Metrics.counter "hns.meta.delta_records"
 let m_delta_invalidations = Obs.Metrics.counter "hns.meta.delta_invalidations"
 let m_full_refreshes = Obs.Metrics.counter "hns.meta.full_refreshes"
 let m_notify_kicks = Obs.Metrics.counter "hns.meta.notify_kicks"
+let m_serial_regressions = Obs.Metrics.counter "hns.meta.serial_regressions"
 let m_prefetched = Obs.Metrics.counter "hns.meta.bundle_prefetched"
 let m_prefetch_hits = Obs.Metrics.counter "hns.meta.prefetch_hits"
 
@@ -749,7 +750,15 @@ let start_preload_refresher ?interval_ms t =
           | Some serial ->
               let changed =
                 match t.zone_serial with
-                | Some s -> not (Int32.equal s serial)
+                | Some s ->
+                    (* A serial behind ours means the primary restarted
+                       from an older durable image: our cache reflects
+                       updates it lost, so resync (the IXFR ask from
+                       our unbridgeable serial falls back to a full
+                       reload). *)
+                    if Int32.compare serial s < 0 then
+                      Obs.Metrics.incr m_serial_regressions;
+                    not (Int32.equal s serial)
                 | None -> true
               in
               if changed then (
@@ -792,7 +801,13 @@ let start_notify_listener ?port t =
                  is best-effort and may arrive duplicated or late. *)
               let stale =
                 match (notify_serial request, t.zone_serial) with
-                | Some pushed, Some held -> Int32.compare pushed held > 0
+                | Some pushed, Some held ->
+                    (* Ahead: ordinary update push. Behind: the primary
+                       restarted from an older durable image and our
+                       cache holds state it lost — resync too. *)
+                    if Int32.compare pushed held < 0 then
+                      Obs.Metrics.incr m_serial_regressions;
+                    not (Int32.equal pushed held)
                 | _ -> true
               in
               if stale then begin

@@ -12,6 +12,7 @@ let () =
       ("clearinghouse", Test_clearinghouse.suite);
       ("replication", Test_replication.suite);
       ("propagation", Test_propagation.suite);
+      ("store", Test_store.suite);
       ("failure", Test_failure.suite);
       ("properties", Test_properties.suite);
       ("extensions", Test_extensions.suite);

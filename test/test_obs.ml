@@ -212,14 +212,18 @@ let bench_json_artifact () =
     (fun e ->
       let name = Obs.Json.to_str (Obs.Json.get "name" e) in
       let n = Obs.Json.to_int (Obs.Json.get "n" e) in
-      (* chaos, loadharness and marshal rows carry their own sample
-         populations (timeline resolutions / open-loop arrivals / the
-         hot-shape specimen mix), not the requested repetition count *)
+      (* chaos, loadharness, marshal and durability rows carry their
+         own sample populations (timeline resolutions / open-loop
+         arrivals / the hot-shape specimen mix / per-append WAL
+         latencies), not the requested repetition count *)
       let prefixed p =
         String.length name >= String.length p
         && String.sub name 0 (String.length p) = p
       in
-      if prefixed "chaos." || prefixed "loadharness." || prefixed "marshal." then
+      if
+        prefixed "chaos." || prefixed "loadharness." || prefixed "marshal."
+        || prefixed "durability."
+      then
         check_bool "harness sample count" true (n > 0)
       else check_int "sample count" 2 n;
       let p50 = Obs.Json.to_float (Obs.Json.get "p50_ms" e) in

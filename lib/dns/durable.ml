@@ -16,6 +16,7 @@ type t = {
   mutable since_snap : int;
   mutable snap_serial : int32;
   mutable persisted : int;
+  mutable hook : Zone.hook option; (* None once detached *)
 }
 
 let m_persisted = Obs.Metrics.counter "dns.durable.persisted_deltas"
@@ -132,6 +133,7 @@ let attach ?(config = default_config) disk zone =
       since_snap = 0;
       snap_serial = Int32.minus_one;
       persisted = 0;
+      hook = None;
     }
   in
   (match Store.Snapshot.on_disk ~base:config.base disk with
@@ -145,15 +147,24 @@ let attach ?(config = default_config) disk zone =
       let rep = Store.Wal.replay ~base:config.base disk in
       if rep.Store.Wal.torn_tail then
         ignore (Store.Wal.compact wal ~coalesce:(fun records -> records)));
-  Zone.on_delta zone (fun d ->
-      (* Blocks through the WAL group commit: the update is durable
-         before the caller can acknowledge it. *)
-      Store.Wal.append wal (encode_delta ~origin:(Zone.origin zone) d);
-      t.persisted <- t.persisted + 1;
-      Obs.Metrics.incr m_persisted;
-      t.since_snap <- t.since_snap + 1;
-      if t.since_snap >= config.snapshot_every then snapshot t);
+  t.hook <-
+    Some
+      (Zone.add_delta_hook zone (fun d ->
+           (* Blocks through the WAL group commit: the update is durable
+              before the caller can acknowledge it. *)
+           Store.Wal.append wal (encode_delta ~origin:(Zone.origin zone) d);
+           t.persisted <- t.persisted + 1;
+           Obs.Metrics.incr m_persisted;
+           t.since_snap <- t.since_snap + 1;
+           if t.since_snap >= config.snapshot_every then snapshot t));
   t
+
+let detach t =
+  match t.hook with
+  | None -> ()
+  | Some h ->
+      t.hook <- None;
+      Zone.remove_delta_hook t.zone h
 
 (* --- compaction ----------------------------------------------------- *)
 

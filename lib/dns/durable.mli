@@ -36,8 +36,17 @@ type t
 
 (** [attach ?config disk zone] — starts spilling [zone]'s deltas to
     [disk]. Writes a bootstrap snapshot if the disk holds none, so
-    {!recover} always has a base image. *)
+    {!recover} always has a base image.
+
+    Attach at most one store per zone at a time: each [attach]
+    registers its own delta hook, so two live attachments would spill
+    every delta twice. {!detach} the old store before attaching a
+    replacement (e.g. when re-attaching after {!recover}). *)
 val attach : ?config:config -> Store.Disk.t -> Zone.t -> t
+
+(** Stop spilling: unregister this store's delta hook from the zone.
+    Idempotent. The on-disk image stays valid for {!recover}. *)
+val detach : t -> unit
 
 (** Checkpoint now: snapshot the zone image and prune the WAL of
     records at or below the snapshot serial. *)

@@ -1,9 +1,12 @@
+type hook = int
+
 type t = {
   origin : Name.t;
   mutable soa : Rr.soa;
   db : Db.t;
   journal : Journal.t;
-  mutable on_delta : (Journal.delta -> unit) list;
+  mutable on_delta : (hook * (Journal.delta -> unit)) list;
+  mutable next_hook : hook;
 }
 
 let in_zone_name origin name = Name.is_subdomain ~of_:origin name
@@ -25,6 +28,7 @@ let create ?journal_deltas ?journal_bytes ~origin ~soa records =
     journal =
       Journal.create ?max_deltas:journal_deltas ?max_bytes:journal_bytes ();
     on_delta = [];
+    next_hook = 0;
   }
 
 let simple ?journal_deltas ?journal_bytes ~origin records =
@@ -55,7 +59,16 @@ let soa_rr t = Rr.make ~ttl:t.soa.Rr.minimum t.origin (Rr.Soa t.soa)
 let axfr_records t = soa_rr t :: Db.all t.db
 let count t = 1 + Db.count t.db
 
-let on_delta t f = t.on_delta <- t.on_delta @ [ f ]
+let add_delta_hook t f =
+  let h = t.next_hook in
+  t.next_hook <- h + 1;
+  t.on_delta <- t.on_delta @ [ (h, f) ];
+  h
+
+let remove_delta_hook t h =
+  t.on_delta <- List.filter (fun (h', _) -> h' <> h) t.on_delta
+
+let on_delta t f = ignore (add_delta_hook t f)
 
 (* The single choke point every serial transition passes through: the
    journal entry lands, then the delta hooks fire — so a durability
@@ -65,7 +78,7 @@ let on_delta t f = t.on_delta <- t.on_delta @ [ f ]
 let record_delta t ~from_serial ~to_serial changes =
   Journal.record t.journal ~from_serial ~to_serial changes;
   let d = { Journal.from_serial; to_serial; changes } in
-  List.iter (fun f -> f d) t.on_delta
+  List.iter (fun (_, f) -> f d) t.on_delta
 
 let apply_delta t (d : Journal.delta) =
   if not (Int32.equal d.Journal.from_serial t.soa.Rr.serial) then

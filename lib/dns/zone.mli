@@ -39,11 +39,20 @@ val set_soa : t -> Rr.soa -> unit
 
 val in_zone : t -> Name.t -> bool
 
+(** Handle to a registered delta hook, for {!remove_delta_hook}. *)
+type hook
+
 (** Register a delta hook, run (in registration order) after every
     serial transition is journalled — by the dynamic-update path and
     by {!apply_delta} alike. A durability layer ({!Durable}) uses this
     to spill each delta to its write-ahead log before the update is
     acknowledged; the hook blocking is what gates the ack. *)
+val add_delta_hook : t -> (Journal.delta -> unit) -> hook
+
+(** Unregister a hook; a no-op if already removed. *)
+val remove_delta_hook : t -> hook -> unit
+
+(** {!add_delta_hook} for hooks that live as long as the zone. *)
 val on_delta : t -> (Journal.delta -> unit) -> unit
 
 (** Journal one serial transition and fire the delta hooks. The

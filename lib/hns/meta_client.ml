@@ -799,18 +799,7 @@ let start_notify_listener ?port t =
               (* Refresh only when the pushed serial is actually ahead
                  of our snapshot (or carries no serial at all); NOTIFY
                  is best-effort and may arrive duplicated or late. *)
-              let stale =
-                match (notify_serial request, t.zone_serial) with
-                | Some pushed, Some held ->
-                    (* Ahead: ordinary update push. Behind: the primary
-                       restarted from an older durable image and our
-                       cache holds state it lost — resync too. *)
-                    if Int32.compare pushed held < 0 then
-                      Obs.Metrics.incr m_serial_regressions;
-                    not (Int32.equal pushed held)
-                | _ -> true
-              in
-              if stale then begin
+              let kick () =
                 t.notify_kick_count <- t.notify_kick_count + 1;
                 Obs.Metrics.incr m_notify_kicks;
                 try
@@ -820,7 +809,35 @@ let start_notify_listener ?port t =
                           Obs.Metrics.incr m_preload_refreshes
                       | Ok Unchanged | Error _ -> ())
                 with Effect.Unhandled _ -> ()
-              end;
+              in
+              (match (notify_serial request, t.zone_serial) with
+              | Some pushed, Some held when Int32.compare pushed held > 0 ->
+                  (* Ahead: ordinary update push. *)
+                  kick ()
+              | Some pushed, Some held when Int32.compare pushed held < 0 -> (
+                  (* Behind: usually just a late or duplicated NOTIFY,
+                     but it can also mean the primary restarted from an
+                     older durable image and our cache holds state it
+                     lost. Confirm with a direct SOA probe (off the
+                     handler fiber — the probe is an RPC) before
+                     counting a regression and resyncing. *)
+                  try
+                    Sim.Engine.spawn_child ~name:"hns-notify-regress"
+                      (fun () ->
+                        match (primary_serial t, t.zone_serial) with
+                        | Some live, Some held
+                          when Int32.compare live held < 0 ->
+                            Obs.Metrics.incr m_serial_regressions;
+                            t.notify_kick_count <- t.notify_kick_count + 1;
+                            Obs.Metrics.incr m_notify_kicks;
+                            (match refresh t with
+                            | Ok (Applied_deltas _ | Full_reload _) ->
+                                Obs.Metrics.incr m_preload_refreshes
+                            | Ok Unchanged | Error _ -> ())
+                        | _ -> () (* stale notify; primary is fine *))
+                  with Effect.Unhandled _ -> ())
+              | Some _, Some _ -> () (* duplicate of what we hold *)
+              | _ -> kick ());
               Some (Dns.Msg.encode (Dns.Msg.notify_ack ~request))
             end
             else None)

@@ -77,6 +77,8 @@ type t = {
   mutable pending_commit : unit Sim.Engine.Ivar.ivar option;
   mutable batch_size : int;
   mutable dirty : string list; (* files awaiting the group fsync *)
+  mutable compacting : unit Sim.Engine.Ivar.ivar option;
+  mutable compaction_gen : int;
 }
 
 let segment_file base i = Printf.sprintf "%s.%06d.wal" base i
@@ -125,6 +127,8 @@ let create ?(base = "wal") ?(group_window_ms = 2.0) ?(segment_bytes = 64 * 1024)
     pending_commit = None;
     batch_size = 0;
     dirty = [];
+    compacting = None;
+    compaction_gen = 0;
   }
 
 let disk t = t.disk
@@ -160,32 +164,54 @@ let flush t =
 
 let now_ms () = try Sim.Engine.time () with Effect.Unhandled _ -> 0.0
 
+(* Hold the caller at the door while a compaction pass is rewriting
+   the log, so no new frame can land in a segment the pass is about to
+   delete. Re-checks after waking: another pass may have started. *)
+let rec await_compaction t =
+  match t.compacting with
+  | None -> ()
+  | Some iv ->
+      Sim.Engine.Ivar.read iv;
+      await_compaction t
+
 let append t payload =
   let t0 = now_ms () in
+  await_compaction t;
   let file = current_segment t in
   let framed = frame payload in
+  let gen = t.compaction_gen in
   ignore (Disk.append t.disk ~file framed);
-  t.total_bytes <- t.total_bytes + String.length framed;
-  Obs.Metrics.set m_bytes (float_of_int t.total_bytes);
   t.append_count <- t.append_count + 1;
-  t.batch_size <- t.batch_size + 1;
   Obs.Metrics.incr m_appends;
-  mark_dirty t file;
-  (match t.pending_commit with
-  | Some iv ->
-      (* Ride the open window: durable when the leader's fsync lands. *)
-      Sim.Engine.Ivar.read iv
-  | None -> (
-      let iv = Sim.Engine.Ivar.create () in
-      t.pending_commit <- Some iv;
-      (match
-         if t.group_window_ms > 0.0 then Sim.Engine.sleep t.group_window_ms
-       with
-      | () -> ()
-      | exception Effect.Unhandled _ -> ());
-      t.pending_commit <- None;
-      flush t;
-      Sim.Engine.Ivar.fill iv ()));
+  if t.compaction_gen <> gen then
+    (* A compaction pass ran while this write's time charge slept. The
+       frame was buffered before the first yield, so the pass fsynced
+       it, replayed it into the rewritten image, and deleted the
+       segment it landed in: the record is already durable. Joining a
+       group commit now would resurrect the deleted file and count the
+       frame's bytes twice. *)
+    ()
+  else begin
+    t.total_bytes <- t.total_bytes + String.length framed;
+    Obs.Metrics.set m_bytes (float_of_int t.total_bytes);
+    t.batch_size <- t.batch_size + 1;
+    mark_dirty t file;
+    match t.pending_commit with
+    | Some iv ->
+        (* Ride the open window: durable when the leader's fsync lands. *)
+        Sim.Engine.Ivar.read iv
+    | None -> (
+        let iv = Sim.Engine.Ivar.create () in
+        t.pending_commit <- Some iv;
+        (match
+           if t.group_window_ms > 0.0 then Sim.Engine.sleep t.group_window_ms
+         with
+        | () -> ()
+        | exception Effect.Unhandled _ -> ());
+        t.pending_commit <- None;
+        flush t;
+        Sim.Engine.Ivar.fill iv ())
+  end;
   Obs.Metrics.observe m_append_ms (now_ms () -. t0)
 
 type replay = { records : string list; torn_tail : bool; bytes_scanned : int }
@@ -223,40 +249,59 @@ let replay ?(base = "wal") disk =
   { records = List.rev !records; torn_tail = !torn; bytes_scanned = !scanned }
 
 let compact t ~coalesce =
-  (* Make the pending tail durable first so nothing rides both the old
-     and the new image. *)
-  let dirty = List.rev t.dirty in
-  t.dirty <- [];
-  List.iter (fun file -> Disk.fsync t.disk ~file) dirty;
+  (* One pass at a time; two passes deleting each other's segments
+     would be as destructive as the append race the guard prevents. *)
+  await_compaction t;
+  (* Everything up to the guard below runs before the first yield
+     (Disk only charges time on I/O calls), so this snapshot of the
+     log is atomic: any frame a concurrent appender has started
+     writing is already in some old segment's pending buffer, and no
+     new frame can land once the guard is up. *)
   let before = t.total_bytes in
   let old_files =
     List.sort
       (fun a b -> compare (seg_number ~base:t.base a) (seg_number ~base:t.base b))
       (segment_files t.disk ~base:t.base)
   in
-  let { records; _ } = replay ~base:t.base t.disk in
-  let kept = coalesce records in
+  t.dirty <- [];
   (* The rewritten log starts on a fresh segment number so readers can
-     never confuse old and new images. *)
+     never confuse old and new images — bumped before the first yield
+     so even a frame that slipped past the guard could only land on a
+     segment this pass never deletes. *)
   t.seg_index <- t.seg_index + 1;
-  t.total_bytes <- 0;
-  let written = ref [] in
-  List.iter
-    (fun payload ->
-      let file = current_segment t in
-      let framed = frame payload in
-      ignore (Disk.append t.disk ~file framed);
-      t.total_bytes <- t.total_bytes + String.length framed;
-      if not (List.mem file !written) then written := file :: !written)
-    kept;
-  List.iter (fun file -> Disk.fsync t.disk ~file) (List.rev !written);
-  (* Only once the new image is durable do the old segments go. *)
-  List.iter (fun file -> Disk.delete t.disk ~file) old_files;
-  Obs.Metrics.set m_bytes (float_of_int t.total_bytes);
-  Obs.Metrics.incr m_compactions;
-  let ratio =
-    if t.total_bytes = 0 then if before = 0 then 1.0 else float_of_int before
-    else float_of_int before /. float_of_int t.total_bytes
-  in
-  Obs.Metrics.set m_ratio ratio;
-  ratio
+  let guard = Sim.Engine.Ivar.create () in
+  t.compacting <- Some guard;
+  t.compaction_gen <- t.compaction_gen + 1;
+  Fun.protect
+    ~finally:(fun () ->
+      t.compacting <- None;
+      try Sim.Engine.Ivar.fill guard () with Effect.Unhandled _ -> ())
+    (fun () ->
+      (* Make every old segment durable — not just the dirty list: an
+         appender sleeping in its write's time charge has buffered its
+         frame but not yet marked the file dirty. Replay then sees the
+         complete log, pending tail included. *)
+      List.iter (fun file -> Disk.fsync t.disk ~file) old_files;
+      let { records; _ } = replay ~base:t.base t.disk in
+      let kept = coalesce records in
+      t.total_bytes <- 0;
+      let written = ref [] in
+      List.iter
+        (fun payload ->
+          let file = current_segment t in
+          let framed = frame payload in
+          ignore (Disk.append t.disk ~file framed);
+          t.total_bytes <- t.total_bytes + String.length framed;
+          if not (List.mem file !written) then written := file :: !written)
+        kept;
+      List.iter (fun file -> Disk.fsync t.disk ~file) (List.rev !written);
+      (* Only once the new image is durable do the old segments go. *)
+      List.iter (fun file -> Disk.delete t.disk ~file) old_files;
+      Obs.Metrics.set m_bytes (float_of_int t.total_bytes);
+      Obs.Metrics.incr m_compactions;
+      let ratio =
+        if t.total_bytes = 0 then if before = 0 then 1.0 else float_of_int before
+        else float_of_int before /. float_of_int t.total_bytes
+      in
+      Obs.Metrics.set m_ratio ratio;
+      ratio)

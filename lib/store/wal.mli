@@ -48,7 +48,14 @@ val replay : ?base:string -> Disk.t -> replay
     (oldest first in, oldest first out), fsyncs, deletes the old
     segments, and returns the bytes-before / bytes-after ratio (1.0
     when the log was empty). Also the pruning primitive: a filtering
-    [coalesce] drops records a snapshot made redundant. *)
+    [coalesce] drops records a snapshot made redundant.
+
+    Safe against concurrent {!append}s: the pass first makes every
+    pending byte durable so replay sees the complete log, and holds
+    new appends until the rewritten image is durable — a record acked
+    by {!append} is never lost to a racing compaction (though
+    [coalesce] may fold or drop it like any other committed record).
+    Concurrent [compact] calls serialize. *)
 val compact : t -> coalesce:(string list -> string list) -> float
 
 val bytes : t -> int

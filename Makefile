@@ -1,6 +1,6 @@
 # Convenience wrappers around dune; `make check` is the pre-commit gate.
 
-.PHONY: all build test bench chaos coldpath propagation durability agent colocation load marshal obs check fmt clean
+.PHONY: all build test bench chaos coldpath propagation durability agent colocation load fanout marshal obs check fmt clean
 
 all: build
 
@@ -55,6 +55,13 @@ colocation:
 load:
 	dune exec bin/hns_cli.exe -- load --max-events 60000
 
+# The meta-store fan-out sweep: partitioned primaries with IXFR-chained
+# replica trees vs the single-primary baseline, plus the read-your-writes
+# pinning A/B. The per-run sim-event budget catches referral loops or a
+# replica poll that never detaches; pinned staleness fails the gate.
+fanout:
+	dune exec bin/hns_cli.exe -- fanout --max-events 20000
+
 # The marshalling A/B: hand codec vs generated stubs over the hot
 # record shapes — wall-clock per-shape table plus the calibrated
 # per-record cost models (also in BENCH_hns.json as marshal.*).
@@ -89,6 +96,7 @@ check: fmt
 	$(MAKE) agent
 	$(MAKE) colocation
 	$(MAKE) load
+	$(MAKE) fanout
 	$(MAKE) marshal
 	$(MAKE) obs
 

@@ -2516,6 +2516,69 @@ let marshal () =
    the target host / query class / service name per iteration (see
    [resolve_target]) so the document carries real p50/p95, not eight
    copies of one sample. *)
+(* --- Fan-out: sharded + replicated meta-store ---------------------- *)
+
+module F = Workload.Fanout
+
+(* The headline scale-out A/B: a growing client fleet against the
+   single-primary baseline (replicas = 0, every read lands on its
+   partition primary) versus the replicated arm (a chained replica
+   tree absorbing the reads). Primary QPS flat in one arm and linear
+   in the other is the whole story; the rww table shows what serial
+   pinning buys. *)
+let fanout () =
+  let sweep_row (r : F.report) =
+    [
+      r.F.config.F.label;
+      string_of_int r.F.config.F.clients;
+      Printf.sprintf "%dx%d" r.F.config.F.partitions r.F.config.F.replicas;
+      Printf.sprintf "%.1f" r.F.primary_qps;
+      Printf.sprintf "%.1f" r.F.replica_qps;
+      Printf.sprintf "%.0f ms" r.F.converge_ms;
+      Printf.sprintf "%d/%d" r.F.routed_reads r.F.reads;
+      Printf.sprintf "%d hit / %d chased" r.F.referral_hits r.F.referral_chases;
+    ]
+  in
+  let rows =
+    List.concat_map
+      (fun (base, tree) ->
+        [ sweep_row (F.run base); sweep_row (F.run tree) ])
+      (F.sweep ())
+  in
+  E.print_table
+    ~title:
+      "Meta-store fan-out: delegated partitions + chained replica trees\n\
+      \  (single.* = all reads on the partition primaries; tree.* = replica\n\
+      \   routing; primary qps flat under tree.* is the scale-out signal)"
+    ~header:
+      [
+        "arm";
+        "clients";
+        "parts x reps";
+        "primary qps";
+        "replica qps";
+        "converge";
+        "routed";
+        "referrals";
+      ]
+    rows;
+  let rww pinned =
+    let r = F.run (F.rww_config ~pinned ()) in
+    [
+      r.F.config.F.label;
+      (if pinned then "on" else "off");
+      Printf.sprintf "%d/%d" r.F.stale_reads r.F.config.F.rww_rounds;
+      string_of_int r.F.primary_fallbacks;
+    ]
+  in
+  E.print_table
+    ~title:
+      "Read-your-writes A/B: write then cold-read your own record, 12 rounds\n\
+      \  (pinning restricts routed reads to caught-up replicas, falling back\n\
+      \   to the primary; without it the router may hit a stale replica)"
+    ~header:[ "arm"; "pinning"; "stale reads"; "primary fallbacks" ]
+    [ rww true; rww false ]
+
 let json_rows ?(n = 8) () =
   let scn = S.build () in
   let sampled_on scn name f =
@@ -2677,6 +2740,29 @@ let json_rows ?(n = 8) () =
       ("agent.burst.upstream_calls_direct", direct);
     ]
   in
+  (* Meta-store fan-out: the scale-out sweep (primary QPS + tree
+     convergence per arm) and the read-your-writes A/B. The artifact
+     regression test (small [n]) keeps one scale point; the full
+     artifact carries the whole sweep — three replica-count points
+     against their baselines. *)
+  let fanout_rows =
+    let pairs =
+      if n <= 4 then [ List.hd (F.sweep ()) ] else F.sweep ()
+    in
+    let sweep_rows =
+      List.concat_map
+        (fun (base, tree) ->
+          F.report_rows (F.run base) @ F.report_rows (F.run tree))
+        pairs
+    in
+    let rww_arms = if n <= 4 then [ true ] else [ true; false ] in
+    let rww_rows =
+      List.concat_map
+        (fun pinned -> F.report_rows (F.run (F.rww_config ~pinned ())))
+        rww_arms
+    in
+    sweep_rows @ rww_rows
+  in
   let colocation_rows = colocation_matrix ~n:(min n 4) () in
   [
     sampled "resolve.cold" resolve_cold;
@@ -2687,7 +2773,7 @@ let json_rows ?(n = 8) () =
   (* Small [n] (the artifact regression test) gets the CI smoke pair;
      the full artifact carries the million-client bench suite. *)
   @ import_rows @ coldpath_rows @ chaos_rows @ propagation_rows
-  @ durability_rows @ agent_rows
+  @ durability_rows @ fanout_rows @ agent_rows
   @ colocation_rows
   @ marshal_rows ()
   @ loadharness_rows

@@ -38,6 +38,8 @@ let experiments =
      Experiments.propagation);
     ("durability", "Durable meta-store: WAL group commit, crash recovery, restart A/B",
      Experiments.durability);
+    ("fanout", "Meta-store fan-out: partitions, replica trees, routed reads",
+     Experiments.fanout);
     ("agent", "Shared host agent v2: cache, coalescing, resolve-tail prefetch",
      Experiments.agent);
     ("colocation", "Colocation matrix: arrangements x cache mode, cold/warm",

@@ -429,6 +429,48 @@ let stats_cmd =
       Experiments.agent_session agent_scn ()
     in
     let upstream, coalesced, _ = Experiments.agent_burst agent_scn () in
+    (* Replicated meta-store panel: a short burst of cold meta reads
+       routed over a 2-replica fleet, reported per replica (QPS over
+       the burst window, SOA serial lag behind the primary, and the
+       client's routing view). *)
+    let replica_rows, member_rows =
+      let rscn = S.build ~meta_replicas:2 () in
+      S.in_sim rscn (fun () ->
+          let secs = S.attach_meta_replicas rscn in
+          let hns = S.new_hns rscn ~on:rscn.client_stack in
+          let meta = Hns.Client.meta hns in
+          let q0 =
+            List.map Dns.Server.queries_served rscn.S.meta_replica_servers
+          in
+          let t0 = Sim.Engine.time () in
+          for _ = 1 to 24 do
+            Hns.Cache.flush (Hns.Meta_client.cache meta);
+            ignore
+              (Hns.Meta_client.lookup meta
+                 ~key:(Hns.Meta_schema.context_key rscn.bind_context)
+                 ~ty:Hns.Meta_schema.string_ty)
+          done;
+          let dur_s = Float.max 0.001 ((Sim.Engine.time () -. t0) /. 1000.0) in
+          let prim_serial = Dns.Zone.serial rscn.meta_zone in
+          let rows =
+            List.map2
+              (fun (srv, q_before) sec ->
+                ( (Transport.Netstack.host (Dns.Server.stack srv))
+                    .Sim.Topology.hostname,
+                  float_of_int (Dns.Server.queries_served srv - q_before)
+                  /. dur_s,
+                  Int32.sub prim_serial (Dns.Secondary.serial sec) ))
+              (List.combine rscn.S.meta_replica_servers q0)
+              secs
+          in
+          let members =
+            match Hns.Meta_client.replica_set meta with
+            | None -> []
+            | Some set -> Dns.Replica_set.stats set
+          in
+          S.detach_meta_replicas rscn secs;
+          (rows, members))
+    in
     if json then print_string (Obs.Export.metrics_json_lines ())
     else Format.printf "%a" Obs.Export.pp_metrics ();
     Format.printf
@@ -442,6 +484,23 @@ let stats_cmd =
       "agent burst: 6 concurrent cold clients -> %d upstream meta query(ies), \
        %d coalesced@."
       upstream coalesced;
+    Format.printf "meta replicas (24 routed cold reads over a 2-replica fleet):@.";
+    List.iter
+      (fun (host, qps, lag) ->
+        Format.printf "  %-10s %6.1f q/s, serial lag %ld@." host qps lag)
+      replica_rows;
+    List.iter
+      (fun (m : Dns.Replica_set.member_stats) ->
+        Format.printf
+          "  %-21s selected %2d, load %.2f, latency %.1f ms, serial %s%s@."
+          (Transport.Address.to_string m.Dns.Replica_set.addr)
+          m.Dns.Replica_set.selected m.Dns.Replica_set.load
+          m.Dns.Replica_set.latency_ms
+          (match m.Dns.Replica_set.serial with
+          | None -> "-"
+          | Some s -> Int32.to_string s)
+          (if m.Dns.Replica_set.quarantined then " (quarantined)" else ""))
+      member_rows;
     if slo then begin
       Obs.Slo.publish ();
       Format.printf "@.slo:@.";
@@ -905,6 +964,64 @@ let load_cmd =
       const run $ full_arg $ seed_arg $ events_arg $ rate_arg $ duration_arg
       $ no_flash_arg $ no_churn_arg)
 
+(* --- fanout: sharded + replicated meta-store --- *)
+
+let fanout_cmd =
+  let events_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "max-events" ] ~docv:"N"
+          ~doc:
+            "Fail if a run executes more than $(docv) simulation events \
+             (regression guard for make check; 0 disables).")
+  in
+  let run max_events =
+    let module F = Workload.Fanout in
+    let worst = ref 0 in
+    let guard (r : F.report) =
+      if r.F.failed_reads > 0 then begin
+        Printf.eprintf "FAIL: %s had %d failed reads\n" r.F.config.F.label
+          r.F.failed_reads;
+        worst := 1
+      end;
+      if max_events > 0 && r.F.sim_events > max_events then begin
+        Printf.eprintf "FAIL: %s executed %d sim events (budget %d)\n"
+          r.F.config.F.label r.F.sim_events max_events;
+        worst := 1
+      end
+    in
+    List.iter
+      (fun (base, tree) ->
+        List.iter
+          (fun cfg ->
+            let r = F.run cfg in
+            Format.printf "%a" F.pp_report r;
+            guard r)
+          [ base; tree ])
+      (F.sweep ());
+    List.iter
+      (fun pinned ->
+        let r = F.run (F.rww_config ~pinned ()) in
+        Format.printf "%a" F.pp_report r;
+        guard r;
+        if pinned && r.F.stale_reads > 0 then begin
+          Printf.eprintf
+            "FAIL: pinned read-your-writes saw %d stale own-write reads\n"
+            r.F.stale_reads;
+          worst := 1
+        end)
+      [ true; false ];
+    !worst
+  in
+  Cmd.v
+    (Cmd.info "fanout"
+       ~doc:
+         "Drive the meta-store fan-out harness: context-delegated \
+          partitions, IXFR-chained replica trees and load-aware routed \
+          reads, swept across replica counts against the single-primary \
+          baseline, plus the read-your-writes A/B.")
+    Term.(const run $ events_arg)
+
 let () =
   let info =
     Cmd.info "hns_cli" ~version:"1.0.0"
@@ -929,4 +1046,5 @@ let () =
             send_mail_cmd;
             rexec_cmd;
             load_cmd;
+            fanout_cmd;
           ]))

@@ -1,0 +1,196 @@
+let m_routed = Obs.Metrics.counter "dns.replica.routed"
+let m_fallbacks = Obs.Metrics.counter "dns.replica.primary_fallbacks"
+let m_probes = Obs.Metrics.counter "dns.replica.serial_probes"
+let m_quarantines = Obs.Metrics.counter "dns.replica.quarantines"
+
+type member = {
+  addr : Transport.Address.t;
+  mutable mass : float;
+  mutable mass_at : float;
+  mutable latency_ms : float;  (* EWMA; < 0. = no sample yet *)
+  mutable serial : int32 option;
+  mutable selected : int;
+  mutable quarantined_until : float;
+}
+
+type t = {
+  stack : Transport.Netstack.stack;
+  zone : Name.t;
+  primary : Transport.Address.t;
+  members : member list;  (* sorted by address *)
+  half_life_ms : float;
+  quarantine_ms : float;
+  probe_interval_ms : float;
+  mutable last_probe_ms : float;
+  mutable next_id : int;
+  mutable routed : int;
+  mutable primary_fallbacks : int;
+}
+
+let create stack ~zone ~primary ~replicas ?(half_life_ms = 2000.)
+    ?(quarantine_ms = 3000.) ?(probe_interval_ms = 250.) () =
+  let members =
+    replicas
+    |> List.sort_uniq Transport.Address.compare
+    |> List.map (fun addr ->
+           {
+             addr;
+             mass = 0.;
+             mass_at = 0.;
+             latency_ms = -1.;
+             serial = None;
+             selected = 0;
+             quarantined_until = 0.;
+           })
+  in
+  {
+    stack;
+    zone;
+    primary;
+    members;
+    half_life_ms;
+    quarantine_ms;
+    probe_interval_ms;
+    last_probe_ms = Float.neg_infinity;
+    next_id = 0x5e00;
+    routed = 0;
+    primary_fallbacks = 0;
+  }
+
+let zone t = t.zone
+let primary t = t.primary
+let replica_addrs t = List.map (fun m -> m.addr) t.members
+let size t = List.length t.members
+let routed t = t.routed
+let primary_fallbacks t = t.primary_fallbacks
+
+let mass_now t m ~now =
+  if m.mass <= 0. then 0.
+  else m.mass *. Float.exp2 (-.(now -. m.mass_at) /. t.half_life_ms)
+
+(* Combined cost: decayed request mass scaled by observed proximity.
+   A fresh member (no mass, no latency sample) costs 1.0 and therefore
+   attracts traffic until its real latency is known. *)
+let cost t m ~now =
+  (1. +. mass_now t m ~now) *. (1. +. Float.max m.latency_ms 0.)
+
+let find_member t addr =
+  List.find_opt (fun m -> Transport.Address.equal m.addr addr) t.members
+
+let note_serial t addr serial =
+  match find_member t addr with
+  | None -> ()
+  | Some m -> (
+      match m.serial with
+      | Some s when Int32.compare s serial >= 0 -> ()
+      | _ -> m.serial <- Some serial)
+
+let note_result t addr ~ok ~latency_ms =
+  match find_member t addr with
+  | None -> ()
+  | Some m ->
+      if ok then (
+        m.quarantined_until <- 0.;
+        m.latency_ms <-
+          (if m.latency_ms < 0. then latency_ms
+           else (0.8 *. m.latency_ms) +. (0.2 *. latency_ms)))
+      else (
+        m.quarantined_until <- Obs.Metrics.now_ms () +. t.quarantine_ms;
+        Obs.Metrics.incr m_quarantines)
+
+let probe_member t m =
+  t.next_id <- t.next_id + 1;
+  let q = Msg.query ~id:t.next_id t.zone Rr.T_soa in
+  Obs.Metrics.incr m_probes;
+  match
+    Rpc.Rawrpc.call t.stack ~dst:m.addr ~timeout:80. ~attempts:1
+      (Msg.encode q)
+  with
+  | Error _ -> ()
+  | Ok bytes -> (
+      match Msg.decode bytes with
+      | exception Msg.Bad_message _ -> ()
+      | reply ->
+          List.iter
+            (fun (rr : Rr.t) ->
+              match rr.rdata with
+              | Rr.Soa soa -> note_serial t m.addr soa.Rr.serial
+              | _ -> ())
+            reply.Msg.answers)
+
+let refresh_serials t =
+  t.last_probe_ms <- Obs.Metrics.now_ms ();
+  List.iter (probe_member t) t.members
+
+let quarantined m ~now = m.quarantined_until > now
+
+let qualifies ?min_serial m ~now =
+  (not (quarantined m ~now))
+  &&
+  match min_serial with
+  | None -> true
+  | Some floor -> (
+      match m.serial with
+      | None -> false
+      | Some s -> Int32.compare s floor >= 0)
+
+let candidates ?min_serial t ~now =
+  List.filter (qualifies ?min_serial ~now) t.members
+
+let select ?min_serial t =
+  let now = Obs.Metrics.now_ms () in
+  let cands =
+    match candidates ?min_serial t ~now with
+    | [] when min_serial <> None && t.members <> [] ->
+        (* Pinned read with no known-fresh replica: probe serials (rate
+           limited) and look again before conceding to the primary. *)
+        if now -. t.last_probe_ms >= t.probe_interval_ms then
+          refresh_serials t;
+        candidates ?min_serial t ~now
+    | cands -> cands
+  in
+  match cands with
+  | [] ->
+      t.primary_fallbacks <- t.primary_fallbacks + 1;
+      Obs.Metrics.incr m_fallbacks;
+      t.primary
+  | first :: rest ->
+      let best =
+        List.fold_left
+          (fun best m ->
+            let c = compare (cost t m ~now) (cost t best ~now) in
+            if c < 0 then m
+            else if c = 0 && Transport.Address.compare m.addr best.addr < 0
+            then m
+            else best)
+          first rest
+      in
+      best.mass <- mass_now t best ~now +. 1.;
+      best.mass_at <- now;
+      best.selected <- best.selected + 1;
+      t.routed <- t.routed + 1;
+      Obs.Metrics.incr m_routed;
+      best.addr
+
+type member_stats = {
+  addr : Transport.Address.t;
+  load : float;
+  latency_ms : float;
+  serial : int32 option;
+  selected : int;
+  quarantined : bool;
+}
+
+let stats t =
+  let now = Obs.Metrics.now_ms () in
+  List.map
+    (fun (m : member) ->
+      {
+        addr = m.addr;
+        load = mass_now t m ~now;
+        latency_ms = m.latency_ms;
+        serial = m.serial;
+        selected = m.selected;
+        quarantined = quarantined m ~now;
+      })
+    t.members

@@ -19,7 +19,19 @@ end
 
 module Cache_tbl = Hashtbl.Make (Key)
 
+module Name_tbl = Hashtbl.Make (struct
+  type t = Name.t
+
+  let equal = Name.equal
+  let hash = Name.hash
+end)
+
 type entry = { outcome : (Rr.t list, error) result; expires_at : float }
+
+(** A cached zone cut: where to go directly for names under it. *)
+type referral = { addrs : Transport.Address.t list; ref_expires_at : float }
+
+let m_referral_hits = Obs.Metrics.counter "dns.resolver.referral_hits"
 
 type t = {
   stack : Transport.Netstack.stack;
@@ -28,10 +40,12 @@ type t = {
   max_ttl_ms : float;
   negative_ttl_ms : float;
   cache : entry Cache_tbl.t;
+  referrals : referral Name_tbl.t;
   mutable next_id : int;
   mutable hits : int;
   mutable misses : int;
   mutable neg_hits : int;
+  mutable ref_hits : int;
 }
 
 let create stack ~servers ?(enable_cache = true) ?(max_ttl_ms = 3_600_000.0)
@@ -44,10 +58,12 @@ let create stack ~servers ?(enable_cache = true) ?(max_ttl_ms = 3_600_000.0)
     max_ttl_ms;
     negative_ttl_ms;
     cache = Cache_tbl.create 64;
+    referrals = Name_tbl.create 16;
     next_id = 1;
     hits = 0;
     misses = 0;
     neg_hits = 0;
+    ref_hits = 0;
   }
 
 let min_ttl_ms records =
@@ -76,6 +92,41 @@ let cache_lookup t name rtype =
         Cache_tbl.remove t.cache (name, rtype);
         None
     | None -> None
+
+let store_referral t cut addrs ttl_ms =
+  if t.enable_cache && addrs <> [] then begin
+    let ttl = Float.min ttl_ms t.max_ttl_ms in
+    Name_tbl.replace t.referrals cut
+      { addrs; ref_expires_at = Sim.Engine.time () +. ttl }
+  end
+
+(* Deepest unexpired cached cut covering [name], if any. Expired
+   entries are collected during the scan and dropped afterwards (a
+   hashtable must not be mutated mid-fold). *)
+let referral_lookup t name =
+  if not t.enable_cache then None
+  else begin
+    let now = Sim.Engine.time () in
+    let expired = ref [] in
+    let best =
+      Name_tbl.fold
+        (fun cut r best ->
+          if r.ref_expires_at <= now then begin
+            expired := cut :: !expired;
+            best
+          end
+          else if not (Name.is_subdomain ~of_:cut name) then best
+          else
+            match best with
+            | Some (best_cut, _)
+              when Name.label_count best_cut >= Name.label_count cut ->
+                best
+            | _ -> Some (cut, r.addrs))
+        t.referrals None
+    in
+    List.iter (Name_tbl.remove t.referrals) !expired;
+    best
+  end
 
 (* Retry a truncated answer over TCP, as resolvers do when a UDP reply
    carries TC. *)
@@ -218,7 +269,20 @@ and follow_referral t ~depth (reply : Msg.t) name rtype =
         reply.authority
   in
   if addrs = [] then Error (Server_error Msg.Serv_fail)
-  else iterate t ~depth:(depth + 1) addrs name rtype
+  else begin
+    (* Remember the zone cut for the NS TTL, so the next cold resolve
+       under it skips straight to the child servers. *)
+    (match
+       List.filter
+         (fun (rr : Rr.t) ->
+           match rr.rdata with Rr.Ns _ -> true | _ -> false)
+         reply.authority
+     with
+    | [] -> ()
+    | (cut_rr :: _) as ns_rrs ->
+        store_referral t cut_rr.Rr.name addrs (min_ttl_ms ns_rrs));
+    iterate t ~depth:(depth + 1) addrs name rtype
+  end
 
 let query_iterative t name rtype =
   match cache_lookup t name rtype with
@@ -231,7 +295,21 @@ let query_iterative t name rtype =
       Error err
   | None -> (
       t.misses <- t.misses + 1;
-      match iterate t ~depth:0 t.servers name rtype with
+      let result =
+        match referral_lookup t name with
+        | Some (cut, addrs) -> (
+            t.ref_hits <- t.ref_hits + 1;
+            Obs.Metrics.incr m_referral_hits;
+            (* Start at the cached cut; if its servers have gone bad,
+               forget the entry and re-walk from the roots. *)
+            match iterate t ~depth:1 addrs name rtype with
+            | Error (Server_error _ | Rpc_error _) ->
+                Name_tbl.remove t.referrals cut;
+                iterate t ~depth:0 t.servers name rtype
+            | r -> r)
+        | None -> iterate t ~depth:0 t.servers name rtype
+      in
+      match result with
       | Ok records ->
           store t name rtype records;
           Ok records
@@ -266,11 +344,15 @@ let seed t name rtype records = store t name rtype records
 
 let flush t =
   Cache_tbl.reset t.cache;
+  Name_tbl.reset t.referrals;
   t.hits <- 0;
   t.misses <- 0;
-  t.neg_hits <- 0
+  t.neg_hits <- 0;
+  t.ref_hits <- 0
 
 let cache_hits t = t.hits
 let cache_misses t = t.misses
 let cache_size t = Cache_tbl.length t.cache
 let negative_hits t = t.neg_hits
+let referral_hits t = t.ref_hits
+let referral_cache_size t = Name_tbl.length t.referrals

@@ -55,3 +55,13 @@ val cache_size : t -> int
     [negative_ttl_ms] is 0 (the default, as in 1987 BIND) there are
     none; set it to enable RFC 2308-style negative caching. *)
 val negative_hits : t -> int
+
+(** Iterative resolves that skipped the root walk because the zone
+    cut was already cached (each referral followed is remembered for
+    the NS records' TTL; also counted process-wide as
+    [dns.resolver.referral_hits]). Stale cut entries whose servers
+    stop answering are dropped and the walk restarts from the
+    roots. *)
+val referral_hits : t -> int
+
+val referral_cache_size : t -> int

@@ -6,6 +6,7 @@ type t = {
   zone_name : Name.t;
   mode : mode;
   refresh_ms : float;
+  chain_depth : int;
   zone : Zone.t; (* our replica, registered with [server] *)
   mutable running : bool;
   mutable transfer_count : int; (* refreshes that moved the replica, full or delta *)
@@ -21,6 +22,10 @@ let m_ixfr_applied = Obs.Metrics.counter "dns.secondary.ixfr_applied"
 let m_full_transfers = Obs.Metrics.counter "dns.secondary.full_transfers"
 let m_delta_records = Obs.Metrics.counter "dns.secondary.delta_records"
 let m_notify_kicks = Obs.Metrics.counter "dns.secondary.notify_kicks"
+
+(* Deepest replica chain attached in this process: 1 = directly under
+   the primary, 2 = fed by such a replica, and so on. *)
+let g_chain_depth = Obs.Metrics.gauge "dns.secondary.chain_depth"
 
 let split_transfer zone_name records =
   match records with
@@ -76,7 +81,8 @@ let primary_serial t =
             reply.answers)
 
 let pull t =
-  match t.mode with
+  let before = Zone.serial t.zone in
+  (match t.mode with
   | Axfr -> (
       match fetch t with
       | Ok transfer -> adopt t transfer
@@ -92,7 +98,13 @@ let pull t =
           match split_transfer t.zone_name records with
           | Ok transfer -> adopt t transfer
           | Error _ -> ())
-      | Error _ -> () (* transient failure; retry next cycle *))
+      | Error _ -> () (* transient failure; retry next cycle *)));
+  (* Chained replication: a pull that moved our replica wakes the next
+     tree level, bounded by the server's notify fan-out — each level
+     pulls from us, not the primary, so one update never floods the
+     root with simultaneous transfers. *)
+  if Int32.unsigned_compare (Zone.serial t.zone) before > 0 then
+    Server.notify_downstream t.server ~zone:t.zone
 
 let refresh_once t =
   match primary_serial t with
@@ -101,11 +113,15 @@ let refresh_once t =
       if Int32.compare serial (Zone.serial t.zone) > 0 then pull t
       else t.fresh_count <- t.fresh_count + 1
 
-let attach server ~primary ~zone ?refresh_ms ?(mode = Ixfr) ?recovered () =
+let attach server ~primary ~zone ?refresh_ms ?(mode = Ixfr) ?(chain_depth = 1)
+    ?recovered () =
   (match recovered with
   | Some z when not (Name.equal (Zone.origin z) zone) ->
       invalid_arg "Secondary.attach: recovered zone origin mismatch"
   | _ -> ());
+  if chain_depth < 1 then invalid_arg "Secondary.attach: chain_depth < 1";
+  if float_of_int chain_depth > Obs.Metrics.get g_chain_depth then
+    Obs.Metrics.set g_chain_depth (float_of_int chain_depth);
   let t =
     {
       server;
@@ -113,6 +129,7 @@ let attach server ~primary ~zone ?refresh_ms ?(mode = Ixfr) ?recovered () =
       zone_name = zone;
       mode;
       refresh_ms = 0.0;
+      chain_depth;
       zone =
         (match recovered with
         | Some z -> z
@@ -175,6 +192,7 @@ let attach server ~primary ~zone ?refresh_ms ?(mode = Ixfr) ?recovered () =
   t
 
 let serial t = Zone.serial t.zone
+let chain_depth t = t.chain_depth
 let transfers t = t.transfer_count
 let full_transfers t = t.full_count
 let ixfr_applied t = t.ixfr_count

@@ -33,19 +33,34 @@ type mode = Axfr  (** full re-transfer, 1987 stock behaviour *) | Ixfr
     [recovered] — a zone rebuilt by {!Durable.recover}: the secondary
     adopts it and skips the initial full transfer, catching up from
     its durable serial by IXFR (in [Ixfr] mode) instead. Raises
-    [Invalid_argument] when its origin differs from [zone]. *)
+    [Invalid_argument] when its origin differs from [zone].
+
+    [chain_depth] (default 1) records where this replica sits in a
+    chained tree: 1 pulls from the true primary, depth [d] pulls from
+    a depth [d-1] replica. The deepest depth attached process-wide is
+    exported as the [dns.secondary.chain_depth] gauge. After any pull
+    that moves the replica, the secondary calls
+    {!Server.notify_downstream} so replicas registered on {e its}
+    server wake next — one tree level at a time, each level bounded
+    by the server's notify fan-out. Raises [Invalid_argument] when
+    [chain_depth < 1]. *)
 val attach :
   Server.t ->
   primary:Transport.Address.t ->
   zone:Name.t ->
   ?refresh_ms:float ->
   ?mode:mode ->
+  ?chain_depth:int ->
   ?recovered:Zone.t ->
   unit ->
   t
 
 (** The local replica's serial. *)
 val serial : t -> int32
+
+(** This replica's position in the chained tree (1 = under the
+    primary). *)
+val chain_depth : t -> int
 
 (** Refreshes that moved the replica, full or incremental (1 after
     attach). *)

@@ -10,6 +10,7 @@ type t = {
   allow_update : bool;
   update_acl : Address.ip list option;
   notify_strike_limit : int;
+  notify_fanout : int;
   mutable zone_list : Zone.t list;
   mutable stop_udp : (unit -> unit) option;
   mutable tcp_listener : Tcp.listener option;
@@ -25,7 +26,8 @@ type t = {
 
 let create stack ?(port = Address.Well_known.dns) ?(service_overhead_ms = 0.0)
     ?(per_answer_ms = 0.0) ?(allow_update = false) ?update_acl
-    ?(notify_strike_limit = 3) ?(hot_window_ms = 600_000.0) ?hot_ranking () =
+    ?(notify_strike_limit = 3) ?(notify_fanout = 8) ?(hot_window_ms = 600_000.0)
+    ?hot_ranking () =
   let hot_strategy =
     match hot_ranking with
     | Some s -> s
@@ -39,6 +41,7 @@ let create stack ?(port = Address.Well_known.dns) ?(service_overhead_ms = 0.0)
     allow_update;
     update_acl;
     notify_strike_limit;
+    notify_fanout;
     zone_list = [];
     stop_udp = None;
     tcp_listener = None;
@@ -140,6 +143,16 @@ let note_notify_result t target ok =
     else Hashtbl.replace t.notify_strikes target strikes
   end
 
+(* Fan-out to this server's subscribers, bounded by [notify_fanout] so
+   a serial advance wakes at most that many simultaneous IXFR pulls at
+   this tree level; ack outcomes feed the subscriber liveness GC. Used
+   by the dynamic-update path and by chained secondaries forwarding a
+   pull downstream. *)
+let notify_downstream t ~zone =
+  Notify.push t.stack ~zone ~max_inflight:t.notify_fanout
+    ~on_result:(note_notify_result t)
+    t.notify_targets
+
 (* {2 Hot-name tracking}
 
    Recent positive A-record answers per name, feeding the bundle
@@ -236,6 +249,22 @@ let answer_question t q =
   | Some rrs -> Answers rrs
   | None -> answer_question_db t q
 
+(* Is [name] strictly below a zone cut? Such names are occluded: their
+   data lives with the delegated child, so accepting an update for
+   them here would insert records no query can reach (queries referral
+   out at the cut). Names {e at} the cut stay updatable — that is how
+   the delegation's own NS records are maintained. *)
+let occluded zone db name =
+  let origin = Zone.origin zone in
+  let rec walk n =
+    if Name.equal n origin then false
+    else
+      Db.lookup db n Rr.T_ns <> []
+      || match Name.parent n with Some p -> walk p | None -> false
+  in
+  (not (Name.equal name origin))
+  && (match Name.parent name with Some p -> walk p | None -> false)
+
 let update_permitted t src =
   match t.update_acl with
   | None -> true
@@ -250,14 +279,15 @@ let apply_update t (request : Msg.t) =
           else begin
             let db = Zone.db zone in
             let in_zone op_name = Zone.in_zone zone op_name in
+            let op_ok n = in_zone n && not (occluded zone db n) in
             let ok =
               List.for_all
                 (fun op ->
                   match (op : Msg.update_op) with
-                  | Msg.Add rr -> in_zone rr.Rr.name
+                  | Msg.Add rr -> op_ok rr.Rr.name
                   | Msg.Delete_rrset (n, _) | Msg.Delete_rr (n, _) | Msg.Delete_name n
                     ->
-                      in_zone n)
+                      op_ok n)
                 request.updates
             in
             if not ok then Msg.Not_zone
@@ -296,9 +326,7 @@ let apply_update t (request : Msg.t) =
               (* Push-triggered propagation: tell every registered
                  secondary / subscriber the serial moved; ack outcomes
                  feed the liveness GC. *)
-              Notify.push t.stack ~zone
-                ~on_result:(note_notify_result t)
-                t.notify_targets;
+              notify_downstream t ~zone;
               Msg.No_error
             end
           end
@@ -319,7 +347,18 @@ let handle ?src t (request : Msg.t) : Msg.t =
         | Some s when not (update_permitted t s) -> Msg.Refused
         | Some _ | None -> apply_update t request
       in
-      Msg.update_ack ~rcode ~request ()
+      let ack = Msg.update_ack ~rcode ~request () in
+      (* A successful ack carries the zone's new SOA so the updater
+         learns the serial its write landed at (the read-your-writes
+         floor a routing client pins replica reads to). *)
+      if rcode = Msg.No_error then
+        match request.questions with
+        | [ { qname; _ } ] -> (
+            match find_zone t qname with
+            | Some zone -> { ack with Msg.answers = [ Zone.soa_rr zone ] }
+            | None -> ack)
+        | _ -> ack
+      else ack
   | Msg.Notify ->
       (match request.questions with
       | [ { qname; _ } ] ->
@@ -443,3 +482,8 @@ let stop t =
 
 let queries_served t = t.queries
 let updates_applied t = t.updates
+
+let delegation_for t qname =
+  match find_zone t qname with
+  | None -> None
+  | Some zone -> find_delegation zone (Zone.db zone) qname

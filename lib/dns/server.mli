@@ -28,7 +28,10 @@ type t
     flash crowd cannot flush the steady working set out of the
     prefetch hints. Pass [Hotrank.Sliding_count] explicitly to get the
     naive windowed counter back (the A/B baseline the load harness
-    measures against). *)
+    measures against). [notify_fanout] (default 8) bounds how many
+    NOTIFY pushes are in flight at once when a serial advance fans out
+    to this server's subscribers, so one update cannot wake an
+    unbounded number of simultaneous IXFR pulls at this tree level. *)
 val create :
   Transport.Netstack.stack ->
   ?port:int ->
@@ -37,6 +40,7 @@ val create :
   ?allow_update:bool ->
   ?update_acl:Transport.Address.ip list ->
   ?notify_strike_limit:int ->
+  ?notify_fanout:int ->
   ?hot_window_ms:float ->
   ?hot_ranking:Hotrank.strategy ->
   unit ->
@@ -73,6 +77,14 @@ val clear_synthesizer : t -> unit
 val register_notify : t -> Transport.Address.t -> unit
 val unregister_notify : t -> Transport.Address.t -> unit
 val notify_targets : t -> Transport.Address.t list
+
+(** Push [zone]'s current SOA to every registered target, at most
+    [notify_fanout] in flight at a time, feeding ack outcomes to the
+    subscriber liveness GC. The dynamic-update path calls this on
+    every serial advance; a chained secondary calls it after an
+    IXFR/AXFR pull moves its replica, cascading the wake-up one tree
+    level at a time. *)
+val notify_downstream : t -> zone:Zone.t -> unit
 
 (** Called when {e this} server receives a NOTIFY (it is a secondary
     or subscriber). [serial] is the new serial from the pushed SOA
@@ -124,3 +136,9 @@ val note_hot_name : t -> ?ttl_ms:float -> Name.t -> unit
     simulated cost; when [src] is omitted the update ACL is waived
     (a local caller). *)
 val handle : ?src:Transport.Address.t -> t -> Msg.t -> Msg.t
+
+(** The delegation covering [qname], if this server's zone data
+    places it at or below a zone cut: the NS rrset at the cut and any
+    glue A records. Lets layered answerers (the HNS bundle
+    synthesizer) distinguish "delegated elsewhere" from "absent". *)
+val delegation_for : t -> Name.t -> (Rr.t list * Rr.t list) option

@@ -47,6 +47,32 @@ let register_alternate_nsm meta ~name ~ns ~query_class info =
         ~ty:Meta_schema.nsm_info_ty
         (Meta_schema.nsm_info_to_value info)
 
+(* Delegate the <label> context subtree to a partition. One
+   transaction replaces the NS rrset at the cut and the glue A records
+   under nsglue: the primary's NS record goes FIRST, because rrset
+   order is insertion order and clients take the first glue address in
+   a referral as the partition primary (the write target). *)
+let register_partition meta ~label ~primary ~replicas ?(ttl_s = 300l) () =
+  Meta_schema.validate_simple_name ~what:"Admin.register_partition" label;
+  let cut = Meta_schema.partition_cut label in
+  let servers = primary :: replicas in
+  let ops =
+    Dns.Msg.Delete_rrset (cut, Dns.Rr.T_ns)
+    :: List.concat
+         (List.mapi
+            (fun j (addr : Transport.Address.t) ->
+              let g = Meta_schema.partition_glue_key ~label j in
+              [
+                Dns.Msg.Add (Dns.Rr.make ~ttl:ttl_s cut (Dns.Rr.Ns g));
+                Dns.Msg.Delete_rrset (g, Dns.Rr.T_a);
+                Dns.Msg.Add
+                  (Dns.Rr.make ~ttl:ttl_s g
+                     (Dns.Rr.A addr.Transport.Address.ip));
+              ])
+            servers)
+  in
+  Meta_client.transact meta ops
+
 let remove_context meta ~context =
   Meta_client.remove meta ~key:(Meta_schema.context_key context)
 

@@ -36,6 +36,23 @@ val register_alternate_nsm :
   Meta_schema.nsm_info ->
   (unit, Errors.t) result
 
+(** Delegate the ["<x>.<label>"] context subtree to a partition:
+    writes NS records at {!Meta_schema.partition_cut}[ label] naming
+    [primary :: replicas] ({e primary first} — the first glue address
+    in a referral is the partition's write target) plus their glue A
+    records, in one transaction against the root zone. [ttl_s]
+    (default 300) bounds how long clients cache the cut. All servers
+    must share the meta deployment's port: referral glue carries only
+    IPs. *)
+val register_partition :
+  Meta_client.t ->
+  label:string ->
+  primary:Transport.Address.t ->
+  replicas:Transport.Address.t list ->
+  ?ttl_s:int32 ->
+  unit ->
+  (unit, Errors.t) result
+
 val remove_context : Meta_client.t -> context:string -> (unit, Errors.t) result
 
 (** Administrative cache warming: transfer the whole meta zone (AXFR)

@@ -20,6 +20,8 @@ val create :
   Transport.Netstack.stack ->
   meta_server:Transport.Address.t ->
   ?fallback_servers:Transport.Address.t list ->
+  ?replica_set:Dns.Replica_set.t ->
+  ?read_your_writes:bool ->
   ?cache:Cache.t ->
   ?generated_cost:Wire.Generic_marshal.cost_model ->
   ?hand_codec:Wire.Hotcodec.cost_model ->

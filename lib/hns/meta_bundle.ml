@@ -30,11 +30,16 @@ let record db ~key ~ty =
 (* Answer one bundle question from the zone database: the real records
    behind mappings 1-3 (and, when resolvable, the context and NSM
    designation behind mappings 4-5 of the binding's host), headed by a
-   status marker at the bundle name. *)
-let answer db ~qname ~context ~query_class =
+   status marker at the bundle name. [delegated] reports whether a key
+   sits under a zone cut this server has delegated away: such a
+   context is not absent — its records live with the partition owner —
+   so the bundle declines (no marker) rather than asserting
+   B_no_context, and the client's per-mapping walk chases the
+   referral. *)
+let answer ?(delegated = fun _ -> false) db ~qname ~context ~query_class =
   let ctx_key = Meta_schema.context_key context in
   match record db ~key:ctx_key ~ty:Meta_schema.string_ty with
-  | None -> [ marker_rr qname Meta_schema.B_no_context ]
+  | None -> if delegated ctx_key then [] else [ marker_rr qname Meta_schema.B_no_context ]
   | Some (ctx_rr, ctx_v) -> (
       let ns = Wire.Value.get_str ctx_v in
       match
@@ -142,10 +147,18 @@ let install ?prefetch server =
             | None -> None
             | Some zone -> (
                 match
-                  answer (Dns.Zone.db zone) ~qname:q.qname ~context
-                    ~query_class
+                  answer
+                    ~delegated:(fun key ->
+                      Dns.Server.delegation_for server key <> None)
+                    (Dns.Zone.db zone) ~qname:q.qname ~context ~query_class
                 with
                 | exception _ -> None (* malformed key: ordinary NXDOMAIN *)
+                | [] ->
+                    (* Context delegated to a partition: a positive,
+                       answerless reply — the client falls back to the
+                       mapping walk, whose context lookup returns the
+                       referral. *)
+                    Some []
                 | rrs ->
                     Obs.Metrics.incr m_served;
                     let extra =

@@ -1,9 +1,28 @@
 type bundle_support = B_unknown | B_supported | B_unsupported
 
+module N_tbl = Hashtbl.Make (struct
+  type t = Dns.Name.t
+
+  let equal = Dns.Name.equal
+  let hash = Dns.Name.hash
+end)
+
+(* A delegated partition learned from a referral: who serves the
+   subtree under the cut, cached for the NS records' TTL. *)
+type partition = { rs : Dns.Replica_set.t; expires_at : float }
+
 type t = {
   stack : Transport.Netstack.stack;
   meta_server : Transport.Address.t;
   fallback_servers : Transport.Address.t list;
+  replica_set : Dns.Replica_set.t option;
+      (* read routing over the root zone's replica tree *)
+  read_your_writes : bool;
+  referrals : partition N_tbl.t; (* learned partition cuts *)
+  mutable write_floors : (Dns.Name.t * int32) list;
+      (* per zone origin: the serial our last write landed at *)
+  mutable referral_chase_count : int;
+  mutable referral_hit_count : int;
   cache_ : Cache.t;
   generated_cost : Wire.Generic_marshal.cost_model;
   hand_codec : Wire.Hotcodec.cost_model option;
@@ -35,7 +54,8 @@ type t = {
   mutable next_id : int;
 }
 
-let create stack ~meta_server ?(fallback_servers = []) ~cache
+let create stack ~meta_server ?(fallback_servers = []) ?replica_set
+    ?(read_your_writes = true) ~cache
     ?(generated_cost = { Wire.Generic_marshal.per_call_ms = 0.0; per_node_ms = 0.0 })
     ?hand_codec ?hand_preload_record_ms ?(preload_record_ms = 0.0)
     ?(mapping_overhead_ms = 0.0) ?(enable_bundle = false)
@@ -44,6 +64,12 @@ let create stack ~meta_server ?(fallback_servers = []) ~cache
     stack;
     meta_server;
     fallback_servers;
+    replica_set;
+    read_your_writes;
+    referrals = N_tbl.create 8;
+    write_floors = [];
+    referral_chase_count = 0;
+    referral_hit_count = 0;
     cache_ = cache;
     generated_cost;
     hand_codec;
@@ -92,6 +118,9 @@ let m_notify_kicks = Obs.Metrics.counter "hns.meta.notify_kicks"
 let m_serial_regressions = Obs.Metrics.counter "hns.meta.serial_regressions"
 let m_prefetched = Obs.Metrics.counter "hns.meta.bundle_prefetched"
 let m_prefetch_hits = Obs.Metrics.counter "hns.meta.prefetch_hits"
+let m_referral_chases = Obs.Metrics.counter "hns.meta.referral_chases"
+let m_referral_hits = Obs.Metrics.counter "hns.meta.referral_hits"
+let m_routed_reads = Obs.Metrics.counter "hns.meta.routed_reads"
 
 let charge ms =
   if ms > 0.0 then
@@ -102,9 +131,159 @@ let fresh_id t =
   t.next_id <- (t.next_id + 1) land 0xFFFF;
   id
 
+let now_ms () = try Sim.Engine.time () with Effect.Unhandled _ -> 0.0
+
+(* {1 Partition routing}
+
+   The meta namespace may be delegated: the root primary holds NS
+   records at context cuts pointing at partition primaries (and their
+   replicas, as further NS + glue rows). A read for a key under a
+   known cut goes straight to that partition's replica set; an unknown
+   cut announces itself as a referral reply, which we chase once and
+   cache for the NS TTL. *)
+
+(* Deepest unexpired learned cut covering [key], if any. Expired
+   entries found during the scan are dropped afterwards. *)
+let cut_for t key =
+  let now = now_ms () in
+  let expired = ref [] in
+  let best =
+    N_tbl.fold
+      (fun cut part best ->
+        if part.expires_at <= now then begin
+          expired := cut :: !expired;
+          best
+        end
+        else if not (Dns.Name.is_subdomain ~of_:cut key) then best
+        else
+          match best with
+          | Some (c, _) when Dns.Name.label_count c >= Dns.Name.label_count cut
+            ->
+              best
+          | _ -> Some (cut, part))
+      t.referrals None
+  in
+  List.iter (N_tbl.remove t.referrals) !expired;
+  best
+
+(* The read-your-writes floor for a zone: the serial our last write to
+   it landed at, when pinning is on. *)
+let floor_for t zone =
+  if not t.read_your_writes then None
+  else
+    List.find_map
+      (fun (z, s) -> if Dns.Name.equal z zone then Some s else None)
+      t.write_floors
+
+let note_write_floor t zone serial =
+  let prev =
+    List.find_map
+      (fun (z, s) -> if Dns.Name.equal z zone then Some s else None)
+      t.write_floors
+  in
+  let floor =
+    match prev with
+    | Some s when Int32.compare s serial > 0 -> s
+    | _ -> serial
+  in
+  t.write_floors <-
+    (zone, floor)
+    :: List.filter (fun (z, _) -> not (Dns.Name.equal z zone)) t.write_floors
+
+(* Where a read for [key] should go: the routed server(s) to try in
+   order, plus the replica set consulted (for latency feedback). *)
+let read_route t key =
+  let via rs ~zone =
+    let sel = Dns.Replica_set.select ?min_serial:(floor_for t zone) rs in
+    Obs.Metrics.incr m_routed_reads;
+    let prim = Dns.Replica_set.primary rs in
+    let chain =
+      if Transport.Address.equal sel prim then [ sel ] else [ sel; prim ]
+    in
+    (Some rs, chain)
+  in
+  match cut_for t key with
+  | Some (cut, part) ->
+      t.referral_hit_count <- t.referral_hit_count + 1;
+      Obs.Metrics.incr m_referral_hits;
+      via part.rs ~zone:cut
+  | None -> (
+      match t.replica_set with
+      | Some rs -> via rs ~zone:Meta_schema.zone_origin
+      | None -> (None, t.meta_server :: t.fallback_servers))
+
+(* A referral: a positive, answerless reply whose authority section
+   names the delegation's servers. *)
+let is_referral (reply : Dns.Msg.t) =
+  reply.rcode = Dns.Msg.No_error
+  && reply.answers = []
+  && List.exists
+       (fun (rr : Dns.Rr.t) ->
+         match rr.rdata with Dns.Rr.Ns _ -> true | _ -> false)
+       reply.authority
+
+(* Cache the partition a referral describes. Glue order is the
+   deployment's contract: the partition primary's NS record is
+   registered first, so the first glue address is the update target
+   and the rest are its replicas. All partition servers answer on the
+   meta deployment's common port. *)
+let learn_referral t (reply : Dns.Msg.t) =
+  let ns_rrs =
+    List.filter
+      (fun (rr : Dns.Rr.t) ->
+        match rr.rdata with Dns.Rr.Ns _ -> true | _ -> false)
+      reply.authority
+  in
+  match ns_rrs with
+  | [] -> ()
+  | first :: _ -> (
+      let cut = first.Dns.Rr.name in
+      let port = t.meta_server.Transport.Address.port in
+      let addrs =
+        List.concat_map
+          (fun (ns_rr : Dns.Rr.t) ->
+            match ns_rr.rdata with
+            | Dns.Rr.Ns target ->
+                List.filter_map
+                  (fun (rr : Dns.Rr.t) ->
+                    match rr.rdata with
+                    | Dns.Rr.A ip when Dns.Name.equal rr.name target ->
+                        Some (Transport.Address.make ip port)
+                    | _ -> None)
+                  reply.additional
+            | _ -> [])
+          ns_rrs
+      in
+      match addrs with
+      | [] -> ()
+      | primary :: rest ->
+          let replicas =
+            List.filter
+              (fun a -> not (Transport.Address.equal a primary))
+              rest
+          in
+          let rs =
+            Dns.Replica_set.create t.stack ~zone:cut ~primary ~replicas ()
+          in
+          let ttl_ms =
+            List.fold_left
+              (fun acc (rr : Dns.Rr.t) ->
+                Float.min acc (Int32.to_float rr.ttl *. 1000.0))
+              Float.infinity ns_rrs
+          in
+          let ttl_ms = if Float.is_finite ttl_ms then ttl_ms else 0.0 in
+          N_tbl.replace t.referrals cut
+            { rs; expires_at = now_ms () +. ttl_ms };
+          t.referral_chase_count <- t.referral_chase_count + 1;
+          Obs.Metrics.incr m_referral_chases)
+
 (* One raw DNS exchange, paying the generated-stub marshalling price
-   on both directions; reads fail over to replica servers in order. *)
-let raw_query t key =
+   on both directions. Reads are routed: through the partition's
+   replica set when the key is under a learned cut, through the root
+   replica set when one is configured, and to the configured servers
+   in Timeout-failover order otherwise. Referral replies are chased
+   (and the cut cached) up to a bounded depth. *)
+let rec raw_query_routed t ~depth key =
   t.lookup_count <- t.lookup_count + 1;
   Obs.Metrics.incr m_remote_lookups;
   (* A remote round trip makes the enclosing query at least a miss. *)
@@ -115,17 +294,28 @@ let raw_query t key =
   (match t.hand_codec with
   | Some hc -> charge hc.Wire.Hotcodec.per_call_ms
   | None -> charge t.generated_cost.Wire.Generic_marshal.per_call_ms);
+  let rs_opt, servers = read_route t key in
+  let feedback server ~ok ~elapsed =
+    match rs_opt with
+    | Some rs -> Dns.Replica_set.note_result rs server ~ok ~latency_ms:elapsed
+    | None -> ()
+  in
   let exchange server =
     let binding = { t.raw_binding with Hrpc.Binding.server } in
     let req_bytes = Dns.Msg.encode request in
     Obs.Qlog.note_server (Transport.Address.to_string server);
+    let t0 = now_ms () in
     match Hrpc.Client.call_raw t.stack binding ?policy:t.policy req_bytes with
-    | Error e -> Error (Errors.Rpc_error e)
+    | Error e ->
+        feedback server ~ok:false ~elapsed:(now_ms () -. t0);
+        Error (Errors.Rpc_error e)
     | Ok payload -> (
         Obs.Qlog.add_bytes (String.length req_bytes + String.length payload);
         match Dns.Msg.decode payload with
         | exception Dns.Msg.Bad_message m -> Error (Errors.Meta_error m)
-        | reply -> Ok reply)
+        | reply ->
+            feedback server ~ok:true ~elapsed:(now_ms () -. t0);
+            Ok reply)
   in
   let rec go last = function
     | [] -> last
@@ -134,9 +324,17 @@ let raw_query t key =
         | Error (Errors.Rpc_error (Rpc.Control.Timeout _)) as e -> go e rest
         | outcome -> outcome)
   in
-  go
-    (Error (Errors.Rpc_error (Rpc.Control.Timeout { elapsed_ms = 0.0 })))
-    (t.meta_server :: t.fallback_servers)
+  match
+    go
+      (Error (Errors.Rpc_error (Rpc.Control.Timeout { elapsed_ms = 0.0 })))
+      servers
+  with
+  | Ok reply when is_referral reply && depth < 3 ->
+      learn_referral t reply;
+      raw_query_routed t ~depth:(depth + 1) key
+  | outcome -> outcome
+
+let raw_query t key = raw_query_routed t ~depth:0 key
 
 let first_unspec (reply : Dns.Msg.t) =
   List.find_map
@@ -159,8 +357,6 @@ let log_mapping t key hit cost =
 
 let walk_log t = List.rev t.walk
 let clear_walk_log t = t.walk <- []
-
-let now_ms () = try Sim.Engine.time () with Effect.Unhandled _ -> 0.0
 
 (* Remember the zone SOA's minimum field whenever a reply (or a
    transfer) carries one: RFC 2308 makes it the zone's negative TTL,
@@ -540,10 +736,32 @@ let find_nsm_bundle t ~context ~query_class =
                   Obs.Span.add_attr "outcome" "error";
                   finish Bundle_unavailable))
 
-let transact t ops =
-  let request = Dns.Msg.update_request ~id:(fresh_id t) ~zone:Meta_schema.zone_origin ops in
+let op_key (op : Dns.Msg.update_op) =
+  match op with
+  | Dns.Msg.Add rr -> rr.Dns.Rr.name
+  | Dns.Msg.Delete_rrset (n, _) | Dns.Msg.Delete_rr (n, _) | Dns.Msg.Delete_name n
+    ->
+      n
+
+(* Where a write for [key] must go: the owning partition's primary
+   when the key is strictly below a learned cut, the root primary
+   otherwise. Ops AT a cut maintain the delegation itself (NS + glue)
+   and belong to the parent. *)
+let write_route t key =
+  match cut_for t key with
+  | Some (cut, part)
+    when List.length (Dns.Name.labels key) > List.length (Dns.Name.labels cut)
+    ->
+      (cut, Dns.Replica_set.primary part.rs)
+  | _ -> (Meta_schema.zone_origin, t.meta_server)
+
+let rec transact_routed t ~retried ops =
+  let key = match ops with [] -> Meta_schema.zone_origin | op :: _ -> op_key op in
+  let zone, server = write_route t key in
+  let request = Dns.Msg.update_request ~id:(fresh_id t) ~zone ops in
+  let binding = { t.raw_binding with Hrpc.Binding.server } in
   match
-    Hrpc.Client.call_raw t.stack t.raw_binding ?policy:t.policy
+    Hrpc.Client.call_raw t.stack binding ?policy:t.policy
       (Dns.Msg.encode request)
   with
   | Error e -> Error (Errors.Rpc_error e)
@@ -552,8 +770,27 @@ let transact t ops =
       | exception Dns.Msg.Bad_message m -> Error (Errors.Meta_error m)
       | reply -> (
           match reply.rcode with
-          | Dns.Msg.No_error -> Ok ()
+          | Dns.Msg.No_error ->
+              (* The ack carries the zone's new SOA: the serial this
+                 write landed at, which pins subsequent routed reads
+                 until a replica has caught up. *)
+              List.iter
+                (fun (rr : Dns.Rr.t) ->
+                  match rr.rdata with
+                  | Dns.Rr.Soa soa -> note_write_floor t zone soa.Dns.Rr.serial
+                  | _ -> ())
+                reply.answers;
+              Ok ()
+          | Dns.Msg.Not_zone when not retried ->
+              (* The key is delegated away from where we sent the
+                 update and we hold no (or a stale) cut for it: a probe
+                 read chases the referral chain and caches the cut,
+                 then the write retries once against the owner. *)
+              ignore (raw_query t key);
+              transact_routed t ~retried:true ops
           | rc -> Error (Errors.Meta_error ("update: " ^ Dns.Msg.rcode_to_string rc))))
+
+let transact t ops = transact_routed t ~retried:false ops
 
 let store t ~key ~ty ?(ttl_s = 3600l) v =
   Wire.Idl.check ~what:"Meta_client.store" ty v;
@@ -847,6 +1084,19 @@ let start_notify_listener ?port t =
 
 let prefetch_seeded t = t.prefetch_seeded_count
 let prefetch_hits t = t.prefetch_hit_count
+let referral_chases t = t.referral_chase_count
+let referral_hits t = t.referral_hit_count
+let replica_set t = t.replica_set
+let read_your_writes t = t.read_your_writes
+
+let write_floor t zone =
+  List.find_map
+    (fun (z, s) -> if Dns.Name.equal z zone then Some s else None)
+    t.write_floors
+
+let partitions t =
+  N_tbl.fold (fun cut part acc -> (cut, part.rs) :: acc) t.referrals []
+  |> List.sort (fun (a, _) (b, _) -> Dns.Name.compare a b)
 let delta_refreshes t = t.delta_refresh_count
 let delta_records t = t.delta_record_count
 let delta_invalidations t = t.delta_invalidation_count

@@ -32,6 +32,18 @@ type t
     record" answers for that long, so repeated misses on absent names
     fail fast instead of repeating the round trip.
 
+    [replica_set] routes root-zone reads over the meta zone's replica
+    tree ({!Dns.Replica_set}) instead of pinning them all to
+    [meta_server]; writes still go to the primary. [read_your_writes]
+    (default on) pins reads after a write to replicas whose SOA serial
+    has caught up to the write's serial, falling back to the primary
+    until one has — turn it off to measure the staleness window the
+    pinning closes. Referral replies from a partitioned namespace are
+    always chased transparently (the root names the partition's
+    servers in NS + glue records, primary first) and the cut is cached
+    for the NS TTL, so the chase is paid once per TTL; see
+    [hns.meta.referral_chases] / [hns.meta.referral_hits].
+
     With [hand_codec] set, hot record shapes marshal through the
     hand-coded codec ({!Hot_codec}) and charge that model instead of
     [generated_cost]; prefetch-tail HostAddress rows decode zero-copy
@@ -43,6 +55,8 @@ val create :
   Transport.Netstack.stack ->
   meta_server:Transport.Address.t ->
   ?fallback_servers:Transport.Address.t list ->
+  ?replica_set:Dns.Replica_set.t ->
+  ?read_your_writes:bool ->
   cache:Cache.t ->
   ?generated_cost:Wire.Generic_marshal.cost_model ->
   ?hand_codec:Wire.Hotcodec.cost_model ->
@@ -125,6 +139,15 @@ val prefetch_seeded : t -> int
     whose trailing NSM data round trip the prefetch eliminated
     ([hns.meta.prefetch_hits]). *)
 val prefetch_hits : t -> int
+
+(** One dynamic-update transaction of raw ops, routed by the first
+    op's name: the owning partition's primary when the name is
+    strictly below a learned cut, the root primary otherwise. A
+    [Not_zone] rejection triggers one referral-learning probe read and
+    a single retry against the owner. Prefer {!store} / {!remove} for
+    ordinary records; this is for delegation maintenance
+    ({!Admin.register_partition}) and other multi-op updates. *)
+val transact : t -> Dns.Msg.update_op list -> (unit, Errors.t) result
 
 (** Replace the record at [key]. [ttl_s] defaults to 3600. *)
 val store :
@@ -212,6 +235,31 @@ val start_preload_refresher : ?interval_ms:float -> t -> unit -> unit
 val walk_log : t -> (string * bool * float) list
 
 val clear_walk_log : t -> unit
+
+(** {1 Partition routing and read-your-writes}
+
+    See [replica_set] / [read_your_writes] on {!create}. *)
+
+(** Referral chains chased (each learns and caches one partition
+    cut). *)
+val referral_chases : t -> int
+
+(** Reads routed directly from a cached cut, skipping the chase. *)
+val referral_hits : t -> int
+
+(** The root replica set this client routes through, if any. *)
+val replica_set : t -> Dns.Replica_set.t option
+
+val read_your_writes : t -> bool
+
+(** The serial this client's last write to [zone] landed at (from the
+    update ack's SOA); reads of that zone pin to replicas at or above
+    it while read-your-writes is on. *)
+val write_floor : t -> Dns.Name.t -> int32 option
+
+(** Partition cuts currently cached from referrals, with the replica
+    set serving each, sorted by cut name. *)
+val partitions : t -> (Dns.Name.t * Dns.Replica_set.t) list
 
 (** Cache a host-address mapping on behalf of FindNSM (mapping six). *)
 val cache_host_addr :

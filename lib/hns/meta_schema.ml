@@ -30,6 +30,21 @@ let context_key context =
   Dns.Name.append (Dns.Name.of_string context)
     (Dns.Name.append (Dns.Name.of_string "ctx") zone_origin)
 
+(* The delegable context cut for a partition: every context named
+   "<something>.<label>" keys under it, so delegating this one name
+   hands the partition its whole context subtree. *)
+let partition_cut label =
+  validate_simple_name ~what:"Meta_schema.partition_cut" label;
+  Dns.Name.prepend label
+    (Dns.Name.append (Dns.Name.of_string "ctx") zone_origin)
+
+(* Glue names live under nsglue.hns-meta — outside the cut they serve,
+   so the delegation does not occlude its own glue. *)
+let partition_glue_key ~label i =
+  validate_simple_name ~what:"Meta_schema.partition_glue_key" label;
+  Dns.Name.of_labels
+    ([ Printf.sprintf "s%d" i; label; "nsglue" ] @ Dns.Name.labels zone_origin)
+
 let nsm_name_key ~ns ~query_class =
   validate_simple_name ~what:"Meta_schema.nsm_name_key" ns;
   Query_class.validate query_class;

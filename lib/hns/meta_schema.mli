@@ -47,6 +47,17 @@ val validate_simple_name : what:string -> string -> unit
 (** {1 Meta-record keys} *)
 
 val context_key : string -> Dns.Name.t
+
+(** [<label>.ctx.hns-meta.] — the zone cut delegating every context
+    named ["<x>.<label>"] to a partition primary. Raises like
+    {!validate_simple_name}. *)
+val partition_cut : string -> Dns.Name.t
+
+(** [s<i>.<label>.nsglue.hns-meta.] — where the [i]-th server of
+    partition [label] publishes its glue A record (outside the cut, so
+    the delegation does not occlude its own glue). *)
+val partition_glue_key : label:string -> int -> Dns.Name.t
+
 val nsm_name_key : ns:string -> query_class:Query_class.t -> Dns.Name.t
 
 (** [<qclass>.<ns>.nsmalt.hns-meta.] -> alternate NSM names (an array

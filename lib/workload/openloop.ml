@@ -133,6 +133,7 @@ type config = {
   churn_every_ms : float;
   ranking : ranking;
   hand_codec : bool;
+  meta_replicas : int;
   flash : flash option;
   storm : storm option;
   slo_target_ms : float;
@@ -149,6 +150,7 @@ type report = {
   steady_compliance : float;
   bind_qps : float;
   meta_qps : float;
+  meta_replica_qps : float;
   wire_mb : float;
   sim_events : int;
   prefetch_seeded : int;
@@ -170,6 +172,7 @@ let validate cfg =
     invalid_arg "Openloop: steady_k outside (0, names)";
   if cfg.duration_ms <= 0.0 then invalid_arg "Openloop: duration <= 0";
   if cfg.churn_every_ms <= 0.0 then invalid_arg "Openloop: churn <= 0";
+  if cfg.meta_replicas < 0 then invalid_arg "Openloop: meta_replicas < 0";
   (match cfg.flash with
   | None -> ()
   | Some f ->
@@ -214,7 +217,8 @@ let run cfg =
   let scn =
     S.build ~cache_mode:Hns.Cache.Demarshalled ~extra_hosts:cfg.names
       ~bundle:true ~hand_codec:cfg.hand_codec ~prefetch:true ~hot_ranking
-      ~prefetch_k:(cfg.steady_k + 1) ~nsm_cache_ttl_ms ()
+      ~prefetch_k:(cfg.steady_k + 1) ~nsm_cache_ttl_ms
+      ~meta_replicas:cfg.meta_replicas ()
   in
   (* Zipf rank -> zone name, through a seeded permutation so the
      popular heads are not alphabetically first (Name.compare
@@ -328,8 +332,18 @@ let run cfg =
   in
   let before_bind = ref 0 and before_meta = ref 0 and before_bytes = ref 0 in
   let bind_q = ref 0 and meta_q = ref 0 and wire_bytes = ref 0 in
+  let before_replica = ref 0 and replica_q = ref 0 in
+  let replica_queries () =
+    List.fold_left
+      (fun acc srv -> acc + Dns.Server.queries_served srv)
+      0 scn.S.meta_replica_servers
+  in
   let result =
     S.in_sim scn (fun () ->
+        (* Replica fleet up first: the warmup's bundle fetches and
+           every routed read below go through it. Detached again before
+           this window closes so the engine can drain. *)
+        let meta_secs = S.attach_meta_replicas scn in
         Array.iter (fun (_, a, _) -> Hns.Agent.start a) agents;
         (* Deterministic warmup: every fleet host touches the steady
            set (and the Clearinghouse name) once, seeding mapping
@@ -416,6 +430,7 @@ let run cfg =
             ignore (Chaos.Injector.install faults scn.net));
         before_bind := Dns.Server.queries_served scn.public_bind;
         before_meta := Dns.Server.queries_served scn.meta_bind;
+        before_replica := replica_queries ();
         before_bytes := Transport.Netstack.bytes_sent scn.net;
         let submit i =
           let e = plan.(i) in
@@ -448,7 +463,9 @@ let run cfg =
             error_kinds;
         bind_q := Dns.Server.queries_served scn.public_bind - !before_bind;
         meta_q := Dns.Server.queries_served scn.meta_bind - !before_meta;
+        replica_q := replica_queries () - !before_replica;
         wire_bytes := Transport.Netstack.bytes_sent scn.net - !before_bytes;
+        S.detach_meta_replicas scn meta_secs;
         (* The agents are left running: straggler duplicates from
            timed-out callers may still be in flight, and a stopped
            server's socket would turn their replies into crashes. The
@@ -475,6 +492,10 @@ let run cfg =
     steady_compliance = compliance;
     bind_qps = float_of_int !bind_q /. duration_s;
     meta_qps = float_of_int !meta_q /. duration_s;
+    meta_replica_qps =
+      float_of_int !replica_q
+      /. float_of_int (max 1 cfg.meta_replicas)
+      /. duration_s;
     wire_mb = float_of_int !wire_bytes /. (1024.0 *. 1024.0);
     sim_events = Sim.Engine.events_executed scn.engine;
     prefetch_seeded =
@@ -516,6 +537,7 @@ let smoke ?(ranking = Decayed) ?label () =
     churn_every_ms = 45_000.0;
     ranking;
     hand_codec = true;
+    meta_replicas = 2;
     flash = Some { at_ms = 36_000.0; len_ms = 18_000.0; fraction = 0.9; rank = 17 };
     storm = None;
     slo_target_ms = 150.0;
@@ -539,6 +561,7 @@ let bench_base ~label ~ranking ~arrival ~flash ~storm =
     churn_every_ms = 90_000.0;
     ranking;
     hand_codec = true;
+    meta_replicas = 3;
     flash;
     storm;
     slo_target_ms = 150.0;
@@ -599,10 +622,11 @@ let pp_report ppf r =
   if Sim.Stats.count r.flashed > 0 then pp_stats_line ppf ("flash", r.flashed);
   Format.fprintf ppf
     "    steady SLO(%g ms): %.4f compliant (objective %g)@.    upstream: \
-     BIND %.1f q/s, meta %.1f q/s, wire %.2f MB, %d sim events@.    \
-     prefetch: %d hints seeded, %d hits@."
+     BIND %.1f q/s, meta primary %.1f q/s, %d replicas x %.1f q/s, wire \
+     %.2f MB, %d sim events@.    prefetch: %d hints seeded, %d hits@."
     c.slo_target_ms r.steady_compliance c.slo_objective r.bind_qps r.meta_qps
-    r.wire_mb r.sim_events r.prefetch_seeded r.prefetch_hits
+    c.meta_replicas r.meta_replica_qps r.wire_mb r.sim_events r.prefetch_seeded
+    r.prefetch_hits
 
 let one_sample name v =
   let s = Sim.Stats.create ~name () in
@@ -617,6 +641,9 @@ let report_rows r =
      else [])
   @ [
       (base ^ ".bind_qps", one_sample (base ^ ".bind_qps") r.bind_qps);
+      (base ^ ".meta_qps", one_sample (base ^ ".meta_qps") r.meta_qps);
+      ( base ^ ".meta_replica_qps",
+        one_sample (base ^ ".meta_replica_qps") r.meta_replica_qps );
       ( base ^ ".wire_kb_per_s",
         one_sample
           (base ^ ".wire_kb_per_s")

@@ -109,6 +109,11 @@ type config = {
       (** agent-fleet clients use the hand-marshalled hot codec
           ({!Calib.hand_cost}); the legacy pool always keeps the
           generated stubs — heterogeneity is the point *)
+  meta_replicas : int;
+      (** meta-zone replica servers chained under the primary; every
+          fleet client routes its meta reads over them
+          ({!Scenario.new_replica_set}). 0 = the single-primary
+          deployment *)
   flash : flash option;
   storm : storm option;
   slo_target_ms : float;  (** steady-resolve SLO target *)
@@ -127,7 +132,10 @@ type report = {
       (** fraction of steady samples within [slo_target_ms] (computed
           from the samples, so it is deterministic per run) *)
   bind_qps : float;  (** public BIND queries/s over the window *)
-  meta_qps : float;  (** meta-BIND queries/s over the window *)
+  meta_qps : float;  (** meta-BIND {e primary} queries/s over the window *)
+  meta_replica_qps : float;
+      (** mean queries/s per meta replica over the window; 0 when
+          [meta_replicas = 0] *)
   wire_mb : float;  (** bytes put on the wire during the window *)
   sim_events : int;  (** engine events executed, total *)
   prefetch_seeded : int;  (** hint rows the agent fleet seeded *)
@@ -152,5 +160,6 @@ val pp_report : Format.formatter -> report -> unit
 
 (** Rows for {!Obs.Export.write_bench_json}:
     [loadharness.<label>.{resolve,steady,flash}_ms] plus
-    single-sample [bind_qps] / [wire_kb_per_s] rows. *)
+    single-sample [bind_qps] / [meta_qps] / [meta_replica_qps] /
+    [wire_kb_per_s] rows. *)
 val report_rows : report -> (string * Sim.Stats.t) list

@@ -10,6 +10,8 @@ type t = {
   ch_stack : Transport.Netstack.stack;
   service_stack : Transport.Netstack.stack;
   meta_bind : Dns.Server.t;
+  meta_zone : Dns.Zone.t;
+  meta_replica_servers : Dns.Server.t list;
   public_bind : Dns.Server.t;
   public_zone : Dns.Zone.t;
   ch : Clearinghouse.Ch_server.t;
@@ -77,17 +79,55 @@ let meta_addr t = Dns.Server.addr t.meta_bind
 let bind_addr t = Dns.Server.addr t.public_bind
 let ch_addr t = Clearinghouse.Ch_server.addr t.ch
 
+(* Start the replica fleet and chain it under the meta primary: each
+   replica pulls the meta zone by IXFR and gets NOTIFYed on every
+   serial advance. Must run in-sim (the initial transfer is
+   synchronous). Detach every returned secondary before the driving
+   window closes, or the poll backstops keep the engine from ever
+   draining. *)
+let attach_meta_replicas t =
+  List.map
+    (fun srv ->
+      Dns.Server.start srv;
+      let sec =
+        Dns.Secondary.attach srv ~primary:(meta_addr t)
+          ~zone:Hns.Meta_schema.zone_origin ~refresh_ms:60_000.0
+          ~mode:Dns.Secondary.Ixfr ()
+      in
+      Dns.Server.register_notify t.meta_bind (Dns.Server.addr srv);
+      sec)
+    t.meta_replica_servers
+
+let detach_meta_replicas t secs =
+  List.iter Dns.Secondary.detach secs;
+  List.iter
+    (fun srv -> Dns.Server.unregister_notify t.meta_bind (Dns.Server.addr srv))
+    t.meta_replica_servers
+
+(* Per-client routing view over the replica fleet; [None] when the
+   scenario runs unreplicated, so plumbing it through is always safe. *)
+let new_replica_set t ~on =
+  match t.meta_replica_servers with
+  | [] -> None
+  | servers ->
+      Some
+        (Dns.Replica_set.create on ~zone:Hns.Meta_schema.zone_origin
+           ~primary:(meta_addr t)
+           ~replicas:(List.map Dns.Server.addr servers)
+           ())
+
 let new_hns_raw ?staleness_budget_ms ?rpc_policy ?enable_bundle ?negative_ttl_ms
-    ?nsm_cache_ttl_ms ?(hand_codec = false) ~cache_mode ~meta_server ~bind_server
-    ~ch_server ~credentials ~ch_domain ~ch_org ~nsm_hostaddr_bind
-    ~nsm_hostaddr_ch ~on () =
+    ?nsm_cache_ttl_ms ?(hand_codec = false) ?replica_set ~cache_mode
+    ~meta_server ~bind_server ~ch_server ~credentials ~ch_domain ~ch_org
+    ~nsm_hostaddr_bind ~nsm_hostaddr_ch ~on () =
   (* When the hand codec is on, both the client (request/record codecs)
      and its cache (stored-form demarshalling) get the calibrated hand
      cost model; Generic_marshal stays the fallback for cold shapes. *)
   let hand_cost = if hand_codec then Some Calib.hand_cost else None in
   let cache = new_cache_mode ?staleness_budget_ms ?hand_cost cache_mode () in
   let hns =
-    Hns.Client.create on ~meta_server ~cache ~generated_cost:Calib.generated_cost
+    Hns.Client.create on ~meta_server ?replica_set ~cache
+      ~generated_cost:Calib.generated_cost
       ?hand_codec:hand_cost
       ?hand_preload_record_ms:
         (if hand_codec then Some Calib.hand_preload_record_ms else None)
@@ -125,7 +165,9 @@ let new_hns ?staleness_budget_ms ?rpc_policy ?enable_bundle ?negative_ttl_ms
   in
   let cache_mode = Option.value ~default:t.cache_mode cache_mode in
   new_hns_raw ?staleness_budget_ms ?rpc_policy ~enable_bundle ?negative_ttl_ms
-    ?nsm_cache_ttl_ms ~hand_codec ~cache_mode ~meta_server:(meta_addr t)
+    ?nsm_cache_ttl_ms ~hand_codec
+    ?replica_set:(new_replica_set t ~on)
+    ~cache_mode ~meta_server:(meta_addr t)
     ~bind_server:(bind_addr t) ~ch_server:(ch_addr t)
     ~credentials:t.credentials ~ch_domain:t.ch_domain ~ch_org:t.ch_org
     ~nsm_hostaddr_bind:t.nsm_hostaddr_bind ~nsm_hostaddr_ch:t.nsm_hostaddr_ch ~on
@@ -161,7 +203,7 @@ let new_binding_nsm_ch t ~on =
 
 let build ?(cache_mode = Hns.Cache.Marshalled) ?(extra_hosts = 16)
     ?(bundle = false) ?(hand_codec = false) ?(prefetch = false) ?hot_ranking
-    ?(prefetch_k = 8) ?nsm_cache_ttl_ms () =
+    ?(prefetch_k = 8) ?nsm_cache_ttl_ms ?(meta_replicas = 0) () =
   let engine = Sim.Engine.create () in
   let topo =
     Sim.Topology.create ~default_latency_ms:Calib.ethernet_latency_ms
@@ -258,8 +300,8 @@ let build ?(cache_mode = Hns.Cache.Marshalled) ?(extra_hosts = 16)
       ~service_overhead_ms:Calib.meta_bind_service_overhead_ms
       ~per_answer_ms:Calib.bind_per_answer_ms ~allow_update:true ()
   in
-  Dns.Server.add_zone meta_bind
-    (Dns.Zone.simple ~origin:Hns.Meta_schema.zone_origin []);
+  let meta_zone = Dns.Zone.simple ~origin:Hns.Meta_schema.zone_origin [] in
+  Dns.Server.add_zone meta_bind meta_zone;
   let public_bind =
     Dns.Server.create bind_stack ~service_overhead_ms:Calib.bind_service_overhead_ms
       ~per_answer_ms:Calib.bind_per_answer_ms ?hot_ranking ()
@@ -310,6 +352,23 @@ let build ?(cache_mode = Hns.Cache.Marshalled) ?(extra_hosts = 16)
         }
   in
   if bundle then Hns.Meta_bundle.install ?prefetch:prefetch_cfg meta_bind;
+  (* Meta-zone replica fleet: plain servers on the well-known meta port
+     (referral glue carries only IPs), each bundle-aware when the
+     primary is — a replica answering bundle probes with NXDOMAIN would
+     memoize "no bundle support" into every routed client. They serve
+     nothing until {!attach_meta_replicas} wires them up in-sim. *)
+  let meta_replica_servers =
+    List.init meta_replicas (fun i ->
+        let srv =
+          Dns.Server.create
+            (attach (Printf.sprintf "fiji-r%d" i))
+            ~port:Transport.Address.Well_known.hns_meta
+            ~service_overhead_ms:Calib.meta_bind_service_overhead_ms
+            ~per_answer_ms:Calib.bind_per_answer_ms ()
+        in
+        if bundle then Hns.Meta_bundle.install ?prefetch:prefetch_cfg srv;
+        srv)
+  in
   let ch =
     Clearinghouse.Ch_server.create ch_stack ~auth_ms:Calib.ch_auth_ms
       ~disk_ms:Calib.ch_disk_ms ()
@@ -517,6 +576,8 @@ let build ?(cache_mode = Hns.Cache.Marshalled) ?(extra_hosts = 16)
     ch_stack;
     service_stack;
     meta_bind;
+    meta_zone;
+    meta_replica_servers;
     public_bind;
     public_zone;
     ch;

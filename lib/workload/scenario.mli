@@ -24,6 +24,12 @@ type t = {
   ch_stack : Transport.Netstack.stack;
   service_stack : Transport.Netstack.stack;
   meta_bind : Dns.Server.t;
+  meta_zone : Dns.Zone.t;  (** the [hns-meta.] zone [meta_bind] owns *)
+  meta_replica_servers : Dns.Server.t list;
+      (** Meta-zone replica fleet ([build ?meta_replicas]): idle plain
+          servers until {!attach_meta_replicas} chains them under the
+          primary; {!new_hns} clients route reads over them via a
+          per-client {!Dns.Replica_set}. *)
   public_bind : Dns.Server.t;
   public_zone : Dns.Zone.t;
   ch : Clearinghouse.Ch_server.t;
@@ -82,7 +88,9 @@ type t = {
     cache so its BIND A queries (the hot tracker's signal) recur at a
     realistic rate under sustained load. [hand_codec] (default off, to
     preserve the paper's measured generated-stub costs) makes
-    {!new_hns} clients use the hand-marshalled hot-path codec. *)
+    {!new_hns} clients use the hand-marshalled hot-path codec.
+    [meta_replicas] (default 0) adds that many meta-zone replica
+    servers — see {!attach_meta_replicas}. *)
 val build :
   ?cache_mode:Hns.Cache.mode ->
   ?extra_hosts:int ->
@@ -92,8 +100,21 @@ val build :
   ?hot_ranking:Dns.Hotrank.strategy ->
   ?prefetch_k:int ->
   ?nsm_cache_ttl_ms:float ->
+  ?meta_replicas:int ->
   unit ->
   t
+
+(** Start the replica fleet and chain it under the meta primary (IXFR
+    + NOTIFY). Must run inside {!in_sim}; pass the result to
+    {!detach_meta_replicas} before that driving window ends, or the
+    replicas' poll backstops keep the engine from draining. *)
+val attach_meta_replicas : t -> Dns.Secondary.t list
+
+val detach_meta_replicas : t -> Dns.Secondary.t list -> unit
+
+(** A fresh routing view over the replica fleet for a client on [on];
+    [None] when the scenario was built without [meta_replicas]. *)
+val new_replica_set : t -> on:Transport.Netstack.stack -> Dns.Replica_set.t option
 
 (** Run a thunk as a simulated process and drive the engine to
     quiescence; returns the thunk's value. *)

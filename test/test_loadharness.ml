@@ -260,6 +260,7 @@ let tiny ?(ranking = O.Decayed) ?(seed = 7) () =
     churn_every_ms = 8_000.0;
     ranking;
     hand_codec = false;
+    meta_replicas = 2;
     flash = Some { O.at_ms = 8_000.0; len_ms = 5_000.0; fraction = 0.9; rank = 9 };
     storm = None;
     slo_target_ms = 150.0;

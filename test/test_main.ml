@@ -27,6 +27,7 @@ let () =
       ("baseline", Test_baseline.suite);
       ("workload", Test_workload.suite);
       ("loadharness", Test_loadharness.suite);
+      ("fanout", Test_fanout.suite);
       ("services", Test_services.suite);
       ("paper", Test_paper.suite);
     ]
